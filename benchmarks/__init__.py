@@ -1,0 +1,1 @@
+"""Figure-regeneration benchmarks (pytest-benchmark)."""

@@ -1,0 +1,47 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure of the paper via the
+corresponding :mod:`repro.experiments` driver, asserts the qualitative shape
+the paper reports, and appends the regenerated rows to
+``benchmarks/results/<figure>.txt`` so the series can be inspected after a
+run.
+
+Environment knobs:
+
+* ``REPRO_BENCH_REQUESTS``   -- requests per workload (default 150; the paper
+  uses 1000, which takes proportionally longer).
+* ``REPRO_BENCH_ANNEAL``     -- annealing iterations for the mapper (default 50).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_settings(num_requests: int | None = None) -> ExperimentSettings:
+    if num_requests is None:
+        # The session-wide default can be scaled via the environment; figures
+        # that need a specific trace size (e.g. the KV-pressure sweep) pass an
+        # explicit request count that is not overridden.
+        num_requests = int(os.environ.get("REPRO_BENCH_REQUESTS", 150))
+    anneal = int(os.environ.get("REPRO_BENCH_ANNEAL", 50))
+    return ExperimentSettings(num_requests=num_requests, anneal_iterations=anneal)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record_figure(results_dir: Path, name: str, figure_result) -> None:
+    """Write one regenerated figure's rows to the results directory."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(figure_result.format_table() + "\n")

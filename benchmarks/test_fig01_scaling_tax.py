@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 1 (hardware scaling tax on GPU deployments)."""
+
+from repro.experiments import fig01_scaling_tax
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig01_scaling_tax(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig01_scaling_tax.run, args=(settings,), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig01_scaling_tax", result)
+
+    rows = result.rows()
+    # Paper shape: data movement dominates at every size and total energy
+    # grows monotonically with model size despite adding GPUs.
+    assert all(row["data_movement_fraction"] > 0.5 for row in rows)
+    totals = [row["total_energy_j"] for row in rows]
+    assert totals == sorted(totals) or totals[-1] > totals[0]
+    computes = [row["compute_energy_j"] for row in rows]
+    assert all(total > 2 * compute for total, compute in zip(totals, computes))

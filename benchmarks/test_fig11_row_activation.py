@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 11 (throughput vs. crossbar row-activation ratio)."""
+
+import pytest
+
+from repro.experiments import fig11_row_activation
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig11_row_activation(benchmark, results_dir):
+    result = benchmark.pedantic(
+        fig11_row_activation.run, args=(bench_settings(),), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig11_row_activation", result)
+
+    # Paper shape: the curve peaks at the 1/32 activation ratio, is
+    # SRAM-capacity bound to the left and compute bound to the right.
+    assert result.best_ratio() == pytest.approx(1 / 32)
+    rows = {row["row_activation_ratio"]: row for row in result.rows()}
+    assert rows["1/4"]["bound_by"] == "sram_capacity"
+    assert rows["1/256"]["bound_by"] == "compute"
+    assert rows["1/32"]["normalized_throughput"] == pytest.approx(1.0)

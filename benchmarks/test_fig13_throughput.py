@@ -1,0 +1,50 @@
+"""Benchmark: regenerate Fig. 13 (normalized throughput vs. baselines).
+
+Covers the full 4-model x 4-workload grid.  The raw runs are shared with the
+Fig. 14 energy benchmark through the grid cache, so the expensive Ouroboros
+simulations execute only once per session.
+"""
+
+from repro.experiments import fig13_throughput
+from repro.experiments.common import OUROBOROS_NAME
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig13_throughput(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig13_throughput.run, args=(settings,), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig13_throughput", result)
+
+    # Paper shape: Ouroboros achieves the highest normalized throughput in
+    # (nearly) every (model, workload) cell -- always on the 13B models -- and
+    # the average advantage is a multiple (paper: 4.1x average over SOTA,
+    # peaking ~9x).  A single 32B cell may go to Cerebras in this reproduction
+    # because the 32B KV capacity limits decode concurrency (Section 6.2).
+    losses = 0
+    for (model, workload), cell in result.grid.items():
+        best_baseline = max(
+            value for name, value in cell.items() if name != OUROBOROS_NAME
+        )
+        if cell[OUROBOROS_NAME] <= best_baseline:
+            losses += 1
+            assert "13b" not in model.lower(), (model, workload)
+    assert losses <= 2
+    assert result.average_speedup() > 2.0       # vs. the DGX A100 reference
+    assert result.peak_speedup() > 4.0
+
+    # The 13B models benefit more than the 32B models (KV capacity limits the
+    # number of concurrent sequences for the larger models).
+    speedups_13b = [
+        value[OUROBOROS_NAME]
+        for (model, _), value in result.grid.items()
+        if "13b" in model.lower()
+    ]
+    speedups_32b = [
+        value[OUROBOROS_NAME]
+        for (model, _), value in result.grid.items()
+        if "32b" in model.lower()
+    ]
+    assert sum(speedups_13b) / len(speedups_13b) > sum(speedups_32b) / len(speedups_32b)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 14 (normalized energy per output token)."""
+
+from repro.experiments import fig14_energy
+from repro.experiments.common import OUROBOROS_NAME
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig14_energy(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig14_energy.run, args=(settings,), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig14_energy", result)
+
+    # Paper shape: Ouroboros consumes the least energy per output token in
+    # every cell; reductions vs. DGX A100 / TPUv4 / AttAcc / Cerebras are all
+    # substantial (paper: 84% / 82% / 78% / 66%).
+    for (model, workload), cell in result.grid.items():
+        best_baseline = min(
+            value for name, value in cell.items() if name != OUROBOROS_NAME
+        )
+        assert cell[OUROBOROS_NAME] < best_baseline, (model, workload)
+    assert result.average_reduction_vs("DGX A100") > 0.60
+    assert result.average_reduction_vs("Cerebras") > 0.15
+
+    # Breakdown shape: the GPU baseline spends a large share of its energy on
+    # off-chip memory traffic (dominant on decode-heavy settings), while
+    # Ouroboros spends nothing off-chip.
+    for row in result.rows():
+        if row["system"] == OUROBOROS_NAME:
+            assert row["off_chip_frac"] == 0.0
+        if row["system"] == "DGX A100":
+            assert row["off_chip_frac"] > 0.15
+            if row["workload"] == "lp128_ld2048":
+                assert row["off_chip_frac"] > 0.3

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Fig. 15 (ablation of Wafer / CIM / TGP / Mapping / KV)."""
+
+from repro.experiments import fig15_ablation
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig15_ablation(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig15_ablation.run, args=(settings,), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig15_ablation", result)
+
+    for model in fig15_ablation.ABLATION_MODELS:
+        for workload in fig15_ablation.ABLATION_WORKLOADS:
+            series = result.normalized_series(model, workload)
+            # Paper shape: each added feature never hurts throughput much and
+            # the fully enabled system is a clear multiple of the baseline,
+            # at a fraction of its energy.
+            assert series["+Wafer"]["throughput"] >= 1.0
+            assert series["+CIM"]["energy"] < series["+Wafer"]["energy"]
+            assert series["+TGP"]["throughput"] >= series["+CIM"]["throughput"]
+            assert series["+KV Cache"]["throughput"] > 1.5
+            assert series["+KV Cache"]["energy"] < 0.7
+            # The KV-management step matters most when the KV cache is the
+            # bottleneck (decode-heavy LP=128/LD=2048 setting).
+            if workload == "lp128_ld2048":
+                assert (
+                    series["+KV Cache"]["throughput"]
+                    >= series["+Mapping"]["throughput"]
+                )
+
+
+def test_fig15_tgp_without_cim_energy_blowup(benchmark, results_dir):
+    """The red hatched bars: TGP without CIM destroys weight reuse."""
+    settings = bench_settings(num_requests=80)
+    factor = benchmark.pedantic(
+        fig15_ablation.tgp_without_cim_energy_factor,
+        args=(settings,),
+        rounds=1,
+        iterations=1,
+    )
+    (results_dir / "fig15_tgp_without_cim.txt").write_text(
+        f"energy factor of TGP without CIM vs sequence-grained non-CIM baseline: {factor:.2f}x\n"
+    )
+    assert factor > 1.5

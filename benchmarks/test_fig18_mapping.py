@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 18 (transmission volume of mapping schemes).
+
+Also covers the Section 6.7 headline numbers (45% reduction vs. Cerebras,
+18% vs. WaferLLM on average).
+"""
+
+from repro.experiments import fig18_mapping
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig18_mapping_transmission_volume(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig18_mapping.run, args=(settings,), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig18_mapping", result)
+
+    summary = fig18_mapping.mapping_quality_summary(result)
+    (results_dir / "fig18_summary.txt").write_text(
+        f"average reduction vs Cerebras: {summary['reduction_vs_cerebras']:.1%}\n"
+        f"average reduction vs WaferLLM: {summary['reduction_vs_waferllm']:.1%}\n"
+    )
+
+    # Paper shape: for every model the ordering is Ours < WaferLLM-ish < Cerebras,
+    # and the average reductions are substantial.
+    for model in fig18_mapping.MAPPING_MODELS:
+        normalized = result.normalized(model)
+        assert normalized["Ours"] < normalized["Cerebras"]
+        assert normalized["Ours"] <= normalized["WaferLLM"] * 1.05
+    assert 0.20 < summary["reduction_vs_cerebras"] < 0.80
+    assert summary["reduction_vs_waferllm"] > 0.05

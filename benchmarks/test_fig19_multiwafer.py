@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 19/20 (multi-wafer scaling on LLaMA-65B)."""
+
+from repro.experiments import fig19_20_multiwafer
+from repro.experiments.common import OUROBOROS_NAME, PAPER_WORKLOAD_ORDER
+
+from .conftest import bench_settings, record_figure
+
+
+def test_fig19_20_multiwafer(benchmark, results_dir):
+    settings = bench_settings(num_requests=100)
+    result = benchmark.pedantic(
+        fig19_20_multiwafer.run, args=(settings,), rounds=1, iterations=1
+    )
+    record_figure(results_dir, "fig19_20_multiwafer", result)
+
+    assert result.num_wafers == 2
+    # Paper shape: two-wafer Ouroboros keeps a clear throughput and energy
+    # advantage on the 65B model (paper: 5.4x throughput, 79% energy reduction
+    # on average).  As in Fig. 13, a single long-prefill/long-decode cell may
+    # go to the (favourably modelled) Cerebras baseline.
+    losses = 0
+    for workload in PAPER_WORKLOAD_ORDER:
+        throughput = result.normalized_throughput(workload)
+        energy = result.normalized_energy(workload)
+        best_baseline = max(v for k, v in throughput.items() if k != OUROBOROS_NAME)
+        if throughput[OUROBOROS_NAME] <= best_baseline:
+            losses += 1
+        assert energy[OUROBOROS_NAME] < 0.6
+    assert losses <= 1
+    assert result.average_speedup() > 2.0

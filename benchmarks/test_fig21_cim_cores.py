@@ -1,0 +1,57 @@
+"""Benchmark: regenerate Table 2 / Fig. 21 (impact of the CIM-core circuit design)."""
+
+from repro.experiments import fig21_cim_cores
+
+from .conftest import bench_settings, record_figure
+
+
+def test_table2_static_comparison(results_dir):
+    rows = fig21_cim_cores.table2()
+    lines = ["design | TOPS/W | TOPS/mm2 | wafer capacity (GB)"]
+    for row in rows:
+        lines.append(
+            f"{row['design']} | {row['tops_per_w']:.2f} | {row['tops_per_mm2']:.2f} | "
+            f"{row['wafer_capacity_gb']:.2f}"
+        )
+    (results_dir / "table2_cim_cores.txt").write_text("\n".join(lines) + "\n")
+    ours = next(row for row in rows if row["design"] == "This work")
+    dense = [row for row in rows if row["design"] != "This work"]
+    # Table 2 shape: the dense macros win on TOPS/W and TOPS/mm^2, this work
+    # wins on wafer capacity by 5-20x.
+    assert all(row["tops_per_w"] > ours["tops_per_w"] for row in dense)
+    assert all(ours["wafer_capacity_gb"] > 4 * row["wafer_capacity_gb"] for row in dense)
+
+
+def test_fig21_system_level_impact(benchmark, results_dir):
+    settings = bench_settings(num_requests=100)
+    result = benchmark.pedantic(
+        fig21_cim_cores.run,
+        args=(settings,),
+        kwargs={"models": ("llama-13b", "llama-32b")},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(results_dir, "fig21_cim_cores", result)
+
+    # Paper shape: despite their better macro-level efficiency, the dense CIM
+    # designs lose end-to-end because the model no longer fits on-wafer
+    # (paper: 5.18x average throughput advantage, 64% energy reduction), and
+    # LUT-based crossbars shave ~10% off the compute energy.  The energy
+    # advantage is largest on decode-heavy settings (memory-bound phase);
+    # prefill-heavy cells may come out near parity, so the per-cell assertion
+    # is made on the decode-heavy workload and the rest via the average.
+    assert result.average_speedup_vs_dense() > 2.0
+    energy_ratios = []
+    for (model, workload, design), _ in result.raw.items():
+        if design != "This work":
+            continue
+        energy = result.normalized_energy(model, workload)
+        throughput = result.normalized_throughput(model, workload)
+        energy_ratios.append(energy["VLSI'22"])
+        energy_ratios.append(energy["ISSCC'22"])
+        assert energy["This work + LUT"] <= 1.0
+        assert throughput["VLSI'22"] < 1.0
+        if workload == "lp128_ld2048":
+            assert energy["VLSI'22"] > 1.0
+            assert energy["ISSCC'22"] > 1.0
+    assert sum(energy_ratios) / len(energy_ratios) > 1.0

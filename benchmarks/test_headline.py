@@ -1,0 +1,36 @@
+"""Benchmark: the paper's headline claims (abstract / Section 6.2-6.3).
+
+4.1x average throughput and 4.2x average energy efficiency over the
+state-of-the-art baselines, peaking at 9.1x / 17x for the 13B models.  The
+reproduction asserts the qualitative claim -- a multi-x average advantage over
+the *best* baseline per cell with markedly higher peaks for the 13B models --
+rather than the exact constants (our baselines are analytical models, not the
+authors' measured systems).
+"""
+
+from repro.experiments import headline
+
+from .conftest import bench_settings, record_figure
+
+
+def test_headline_speedup_and_efficiency(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(headline.run, args=(settings,), rounds=1, iterations=1)
+    record_figure(results_dir, "headline", result)
+
+    summary = (
+        f"average speedup vs best baseline:        {result.average_speedup:.2f}x\n"
+        f"peak speedup vs best baseline:           {result.peak_speedup:.2f}x\n"
+        f"peak speedup among 13B models:           {result.peak_speedup_13b():.2f}x\n"
+        f"average efficiency gain vs best baseline:{result.average_efficiency_gain:.2f}x\n"
+        f"peak efficiency gain vs best baseline:   {result.peak_efficiency_gain:.2f}x\n"
+    )
+    (results_dir / "headline_summary.txt").write_text(summary)
+
+    assert result.average_speedup > 1.5
+    assert result.average_efficiency_gain > 2.0
+    assert result.peak_speedup > 3.0
+    assert result.peak_efficiency_gain > 3.0
+    # The 13B models benefit more than the grid average (paper: peaks of 9.1x
+    # throughput / 17x efficiency are reached on the 13B models).
+    assert result.peak_speedup_13b() > result.average_speedup

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Design-space exploration: row-activation ratio and mapping strategy.
+
+Two of the paper's design decisions are swept here:
+
+1. the crossbar row-activation ratio (Fig. 11) -- the balance between MAC
+   throughput and the SRAM area left for the KV cache, and
+2. the inter-core mapping strategy (Section 4.3) -- naive, greedy and
+   annealed placements and their effect on per-token hop distance, serving
+   energy and the Fig. 18 transmission-volume comparison.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import OuroborosSystem, generate_trace, get_model
+from repro.experiments import ExperimentSettings
+from repro.hardware.crossbar import throughput_vs_activation_ratio
+from repro.hardware.wafer import Wafer
+from repro.mapping.baselines import compare_mapping_schemes
+from repro.sim.engine import MappingStrategy
+
+
+def sweep_row_activation() -> None:
+    print("Row-activation ratio sweep (normalized system throughput, Fig. 11)")
+    ratios = [1 / 4, 1 / 8, 1 / 16, 1 / 32, 1 / 64, 1 / 128]
+    curve = throughput_vs_activation_ratio(ratios)
+    for ratio in ratios:
+        bar = "#" * int(round(curve[ratio] * 40))
+        print(f"  1/{int(1 / ratio):<4} {curve[ratio]:5.2f}  {bar}")
+    best = max(curve, key=curve.get)
+    print(f"  -> best ratio: 1/{int(1 / best)} (the paper's choice)\n")
+
+
+def sweep_mapping_strategy() -> None:
+    print("Mapping strategy sweep on LLaMA-13B (200 requests, lp128_ld2048)")
+    settings = ExperimentSettings(num_requests=120, anneal_iterations=80)
+    model = get_model("llama-13b")
+    print("{:>12} {:>14} {:>14} {:>16}".format(
+        "strategy", "avg hops", "tokens/s", "energy/token mJ"))
+    for strategy in (MappingStrategy.NAIVE, MappingStrategy.GREEDY, MappingStrategy.OPTIMIZED):
+        system = OuroborosSystem(
+            model, settings.system_config(mapping_strategy=strategy)
+        )
+        trace = generate_trace("lp128_ld2048", num_requests=120)
+        result = system.serve(trace)
+        print("{:>12} {:>14.1f} {:>14,.0f} {:>16.3f}".format(
+            strategy.value,
+            system.summary()["average_hops"],
+            result.throughput_tokens_per_s,
+            result.energy_per_output_token_j * 1e3,
+        ))
+    print()
+
+
+def compare_transmission_volume() -> None:
+    print("Per-token transmission volume vs. other wafer-scale schemes (Fig. 18)")
+    wafer = Wafer()
+    model = get_model("llama-13b")
+    volumes = compare_mapping_schemes(model, wafer, anneal_iterations=80)
+    reference = volumes["Cerebras"].byte_hops_per_token
+    for scheme in ("Cerebras", "WaferLLM", "Ours"):
+        value = volumes[scheme].byte_hops_per_token / reference
+        print(f"  {scheme:<10} {value:5.2f}  {'#' * int(round(value * 40))}")
+
+
+if __name__ == "__main__":
+    sweep_row_activation()
+    sweep_mapping_strategy()
+    compare_transmission_volume()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: serve a WikiText-like trace of LLaMA-13B requests on Ouroboros.
+
+Builds a single-wafer Ouroboros deployment (defect sampling, inter-core
+mapping, distributed KV-cache manager), serves a batch of requests with
+token-grained pipelining, and prints throughput, energy per output token and
+the energy breakdown alongside a DGX A100 baseline.
+
+Run:  python examples/quickstart.py [num_requests]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import OuroborosSystem, OuroborosSystemConfig, generate_trace, get_model
+from repro.baselines import DGXA100System
+from repro.pipeline.engine import PipelineConfig
+
+
+def main(num_requests: int = 200) -> None:
+    model = get_model("llama-13b")
+    print(f"Model: {model}")
+
+    config = OuroborosSystemConfig(
+        anneal_iterations=50,
+        pipeline=PipelineConfig(chunk_tokens=256),
+    )
+    system = OuroborosSystem(model, config)
+    summary = system.summary()
+    print("\nOuroboros deployment")
+    for key in ("wafers", "total_cores", "healthy_cores", "weight_cores", "kv_cores",
+                "pipeline_depth", "kv_capacity_gib", "average_hops"):
+        print(f"  {key:>16}: {summary[key]:.2f}" if isinstance(summary[key], float)
+              else f"  {key:>16}: {summary[key]}")
+
+    trace = generate_trace("wikitext2", num_requests=num_requests)
+    print(f"\nServing {len(trace)} requests "
+          f"({trace.total_prefill_tokens} prefill + {trace.total_decode_tokens} decode tokens)")
+
+    ours = system.serve(trace)
+    dgx = DGXA100System(model).serve(generate_trace("wikitext2", num_requests=num_requests))
+
+    print("\n{:<14} {:>14} {:>16} {:>10}".format(
+        "system", "tokens/s", "energy/token (mJ)", "speedup"))
+    for result in (dgx, ours):
+        speedup = result.throughput_tokens_per_s / dgx.throughput_tokens_per_s
+        print("{:<14} {:>14,.0f} {:>16.3f} {:>9.2f}x".format(
+            result.system,
+            result.throughput_tokens_per_s,
+            result.energy_per_output_token_j * 1e3,
+            speedup,
+        ))
+
+    print("\nOuroboros energy breakdown:")
+    for category, fraction in ours.energy.fractions().items():
+        print(f"  {category:>16}: {fraction:6.1%}")
+    print(f"\nPipeline utilization: {ours.utilization:.1%}; "
+          f"KV evictions: {ours.evictions}; recomputed tokens: {ours.recomputed_tokens}")
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    main(count)

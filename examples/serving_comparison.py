@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Serving-system shoot-out: Ouroboros vs. DGX A100, TPUv4, AttAcc and WSE-2.
+
+Reproduces a slice of the paper's main comparison (Fig. 13/14) for a chosen
+model across the four workload settings, printing normalized throughput and
+normalized energy per output token.
+
+Run:  python examples/serving_comparison.py [model] [num_requests]
+      model in {llama-13b, baichuan-13b, llama-32b, qwen-32b}
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.common import (
+    OUROBOROS_NAME,
+    PAPER_WORKLOAD_ORDER,
+    normalized_energy,
+    normalized_throughput,
+    run_all_systems,
+)
+from repro.core.system import OuroborosSystem
+from repro.models.architectures import get_model
+
+
+def main(model_name: str = "llama-13b", num_requests: int = 200) -> None:
+    settings = ExperimentSettings(num_requests=num_requests, anneal_iterations=50)
+    arch = get_model(model_name)
+    print(f"Comparing serving systems on {arch} with {num_requests} requests per workload\n")
+
+    ouroboros = OuroborosSystem(arch, settings.system_config())
+    systems_order = ["DGX A100", "TPUv4", "AttAcc", "Cerebras", OUROBOROS_NAME]
+
+    header = "{:<14}" + "{:>12}" * len(systems_order)
+    print("Normalized throughput (DGX A100 = 1.0)")
+    print(header.format("workload", *systems_order))
+    energy_rows = []
+    for workload in PAPER_WORKLOAD_ORDER:
+        cell = run_all_systems(arch, workload, settings, ouroboros_system=ouroboros)
+        throughput = normalized_throughput(cell)
+        energy = normalized_energy(cell)
+        print(header.format(
+            workload, *(f"{throughput.get(name, float('nan')):.2f}" for name in systems_order)
+        ))
+        energy_rows.append((workload, energy))
+
+    print("\nNormalized energy per output token (DGX A100 = 1.0, lower is better)")
+    print(header.format("workload", *systems_order))
+    for workload, energy in energy_rows:
+        print(header.format(
+            workload, *(f"{energy.get(name, float('nan')):.2f}" for name in systems_order)
+        ))
+
+
+if __name__ == "__main__":
+    model = sys.argv[1] if len(sys.argv) > 1 else "llama-13b"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    main(model, count)

@@ -1,0 +1,89 @@
+"""Cerebras WSE-2 baseline running a WaferLLM-style inference engine.
+
+The WSE-2 keeps 40 GB of SRAM on a single wafer, so (with 8-bit weights) the
+13B/32B models fit on chip and weight reads never leave the wafer.  Unlike
+Ouroboros the WSE-2 is *not* computing in memory: every weight byte is read
+from SRAM into the compute datapath for every use, and activations/partial
+sums cross the wafer fabric using SUMMA-style GEMM and pipelined all-reduce
+GEMV collectives, which is the communication volume Fig. 18 compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from ..errors import ConfigurationError
+from ..models.architectures import ModelArch
+from ..units import GB, PJ
+from .common import BaselineConfig, BaselineHardware, BaselineSystem
+
+
+def wse2_hardware() -> BaselineHardware:
+    """Published characteristics of a Cerebras WSE-2.
+
+    * 850,000 cores, ~75 TOPS-equivalent dense FP16 throughput usable for
+      transformer inference per the WaferLLM characterisation (7.5 PFLOPS peak
+      is rarely approached on GEMV; we use achievable efficiencies instead).
+    * 40 GB on-wafer SRAM at an aggregate 20 PB/s; the practical weight-stream
+      bandwidth per GEMV pass is fabric-limited, modelled at 1.0 PB/s.
+    * On-wafer fabric energy ~0.5 pJ/bit; SRAM read ~0.45 pJ/bit.
+    """
+    return BaselineHardware(
+        name="Cerebras WSE-2",
+        num_devices=1,
+        peak_macs_per_s=7.5e15 / 2.0,
+        prefill_efficiency=0.30,
+        decode_efficiency=0.05,
+        memory_capacity_bytes=40 * GB,
+        memory_bandwidth_bytes_per_s=1.0e15,
+        memory_bandwidth_efficiency=1.0,
+        memory_energy_per_byte_j=0.45 * 8 * PJ,
+        memory_is_on_chip=True,
+        mac_energy_j=0.55 * PJ,
+        on_chip_energy_per_byte_j=0.2 * 8 * PJ,
+        interconnect_bandwidth_bytes_per_s=2.0e14,
+        interconnect_energy_per_byte_j=0.5 * 8 * PJ,
+        tensor_parallel=64,
+        weight_bytes_per_param=1,
+        kv_bytes_per_element=1,
+        max_batch_size=64,
+    )
+
+
+class CerebrasWSE2System(BaselineSystem):
+    """Cerebras WSE-2 with WaferLLM-style SUMMA/all-reduce execution.
+
+    ``num_wafers`` scales capacity, bandwidth and peak compute for models that
+    do not fit a single WSE-2 (the multi-wafer comparison of Fig. 19/20).
+    """
+
+    def __init__(
+        self,
+        arch: ModelArch,
+        config: BaselineConfig | None = None,
+        num_wafers: int | None = None,
+    ) -> None:
+        hardware = wse2_hardware()
+        weight_bytes = float(arch.total_weight_params) * hardware.weight_bytes_per_param
+        if num_wafers is None:
+            num_wafers = max(
+                1, math.ceil(weight_bytes / (hardware.memory_capacity_bytes * 0.8))
+            )
+        if num_wafers > 1:
+            hardware = replace(
+                hardware,
+                name=f"Cerebras WSE-2 x{num_wafers}",
+                num_devices=num_wafers,
+                peak_macs_per_s=hardware.peak_macs_per_s * num_wafers,
+                memory_capacity_bytes=hardware.memory_capacity_bytes * num_wafers,
+                memory_bandwidth_bytes_per_s=hardware.memory_bandwidth_bytes_per_s
+                * num_wafers,
+                interconnect_bandwidth_bytes_per_s=hardware.interconnect_bandwidth_bytes_per_s
+                * num_wafers,
+            )
+        if weight_bytes > hardware.memory_capacity_bytes:
+            raise ConfigurationError(
+                f"{arch.name} does not fit {num_wafers} WSE-2 wafer(s) even at INT8"
+            )
+        super().__init__(arch, hardware, config)

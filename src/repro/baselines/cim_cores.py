@@ -1,0 +1,140 @@
+"""Alternative CIM-core circuit designs (Table 2 / Fig. 21).
+
+The paper positions its capacity-oriented CIM core against two circuit-level
+designs that maximise TOPS/W and TOPS/mm^2 at the cost of on-chip capacity:
+
+============  =========  ==========  ============  ===============
+design        process    TOPS/W      TOPS/mm^2     wafer capacity
+============  =========  ==========  ============  ===============
+VLSI'22       12 nm      30.30       10.40         2.63 GB (7 nm)
+ISSCC'22      5 nm       63.00       55.00         11.32 GB (7 nm)
+This work     7 nm       10.98       2.03          54 GB
+============  =========  ==========  ============  ===============
+
+When one of the dense designs is dropped into the Ouroboros system, its wafer
+no longer holds the model weights and KV cache, so the paper provisions HBM2
+at 1.6 TB/s to make the comparison fair; inference then becomes bound by
+off-chip weight streaming.  ``Ours+LUT`` applies the 10% compute-energy saving
+of LUT-based crossbars to the Ouroboros core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..models.architectures import ModelArch
+from ..units import GB, PJ
+from .common import BaselineConfig, BaselineHardware, BaselineSystem
+
+#: usable silicon area of the 215mm x 215mm wafer (9x7 dies of 23mm x 30mm)
+WAFER_SILICON_AREA_MM2 = 9 * 7 * 23.0 * 30.0
+#: HBM2 bandwidth provisioned for capacity-limited designs (Section 6.9)
+HBM2_BANDWIDTH_BYTES_PER_S = 1.6e12
+
+
+@dataclass(frozen=True)
+class CIMCoreDesign:
+    """Circuit-level characteristics of one CIM macro design (7-nm scaled)."""
+
+    name: str
+    tops_per_w: float
+    tops_per_mm2: float
+    wafer_capacity_bytes: float
+    lut_optimized: bool = False
+
+    @property
+    def mac_energy_j(self) -> float:
+        """Energy per 8-bit MAC (2 ops) implied by the TOPS/W figure."""
+        energy = 2.0 / (self.tops_per_w * 1e12)
+        if self.lut_optimized:
+            energy *= 0.9
+        return energy
+
+    @property
+    def peak_macs_per_s(self) -> float:
+        """Wafer-level peak MAC rate implied by the TOPS/mm^2 figure."""
+        return self.tops_per_mm2 * 1e12 * WAFER_SILICON_AREA_MM2 / 2.0
+
+    def fits_model(self, arch: ModelArch, kv_reserve_fraction: float = 0.2) -> bool:
+        """Whether weights plus a KV reserve fit the design's wafer capacity."""
+        return arch.total_weight_bytes <= self.wafer_capacity_bytes * (
+            1.0 - kv_reserve_fraction
+        )
+
+
+VLSI22 = CIMCoreDesign(
+    name="VLSI'22",
+    tops_per_w=49.67,
+    tops_per_mm2=26.0,
+    wafer_capacity_bytes=2.63 * GB,
+)
+ISSCC22 = CIMCoreDesign(
+    name="ISSCC'22",
+    tops_per_w=44.41,
+    tops_per_mm2=30.55,
+    wafer_capacity_bytes=11.32 * GB,
+)
+OUROBOROS_CORE = CIMCoreDesign(
+    name="This work",
+    tops_per_w=10.98,
+    tops_per_mm2=2.03,
+    wafer_capacity_bytes=54 * GB,
+)
+OUROBOROS_LUT_CORE = CIMCoreDesign(
+    name="This work + LUT",
+    tops_per_w=10.98,
+    tops_per_mm2=2.03,
+    wafer_capacity_bytes=54 * GB,
+    lut_optimized=True,
+)
+
+ALL_DESIGNS = (VLSI22, ISSCC22, OUROBOROS_CORE, OUROBOROS_LUT_CORE)
+
+
+def cim_core_hardware(design: CIMCoreDesign, arch: ModelArch) -> BaselineHardware:
+    """System-level hardware model for a wafer built from ``design`` macros."""
+    fits = design.fits_model(arch)
+    if fits:
+        memory_capacity = design.wafer_capacity_bytes
+        memory_bandwidth = 1.0e15  # on-wafer SRAM: effectively not the bottleneck
+        memory_energy = 0.0  # weights consumed in-situ by the CIM macros
+        memory_on_chip = True
+    else:
+        # Capacity-limited designs stream weights and KV from HBM2 (1.6 TB/s).
+        memory_capacity = 320 * GB
+        memory_bandwidth = HBM2_BANDWIDTH_BYTES_PER_S
+        memory_energy = 3.9 * 8 * PJ
+        memory_on_chip = False
+    return BaselineHardware(
+        name=design.name,
+        num_devices=1,
+        peak_macs_per_s=design.peak_macs_per_s,
+        prefill_efficiency=0.5,
+        decode_efficiency=0.3,
+        memory_capacity_bytes=memory_capacity,
+        memory_bandwidth_bytes_per_s=memory_bandwidth,
+        memory_bandwidth_efficiency=1.0 if memory_on_chip else 0.70,
+        memory_energy_per_byte_j=memory_energy,
+        memory_is_on_chip=memory_on_chip,
+        mac_energy_j=design.mac_energy_j,
+        on_chip_energy_per_byte_j=0.2 * 8 * PJ,
+        interconnect_bandwidth_bytes_per_s=1.0e14,
+        interconnect_energy_per_byte_j=0.8 * 8 * PJ,
+        tensor_parallel=1,
+        weight_bytes_per_param=1,
+        kv_bytes_per_element=1,
+        max_batch_size=256,
+    )
+
+
+class CIMCoreSystem(BaselineSystem):
+    """The Ouroboros system built from an alternative CIM macro design."""
+
+    def __init__(
+        self,
+        arch: ModelArch,
+        design: CIMCoreDesign,
+        config: BaselineConfig | None = None,
+    ) -> None:
+        self.design = design
+        super().__init__(arch, cim_core_hardware(design, arch), config)

@@ -1,0 +1,46 @@
+"""DGX A100 baseline (8x A100-40GB, NVLink, vLLM serving stack)."""
+
+from __future__ import annotations
+
+from ..models.architectures import ModelArch
+from ..units import GB, PJ, TERA
+from .common import BaselineConfig, BaselineHardware, BaselineSystem
+
+
+def dgx_a100_hardware(num_gpus: int = 8) -> BaselineHardware:
+    """Published characteristics of a DGX A100 node.
+
+    * 312 TFLOPS FP16 (dense) per GPU, ~60% achievable on GEMM-heavy prefill
+      and ~35% on memory-bound decode with vLLM's continuous batching.
+    * 40 GB HBM2e at 1.56 TB/s per GPU.
+    * 600 GB/s NVLink per GPU (aggregate fabric ~2.4 TB/s effective for
+      all-reduce traffic with TP=8).
+    * HBM access energy ~3.9 pJ/bit; FP16 MAC ~0.8 pJ at the system level.
+    """
+    return BaselineHardware(
+        name="DGX A100",
+        num_devices=num_gpus,
+        peak_macs_per_s=num_gpus * 312 * TERA / 2.0,
+        prefill_efficiency=0.60,
+        decode_efficiency=0.35,
+        memory_capacity_bytes=num_gpus * 40 * GB,
+        memory_bandwidth_bytes_per_s=num_gpus * 1.555e12,
+        memory_bandwidth_efficiency=0.70,
+        memory_energy_per_byte_j=3.9 * 8 * PJ,
+        memory_is_on_chip=False,
+        mac_energy_j=0.8 * PJ,
+        on_chip_energy_per_byte_j=0.45 * 8 * PJ,
+        interconnect_bandwidth_bytes_per_s=2.4e12,
+        interconnect_energy_per_byte_j=10.0 * 8 * PJ,
+        tensor_parallel=num_gpus,
+        weight_bytes_per_param=2,
+        kv_bytes_per_element=2,
+        max_batch_size=256,
+    )
+
+
+class DGXA100System(BaselineSystem):
+    """8x A100 running vLLM (FlashAttention + chunked prefill + paged KV)."""
+
+    def __init__(self, arch: ModelArch, num_gpus: int = 8, config: BaselineConfig | None = None) -> None:
+        super().__init__(arch, dgx_a100_hardware(num_gpus), config)

@@ -1,0 +1,45 @@
+"""TPUv4 baseline (8 devices with 32 GB HBM each, ICI interconnect)."""
+
+from __future__ import annotations
+
+from ..models.architectures import ModelArch
+from ..units import GB, PJ, TERA
+from .common import BaselineConfig, BaselineHardware, BaselineSystem
+
+
+def tpu_v4_hardware(num_devices: int = 8) -> BaselineHardware:
+    """Published characteristics of a TPUv4 pod slice.
+
+    * 275 TFLOPS BF16 per chip, high GEMM efficiency thanks to the systolic
+      MXUs (~70% prefill) but poor GEMV efficiency (~25% decode).
+    * 32 GB HBM2 at 1.2 TB/s per chip.
+    * 3D-torus ICI with ~300 GB/s per link; modelled as a 1.2 TB/s aggregate
+      all-reduce fabric for TP=8.
+    """
+    return BaselineHardware(
+        name="TPUv4",
+        num_devices=num_devices,
+        peak_macs_per_s=num_devices * 275 * TERA / 2.0,
+        prefill_efficiency=0.70,
+        decode_efficiency=0.25,
+        memory_capacity_bytes=num_devices * 32 * GB,
+        memory_bandwidth_bytes_per_s=num_devices * 1.2e12,
+        memory_bandwidth_efficiency=0.70,
+        memory_energy_per_byte_j=3.9 * 8 * PJ,
+        memory_is_on_chip=False,
+        mac_energy_j=0.6 * PJ,
+        on_chip_energy_per_byte_j=0.4 * 8 * PJ,
+        interconnect_bandwidth_bytes_per_s=1.2e12,
+        interconnect_energy_per_byte_j=8.0 * 8 * PJ,
+        tensor_parallel=num_devices,
+        weight_bytes_per_param=2,
+        kv_bytes_per_element=2,
+        max_batch_size=256,
+    )
+
+
+class TPUv4System(BaselineSystem):
+    """8x TPUv4 modelled after the ONNXim/NPUsim configuration of the paper."""
+
+    def __init__(self, arch: ModelArch, num_devices: int = 8, config: BaselineConfig | None = None) -> None:
+        super().__init__(arch, tpu_v4_hardware(num_devices), config)

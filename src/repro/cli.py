@@ -1,0 +1,173 @@
+"""Command-line interface for the Ouroboros reproduction.
+
+Three sub-commands cover the workflows a downstream user needs:
+
+``summary``
+    Build a deployment for a model and print its core/KV/pipeline summary.
+
+``serve``
+    Serve one of the paper's workloads on Ouroboros (and optionally the
+    baselines) and print throughput, energy per token and the energy
+    breakdown.
+
+``experiment``
+    Regenerate one of the paper's figures (``fig01`` ... ``fig21``,
+    ``headline`` or ``all``) and print the regenerated rows.
+
+Examples::
+
+    python -m repro summary llama-13b
+    python -m repro serve llama-13b --workload lp128_ld2048 --requests 200 --baselines
+    python -m repro experiment fig11
+    python -m repro experiment fig13 --requests 100 --models llama-13b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core.system import OuroborosSystem
+from .experiments import ALL_EXPERIMENTS, ExperimentSettings
+from .experiments.common import (
+    BASELINE_SYSTEMS,
+    OUROBOROS_NAME,
+    normalized_energy,
+    normalized_throughput,
+    run_all_systems,
+)
+from .models.architectures import MODEL_REGISTRY, get_model
+from .workload.generator import PAPER_WORKLOADS, generate_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ouroboros wafer-scale CIM reproduction (ASPLOS'26)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summary = subparsers.add_parser("summary", help="print a deployment summary")
+    summary.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    summary.add_argument("--anneal", type=int, default=50,
+                         help="annealing iterations for the inter-core mapper")
+    summary.add_argument("--wafers", type=int, default=None,
+                         help="force a wafer count (default: smallest that fits)")
+
+    serve = subparsers.add_parser("serve", help="serve a workload and report results")
+    serve.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    serve.add_argument("--workload", choices=PAPER_WORKLOADS, default="wikitext2")
+    serve.add_argument("--requests", type=int, default=200)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--kv-threshold", type=float, default=0.1)
+    serve.add_argument("--baselines", action="store_true",
+                       help="also run the DGX/TPU/AttAcc/Cerebras baselines")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument(
+        "figure", choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="figure to regenerate (or 'all')",
+    )
+    experiment.add_argument("--requests", type=int, default=150)
+    experiment.add_argument("--anneal", type=int, default=50)
+    experiment.add_argument("--models", nargs="*", default=None,
+                            help="restrict to these models where supported")
+    return parser
+
+
+def _print_summary(args: argparse.Namespace) -> int:
+    arch = get_model(args.model)
+    settings = ExperimentSettings(anneal_iterations=args.anneal)
+    config = settings.system_config()
+    if args.wafers is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, num_wafers=args.wafers)
+        system = OuroborosSystem(arch, config, auto_scale_wafers=False)
+    else:
+        system = OuroborosSystem(arch, config)
+    print(f"{arch}")
+    for key, value in system.summary().items():
+        if isinstance(value, float):
+            print(f"  {key:>16}: {value:,.2f}")
+        else:
+            print(f"  {key:>16}: {value}")
+    return 0
+
+
+def _print_result_row(name: str, result, reference=None) -> None:
+    speedup = ""
+    if reference is not None and reference.throughput_tokens_per_s > 0:
+        speedup = f"{result.throughput_tokens_per_s / reference.throughput_tokens_per_s:7.2f}x"
+    print(
+        f"  {name:<16} {result.throughput_tokens_per_s:>14,.0f} tok/s "
+        f"{result.energy_per_output_token_j * 1e3:>10.3f} mJ/tok {speedup}"
+    )
+
+
+def _serve(args: argparse.Namespace) -> int:
+    arch = get_model(args.model)
+    settings = ExperimentSettings(
+        num_requests=args.requests, seed=args.seed, kv_threshold=args.kv_threshold
+    )
+    print(f"Serving {args.requests} '{args.workload}' requests of {arch.name}")
+    if args.baselines:
+        results = run_all_systems(arch, args.workload, settings)
+        reference = results["DGX A100"]
+        for name in list(BASELINE_SYSTEMS) + [OUROBOROS_NAME]:
+            if name in results:
+                _print_result_row(name, results[name], reference)
+        print("\n  normalized throughput:", {
+            k: round(v, 2) for k, v in normalized_throughput(results).items()
+        })
+        print("  normalized energy:    ", {
+            k: round(v, 2) for k, v in normalized_energy(results).items()
+        })
+    else:
+        system = OuroborosSystem(arch, settings.system_config())
+        trace = generate_trace(args.workload, num_requests=args.requests, seed=args.seed)
+        result = system.serve(trace, workload_name=args.workload)
+        _print_result_row(OUROBOROS_NAME, result)
+        print("  energy breakdown:", {
+            k: f"{v:.1%}" for k, v in result.energy.fractions().items()
+        })
+        print(f"  utilization: {result.utilization:.1%}  evictions: {result.evictions}")
+    return 0
+
+
+def _experiment(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(
+        num_requests=args.requests, anneal_iterations=args.anneal
+    )
+    figures = sorted(ALL_EXPERIMENTS) if args.figure == "all" else [args.figure]
+    for figure in figures:
+        module = ALL_EXPERIMENTS[figure]
+        kwargs = {}
+        if args.models and hasattr(module, "run"):
+            # Pass a model restriction only to drivers that accept it.
+            import inspect
+
+            if "models" in inspect.signature(module.run).parameters:
+                kwargs["models"] = tuple(args.models)
+        result = module.run(settings, **kwargs)
+        print(result.format_table())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "summary":
+        return _print_summary(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "experiment":
+        return _experiment(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

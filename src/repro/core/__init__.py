@@ -1,0 +1,5 @@
+"""The paper's primary contribution: the Ouroboros system facade."""
+
+from .system import OuroborosSystem
+
+__all__ = ["OuroborosSystem"]

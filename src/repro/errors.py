@@ -1,0 +1,31 @@
+"""Exception hierarchy for the Ouroboros reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or model configuration is internally inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A resource (SRAM, KV blocks, cores) does not fit the requested load."""
+
+
+class MappingError(ReproError):
+    """A mapping request cannot be satisfied (e.g. not enough healthy cores)."""
+
+
+class KVCacheError(ReproError):
+    """An invalid KV-cache operation was requested."""
+
+
+class SchedulingError(ReproError):
+    """The inter-sequence scheduler was driven into an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The end-to-end simulator reached an inconsistent state."""

@@ -1,0 +1,227 @@
+"""Shared infrastructure for the per-figure experiment drivers.
+
+Every experiment module exposes a ``run(settings)`` function that returns a
+result object with a ``rows()`` method (list of dictionaries, one per plotted
+bar/point) and a ``format_table()`` helper for human-readable output.  The
+drivers are deliberately deterministic: the same settings produce the same
+numbers, so the benchmark harness can assert on the qualitative shape of each
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..baselines.attacc import AttAccSystem
+from ..baselines.cerebras import CerebrasWSE2System
+from ..baselines.common import BaselineSystem
+from ..baselines.gpu import DGXA100System
+from ..baselines.tpu import TPUv4System
+from ..core.system import OuroborosSystem
+from ..errors import ConfigurationError
+from ..models.architectures import ModelArch, get_model
+from ..pipeline.engine import PipelineConfig
+from ..results import RunResult
+from ..sim.engine import OuroborosSystemConfig
+from ..workload.generator import Trace, generate_trace
+
+#: workloads of the main evaluation figures, in plotting order
+PAPER_WORKLOAD_ORDER = ("wikitext2", "lp128_ld2048", "lp2048_ld128", "lp2048_ld2048")
+
+#: decoder-only models of Fig. 13/14, in plotting order
+DECODER_MODELS = ("llama-13b", "baichuan-13b", "llama-32b", "qwen-32b")
+
+#: encoder-containing models of Fig. 16
+ENCODER_MODELS = ("bert-large", "t5-11b")
+
+#: baseline systems of Fig. 13/14/16/19/20, in plotting order
+BASELINE_SYSTEMS: dict[str, type[BaselineSystem]] = {
+    "DGX A100": DGXA100System,
+    "TPUv4": TPUv4System,
+    "AttAcc": AttAccSystem,
+    "Cerebras": CerebrasWSE2System,
+}
+
+OUROBOROS_NAME = "Ours"
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all experiment drivers.
+
+    The defaults are sized so the full figure suite runs in minutes on a
+    laptop; pass ``num_requests=1000`` to match the paper's trace size exactly.
+    """
+
+    num_requests: int = 200
+    seed: int = 0
+    chunk_tokens: int = 256
+    anneal_iterations: int = 50
+    kv_threshold: float = 0.1
+    model_defects: bool = True
+
+    def pipeline_config(self) -> PipelineConfig:
+        return PipelineConfig(chunk_tokens=self.chunk_tokens)
+
+    def system_config(self, **overrides) -> OuroborosSystemConfig:
+        config = OuroborosSystemConfig(
+            anneal_iterations=self.anneal_iterations,
+            kv_threshold=self.kv_threshold,
+            model_defects=self.model_defects,
+            pipeline=self.pipeline_config(),
+        )
+        if overrides:
+            config = replace(config, **overrides)
+        return config
+
+
+DEFAULT_SETTINGS = ExperimentSettings()
+
+
+# ---------------------------------------------------------------------------
+# Running systems
+# ---------------------------------------------------------------------------
+
+
+def resolve_model(model: ModelArch | str) -> ModelArch:
+    return get_model(model) if isinstance(model, str) else model
+
+
+def workload_trace(
+    workload: str, settings: ExperimentSettings = DEFAULT_SETTINGS
+) -> Trace:
+    return generate_trace(
+        workload, num_requests=settings.num_requests, seed=settings.seed
+    )
+
+
+def run_ouroboros(
+    model: ModelArch | str,
+    workload: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    **config_overrides,
+) -> RunResult:
+    """Serve one workload on a freshly built Ouroboros system."""
+    arch = resolve_model(model)
+    system = OuroborosSystem(arch, settings.system_config(**config_overrides))
+    trace = workload_trace(workload, settings)
+    result = system.serve(trace, workload_name=workload)
+    result.system = OUROBOROS_NAME
+    return result
+
+
+def run_baseline(
+    name: str,
+    model: ModelArch | str,
+    workload: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+) -> RunResult | None:
+    """Serve one workload on a named baseline.
+
+    Returns ``None`` when the baseline cannot deploy the model at all (e.g.
+    the model does not fit the Cerebras WSE-2's SRAM), mirroring missing bars.
+    """
+    arch = resolve_model(model)
+    system_cls = BASELINE_SYSTEMS[name]
+    try:
+        system = system_cls(arch)
+    except ConfigurationError:
+        return None
+    trace = workload_trace(workload, settings)
+    return system.serve(trace, workload_name=workload)
+
+
+def run_all_systems(
+    model: ModelArch | str,
+    workload: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    ouroboros_system: OuroborosSystem | None = None,
+) -> dict[str, RunResult]:
+    """Run every baseline plus Ouroboros on one (model, workload) cell."""
+    arch = resolve_model(model)
+    results: dict[str, RunResult] = {}
+    for name in BASELINE_SYSTEMS:
+        result = run_baseline(name, arch, workload, settings)
+        if result is not None:
+            results[name] = result
+    if ouroboros_system is not None:
+        trace = workload_trace(workload, settings)
+        result = ouroboros_system.serve(trace, workload_name=workload)
+        result.system = OUROBOROS_NAME
+        results[OUROBOROS_NAME] = result
+    else:
+        results[OUROBOROS_NAME] = run_ouroboros(arch, workload, settings)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Normalisation and tabulation
+# ---------------------------------------------------------------------------
+
+
+def normalized_throughput(
+    results: dict[str, RunResult], reference: str = "DGX A100"
+) -> dict[str, float]:
+    """Throughput of every system normalised to ``reference`` (Fig. 13 style)."""
+    base = results[reference].throughput_tokens_per_s
+    if base <= 0:
+        raise ConfigurationError(f"reference system {reference} produced no tokens")
+    return {
+        name: result.throughput_tokens_per_s / base for name, result in results.items()
+    }
+
+
+def normalized_energy(
+    results: dict[str, RunResult], reference: str = "DGX A100"
+) -> dict[str, float]:
+    """Energy per output token normalised to ``reference`` (Fig. 14 style)."""
+    base = results[reference].energy_per_output_token_j
+    if base <= 0:
+        raise ConfigurationError(f"reference system {reference} consumed no energy")
+    return {
+        name: result.energy_per_output_token_j / base for name, result in results.items()
+    }
+
+
+@dataclass
+class FigureResult:
+    """Generic container for one regenerated figure."""
+
+    figure: str
+    description: str
+    rows_data: list[dict] = field(default_factory=list)
+
+    def rows(self) -> list[dict]:
+        return list(self.rows_data)
+
+    def format_table(self) -> str:
+        if not self.rows_data:
+            return f"{self.figure}: (no data)"
+        columns = list(self.rows_data[0].keys())
+        widths = {
+            column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in self.rows_data))
+            for column in columns
+        }
+        header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+        separator = "-+-".join("-" * widths[column] for column in columns)
+        lines = [f"{self.figure}: {self.description}", header, separator]
+        for row in self.rows_data:
+            lines.append(
+                " | ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns)
+            )
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geometric_mean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= max(value, 1e-12)
+    return product ** (1.0 / len(values))

@@ -1,0 +1,104 @@
+"""Fig. 1 -- the hardware scaling tax of conventional GPU deployments.
+
+The paper's motivation figure shows that, as LLaMA-class models grow from 7B
+to 130B parameters and the deployment scales from one to eight A100 GPUs, the
+energy spent on data movement (off-chip memory, on-chip staging, inter-GPU
+communication) grows much faster than the energy spent on computation.  This
+driver reproduces the series: for each model size it serves a fixed workload
+on the smallest DGX A100 slice that fits the model and reports the energy
+breakdown per output token plus the compute-only share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..baselines.gpu import DGXA100System, dgx_a100_hardware
+from ..models.architectures import generic_llm
+from ..results import EnergyBreakdown
+from ..units import GB
+from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult, workload_trace
+
+#: model sizes (billions of parameters) swept by Fig. 1
+MODEL_SIZES_B = (7.0, 13.0, 19.5, 32.0, 65.0, 130.0)
+
+#: workload used for the motivation study
+WORKLOAD = "lp2048_ld2048"
+
+
+@dataclass
+class ScalingTaxPoint:
+    """One model-size point of Fig. 1."""
+
+    model_size_b: float
+    num_gpus: int
+    energy: EnergyBreakdown
+    output_tokens: int
+
+    @property
+    def compute_energy_j(self) -> float:
+        return self.energy.compute_j
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy.total_j
+
+    @property
+    def data_movement_fraction(self) -> float:
+        total = self.energy.total_j
+        if total == 0:
+            return 0.0
+        return 1.0 - self.energy.compute_j / total
+
+
+@dataclass
+class ScalingTaxResult(FigureResult):
+    points: list[ScalingTaxPoint] = field(default_factory=list)
+
+
+def gpus_required(model_size_b: float) -> int:
+    """Smallest power-of-two A100 count whose HBM holds the FP16 weights + KV."""
+    weight_bytes = model_size_b * 1e9 * 2
+    per_gpu = 40 * GB * 0.75  # keep 25% for KV cache and activations
+    gpus = max(1, math.ceil(weight_bytes / per_gpu))
+    return 1 << (gpus - 1).bit_length()
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ScalingTaxResult:
+    result = ScalingTaxResult(
+        figure="Fig. 1",
+        description="Hardware scaling tax: energy breakdown vs. model size on A100s",
+    )
+    trace = workload_trace(WORKLOAD, settings)
+    for size in MODEL_SIZES_B:
+        arch = generic_llm(size)
+        num_gpus = min(8, gpus_required(size))
+        hardware = dgx_a100_hardware(num_gpus)
+        if arch.total_weight_params * 2 > hardware.memory_capacity_bytes:
+            # The largest models exceed even 8 GPUs of HBM in FP16; the paper
+            # still deploys them on 8 GPUs (weights spill / are re-streamed),
+            # which we approximate by charging the full weight traffic anyway.
+            num_gpus = 8
+        system = DGXA100System(arch, num_gpus=num_gpus)
+        run_result = system.serve(trace, workload_name=WORKLOAD)
+        point = ScalingTaxPoint(
+            model_size_b=size,
+            num_gpus=num_gpus,
+            energy=run_result.energy,
+            output_tokens=run_result.output_tokens,
+        )
+        result.points.append(point)
+        result.rows_data.append(
+            {
+                "model_size_b": size,
+                "num_gpus": num_gpus,
+                "compute_energy_j": point.compute_energy_j,
+                "total_energy_j": point.total_energy_j,
+                "off_chip_j": point.energy.off_chip_memory_j,
+                "on_chip_j": point.energy.on_chip_memory_j,
+                "communication_j": point.energy.communication_j,
+                "data_movement_fraction": point.data_movement_fraction,
+            }
+        )
+    return result

@@ -1,0 +1,55 @@
+"""Fig. 11 -- throughput versus crossbar row-activation ratio.
+
+The crossbar activates one row per 32-row bank each cycle (a 1/32 ratio).
+Raising the ratio adds adder-tree area, which crowds out SRAM and shrinks the
+wafer-level KV capacity (fewer concurrent sequences -> the system becomes
+*SRAM-capacity bound*); lowering it starves the MAC arrays (the system becomes
+*computation bound*).  The paper quantifies this on LLaMA-13B and selects 1/32
+as the peak.  This driver regenerates the curve from the area/throughput model
+in :mod:`repro.hardware.crossbar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.crossbar import effective_sram_ratio, throughput_vs_activation_ratio
+from ..hardware.config import CrossbarConfig
+from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult
+
+#: row-activation ratios swept by Fig. 11 (1/4 ... 1/256)
+RATIOS = (1 / 4, 1 / 8, 1 / 16, 1 / 32, 1 / 64, 1 / 128, 1 / 256)
+
+
+@dataclass
+class RowActivationResult(FigureResult):
+    throughput_by_ratio: dict[float, float] = field(default_factory=dict)
+
+    def best_ratio(self) -> float:
+        return max(self.throughput_by_ratio, key=self.throughput_by_ratio.get)
+
+
+def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> RowActivationResult:
+    throughput = throughput_vs_activation_ratio(list(RATIOS))
+    result = RowActivationResult(
+        figure="Fig. 11",
+        description="Normalized throughput vs. crossbar row-activation ratio (LLaMA-13B)",
+        throughput_by_ratio=throughput,
+    )
+    base = CrossbarConfig()
+    for ratio in RATIOS:
+        candidate = CrossbarConfig(row_activation_ratio=ratio)
+        compute_scale = candidate.macs_per_cycle / CrossbarConfig().macs_per_cycle
+        capacity_scale = effective_sram_ratio(ratio)
+        bound = "compute" if compute_scale < capacity_scale else "sram_capacity"
+        result.rows_data.append(
+            {
+                "row_activation_ratio": f"1/{round(1 / ratio)}",
+                "normalized_throughput": throughput[ratio],
+                "compute_scale": compute_scale,
+                "kv_capacity_scale": capacity_scale,
+                "bound_by": bound,
+            }
+        )
+    _ = base
+    return result

@@ -1,0 +1,67 @@
+"""Fig. 14 -- normalized energy per output token, with breakdown.
+
+Reuses the raw Fig. 13 grid (same systems, same workloads) and reports, per
+(model, workload) cell, each system's energy per output token normalized to
+DGX A100 together with the compute / on-chip / off-chip / communication split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .common import (
+    DECODER_MODELS,
+    DEFAULT_SETTINGS,
+    OUROBOROS_NAME,
+    PAPER_WORKLOAD_ORDER,
+    ExperimentSettings,
+    FigureResult,
+    geometric_mean,
+    normalized_energy,
+)
+from .fig13_throughput import main_comparison_grid
+
+
+@dataclass
+class EnergyResult(FigureResult):
+    grid: dict[tuple[str, str], dict[str, float]] = field(default_factory=dict)
+
+    def average_reduction_vs(self, baseline: str) -> float:
+        """Average fractional energy reduction of Ouroboros vs. one baseline."""
+        ratios = []
+        for values in self.grid.values():
+            if baseline in values and values[baseline] > 0:
+                ratios.append(values[OUROBOROS_NAME] / values[baseline])
+        if not ratios:
+            return 0.0
+        return 1.0 - geometric_mean(ratios)
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    models: tuple[str, ...] = DECODER_MODELS,
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER,
+) -> EnergyResult:
+    raw = main_comparison_grid(settings, models, workloads)
+    result = EnergyResult(
+        figure="Fig. 14",
+        description="Normalized energy per output token (reference: DGX A100)",
+    )
+    for (model, workload), cell in raw.items():
+        normalized = normalized_energy(cell)
+        result.grid[(model, workload)] = normalized
+        for name, run_result in cell.items():
+            fractions = run_result.energy.fractions()
+            result.rows_data.append(
+                {
+                    "model": model,
+                    "workload": workload,
+                    "system": name,
+                    "normalized_energy": normalized[name],
+                    "compute_frac": fractions["compute"],
+                    "on_chip_frac": fractions["on_chip_memory"],
+                    "off_chip_frac": fractions["off_chip_memory"],
+                    "communication_frac": fractions["communication"],
+                }
+            )
+    return result

@@ -1,0 +1,121 @@
+"""Fig. 15 -- ablation of the Ouroboros features.
+
+Starting from a multi-die, non-CIM, sequence-grained, naively mapped,
+statically KV-managed system, the ablation re-enables one feature at a time:
+
+    Baseline -> +Wafer -> +CIM -> +TGP -> +Mapping -> +KV Cache
+
+and reports throughput and energy normalized to the Baseline for LLaMA-13B and
+LLaMA-32B under WikiText-2 and the LP=128/LD=2048 setting.  The paper also
+shows the pathological "+TGP without CIM" point whose energy explodes because
+token-granular scheduling destroys weight reuse; that point falls out of the
+same grid here (the ``+TGP`` step before CIM is enabled would re-read every
+weight per token), and is reported via :func:`tgp_without_cim_energy_factor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..baselines.multi_die import ABLATION_STEPS, ablation_config
+from ..core.system import OuroborosSystem
+from ..results import RunResult
+from ..sim.engine import PipelineMode
+from .common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    FigureResult,
+    resolve_model,
+    workload_trace,
+)
+
+ABLATION_MODELS = ("llama-13b", "llama-32b")
+ABLATION_WORKLOADS = ("wikitext2", "lp128_ld2048")
+
+
+@dataclass
+class AblationResult(FigureResult):
+    #: raw results keyed by (model, workload, step)
+    raw: dict[tuple[str, str, str], RunResult] = field(default_factory=dict)
+
+    def normalized_series(
+        self, model: str, workload: str
+    ) -> dict[str, dict[str, float]]:
+        """Per-step throughput/energy normalized to the Baseline step."""
+        base = self.raw[(model, workload, ABLATION_STEPS[0])]
+        series: dict[str, dict[str, float]] = {}
+        for step in ABLATION_STEPS:
+            result = self.raw[(model, workload, step)]
+            series[step] = {
+                "throughput": result.throughput_tokens_per_s
+                / max(base.throughput_tokens_per_s, 1e-12),
+                "energy": result.energy_per_output_token_j
+                / max(base.energy_per_output_token_j, 1e-12),
+            }
+        return series
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    models: tuple[str, ...] = ABLATION_MODELS,
+    workloads: tuple[str, ...] = ABLATION_WORKLOADS,
+) -> AblationResult:
+    result = AblationResult(
+        figure="Fig. 15",
+        description="Ablation: Wafer, CIM, TGP, Mapping, KV-cache management",
+    )
+    for model in models:
+        arch = resolve_model(model)
+        for step in ABLATION_STEPS:
+            config = ablation_config(
+                step,
+                pipeline=settings.pipeline_config(),
+                anneal_iterations=settings.anneal_iterations,
+            )
+            config = replace(config, model_defects=settings.model_defects)
+            system = OuroborosSystem(arch, config)
+            for workload in workloads:
+                trace = workload_trace(workload, settings)
+                run_result = system.serve(trace, workload_name=workload)
+                run_result.system = step
+                result.raw[(model, workload, step)] = run_result
+    for model in models:
+        for workload in workloads:
+            series = result.normalized_series(model, workload)
+            for step, values in series.items():
+                result.rows_data.append(
+                    {
+                        "model": model,
+                        "workload": workload,
+                        "step": step,
+                        "normalized_throughput": values["throughput"],
+                        "normalized_energy": values["energy"],
+                    }
+                )
+    return result
+
+
+def tgp_without_cim_energy_factor(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    model: str = "llama-13b",
+    workload: str = "wikitext2",
+) -> float:
+    """Energy blow-up of running TGP *without* CIM (the red hatched bars).
+
+    Token-granular scheduling eliminates weight reuse, so a non-CIM datapath
+    re-reads every weight from SRAM for every token; the paper reports ~78x
+    the baseline energy on WikiText-2.  Returns the energy ratio of
+    (TGP, no CIM) to the sequence-grained non-CIM baseline.
+    """
+    arch = resolve_model(model)
+    trace = workload_trace(workload, settings)
+    base_config = ablation_config("+Wafer", pipeline=settings.pipeline_config())
+    base_config = replace(base_config, model_defects=settings.model_defects)
+    baseline = OuroborosSystem(arch, base_config).serve(trace, workload_name=workload)
+    tgp_config = replace(
+        base_config, pipeline_mode=PipelineMode.TOKEN_GRAINED, cim_enabled=False
+    )
+    tgp_no_cim = OuroborosSystem(arch, tgp_config).serve(trace, workload_name=workload)
+    return tgp_no_cim.energy_per_output_token_j / max(
+        baseline.energy_per_output_token_j, 1e-12
+    )

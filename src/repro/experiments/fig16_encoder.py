@@ -1,0 +1,153 @@
+"""Fig. 16 -- encoder-containing models (BERT-Large, T5-11B).
+
+Plain TGP relies on the causal mask; bidirectional / prefix masks force the
+attention stages back to sequence granularity ("TGP with block", Section
+4.2.2).  This driver serves BERT-Large and T5-11B on Ouroboros (blocked TGP)
+and the four baselines, reporting throughput and energy per *processed* token
+(encoders generate few or no output tokens, so the per-output-token metric of
+the decoder figures is replaced by the per-token metric here).
+
+It also reports the paper's two supporting claims:
+
+* blocked TGP is ~25x faster than falling back to fully sequence-grained
+  pipelining for encoder models, and
+* blocking costs only ~5% on decoder-only models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.system import OuroborosSystem
+from ..results import RunResult
+from ..sim.engine import PipelineMode
+from ..workload.distributions import FixedLengthDistribution
+from ..workload.generator import Trace, TraceGenerator, WorkloadSpec
+from .common import (
+    BASELINE_SYSTEMS,
+    DEFAULT_SETTINGS,
+    OUROBOROS_NAME,
+    ExperimentSettings,
+    FigureResult,
+    resolve_model,
+)
+
+ENCODER_MODELS = ("bert-large", "t5-11b")
+
+#: encoder workloads: BERT classifies 384-token inputs; T5 summarises
+#: 512-token inputs into 64-token outputs
+ENCODER_WORKLOADS = {
+    "bert-large": FixedLengthDistribution(prefill_length=384, decode_length=1),
+    "t5-11b": FixedLengthDistribution(prefill_length=512, decode_length=64),
+}
+
+
+def encoder_trace(model: str, settings: ExperimentSettings) -> Trace:
+    distribution = ENCODER_WORKLOADS[model]
+    spec = WorkloadSpec(
+        name=f"{model}-encoder",
+        distribution=distribution,
+        num_requests=settings.num_requests,
+        seed=settings.seed,
+    )
+    return TraceGenerator(spec).generate()
+
+
+def _per_token_throughput(result: RunResult) -> float:
+    return result.total_throughput_tokens_per_s
+
+
+def _per_token_energy(result: RunResult) -> float:
+    if result.total_tokens <= 0:
+        return 0.0
+    return result.energy.total_j / result.total_tokens
+
+
+@dataclass
+class EncoderResult(FigureResult):
+    raw: dict[tuple[str, str], RunResult] = field(default_factory=dict)
+    #: blocked-TGP vs sequence-grained speedup per encoder model
+    blocking_speedup: dict[str, float] = field(default_factory=dict)
+
+    def normalized_throughput(self, model: str, reference: str = "DGX A100") -> dict[str, float]:
+        base = _per_token_throughput(self.raw[(model, reference)])
+        return {
+            system: _per_token_throughput(result) / base
+            for (m, system), result in self.raw.items()
+            if m == model
+        }
+
+    def normalized_energy(self, model: str, reference: str = "DGX A100") -> dict[str, float]:
+        base = _per_token_energy(self.raw[(model, reference)])
+        return {
+            system: _per_token_energy(result) / base
+            for (m, system), result in self.raw.items()
+            if m == model
+        }
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    models: tuple[str, ...] = ENCODER_MODELS,
+) -> EncoderResult:
+    result = EncoderResult(
+        figure="Fig. 16",
+        description="Encoder-based models: throughput and energy vs. baselines",
+    )
+    for model in models:
+        arch = resolve_model(model)
+        trace = encoder_trace(model, settings)
+        for name, system_cls in BASELINE_SYSTEMS.items():
+            try:
+                baseline = system_cls(arch)
+            except Exception:
+                continue
+            result.raw[(model, name)] = baseline.serve(trace, workload_name="encoder")
+
+        blocked_system = OuroborosSystem(
+            arch, settings.system_config(pipeline_mode=PipelineMode.BLOCKED)
+        )
+        blocked = blocked_system.serve(trace, workload_name="encoder")
+        blocked.system = OUROBOROS_NAME
+        result.raw[(model, OUROBOROS_NAME)] = blocked
+
+        sequence_system = OuroborosSystem(
+            arch, settings.system_config(pipeline_mode=PipelineMode.SEQUENCE_GRAINED)
+        )
+        sequential = sequence_system.serve(trace, workload_name="encoder")
+        result.blocking_speedup[model] = _per_token_throughput(blocked) / max(
+            _per_token_throughput(sequential), 1e-12
+        )
+
+    for model in models:
+        throughput = result.normalized_throughput(model)
+        energy = result.normalized_energy(model)
+        for system in throughput:
+            result.rows_data.append(
+                {
+                    "model": model,
+                    "system": system,
+                    "normalized_throughput": throughput[system],
+                    "normalized_energy": energy[system],
+                }
+            )
+    return result
+
+
+def decoder_blocking_penalty(
+    settings: ExperimentSettings = DEFAULT_SETTINGS, model: str = "llama-13b"
+) -> float:
+    """Throughput cost of blocking on a decoder-only model (paper: ~5%)."""
+    arch = resolve_model(model)
+    from .common import workload_trace
+
+    trace = workload_trace("wikitext2", settings)
+    tgp = OuroborosSystem(
+        arch, settings.system_config(pipeline_mode=PipelineMode.TOKEN_GRAINED)
+    ).serve(trace)
+    blocked = OuroborosSystem(
+        arch, settings.system_config(pipeline_mode=PipelineMode.BLOCKED)
+    ).serve(trace)
+    return 1.0 - blocked.throughput_tokens_per_s / max(
+        tgp.throughput_tokens_per_s, 1e-12
+    )

@@ -1,0 +1,100 @@
+"""Fig. 17 -- throughput and energy versus the KV-cache admission threshold.
+
+The distributed KV manager marks a core "full" for new sequences once its free
+space drops below a threshold, reserving the remainder for the decode-phase
+growth of already-resident sequences (Section 4.4.4).  A zero threshold lets
+admissions pack the cache completely and causes thrashing (evictions plus
+recomputation); a very large threshold wastes capacity and reduces the number
+of concurrent sequences.  The paper sweeps the threshold from 0 to 0.5 for
+LLaMA and T5 and finds a throughput peak at a small positive threshold, with
+energy mostly decreasing as thrashing disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.system import OuroborosSystem
+from ..results import RunResult
+from ..sim.engine import PipelineMode
+from ..workload.distributions import FixedLengthDistribution, WikiTextLikeDistribution
+from ..workload.generator import Trace, TraceGenerator, WorkloadSpec
+from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult, resolve_model
+
+THRESHOLDS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+SWEEP_MODELS = ("llama-13b", "t5-11b")
+
+
+def _sweep_trace(model: str, settings: ExperimentSettings) -> Trace:
+    """A decode-heavy trace that keeps the KV cache near capacity."""
+    if model == "t5-11b":
+        distribution = FixedLengthDistribution(prefill_length=512, decode_length=256)
+    else:
+        distribution = WikiTextLikeDistribution(decode_log_mean=6.5)
+    spec = WorkloadSpec(
+        name=f"{model}-kv-sweep",
+        distribution=distribution,
+        num_requests=settings.num_requests,
+        seed=settings.seed,
+    )
+    return TraceGenerator(spec).generate()
+
+
+@dataclass
+class KVThresholdResult(FigureResult):
+    raw: dict[tuple[str, float], RunResult] = field(default_factory=dict)
+
+    def normalized_series(self, model: str) -> dict[float, dict[str, float]]:
+        thresholds = sorted(t for (m, t) in self.raw if m == model)
+        base = self.raw[(model, thresholds[0])]
+        series: dict[float, dict[str, float]] = {}
+        for threshold in thresholds:
+            result = self.raw[(model, threshold)]
+            series[threshold] = {
+                "throughput": result.throughput_tokens_per_s
+                / max(base.throughput_tokens_per_s, 1e-12),
+                "energy": result.energy_per_output_token_j
+                / max(base.energy_per_output_token_j, 1e-12),
+                "evictions": float(result.evictions),
+                "recomputed_tokens": float(result.recomputed_tokens),
+            }
+        return series
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    models: tuple[str, ...] = SWEEP_MODELS,
+    thresholds: tuple[float, ...] = THRESHOLDS,
+) -> KVThresholdResult:
+    result = KVThresholdResult(
+        figure="Fig. 17",
+        description="Throughput and energy vs. KV-cache admission threshold",
+    )
+    for model in models:
+        arch = resolve_model(model)
+        trace_template = _sweep_trace(model, settings)
+        for threshold in thresholds:
+            config = settings.system_config(kv_threshold=threshold)
+            if model == "t5-11b":
+                config = settings.system_config(
+                    kv_threshold=threshold, pipeline_mode=PipelineMode.BLOCKED
+                )
+            system = OuroborosSystem(arch, config)
+            # Traces are immutable inputs; regenerate per run to avoid sharing
+            # mutable Sequence state across systems.
+            trace = Trace(spec=trace_template.spec, requests=list(trace_template.requests))
+            run_result = system.serve(trace, workload_name=f"kv-threshold-{threshold}")
+            result.raw[(model, threshold)] = run_result
+    for model in models:
+        for threshold, values in result.normalized_series(model).items():
+            result.rows_data.append(
+                {
+                    "model": model,
+                    "threshold": threshold,
+                    "normalized_throughput": values["throughput"],
+                    "normalized_energy": values["energy"],
+                    "evictions": values["evictions"],
+                    "recomputed_tokens": values["recomputed_tokens"],
+                }
+            )
+    return result

@@ -1,0 +1,93 @@
+"""Fig. 19 / Fig. 20 -- multi-wafer scaling on LLaMA-65B.
+
+LLaMA-65B does not fit a single wafer's 54 GB of SRAM, so Ouroboros
+interconnects two wafers through the optical Ethernet ports and splits the
+pipeline across them.  The comparison repeats the Fig. 13/14 methodology
+(throughput and energy per output token versus DGX A100, TPUv4, AttAcc and a
+two-wafer Cerebras deployment) for the four workload settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.attacc import AttAccSystem
+from ..baselines.cerebras import CerebrasWSE2System
+from ..baselines.gpu import DGXA100System
+from ..baselines.tpu import TPUv4System
+from ..core.system import OuroborosSystem
+from ..results import RunResult
+from .common import (
+    DEFAULT_SETTINGS,
+    OUROBOROS_NAME,
+    PAPER_WORKLOAD_ORDER,
+    ExperimentSettings,
+    FigureResult,
+    normalized_energy,
+    normalized_throughput,
+    resolve_model,
+    workload_trace,
+)
+
+MODEL = "llama-65b"
+
+
+@dataclass
+class MultiWaferResult(FigureResult):
+    raw: dict[tuple[str, str], RunResult] = field(default_factory=dict)
+    num_wafers: int = 2
+
+    def normalized_throughput(self, workload: str) -> dict[str, float]:
+        cell = {name: r for (wl, name), r in self.raw.items() if wl == workload}
+        return normalized_throughput(cell)
+
+    def normalized_energy(self, workload: str) -> dict[str, float]:
+        cell = {name: r for (wl, name), r in self.raw.items() if wl == workload}
+        return normalized_energy(cell)
+
+    def average_speedup(self) -> float:
+        values = []
+        for workload in PAPER_WORKLOAD_ORDER:
+            values.append(self.normalized_throughput(workload)[OUROBOROS_NAME])
+        return sum(values) / len(values)
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER,
+) -> MultiWaferResult:
+    arch = resolve_model(MODEL)
+    result = MultiWaferResult(
+        figure="Fig. 19/20",
+        description="Multi-wafer scaling: LLaMA-65B on two wafers vs. baselines",
+    )
+    ouroboros = OuroborosSystem(arch, settings.system_config(num_wafers=2))
+    result.num_wafers = ouroboros.num_wafers
+    baselines = {
+        "DGX A100": DGXA100System(arch),
+        "TPUv4": TPUv4System(arch),
+        "AttAcc": AttAccSystem(arch),
+        "Cerebras": CerebrasWSE2System(arch, num_wafers=2),
+    }
+    for workload in workloads:
+        trace = workload_trace(workload, settings)
+        for name, system in baselines.items():
+            result.raw[(workload, name)] = system.serve(trace, workload_name=workload)
+        ours = ouroboros.serve(
+            workload_trace(workload, settings), workload_name=workload
+        )
+        ours.system = OUROBOROS_NAME
+        result.raw[(workload, OUROBOROS_NAME)] = ours
+    for workload in workloads:
+        throughput = result.normalized_throughput(workload)
+        energy = result.normalized_energy(workload)
+        for system in throughput:
+            result.rows_data.append(
+                {
+                    "workload": workload,
+                    "system": system,
+                    "normalized_throughput": throughput[system],
+                    "normalized_energy": energy[system],
+                }
+            )
+    return result

@@ -1,0 +1,129 @@
+"""Table 2 / Fig. 21 -- impact of the CIM-core circuit design on the system.
+
+Table 2 contrasts the Ouroboros capacity-oriented core with two dense
+circuit-level designs (VLSI'22, ISSCC'22).  Fig. 21 drops each design into the
+Ouroboros system: the dense designs no longer hold the model on-wafer and must
+stream weights from HBM2 (1.6 TB/s), so despite their superior TOPS/W they lose
+at the system level; adding LUT-based computation to the Ouroboros core saves a
+further ~10% of compute energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.cim_cores import (
+    ALL_DESIGNS,
+    ISSCC22,
+    OUROBOROS_CORE,
+    OUROBOROS_LUT_CORE,
+    VLSI22,
+    CIMCoreDesign,
+    CIMCoreSystem,
+)
+from ..core.system import OuroborosSystem
+from ..results import RunResult
+from .common import (
+    DEFAULT_SETTINGS,
+    ExperimentSettings,
+    FigureResult,
+    geometric_mean,
+    resolve_model,
+    workload_trace,
+)
+
+FIG21_MODELS = ("llama-13b", "baichuan-13b", "llama-32b", "qwen-32b")
+FIG21_WORKLOADS = ("wikitext2", "lp128_ld2048", "lp2048_ld128", "lp2048_ld2048")
+DESIGN_ORDER = ("This work", "VLSI'22", "ISSCC'22", "This work + LUT")
+
+
+def table2() -> list[dict]:
+    """The circuit-level comparison of Table 2 (7-nm-scaled figures)."""
+    return [
+        {
+            "design": design.name,
+            "tops_per_w": design.tops_per_w,
+            "tops_per_mm2": design.tops_per_mm2,
+            "wafer_capacity_gb": design.wafer_capacity_bytes / (1 << 30),
+        }
+        for design in (VLSI22, ISSCC22, OUROBOROS_CORE)
+    ]
+
+
+@dataclass
+class CIMCoreResult(FigureResult):
+    raw: dict[tuple[str, str, str], RunResult] = field(default_factory=dict)
+
+    def normalized_energy(self, model: str, workload: str) -> dict[str, float]:
+        ours = self.raw[(model, workload, "This work")].energy_per_output_token_j
+        return {
+            design: self.raw[(model, workload, design)].energy_per_output_token_j
+            / max(ours, 1e-12)
+            for design in DESIGN_ORDER
+        }
+
+    def normalized_throughput(self, model: str, workload: str) -> dict[str, float]:
+        ours = self.raw[(model, workload, "This work")].throughput_tokens_per_s
+        return {
+            design: self.raw[(model, workload, design)].throughput_tokens_per_s
+            / max(ours, 1e-12)
+            for design in DESIGN_ORDER
+        }
+
+    def average_speedup_vs_dense(self) -> float:
+        """Geometric-mean speedup of this work over the dense CIM designs."""
+        ratios = []
+        for (model, workload, design), result in self.raw.items():
+            if design not in ("VLSI'22", "ISSCC'22"):
+                continue
+            ours = self.raw[(model, workload, "This work")]
+            ratios.append(
+                ours.throughput_tokens_per_s / max(result.throughput_tokens_per_s, 1e-12)
+            )
+        return geometric_mean(ratios)
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    models: tuple[str, ...] = FIG21_MODELS,
+    workloads: tuple[str, ...] = FIG21_WORKLOADS,
+) -> CIMCoreResult:
+    result = CIMCoreResult(
+        figure="Fig. 21",
+        description="System impact of CIM-core circuit designs (normalized to this work)",
+    )
+    designs: dict[str, CIMCoreDesign] = {d.name: d for d in ALL_DESIGNS}
+    for model in models:
+        arch = resolve_model(model)
+        ouroboros = OuroborosSystem(arch, settings.system_config())
+        ouroboros_lut = OuroborosSystem(arch, settings.system_config(lut_optimized=True))
+        for workload in workloads:
+            trace = workload_trace(workload, settings)
+            ours = ouroboros.serve(workload_trace(workload, settings), workload_name=workload)
+            ours.system = "This work"
+            result.raw[(model, workload, "This work")] = ours
+            lut = ouroboros_lut.serve(
+                workload_trace(workload, settings), workload_name=workload
+            )
+            lut.system = "This work + LUT"
+            result.raw[(model, workload, "This work + LUT")] = lut
+            for name in ("VLSI'22", "ISSCC'22"):
+                system = CIMCoreSystem(arch, designs[name])
+                result.raw[(model, workload, name)] = system.serve(
+                    trace, workload_name=workload
+                )
+    for model in models:
+        for workload in workloads:
+            energy = result.normalized_energy(model, workload)
+            throughput = result.normalized_throughput(model, workload)
+            for design in DESIGN_ORDER:
+                result.rows_data.append(
+                    {
+                        "model": model,
+                        "workload": workload,
+                        "design": design,
+                        "normalized_energy": energy[design],
+                        "normalized_throughput": throughput[design],
+                    }
+                )
+    return result

@@ -1,0 +1,94 @@
+"""Headline numbers of the paper (abstract / Section 6.2-6.3).
+
+The paper summarises the main comparison as: 4.1x average throughput and 4.2x
+average energy-efficiency improvement over the state-of-the-art systems,
+peaking at 9.1x throughput and 17x energy efficiency for the 13B models.  This
+driver aggregates the Fig. 13/14 grid into those summary statistics, measuring
+the improvement against the *best* baseline of each cell (the strongest
+competitor), which is the convention the abstract uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .common import (
+    DECODER_MODELS,
+    DEFAULT_SETTINGS,
+    OUROBOROS_NAME,
+    PAPER_WORKLOAD_ORDER,
+    ExperimentSettings,
+    FigureResult,
+    geometric_mean,
+)
+from .fig13_throughput import main_comparison_grid
+
+
+@dataclass
+class HeadlineResult(FigureResult):
+    speedups: dict[tuple[str, str], float] = field(default_factory=dict)
+    efficiency_gains: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def average_speedup(self) -> float:
+        return geometric_mean(list(self.speedups.values()))
+
+    @property
+    def average_efficiency_gain(self) -> float:
+        return geometric_mean(list(self.efficiency_gains.values()))
+
+    @property
+    def peak_speedup(self) -> float:
+        return max(self.speedups.values())
+
+    @property
+    def peak_efficiency_gain(self) -> float:
+        return max(self.efficiency_gains.values())
+
+    def peak_speedup_13b(self) -> float:
+        return max(
+            value for (model, _), value in self.speedups.items() if "13b" in model
+        )
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    models: tuple[str, ...] = DECODER_MODELS,
+    workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER,
+    against: str = "best-baseline",
+) -> HeadlineResult:
+    raw = main_comparison_grid(settings, models, workloads)
+    result = HeadlineResult(
+        figure="Headline",
+        description="Average / peak speedup and energy-efficiency gain vs. baselines",
+    )
+    for (model, workload), cell in raw.items():
+        ours = cell[OUROBOROS_NAME]
+        baselines = {name: r for name, r in cell.items() if name != OUROBOROS_NAME}
+        if against == "best-baseline":
+            best_throughput = max(r.throughput_tokens_per_s for r in baselines.values())
+            best_energy = min(r.energy_per_output_token_j for r in baselines.values())
+        else:
+            best_throughput = baselines[against].throughput_tokens_per_s
+            best_energy = baselines[against].energy_per_output_token_j
+        speedup = ours.throughput_tokens_per_s / max(best_throughput, 1e-12)
+        efficiency = best_energy / max(ours.energy_per_output_token_j, 1e-12)
+        result.speedups[(model, workload)] = speedup
+        result.efficiency_gains[(model, workload)] = efficiency
+        result.rows_data.append(
+            {
+                "model": model,
+                "workload": workload,
+                "speedup_vs_best_baseline": speedup,
+                "efficiency_gain_vs_best_baseline": efficiency,
+            }
+        )
+    result.rows_data.append(
+        {
+            "model": "AVERAGE",
+            "workload": "-",
+            "speedup_vs_best_baseline": result.average_speedup,
+            "efficiency_gain_vs_best_baseline": result.average_efficiency_gain,
+        }
+    )
+    return result

@@ -1,0 +1,268 @@
+"""Hardware configuration dataclasses for the Ouroboros wafer-scale CIM system.
+
+The defaults reproduce the geometry described in Section 3 of the paper:
+
+* a 215mm x 215mm wafer built from a 9 x 7 grid of dies,
+* each die a 13 x 17 grid of CIM cores connected by a mesh NoC,
+* each core a 32-crossbar array (4 MB SRAM) plus input/output buffers and an
+  SFU,
+* each crossbar a 1024 x 1024 6T SRAM array organised as 128 MAC arrays with a
+  1/32 row-activation ratio and bit-serial 8-bit inputs.
+
+Every quantity that the paper states explicitly is a dataclass field; derived
+quantities (capacities, peak throughput, cycle counts) are exposed as
+properties so that design-space sweeps (e.g. the row-activation-ratio study of
+Fig. 11) can simply replace a field and re-read the derived values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigurationError
+from ..units import GHZ, KB, MB, MHZ
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """A single digital SRAM CIM crossbar (Fig. 10).
+
+    The crossbar stores ``rows x columns`` 1-bit cells.  Weights are 8-bit, so
+    the logical weight matrix held by one crossbar is ``rows x (columns /
+    weight_bits)``.  Inputs are streamed bit-serially through an 8:1
+    multiplexer, and ``rows * row_activation_ratio`` rows are activated per
+    cycle (one row per bank).
+    """
+
+    rows: int = 1024
+    columns: int = 1024
+    weight_bits: int = 8
+    activation_bits: int = 8
+    output_bits: int = 32
+    #: fraction of rows activated simultaneously (1/32 in the paper)
+    row_activation_ratio: float = 1.0 / 32.0
+    #: number of MAC arrays (= number of output columns of the weight matrix)
+    mac_arrays: int = 128
+    frequency_hz: float = 300 * MHZ
+    #: number of logical blocks the array is partitioned into in attention mode
+    attention_logical_blocks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0:
+            raise ConfigurationError("crossbar dimensions must be positive")
+        if self.columns % self.weight_bits != 0:
+            raise ConfigurationError(
+                "crossbar columns must be divisible by the weight bit-width"
+            )
+        if not 0.0 < self.row_activation_ratio <= 1.0:
+            raise ConfigurationError(
+                "row_activation_ratio must lie in (0, 1], got "
+                f"{self.row_activation_ratio}"
+            )
+        if self.mac_arrays != self.columns // self.weight_bits:
+            raise ConfigurationError(
+                "mac_arrays must equal columns / weight_bits "
+                f"({self.columns // self.weight_bits}), got {self.mac_arrays}"
+            )
+
+    # -- capacities -----------------------------------------------------------
+
+    @property
+    def sram_bytes(self) -> int:
+        """Raw SRAM capacity of the array in bytes."""
+        return self.rows * self.columns // 8
+
+    @property
+    def weight_rows(self) -> int:
+        """Number of weight rows (input-channel entries) stored by the array."""
+        return self.rows
+
+    @property
+    def weight_columns(self) -> int:
+        """Number of weight columns (output channels) stored by the array."""
+        return self.columns // self.weight_bits
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Bytes of 8-bit weights the crossbar can hold (== SRAM capacity)."""
+        return self.weight_rows * self.weight_columns * (self.weight_bits // 8)
+
+    @property
+    def rows_active_per_cycle(self) -> int:
+        """Rows activated simultaneously each cycle (>= 1)."""
+        return max(1, int(round(self.rows * self.row_activation_ratio)))
+
+    # -- timing ---------------------------------------------------------------
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one crossbar cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def gemv_cycles(self) -> int:
+        """Cycles for one full GEMV against the whole stored weight matrix.
+
+        Bit-serial activations need ``activation_bits`` passes; covering all
+        rows needs ``rows / rows_active_per_cycle`` row groups.
+        """
+        row_groups = math.ceil(self.rows / self.rows_active_per_cycle)
+        return self.activation_bits * row_groups
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Average 8-bit multiply-accumulates retired per cycle."""
+        total_macs = self.weight_rows * self.weight_columns
+        return total_macs / self.gemv_cycles
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Peak 8-bit operations/second (2 ops per MAC)."""
+        return 2.0 * self.macs_per_cycle * self.frequency_hz
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """A CIM core: 32 crossbars, buffers, an SFU and a control unit (Fig. 2c)."""
+
+    crossbar: CrossbarConfig = field(default_factory=CrossbarConfig)
+    crossbars_per_core: int = 32
+    input_buffer_bytes: int = 128 * KB
+    output_buffer_bytes: int = 32 * KB
+    sfu_buffer_bytes: int = 10 * KB
+    sfu_parallel_lanes: int = 64
+    sfu_frequency_hz: float = 1 * GHZ
+    #: bidirectional link width to each mesh neighbour, in bits
+    link_width_bits: int = 256
+    #: width of the intra-core H-tree links, in bits
+    htree_width_bits: int = 1024
+    core_area_mm2: float = 2.97
+
+    def __post_init__(self) -> None:
+        if self.crossbars_per_core <= 0:
+            raise ConfigurationError("crossbars_per_core must be positive")
+        if self.core_area_mm2 <= 0:
+            raise ConfigurationError("core_area_mm2 must be positive")
+
+    @property
+    def sram_bytes(self) -> int:
+        """Total crossbar SRAM per core (4 MB with default parameters)."""
+        return self.crossbars_per_core * self.crossbar.sram_bytes
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Bytes of 8-bit weights one core can hold."""
+        return self.crossbars_per_core * self.crossbar.weight_capacity_bytes
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        """Peak 8-bit operations/second of the whole core."""
+        return self.crossbars_per_core * self.crossbar.peak_ops_per_second
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """MACs retired per crossbar cycle across all crossbars."""
+        return self.crossbars_per_core * self.crossbar.macs_per_cycle
+
+    @property
+    def htree_levels(self) -> int:
+        """Depth of the binary H-tree connecting the crossbars."""
+        return int(math.ceil(math.log2(self.crossbars_per_core)))
+
+
+@dataclass(frozen=True)
+class DieConfig:
+    """A die: a rows x cols grid of CIM cores (Fig. 2b)."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    rows: int = 13
+    cols: int = 17
+    width_mm: float = 23.0
+    height_mm: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError("die grid dimensions must be positive")
+
+    @property
+    def cores_per_die(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.cores_per_die * self.core.sram_bytes
+
+
+@dataclass(frozen=True)
+class WaferConfig:
+    """The full wafer: a grid of dies stitched into one mesh (Fig. 2a)."""
+
+    die: DieConfig = field(default_factory=DieConfig)
+    die_rows: int = 9
+    die_cols: int = 7
+    wafer_side_mm: float = 215.0
+    #: manufacturing defect density used by the Murphy yield model, per cm^2
+    defect_density_per_cm2: float = 0.09
+    #: penalty factor for crossing a die boundary relative to an intra-die hop
+    inter_die_cost_factor: float = 4.0
+    #: number of 100 Gbit/s optical Ethernet ports used for multi-wafer scaling
+    optical_ports: int = 8
+    optical_port_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.die_rows <= 0 or self.die_cols <= 0:
+            raise ConfigurationError("wafer die grid dimensions must be positive")
+        if self.inter_die_cost_factor < 1.0:
+            raise ConfigurationError("inter_die_cost_factor must be >= 1")
+
+    @property
+    def dies_per_wafer(self) -> int:
+        return self.die_rows * self.die_cols
+
+    @property
+    def core_rows(self) -> int:
+        """Total rows of cores across the wafer mesh."""
+        return self.die_rows * self.die.rows
+
+    @property
+    def core_cols(self) -> int:
+        """Total columns of cores across the wafer mesh."""
+        return self.die_cols * self.die.cols
+
+    @property
+    def cores_per_wafer(self) -> int:
+        return self.dies_per_wafer * self.die.cores_per_die
+
+    @property
+    def sram_bytes(self) -> int:
+        """Total first-level SRAM on the wafer (~54 GB with defaults)."""
+        return self.cores_per_wafer * self.die.core.sram_bytes
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        return self.cores_per_wafer * self.die.core.peak_ops_per_second
+
+    @property
+    def inter_wafer_bandwidth_bytes_per_s(self) -> float:
+        """Aggregate optical bandwidth available for multi-wafer scaling."""
+        return self.optical_ports * self.optical_port_gbps * 1e9 / 8.0
+
+
+def default_wafer_config() -> WaferConfig:
+    """The paper's default single-wafer configuration."""
+    return WaferConfig()
+
+
+def with_row_activation_ratio(config: WaferConfig, ratio: float) -> WaferConfig:
+    """Return a copy of ``config`` with a different crossbar row-activation ratio.
+
+    Used by the Fig. 11 design-space sweep.  Changing the activation ratio also
+    changes the peripheral-logic area of each crossbar, which the area model in
+    :mod:`repro.hardware.crossbar` converts into a different per-core SRAM
+    capacity.
+    """
+    crossbar = replace(config.die.core.crossbar, row_activation_ratio=ratio)
+    core = replace(config.die.core, crossbar=crossbar)
+    die = replace(config.die, core=core)
+    return replace(config, die=die)

@@ -1,0 +1,191 @@
+"""Behavioural model of a CIM core (Fig. 2c).
+
+A core bundles 32 crossbars behind a 1024-bit H-tree, a 64-lane SFU for
+softmax/layernorm style operations, ping-pong input/output buffers and a
+control unit.  The core is the unit of the inter-core mapping: a core either
+holds a weight tile of one layer (FFN mode crossbars), serves as KV-cache
+storage-and-compute (attention mode crossbars), or is idle/defective.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import CapacityError
+from .config import CoreConfig
+from .crossbar import Crossbar, CrossbarMode, GemvCost
+from .energy import EnergyModel
+
+
+class CoreRole(enum.Enum):
+    """What a core has been assigned to do by the mapper."""
+
+    UNASSIGNED = "unassigned"
+    WEIGHT = "weight"
+    KV_CACHE = "kv_cache"
+    DEFECTIVE = "defective"
+
+
+@dataclass
+class SfuCost:
+    """Latency/energy of an SFU operation (softmax, layernorm, residual)."""
+
+    latency_s: float
+    energy_j: float
+    elements: int
+
+
+class CIMCore:
+    """A single CIM core composed of crossbars, buffers and an SFU."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: CoreConfig | None = None,
+        energy: EnergyModel | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config or CoreConfig()
+        self.energy = energy or EnergyModel()
+        self.role = CoreRole.UNASSIGNED
+        self.crossbars = [
+            Crossbar(self.config.crossbar, self.energy)
+            for _ in range(self.config.crossbars_per_core)
+        ]
+        #: label of the layer tile mapped onto this core (set by the mapper)
+        self.assigned_tile: object | None = None
+
+    # ------------------------------------------------------------------ roles
+
+    def mark_defective(self) -> None:
+        self.role = CoreRole.DEFECTIVE
+        self.assigned_tile = None
+
+    def assign_weights(self, tile: object, weight_bytes: int) -> None:
+        """Assign a weight tile to this core, loading crossbars in FFN mode."""
+        if self.role is CoreRole.DEFECTIVE:
+            raise CapacityError(f"core {self.core_id} is defective")
+        if weight_bytes > self.weight_capacity_bytes:
+            raise CapacityError(
+                f"tile of {weight_bytes} bytes does not fit core capacity "
+                f"{self.weight_capacity_bytes}"
+            )
+        self.role = CoreRole.WEIGHT
+        self.assigned_tile = tile
+        remaining = weight_bytes
+        for crossbar in self.crossbars:
+            crossbar.mode = CrossbarMode.FFN
+            crossbar.reset_weights()
+            chunk = min(remaining, crossbar.config.weight_capacity_bytes)
+            if chunk > 0:
+                crossbar.load_weights(chunk)
+                remaining -= chunk
+        # remaining == 0 guaranteed by the capacity check above
+
+    def assign_kv_cache(self) -> None:
+        """Configure all crossbars of this core for dynamic KV storage."""
+        if self.role is CoreRole.DEFECTIVE:
+            raise CapacityError(f"core {self.core_id} is defective")
+        self.role = CoreRole.KV_CACHE
+        self.assigned_tile = None
+        for crossbar in self.crossbars:
+            crossbar.mode = CrossbarMode.ATTENTION
+            crossbar.reset_blocks()
+
+    def release(self) -> None:
+        """Return the core to the unassigned pool."""
+        if self.role is CoreRole.DEFECTIVE:
+            return
+        self.role = CoreRole.UNASSIGNED
+        self.assigned_tile = None
+        for crossbar in self.crossbars:
+            crossbar.reset_weights()
+            crossbar.reset_blocks()
+            crossbar.mode = CrossbarMode.FFN
+
+    @property
+    def is_available(self) -> bool:
+        return self.role is CoreRole.UNASSIGNED
+
+    @property
+    def is_defective(self) -> bool:
+        return self.role is CoreRole.DEFECTIVE
+
+    # -------------------------------------------------------------- capacities
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        return self.config.weight_capacity_bytes
+
+    @property
+    def weight_bytes_used(self) -> int:
+        return sum(crossbar.weight_bytes_used for crossbar in self.crossbars)
+
+    @property
+    def weight_bytes_free(self) -> int:
+        return self.weight_capacity_bytes - self.weight_bytes_used
+
+    @property
+    def total_logical_blocks(self) -> int:
+        return sum(
+            crossbar.config.attention_logical_blocks for crossbar in self.crossbars
+        )
+
+    @property
+    def free_logical_blocks(self) -> int:
+        if self.role is not CoreRole.KV_CACHE:
+            return 0
+        return sum(crossbar.free_blocks for crossbar in self.crossbars)
+
+    # ------------------------------------------------------------------ compute
+
+    def gemv_cost(self, input_dim: int, output_dim: int) -> GemvCost:
+        """Latency/energy of an ``input_dim x output_dim`` GEMV on this core.
+
+        The GEMV is tiled over the core's crossbars; crossbars work in
+        parallel, so latency is that of the most loaded crossbar while energy
+        sums over all of them.  Partial sums are reduced over the H-tree.
+        """
+        cfg = self.config.crossbar
+        row_tiles = max(1, math.ceil(input_dim / cfg.weight_rows))
+        col_tiles = max(1, math.ceil(output_dim / cfg.weight_columns))
+        total_tiles = row_tiles * col_tiles
+        parallel = min(total_tiles, self.config.crossbars_per_core)
+        waves = math.ceil(total_tiles / parallel)
+
+        last_rows = input_dim - (row_tiles - 1) * cfg.weight_rows
+        last_cols = output_dim - (col_tiles - 1) * cfg.weight_columns
+        full_tile = self.crossbars[0].gemv_cost(cfg.weight_rows, cfg.weight_columns)
+        edge_tile = self.crossbars[0].gemv_cost(last_rows, last_cols)
+
+        latency = waves * full_tile.latency_s if total_tiles > 1 else edge_tile.latency_s
+        macs = float(input_dim * output_dim)
+        energy = macs * self.energy.cim_mac_j(cfg)
+        # H-tree reduction of partial sums across row tiles.
+        psum_bytes = output_dim * (cfg.output_bits // 8)
+        levels = self.config.htree_levels
+        htree_energy = self.energy.htree_energy_j(psum_bytes * max(0, row_tiles - 1), levels)
+        cycles = int(round(latency / cfg.cycle_time_s)) if cfg.cycle_time_s else 0
+        return GemvCost(
+            cycles=cycles,
+            latency_s=latency,
+            energy_j=energy + htree_energy,
+            macs=macs,
+        )
+
+    def sfu_cost(self, elements: int) -> SfuCost:
+        """Latency/energy of an element-wise / reduction SFU pass."""
+        lanes = self.config.sfu_parallel_lanes
+        cycles = math.ceil(max(0, elements) / lanes)
+        latency = cycles / self.config.sfu_frequency_hz
+        energy = elements * self.energy.sfu_j_per_element
+        return SfuCost(latency_s=latency, energy_j=energy, elements=elements)
+
+    def buffer_write_cost(self, num_bytes: int) -> float:
+        """Energy of staging ``num_bytes`` through the input/output buffers."""
+        return num_bytes * self.energy.sram_write_j_per_byte
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CIMCore(id={self.core_id}, role={self.role.value})"

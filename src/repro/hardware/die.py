@@ -1,0 +1,49 @@
+"""Die-level organisation: a grid of CIM cores on a mesh (Fig. 2b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DieConfig
+
+
+@dataclass(frozen=True)
+class DieCoordinate:
+    """Position of a die within the wafer grid."""
+
+    row: int
+    col: int
+
+    def manhattan(self, other: "DieCoordinate") -> int:
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+
+@dataclass(frozen=True)
+class CoreCoordinate:
+    """Global position of a core within the wafer-wide core mesh."""
+
+    row: int
+    col: int
+
+    def manhattan(self, other: "CoreCoordinate") -> int:
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+
+class Die:
+    """A die: bookkeeping for one rows x cols tile of the wafer core mesh."""
+
+    def __init__(self, die_id: int, coordinate: DieCoordinate, config: DieConfig) -> None:
+        self.die_id = die_id
+        self.coordinate = coordinate
+        self.config = config
+
+    @property
+    def cores_per_die(self) -> int:
+        return self.config.cores_per_die
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.config.sram_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Die(id={self.die_id}, row={self.coordinate.row}, col={self.coordinate.col})"

@@ -1,0 +1,177 @@
+"""Cost model of the intra-core H-tree interconnect (Section 4.3.2).
+
+The 32 crossbars of a core are the leaves of a binary H-tree whose internal
+nodes either *reduce* (add partial sums that share output channels) or
+*concatenate* (stack partial sums of disjoint output channels).  Reduction
+keeps the data volume constant as it moves up the tree, whereas concatenation
+doubles it, so concatenations performed close to the leaves put the most
+pressure on the tree links.  The intra-core mapper (``repro.mapping.intracore``)
+chooses the leaf assignment that pushes concatenations toward the root.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+class NodeOp(enum.Enum):
+    """Operation performed at an internal H-tree node."""
+
+    REDUCTION = "reduction"
+    CONCATENATION = "concatenation"
+    PASS_THROUGH = "pass_through"
+
+
+@dataclass
+class HTreeNode:
+    """One node of the binary H-tree abstraction."""
+
+    depth: int
+    op: NodeOp = NodeOp.PASS_THROUGH
+    left: "HTreeNode | None" = None
+    right: "HTreeNode | None" = None
+    #: leaf payload: identifier of the weight slice mapped to this crossbar
+    leaf_slice: tuple[int, int] | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+@dataclass
+class HTreeCost:
+    """Aggregate cost of a leaf assignment."""
+
+    #: the paper's DP objective: sum over nodes of depth(node) * weight(node)
+    weighted_concat_depth: int
+    concat_nodes: int
+    reduction_nodes: int
+    #: bytes moved across every tree level for one output vector
+    traffic_bytes: float = 0.0
+    levels: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "weighted_concat_depth": self.weighted_concat_depth,
+            "concat_nodes": self.concat_nodes,
+            "reduction_nodes": self.reduction_nodes,
+            "traffic_bytes": self.traffic_bytes,
+            "levels": self.levels,
+        }
+
+
+@dataclass
+class LeafAssignment:
+    """Assignment of weight slices ``(input_part, output_part)`` to leaves.
+
+    ``slices[i]`` is the slice held by leaf ``i`` (in left-to-right order).
+    Two sibling subtrees whose slices share the same set of output parts can be
+    *reduced*; otherwise their outputs must be *concatenated*.
+    """
+
+    slices: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        count = len(self.slices)
+        if count == 0 or (count & (count - 1)) != 0:
+            raise ConfigurationError(
+                f"leaf count must be a positive power of two, got {count}"
+            )
+
+
+def build_tree(assignment: LeafAssignment) -> HTreeNode:
+    """Build the H-tree for a leaf assignment and label each internal node."""
+    leaves = [
+        HTreeNode(depth=0, leaf_slice=slice_) for slice_ in assignment.slices
+    ]
+    # Depth convention follows the paper's Eq. 4: leaves are the deepest nodes,
+    # the root has depth equal to log2(#leaves).  We first build bottom-up and
+    # then relabel depths so that depth(root) = levels and depth(leaf) = 0;
+    # the DP objective only uses the *distance from the root*, so we record
+    # that directly.
+    level_nodes = leaves
+    level = 0
+    while len(level_nodes) > 1:
+        level += 1
+        next_level: list[HTreeNode] = []
+        for i in range(0, len(level_nodes), 2):
+            left, right = level_nodes[i], level_nodes[i + 1]
+            node = HTreeNode(depth=level, left=left, right=right)
+            node.op = _classify(left, right)
+            next_level.append(node)
+        level_nodes = next_level
+    return level_nodes[0]
+
+
+def _output_parts(node: HTreeNode) -> frozenset[int]:
+    if node.is_leaf:
+        assert node.leaf_slice is not None
+        return frozenset({node.leaf_slice[1]})
+    return _output_parts(node.left) | _output_parts(node.right)  # type: ignore[arg-type]
+
+
+def _classify(left: HTreeNode, right: HTreeNode) -> NodeOp:
+    """Reduction if both subtrees cover the same output parts, else concat."""
+    left_parts = _output_parts(left)
+    right_parts = _output_parts(right)
+    if left_parts == right_parts:
+        return NodeOp.REDUCTION
+    return NodeOp.CONCATENATION
+
+
+def evaluate_tree(
+    root: HTreeNode,
+    output_bytes_per_part: float = 0.0,
+) -> HTreeCost:
+    """Compute the DP objective and traffic for a labelled H-tree.
+
+    The node weight follows Eq. 4 of the paper: concatenation nodes weigh 1,
+    reduction nodes weigh 0.  A concatenation node's *pressure* is larger the
+    closer it sits to the leaves, i.e. the more levels its doubled data volume
+    must still traverse; we therefore weight each concatenation by its distance
+    from the root (``total_levels - depth + 1``) is equivalent up to a constant
+    to the paper's ``depth(node)`` once depths are measured from the leaves.
+    """
+    total_levels = root.depth
+    weighted = 0
+    concat = 0
+    reduction = 0
+    traffic = 0.0
+
+    def visit(node: HTreeNode) -> float:
+        """Return bytes flowing out of ``node``; accumulate costs."""
+        nonlocal weighted, concat, reduction, traffic
+        if node.is_leaf:
+            return output_bytes_per_part
+        left_bytes = visit(node.left)  # type: ignore[arg-type]
+        right_bytes = visit(node.right)  # type: ignore[arg-type]
+        distance_from_root = total_levels - node.depth
+        if node.op is NodeOp.CONCATENATION:
+            concat += 1
+            # Deeper (closer to the leaves) concatenations are worse.
+            weighted += (distance_from_root + 1)
+            out_bytes = left_bytes + right_bytes
+        else:
+            reduction += 1
+            out_bytes = max(left_bytes, right_bytes)
+        traffic += out_bytes
+        return out_bytes
+
+    visit(root)
+    return HTreeCost(
+        weighted_concat_depth=weighted,
+        concat_nodes=concat,
+        reduction_nodes=reduction,
+        traffic_bytes=traffic,
+        levels=total_levels,
+    )
+
+
+def assignment_cost(
+    assignment: LeafAssignment, output_bytes_per_part: float = 0.0
+) -> HTreeCost:
+    """Convenience wrapper: build the tree for ``assignment`` and evaluate it."""
+    return evaluate_tree(build_tree(assignment), output_bytes_per_part)

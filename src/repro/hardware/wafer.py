@@ -1,0 +1,209 @@
+"""Wafer-scale fabric: the full grid of dies and cores (Fig. 2a).
+
+The wafer exposes:
+
+* global core coordinates and Manhattan distances (used by the mapping
+  objective, Eq. 1),
+* die membership and die-boundary crossing counts (used for the ``Penalty``
+  term of Eq. 1),
+* an S-shaped (boustrophedon) traversal order over cores that follows the
+  paper's S-shaped logical routing topology for pipeline stages,
+* lazy instantiation of behavioural :class:`~repro.hardware.core.CIMCore`
+  objects, so that constructing a 13,923-core wafer stays cheap until a core
+  is actually exercised.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..errors import ConfigurationError
+from .config import WaferConfig
+from .core import CIMCore, CoreRole
+from .die import CoreCoordinate, Die, DieCoordinate
+from .energy import EnergyModel
+from .yieldmodel import DefectMap
+
+
+class Wafer:
+    """The full wafer-scale CIM fabric."""
+
+    def __init__(
+        self,
+        config: WaferConfig | None = None,
+        defect_map: DefectMap | None = None,
+        energy: EnergyModel | None = None,
+    ) -> None:
+        self.config = config or WaferConfig()
+        self.energy = energy or EnergyModel()
+        self.defect_map = defect_map
+        if defect_map is not None and defect_map.total_cores != self.config.cores_per_wafer:
+            raise ConfigurationError(
+                "defect map was generated for a wafer with "
+                f"{defect_map.total_cores} cores, this wafer has "
+                f"{self.config.cores_per_wafer}"
+            )
+        self.dies = [
+            Die(
+                die_id=row * self.config.die_cols + col,
+                coordinate=DieCoordinate(row, col),
+                config=self.config.die,
+            )
+            for row in range(self.config.die_rows)
+            for col in range(self.config.die_cols)
+        ]
+        self._cores: dict[int, CIMCore] = {}
+
+    # --------------------------------------------------------------- geometry
+
+    @property
+    def num_cores(self) -> int:
+        return self.config.cores_per_wafer
+
+    @property
+    def core_rows(self) -> int:
+        return self.config.core_rows
+
+    @property
+    def core_cols(self) -> int:
+        return self.config.core_cols
+
+    def coordinate_of(self, core_id: int) -> CoreCoordinate:
+        """Global (row, col) of a core in the wafer-wide mesh."""
+        self._check_core_id(core_id)
+        return CoreCoordinate(core_id // self.core_cols, core_id % self.core_cols)
+
+    def core_id_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.core_rows and 0 <= col < self.core_cols):
+            raise ConfigurationError(f"coordinate ({row}, {col}) outside the wafer")
+        return row * self.core_cols + col
+
+    def die_coordinate_of(self, core_id: int) -> DieCoordinate:
+        coord = self.coordinate_of(core_id)
+        return DieCoordinate(
+            coord.row // self.config.die.rows, coord.col // self.config.die.cols
+        )
+
+    def die_of(self, core_id: int) -> Die:
+        die_coord = self.die_coordinate_of(core_id)
+        return self.dies[die_coord.row * self.config.die_cols + die_coord.col]
+
+    def manhattan(self, core_a: int, core_b: int) -> int:
+        """Manhattan hop distance between two cores on the mesh."""
+        a, b = self.coordinate_of(core_a), self.coordinate_of(core_b)
+        return a.manhattan(b)
+
+    def die_crossings(self, core_a: int, core_b: int) -> int:
+        """Number of die boundaries an XY route between two cores crosses."""
+        a, b = self.die_coordinate_of(core_a), self.die_coordinate_of(core_b)
+        return a.manhattan(b)
+
+    def same_die(self, core_a: int, core_b: int) -> bool:
+        return self.die_crossings(core_a, core_b) == 0
+
+    def neighbors(self, core_id: int) -> list[int]:
+        """Mesh neighbours (up/down/left/right) of a core."""
+        coord = self.coordinate_of(core_id)
+        result = []
+        for d_row, d_col in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+            row, col = coord.row + d_row, coord.col + d_col
+            if 0 <= row < self.core_rows and 0 <= col < self.core_cols:
+                result.append(self.core_id_at(row, col))
+        return result
+
+    def s_shaped_order(self, band_height: int = 1) -> list[int]:
+        """Boustrophedon traversal of all cores, in bands of ``band_height`` rows.
+
+        Neighbouring positions in the returned list are adjacent (or nearly so)
+        on the mesh, which matches the S-shaped logical routing topology the
+        paper uses to propagate activations between consecutive pipeline
+        stages.  A band height larger than one keeps any contiguous slice of
+        the order *compact in two dimensions*: a slice of ``k`` cores spans
+        roughly ``band_height x (k / band_height)`` mesh positions, which is
+        what the per-block mapping regions want.
+        """
+        if band_height < 1:
+            band_height = 1
+        order: list[int] = []
+        num_bands = (self.core_rows + band_height - 1) // band_height
+        for band in range(num_bands):
+            row_start = band * band_height
+            row_end = min(self.core_rows, row_start + band_height)
+            cols: Iterator[int] = (
+                range(self.core_cols) if band % 2 == 0 else reversed(range(self.core_cols))
+            )
+            for index, col in enumerate(cols):
+                rows: Iterator[int] = (
+                    range(row_start, row_end)
+                    if index % 2 == 0
+                    else reversed(range(row_start, row_end))
+                )
+                for row in rows:
+                    order.append(self.core_id_at(row, col))
+        return order
+
+    # ----------------------------------------------------------------- defects
+
+    def is_defective(self, core_id: int) -> bool:
+        self._check_core_id(core_id)
+        if self.defect_map is None:
+            return False
+        return self.defect_map.is_defective(core_id)
+
+    def healthy_core_ids(self) -> list[int]:
+        return [cid for cid in range(self.num_cores) if not self.is_defective(cid)]
+
+    @property
+    def num_healthy_cores(self) -> int:
+        if self.defect_map is None:
+            return self.num_cores
+        return self.defect_map.healthy_cores
+
+    # ------------------------------------------------------------------- cores
+
+    def core(self, core_id: int) -> CIMCore:
+        """Return (lazily creating) the behavioural model of one core."""
+        self._check_core_id(core_id)
+        core = self._cores.get(core_id)
+        if core is None:
+            core = CIMCore(core_id, self.config.die.core, self.energy)
+            if self.is_defective(core_id):
+                core.mark_defective()
+            self._cores[core_id] = core
+        return core
+
+    def instantiated_cores(self) -> dict[int, CIMCore]:
+        """Cores that have been touched so far (for inspection in tests)."""
+        return dict(self._cores)
+
+    def cores_with_role(self, role: CoreRole) -> list[int]:
+        return [cid for cid, core in self._cores.items() if core.role is role]
+
+    # --------------------------------------------------------------- capacities
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.config.sram_bytes
+
+    @property
+    def usable_sram_bytes(self) -> int:
+        """SRAM on healthy cores only."""
+        return self.num_healthy_cores * self.config.die.core.sram_bytes
+
+    @property
+    def peak_ops_per_second(self) -> float:
+        return self.num_healthy_cores * self.config.die.core.peak_ops_per_second
+
+    # ------------------------------------------------------------------ private
+
+    def _check_core_id(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise ConfigurationError(
+                f"core id {core_id} outside wafer with {self.num_cores} cores"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Wafer({self.config.die_rows}x{self.config.die_cols} dies, "
+            f"{self.num_cores} cores, {self.sram_bytes / (1 << 30):.1f} GiB SRAM)"
+        )

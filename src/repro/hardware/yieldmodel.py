@@ -1,0 +1,82 @@
+"""Murphy yield model and defect-map generation (Section 5).
+
+The paper models per-core yield with the Murphy model
+
+    Y = ((1 - exp(-A * D0)) / (A * D0)) ** 2
+
+with a defect density ``D0 = 0.09 / cm^2`` and a core area ``A = 2.97 mm^2``.
+Defective-core locations are drawn uniformly at random; the mapper treats them
+as unusable (constraint Eq. 2) and the fault-tolerance scheme handles cores
+that fail after deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import WaferConfig
+
+
+def murphy_yield(area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Per-die (or per-core) yield under the Murphy model."""
+    if area_mm2 < 0 or defect_density_per_cm2 < 0:
+        raise ValueError("area and defect density must be non-negative")
+    a_d0 = (area_mm2 / 100.0) * defect_density_per_cm2  # mm^2 -> cm^2
+    if a_d0 == 0.0:
+        return 1.0
+    # expm1 keeps the ratio numerically stable for very small A*D0.
+    return (-math.expm1(-a_d0) / a_d0) ** 2
+
+
+@dataclass(frozen=True)
+class DefectMap:
+    """Set of defective core ids on a wafer."""
+
+    defective_cores: frozenset[int]
+    core_yield: float
+    total_cores: int
+
+    @property
+    def healthy_cores(self) -> int:
+        return self.total_cores - len(self.defective_cores)
+
+    @property
+    def observed_yield(self) -> float:
+        if self.total_cores == 0:
+            return 1.0
+        return self.healthy_cores / self.total_cores
+
+    def is_defective(self, core_id: int) -> bool:
+        return core_id in self.defective_cores
+
+
+def sample_defect_map(
+    config: WaferConfig,
+    seed: int | None = 0,
+    core_area_mm2: float | None = None,
+) -> DefectMap:
+    """Draw a random defect map for a wafer.
+
+    Each core independently fails with probability ``1 - Y`` where ``Y`` is the
+    Murphy yield of a single core.
+    """
+    area = core_area_mm2 if core_area_mm2 is not None else config.die.core.core_area_mm2
+    core_yield = murphy_yield(area, config.defect_density_per_cm2)
+    rng = np.random.default_rng(seed)
+    total = config.cores_per_wafer
+    draws = rng.random(total)
+    defective = frozenset(int(i) for i in np.nonzero(draws > core_yield)[0])
+    return DefectMap(
+        defective_cores=defective, core_yield=core_yield, total_cores=total
+    )
+
+
+def expected_defective_cores(config: WaferConfig) -> float:
+    """Expected number of defective cores on a wafer."""
+    core_yield = murphy_yield(
+        config.die.core.core_area_mm2, config.defect_density_per_cm2
+    )
+    return config.cores_per_wafer * (1.0 - core_yield)

@@ -1,0 +1,101 @@
+"""Per-core sequence/block occupancy bitmap (Fig. 12b).
+
+The core controller keeps a 256 x 256 bitmap: entry ``(m, n) == 1`` means the
+m-th resident sequence occupies the n-th logical block of the core.  This is
+the second level of the distributed address translation and lets a group of
+cores manage their KV blocks without centralized control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KVCacheError
+
+
+class OccupancyBitmap:
+    """A small dense bitmap mapping sequence slots to logical blocks."""
+
+    def __init__(self, max_sequences: int = 256, num_blocks: int = 256) -> None:
+        if max_sequences <= 0 or num_blocks <= 0:
+            raise KVCacheError("bitmap dimensions must be positive")
+        self.max_sequences = max_sequences
+        self.num_blocks = num_blocks
+        self._bits = np.zeros((max_sequences, num_blocks), dtype=bool)
+        #: mapping from external sequence id to a row slot of the bitmap
+        self._slot_of: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ slots
+
+    def _slot(self, sequence_id: int, create: bool = False) -> int:
+        slot = self._slot_of.get(sequence_id)
+        if slot is not None:
+            return slot
+        if not create:
+            raise KVCacheError(f"sequence {sequence_id} not resident in bitmap")
+        for candidate in range(self.max_sequences):
+            if candidate not in self._slot_of.values():
+                self._slot_of[sequence_id] = candidate
+                return candidate
+        raise KVCacheError("bitmap has no free sequence slots")
+
+    @property
+    def resident_sequences(self) -> list[int]:
+        return sorted(self._slot_of)
+
+    # ------------------------------------------------------------------ blocks
+
+    def set_block(self, sequence_id: int, block_index: int) -> None:
+        if not 0 <= block_index < self.num_blocks:
+            raise KVCacheError(f"block index {block_index} out of range")
+        if self._bits[:, block_index].any():
+            raise KVCacheError(f"block {block_index} is already occupied")
+        slot = self._slot(sequence_id, create=True)
+        self._bits[slot, block_index] = True
+
+    def clear_block(self, sequence_id: int, block_index: int) -> None:
+        slot = self._slot(sequence_id)
+        if not self._bits[slot, block_index]:
+            raise KVCacheError(
+                f"block {block_index} is not held by sequence {sequence_id}"
+            )
+        self._bits[slot, block_index] = False
+
+    def blocks_of(self, sequence_id: int) -> list[int]:
+        slot = self._slot_of.get(sequence_id)
+        if slot is None:
+            return []
+        return [int(i) for i in np.nonzero(self._bits[slot])[0]]
+
+    def owner_of(self, block_index: int) -> int | None:
+        column = self._bits[:, block_index]
+        occupied = np.nonzero(column)[0]
+        if occupied.size == 0:
+            return None
+        slot = int(occupied[0])
+        for sequence_id, assigned in self._slot_of.items():
+            if assigned == slot:
+                return sequence_id
+        return None
+
+    def release_sequence(self, sequence_id: int) -> int:
+        """Clear every block of a sequence; return how many were released."""
+        slot = self._slot_of.pop(sequence_id, None)
+        if slot is None:
+            return 0
+        released = int(self._bits[slot].sum())
+        self._bits[slot, :] = False
+        return released
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def used_blocks(self) -> int:
+        return int(self._bits.any(axis=0).sum())
+
+    @property
+    def free_blocks(self) -> int:
+        return self.num_blocks - self.used_blocks
+
+    def occupancy(self) -> float:
+        return self.used_blocks / self.num_blocks

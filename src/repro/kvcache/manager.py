@@ -1,0 +1,316 @@
+"""Distributed dynamic KV-cache management (Section 4.4).
+
+The manager owns every CIM core that the inter-core weight mapping left
+unassigned.  Those cores are split per transformer block into a K group
+(computing S = Q K^T) and a V group (computing softmax(S) V).  For each
+admitted sequence it allocates, per block and per attention head, one core from
+each group (walking a ring pointer so that consecutively scheduled sequences
+land on distinct cores, Section 4.4.3) and grows the per-head logical-block
+allocation as the sequence's context expands.
+
+Address translation is three-level (Fig. 12): a per-block page table maps the
+sequence to per-head core coordinates; each core's bitmap maps the sequence to
+logical blocks; each crossbar's free-block table tracks valid rows.  For
+simulation speed the manager keeps the block occupancy in vectorised per-core
+counters, while the page tables are materialised exactly (they are cheap and
+the fault-tolerance path needs them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, KVCacheError
+from ..models.architectures import ModelArch
+from ..workload.requests import Sequence
+from .blocks import tokens_per_block
+from .pagetable import HeadPlacement, PageTable
+
+
+@dataclass
+class KVCacheStats:
+    """Counters describing KV-cache behaviour over a run."""
+
+    admitted_sequences: int = 0
+    released_sequences: int = 0
+    allocated_blocks: int = 0
+    released_blocks: int = 0
+    failed_admissions: int = 0
+    failed_growths: int = 0
+    peak_used_blocks: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _SequenceAllocation:
+    """Internal record of one resident sequence's KV allocation."""
+
+    sequence_id: int
+    #: local indices (into the manager's core arrays) of every (block, head, K/V) slot
+    slot_cores: np.ndarray
+    #: per-core slot multiplicity (bincount of slot_cores over all KV cores)
+    slot_counts: np.ndarray
+    blocks_per_slot: int
+    tokens: int
+
+
+class DistributedKVCacheManager:
+    """Dynamic, distributed KV-cache manager with per-block ring allocation."""
+
+    def __init__(
+        self,
+        arch: ModelArch,
+        kv_core_ids: list[int],
+        blocks_per_core: int = 256,
+        threshold: float = 0.0,
+        element_bytes: int | None = None,
+    ) -> None:
+        if not kv_core_ids:
+            raise ConfigurationError("at least one KV core is required")
+        if not 0.0 <= threshold < 1.0:
+            raise ConfigurationError("threshold must lie in [0, 1)")
+        if blocks_per_core <= 0:
+            raise ConfigurationError("blocks_per_core must be positive")
+        self.arch = arch
+        self.kv_core_ids = list(kv_core_ids)
+        self.blocks_per_core = blocks_per_core
+        self.threshold = threshold
+        self.element_bytes = element_bytes or arch.activation_bytes
+        self.tokens_per_block = tokens_per_block(arch.head_dim, self.element_bytes)
+        self.stats = KVCacheStats()
+
+        num_cores = len(self.kv_core_ids)
+        self._free_blocks = np.full(num_cores, blocks_per_core, dtype=np.int64)
+        self._core_index = {core_id: i for i, core_id in enumerate(self.kv_core_ids)}
+        self._allocations: dict[int, _SequenceAllocation] = {}
+        self._failed_cores: set[int] = set()
+
+        # Split the KV cores into one (K group, V group) pair per transformer
+        # block, preserving wafer order so that each block's KV cores sit near
+        # its weight cores when the mapper interleaves them.
+        self._k_groups: list[list[int]] = []
+        self._v_groups: list[list[int]] = []
+        self._ring_pointers: list[int] = []
+        groups = 2 * arch.num_blocks
+        per_group = max(1, num_cores // groups)
+        for block in range(arch.num_blocks):
+            k_start = (2 * block) * per_group
+            v_start = (2 * block + 1) * per_group
+            k_group = list(range(k_start, min(k_start + per_group, num_cores)))
+            v_group = list(range(v_start, min(v_start + per_group, num_cores)))
+            if not k_group:
+                k_group = [k_start % num_cores]
+            if not v_group:
+                v_group = [v_start % num_cores]
+            self._k_groups.append(k_group)
+            self._v_groups.append(v_group)
+            self._ring_pointers.append(0)
+        self.page_tables = [PageTable(block_index=b) for b in range(arch.num_blocks)]
+
+    # ------------------------------------------------------------------ sizing
+
+    @property
+    def num_kv_cores(self) -> int:
+        return len(self.kv_core_ids)
+
+    @property
+    def total_blocks(self) -> int:
+        return (self.num_kv_cores - len(self._failed_cores)) * self.blocks_per_core
+
+    @property
+    def used_blocks(self) -> int:
+        healthy = self.total_blocks
+        return int(healthy - self._available_blocks())
+
+    def _available_blocks(self) -> int:
+        mask = np.ones(self.num_kv_cores, dtype=bool)
+        for core_id in self._failed_cores:
+            mask[self._core_index[core_id]] = False
+        return int(self._free_blocks[mask].sum())
+
+    @property
+    def utilization(self) -> float:
+        total = self.total_blocks
+        return self.used_blocks / total if total else 0.0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw KV capacity in bytes across all healthy KV cores."""
+        block_bytes = self.tokens_per_block * self.arch.head_dim * self.element_bytes
+        return self.total_blocks * block_bytes
+
+    @property
+    def resident_sequences(self) -> list[int]:
+        return sorted(self._allocations)
+
+    def tokens_cached(self, sequence_id: int) -> int:
+        allocation = self._allocations.get(sequence_id)
+        return allocation.tokens if allocation else 0
+
+    def blocks_held(self, sequence_id: int) -> int:
+        allocation = self._allocations.get(sequence_id)
+        if allocation is None:
+            return 0
+        return allocation.blocks_per_slot * int(allocation.slot_counts.sum())
+
+    def max_concurrent_sequences(self, context_length: int) -> int:
+        """How many sequences of a given context length fit simultaneously."""
+        slots = 2 * self.arch.num_blocks * self.arch.kv_heads
+        blocks_per_slot = max(1, math.ceil(context_length / self.tokens_per_block))
+        blocks_per_sequence = slots * blocks_per_slot
+        if blocks_per_sequence == 0:
+            return 0
+        return self.total_blocks // blocks_per_sequence
+
+    # -------------------------------------------------------------- allocation
+
+    def _select_cores(self, group: list[int], pointer: int, count: int) -> list[int] | None:
+        """Pick ``count`` cores from a ring group starting at ``pointer``.
+
+        Cores whose free space is below the reservation threshold (or that have
+        failed) are skipped for *new* allocations; if fewer than ``count``
+        usable cores exist, cores may be reused for several heads.
+        """
+        threshold_blocks = int(self.threshold * self.blocks_per_core)
+        usable: list[int] = []
+        size = len(group)
+        for offset in range(size):
+            local = group[(pointer + offset) % size]
+            if self.kv_core_ids[local] in self._failed_cores:
+                continue
+            if self._free_blocks[local] <= threshold_blocks:
+                continue
+            usable.append(local)
+            if len(usable) == count:
+                break
+        if not usable:
+            return None
+        while len(usable) < count:
+            usable.append(usable[len(usable) % max(1, len(usable))])
+        return usable[:count]
+
+    def try_admit(self, sequence: Sequence) -> bool:
+        """Reserve one logical block per (block, head, K/V) slot for a sequence."""
+        sequence_id = sequence.sequence_id
+        if sequence_id in self._allocations:
+            raise KVCacheError(f"sequence {sequence_id} is already resident")
+        heads = self.arch.kv_heads
+        slot_cores: list[int] = []
+        placements_per_block: list[list[HeadPlacement]] = []
+        for block in range(self.arch.num_blocks):
+            pointer = self._ring_pointers[block]
+            k_cores = self._select_cores(self._k_groups[block], pointer, heads)
+            v_cores = self._select_cores(self._v_groups[block], pointer, heads)
+            if k_cores is None or v_cores is None:
+                self.stats.failed_admissions += 1
+                return False
+            placements = [
+                HeadPlacement(
+                    head=h,
+                    k_core=self.kv_core_ids[k_cores[h]],
+                    v_core=self.kv_core_ids[v_cores[h]],
+                )
+                for h in range(heads)
+            ]
+            placements_per_block.append(placements)
+            slot_cores.extend(k_cores)
+            slot_cores.extend(v_cores)
+
+        cores = np.asarray(slot_cores, dtype=np.int64)
+        counts = np.bincount(cores, minlength=self.num_kv_cores)
+        if np.any(self._free_blocks - counts < 0):
+            self.stats.failed_admissions += 1
+            return False
+
+        self._free_blocks -= counts
+        self._allocations[sequence_id] = _SequenceAllocation(
+            sequence_id=sequence_id,
+            slot_cores=cores,
+            slot_counts=counts,
+            blocks_per_slot=1,
+            tokens=0,
+        )
+        for block, placements in enumerate(placements_per_block):
+            self.page_tables[block].register(sequence_id, placements)
+            self._ring_pointers[block] = (
+                self._ring_pointers[block] + heads
+            ) % max(1, len(self._k_groups[block]))
+        self.stats.admitted_sequences += 1
+        self.stats.allocated_blocks += int(counts.sum())
+        self._update_peak()
+        return True
+
+    def append_tokens(self, sequence: Sequence, count: int = 1) -> bool:
+        """Reserve KV space for ``count`` more tokens of a resident sequence."""
+        if count < 0:
+            raise KVCacheError("count must be non-negative")
+        allocation = self._allocations.get(sequence.sequence_id)
+        if allocation is None:
+            raise KVCacheError(
+                f"sequence {sequence.sequence_id} is not resident in the KV cache"
+            )
+        new_tokens = allocation.tokens + count
+        needed = max(1, math.ceil(new_tokens / self.tokens_per_block))
+        delta = needed - allocation.blocks_per_slot
+        if delta > 0:
+            required = allocation.slot_counts * delta
+            if np.any(self._free_blocks - required < 0):
+                self.stats.failed_growths += 1
+                return False
+            self._free_blocks -= required
+            allocation.blocks_per_slot = needed
+            self.stats.allocated_blocks += int(required.sum())
+        allocation.tokens = new_tokens
+        self._update_peak()
+        return True
+
+    def append_token(self, sequence: Sequence) -> bool:
+        """Scheduler-protocol alias for :meth:`append_tokens` with one token."""
+        return self.append_tokens(sequence, 1)
+
+    def release(self, sequence: Sequence) -> None:
+        """Free every block held by a sequence (completion or eviction)."""
+        allocation = self._allocations.pop(sequence.sequence_id, None)
+        if allocation is None:
+            return
+        returned = allocation.slot_counts * allocation.blocks_per_slot
+        self._free_blocks += returned
+        for table in self.page_tables:
+            table.remove(sequence.sequence_id)
+        self.stats.released_sequences += 1
+        self.stats.released_blocks += int(returned.sum())
+
+    # ---------------------------------------------------------------- failures
+
+    def fail_core(self, core_id: int) -> list[int]:
+        """Mark a KV core as failed; return ids of sequences needing recompute.
+
+        Per Section 4.3.3, when a KV-storage core fails only the sequences
+        stored on that core need recomputation.
+        """
+        if core_id not in self._core_index:
+            raise KVCacheError(f"core {core_id} is not a KV core")
+        self._failed_cores.add(core_id)
+        local = self._core_index[core_id]
+        affected = [
+            allocation.sequence_id
+            for allocation in self._allocations.values()
+            if allocation.slot_counts[local] > 0
+        ]
+        return affected
+
+    @property
+    def failed_cores(self) -> set[int]:
+        return set(self._failed_cores)
+
+    # ------------------------------------------------------------------ private
+
+    def _update_peak(self) -> None:
+        used = self.used_blocks
+        if used > self.stats.peak_used_blocks:
+            self.stats.peak_used_blocks = used

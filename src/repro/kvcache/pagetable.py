@@ -1,0 +1,64 @@
+"""First-level KV address translation: sequence -> per-head core coordinates.
+
+Fig. 12a: the page table, kept on an amortised storage core per transformer
+block, maps a sequence number to the list of core coordinates that store each
+of its attention heads (one core per head, per K/V group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import KVCacheError
+
+
+@dataclass(frozen=True)
+class HeadPlacement:
+    """Where one attention head's K and V data of one sequence live."""
+
+    head: int
+    k_core: int
+    v_core: int
+
+
+@dataclass
+class PageTable:
+    """Per-transformer-block page table: sequence id -> head placements."""
+
+    block_index: int
+    _entries: dict[int, list[HeadPlacement]] = field(default_factory=dict)
+
+    def register(self, sequence_id: int, placements: list[HeadPlacement]) -> None:
+        if sequence_id in self._entries:
+            raise KVCacheError(
+                f"sequence {sequence_id} already registered in block {self.block_index}"
+            )
+        self._entries[sequence_id] = list(placements)
+
+    def lookup(self, sequence_id: int) -> list[HeadPlacement]:
+        try:
+            return self._entries[sequence_id]
+        except KeyError as exc:
+            raise KVCacheError(
+                f"sequence {sequence_id} has no page-table entry in block "
+                f"{self.block_index}"
+            ) from exc
+
+    def contains(self, sequence_id: int) -> bool:
+        return sequence_id in self._entries
+
+    def remove(self, sequence_id: int) -> None:
+        self._entries.pop(sequence_id, None)
+
+    def cores_of(self, sequence_id: int) -> list[int]:
+        """All distinct cores referenced by a sequence in this block."""
+        placements = self.lookup(sequence_id)
+        cores = {p.k_core for p in placements} | {p.v_core for p in placements}
+        return sorted(cores)
+
+    @property
+    def resident_sequences(self) -> list[int]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,117 @@
+"""Static KV-cache allocation baseline.
+
+The ablation baseline (Section 6.5) uses static KV management: every admitted
+sequence reserves space for the model's maximum context length up front,
+regardless of how many tokens it will actually cache.  This wastes blocks on
+short sequences and limits the number of concurrently resident sequences,
+which is exactly the inefficiency the distributed dynamic manager removes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, KVCacheError
+from ..models.architectures import ModelArch
+from ..workload.requests import Sequence
+from .blocks import tokens_per_block
+
+
+@dataclass
+class StaticKVCacheStats:
+    admitted_sequences: int = 0
+    released_sequences: int = 0
+    failed_admissions: int = 0
+    peak_resident: int = 0
+
+
+class StaticKVCacheManager:
+    """Reserve worst-case KV space per sequence at admission time."""
+
+    def __init__(
+        self,
+        arch: ModelArch,
+        kv_core_ids: list[int] | int,
+        blocks_per_core: int = 256,
+        reserved_context: int | None = None,
+        element_bytes: int | None = None,
+    ) -> None:
+        if isinstance(kv_core_ids, int):
+            num_cores = kv_core_ids
+        else:
+            num_cores = len(kv_core_ids)
+        if num_cores <= 0:
+            raise ConfigurationError("at least one KV core is required")
+        self.arch = arch
+        self.num_kv_cores = num_cores
+        self.blocks_per_core = blocks_per_core
+        self.element_bytes = element_bytes or arch.activation_bytes
+        self.tokens_per_block = tokens_per_block(arch.head_dim, self.element_bytes)
+        self.reserved_context = reserved_context or arch.max_context
+        self.stats = StaticKVCacheStats()
+        self._resident: dict[int, int] = {}  # sequence id -> reserved blocks
+        self._free_blocks = num_cores * blocks_per_core
+
+    # ------------------------------------------------------------------ sizing
+
+    @property
+    def total_blocks(self) -> int:
+        return self.num_kv_cores * self.blocks_per_core
+
+    @property
+    def used_blocks(self) -> int:
+        return self.total_blocks - self._free_blocks
+
+    @property
+    def utilization(self) -> float:
+        return self.used_blocks / self.total_blocks if self.total_blocks else 0.0
+
+    def blocks_per_sequence(self) -> int:
+        """Blocks statically reserved for one sequence."""
+        slots = 2 * self.arch.num_blocks * self.arch.kv_heads
+        blocks_per_slot = max(1, math.ceil(self.reserved_context / self.tokens_per_block))
+        return slots * blocks_per_slot
+
+    def max_concurrent_sequences(self, context_length: int | None = None) -> int:
+        """Static allocation ignores the actual context length."""
+        per_sequence = self.blocks_per_sequence()
+        return self.total_blocks // per_sequence if per_sequence else 0
+
+    @property
+    def resident_sequences(self) -> list[int]:
+        return sorted(self._resident)
+
+    # -------------------------------------------------------------- allocation
+
+    def try_admit(self, sequence: Sequence) -> bool:
+        sequence_id = sequence.sequence_id
+        if sequence_id in self._resident:
+            raise KVCacheError(f"sequence {sequence_id} is already resident")
+        needed = self.blocks_per_sequence()
+        if needed > self._free_blocks:
+            self.stats.failed_admissions += 1
+            return False
+        self._free_blocks -= needed
+        self._resident[sequence_id] = needed
+        self.stats.admitted_sequences += 1
+        self.stats.peak_resident = max(self.stats.peak_resident, len(self._resident))
+        return True
+
+    def append_tokens(self, sequence: Sequence, count: int = 1) -> bool:
+        """Growth always succeeds up to the statically reserved context."""
+        if sequence.sequence_id not in self._resident:
+            raise KVCacheError(
+                f"sequence {sequence.sequence_id} is not resident in the KV cache"
+            )
+        return sequence.context_length + count <= self.reserved_context
+
+    def append_token(self, sequence: Sequence) -> bool:
+        return self.append_tokens(sequence, 1)
+
+    def release(self, sequence: Sequence) -> None:
+        reserved = self._resident.pop(sequence.sequence_id, None)
+        if reserved is None:
+            return
+        self._free_blocks += reserved
+        self.stats.released_sequences += 1

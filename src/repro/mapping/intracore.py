@@ -1,0 +1,193 @@
+"""Intra-core weight mapping: dynamic programming over the H-tree (Section 4.3.2).
+
+Within a core, the weight tile assigned by the inter-core mapper is further
+split into crossbar-sized slices (1024 input channels x 128 output channels).
+The slices are the leaves of the core's binary H-tree; every internal node
+either *reduces* partial sums (if both children cover the same output
+channels) or *concatenates* them (doubling the data volume).  Equation 4
+minimises ``sum(depth(node) * weight(node))`` with ``weight = 1`` for
+concatenation nodes, i.e. concatenations should happen as close to the root as
+possible.
+
+The DP below finds the optimal leaf assignment by recursively deciding how to
+split the multiset of output-part labels between the two halves of each
+subtree.  For the slice counts that occur in practice (tens of leaves, a
+handful of output parts) the state space is tiny.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..errors import MappingError
+from ..hardware.htree import HTreeCost, LeafAssignment, assignment_cost
+
+
+@dataclass(frozen=True)
+class IntraCoreProblem:
+    """Slices of one core's weight tile: ``input_parts x output_parts``."""
+
+    input_parts: int
+    output_parts: int
+    num_leaves: int = 32
+
+    def __post_init__(self) -> None:
+        if self.input_parts <= 0 or self.output_parts <= 0:
+            raise MappingError("input_parts and output_parts must be positive")
+        if self.num_leaves <= 0 or (self.num_leaves & (self.num_leaves - 1)) != 0:
+            raise MappingError("num_leaves must be a positive power of two")
+        if self.input_parts * self.output_parts > self.num_leaves:
+            raise MappingError(
+                f"{self.input_parts * self.output_parts} slices do not fit "
+                f"{self.num_leaves} crossbars"
+            )
+
+    @property
+    def num_slices(self) -> int:
+        return self.input_parts * self.output_parts
+
+
+@dataclass
+class IntraCoreResult:
+    """Optimal leaf assignment plus its cost and a naive reference cost."""
+
+    assignment: LeafAssignment
+    cost: HTreeCost
+    objective: int
+    naive_objective: int
+
+    @property
+    def improvement(self) -> float:
+        """Relative reduction of the DP objective versus the naive layout."""
+        if self.naive_objective == 0:
+            return 0.0
+        return 1.0 - self.objective / self.naive_objective
+
+
+def _pad_slices(problem: IntraCoreProblem) -> list[tuple[int, int]]:
+    """Slices of the tile, padded with copies so the leaf count is a power of two.
+
+    Padding replicates existing slices (the hardware would simply leave those
+    crossbars idle); replicated slices share output parts with their source so
+    they never introduce extra concatenations.
+    """
+    slices = [
+        (i, o)
+        for o in range(problem.output_parts)
+        for i in range(problem.input_parts)
+    ]
+    index = 0
+    while len(slices) < problem.num_leaves:
+        slices.append(slices[index % problem.num_slices])
+        index += 1
+    return slices
+
+
+def naive_assignment(problem: IntraCoreProblem) -> LeafAssignment:
+    """Interleave output parts across adjacent leaves (worst-case layout).
+
+    Placing different output parts next to each other forces concatenations at
+    the deepest tree levels, which is the situation Fig. 8 warns about.
+    """
+    slices = _pad_slices(problem)
+    # Sort by input part first so adjacent leaves hold *different* output parts.
+    interleaved = sorted(slices, key=lambda slice_: (slice_[0], slice_[1]))
+    return LeafAssignment(slices=interleaved)
+
+
+def grouped_assignment(problem: IntraCoreProblem) -> LeafAssignment:
+    """Group leaves by output part (reductions at the bottom, concats on top)."""
+    slices = _pad_slices(problem)
+    grouped = sorted(slices, key=lambda slice_: (slice_[1], slice_[0]))
+    return LeafAssignment(slices=grouped)
+
+
+class IntraCoreMapper:
+    """Exact DP minimising the depth-weighted concatenation objective."""
+
+    def __init__(self, problem: IntraCoreProblem) -> None:
+        self.problem = problem
+        self._total_levels = int(math.log2(problem.num_leaves))
+
+    def optimize(self) -> IntraCoreResult:
+        slices = _pad_slices(self.problem)
+        counts: dict[int, int] = {}
+        for _, output_part in slices:
+            counts[output_part] = counts.get(output_part, 0) + 1
+        parts = tuple(sorted(counts))
+        start = tuple(counts[part] for part in parts)
+
+        # Guard against state-space blow-up: when the exact DP would enumerate
+        # too many splits, fall back to the grouped layout, which realises the
+        # optimal structure (reductions at the bottom, concatenations at the
+        # top) whenever the per-part counts are balanced.
+        split_estimate = 1
+        for count in start:
+            split_estimate *= count + 1
+        if split_estimate > 50_000:
+            assignment = grouped_assignment(self.problem)
+            cost = assignment_cost(assignment)
+            naive_cost = assignment_cost(naive_assignment(self.problem))
+            return IntraCoreResult(
+                assignment=assignment,
+                cost=cost,
+                objective=cost.weighted_concat_depth,
+                naive_objective=naive_cost.weighted_concat_depth,
+            )
+
+        @lru_cache(maxsize=None)
+        def dp(state: tuple[int, ...], size: int) -> tuple[int, tuple]:
+            """Return (objective, layout) for a subtree holding ``state`` slices."""
+            if size == 1:
+                part = parts[next(i for i, c in enumerate(state) if c > 0)]
+                return 0, (part,)
+            half = size // 2
+            node_depth = self._total_levels - int(math.log2(size)) + 1
+            best: tuple[int, tuple] | None = None
+            for left in _splits(state, half):
+                right = tuple(s - l for s, l in zip(state, left))
+                left_cost, left_layout = dp(left, half)
+                right_cost, right_layout = dp(right, half)
+                left_parts = frozenset(
+                    parts[i] for i, c in enumerate(left) if c > 0
+                )
+                right_parts = frozenset(
+                    parts[i] for i, c in enumerate(right) if c > 0
+                )
+                concat = 1 if left_parts != right_parts else 0
+                cost = left_cost + right_cost + concat * node_depth
+                if best is None or cost < best[0]:
+                    best = (cost, left_layout + right_layout)
+            assert best is not None
+            return best
+
+        objective, layout = dp(start, self.problem.num_leaves)
+
+        # Rebuild a full (input_part, output_part) leaf ordering from the
+        # output-part layout by drawing input parts in order per output part.
+        pools: dict[int, list[int]] = {}
+        for input_part, output_part in slices:
+            pools.setdefault(output_part, []).append(input_part)
+        ordered: list[tuple[int, int]] = []
+        for output_part in layout:
+            ordered.append((pools[output_part].pop(0), output_part))
+        assignment = LeafAssignment(slices=ordered)
+        cost = assignment_cost(assignment)
+        naive_cost = assignment_cost(naive_assignment(self.problem))
+        return IntraCoreResult(
+            assignment=assignment,
+            cost=cost,
+            objective=objective,
+            naive_objective=naive_cost.weighted_concat_depth,
+        )
+
+
+def _splits(state: tuple[int, ...], half: int):
+    """Yield every way to put ``half`` slices into the left subtree."""
+    ranges = [range(min(count, half) + 1) for count in state]
+    for combo in itertools.product(*ranges):
+        if sum(combo) == half:
+            yield combo

@@ -1,0 +1,247 @@
+"""Communication-cost objective for the inter-core mapping (Eq. 1-3).
+
+The mapper places *tiles* -- (layer, input part, output part) slices of one
+transformer block's weight matrices -- onto CIM cores.  The objective charges
+Manhattan byte-hops (with a die-crossing penalty) for three kinds of traffic,
+mirroring Eq. 1:
+
+* **inter-layer** -- each tile of layer ``l+1`` must receive the output
+  activation produced by the tiles of layer ``l`` (the ``output(l)`` term);
+* **reduction**   -- tiles of the same layer that share an output part but
+  hold different input parts must reduce 32-bit partial sums (the
+  ``reduction(l)`` term);
+* **gather**      -- output-channel parts of a layer are concatenated at the
+  part-0 tile before being handed to consumers that need the contiguous
+  vector (the ``gather(l)`` term).
+
+All volumes are per processed token; the simulator scales them by token counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MappingError
+from ..hardware.wafer import Wafer
+from ..models.architectures import ModelArch
+from ..models.layers import BlockLayer, build_block_layers
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One weight tile: a slice of one layer's weight matrix."""
+
+    layer_index: int
+    input_part: int
+    output_part: int
+
+    def __str__(self) -> str:
+        return f"L{self.layer_index}[i{self.input_part},o{self.output_part}]"
+
+
+@dataclass(frozen=True)
+class MappingProblem:
+    """Everything needed to evaluate a placement of one block's tiles."""
+
+    arch: ModelArch
+    layers: tuple[BlockLayer, ...]
+    core_weight_capacity_bytes: int
+    inter_die_cost_factor: float = 4.0
+
+    @classmethod
+    def from_arch(
+        cls,
+        arch: ModelArch,
+        core_weight_capacity_bytes: int,
+        inter_die_cost_factor: float = 4.0,
+    ) -> "MappingProblem":
+        return cls(
+            arch=arch,
+            layers=tuple(build_block_layers(arch)),
+            core_weight_capacity_bytes=core_weight_capacity_bytes,
+            inter_die_cost_factor=inter_die_cost_factor,
+        )
+
+    # ------------------------------------------------------------------- tiles
+
+    def tiles(self) -> list[Tile]:
+        """All tiles of one block, in layer order."""
+        result: list[Tile] = []
+        for layer in self.layers:
+            o_parts = layer.output_splits(self.core_weight_capacity_bytes)
+            i_parts = layer.input_splits(self.core_weight_capacity_bytes)
+            for o in range(o_parts):
+                for i in range(i_parts):
+                    result.append(Tile(layer.index, i, o))
+        return result
+
+    def tiles_of_layer(self, layer_index: int) -> list[Tile]:
+        return [tile for tile in self.tiles() if tile.layer_index == layer_index]
+
+    def num_cores_required(self) -> int:
+        return len(self.tiles())
+
+    def layer(self, layer_index: int) -> BlockLayer:
+        for layer in self.layers:
+            if layer.index == layer_index:
+                return layer
+        raise MappingError(f"no layer with index {layer_index}")
+
+    # -------------------------------------------------------------- volumes
+
+    def tile_weight_bytes(self, tile: Tile) -> int:
+        layer = self.layer(tile.layer_index)
+        parts = layer.output_splits(self.core_weight_capacity_bytes) * layer.input_splits(
+            self.core_weight_capacity_bytes
+        )
+        return layer.weight_bytes // parts
+
+    def inter_layer_bytes(self, producer_layer: BlockLayer) -> float:
+        """Bytes one producer tile sends to one consumer tile (per token)."""
+        o_parts = producer_layer.output_splits(self.core_weight_capacity_bytes)
+        return producer_layer.output_volume_bytes() / o_parts
+
+    def reduction_bytes(self, layer: BlockLayer) -> float:
+        """Bytes of partial sums one reduction hop carries (per token)."""
+        o_parts = layer.output_splits(self.core_weight_capacity_bytes)
+        return layer.reduction_volume_bytes(self.core_weight_capacity_bytes) / max(1, o_parts)
+
+    def gather_bytes(self, layer: BlockLayer) -> float:
+        """Bytes one output part contributes to the gather (per token)."""
+        o_parts = layer.output_splits(self.core_weight_capacity_bytes)
+        return layer.gather_volume_bytes(self.core_weight_capacity_bytes) / max(1, o_parts)
+
+
+@dataclass
+class CommunicationCost:
+    """Byte-hop volumes of a placement, split by traffic class."""
+
+    inter_layer: float = 0.0
+    reduction: float = 0.0
+    gather: float = 0.0
+    #: plain bytes moved (no hop weighting), for transmission-volume figures
+    total_bytes: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.inter_layer + self.reduction + self.gather
+
+    def __add__(self, other: "CommunicationCost") -> "CommunicationCost":
+        return CommunicationCost(
+            inter_layer=self.inter_layer + other.inter_layer,
+            reduction=self.reduction + other.reduction,
+            gather=self.gather + other.gather,
+            total_bytes=self.total_bytes + other.total_bytes,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "inter_layer": self.inter_layer,
+            "reduction": self.reduction,
+            "gather": self.gather,
+            "total_byte_hops": self.total,
+            "total_bytes": self.total_bytes,
+        }
+
+
+@dataclass
+class Placement:
+    """Assignment of tiles to core ids."""
+
+    assignment: dict[Tile, int] = field(default_factory=dict)
+
+    def core_of(self, tile: Tile) -> int:
+        try:
+            return self.assignment[tile]
+        except KeyError as exc:
+            raise MappingError(f"tile {tile} is not placed") from exc
+
+    def cores(self) -> list[int]:
+        return list(self.assignment.values())
+
+    def validate(self, wafer: Wafer) -> None:
+        """Check constraints Eq. 2: one tile per core, no defective cores."""
+        seen: set[int] = set()
+        for tile, core_id in self.assignment.items():
+            if core_id in seen:
+                raise MappingError(f"core {core_id} holds more than one tile")
+            if wafer.is_defective(core_id):
+                raise MappingError(f"tile {tile} placed on defective core {core_id}")
+            seen.add(core_id)
+
+
+def _weighted_distance(wafer: Wafer, problem: MappingProblem, a: int, b: int) -> float:
+    """Manhattan distance with the die-crossing penalty of Eq. 1."""
+    distance = float(wafer.manhattan(a, b))
+    if not wafer.same_die(a, b):
+        distance *= problem.inter_die_cost_factor
+    return distance
+
+
+def evaluate_placement(
+    problem: MappingProblem,
+    placement: Placement,
+    wafer: Wafer,
+    next_block_entry_core: int | None = None,
+) -> CommunicationCost:
+    """Per-token communication cost of a placement of one block's tiles.
+
+    ``next_block_entry_core`` optionally charges the hand-off from this block's
+    last layer to the first layer of the following block (used when evaluating
+    whole-wafer mappings).
+    """
+    cost = CommunicationCost()
+    layers = sorted(problem.layers, key=lambda layer: layer.index)
+    tiles_by_layer = {
+        layer.index: problem.tiles_of_layer(layer.index) for layer in layers
+    }
+
+    # Inter-layer traffic: producer tiles -> consumer tiles of the next layer.
+    for producer, consumer in zip(layers, layers[1:]):
+        volume = problem.inter_layer_bytes(producer)
+        for src_tile in tiles_by_layer[producer.index]:
+            src = placement.core_of(src_tile)
+            for dst_tile in tiles_by_layer[consumer.index]:
+                dst = placement.core_of(dst_tile)
+                cost.inter_layer += volume * _weighted_distance(wafer, problem, src, dst)
+                cost.total_bytes += volume
+
+    # Hand-off to the next block's first layer (single representative core).
+    if next_block_entry_core is not None and layers:
+        last = layers[-1]
+        volume = problem.inter_layer_bytes(last)
+        for src_tile in tiles_by_layer[last.index]:
+            src = placement.core_of(src_tile)
+            cost.inter_layer += volume * _weighted_distance(
+                wafer, problem, src, next_block_entry_core
+            )
+            cost.total_bytes += volume
+
+    # Intra-layer reduction and gather traffic.
+    for layer in layers:
+        tiles = tiles_by_layer[layer.index]
+        reduction_volume = problem.reduction_bytes(layer)
+        gather_volume = problem.gather_bytes(layer)
+        by_output: dict[int, list[Tile]] = {}
+        for tile in tiles:
+            by_output.setdefault(tile.output_part, []).append(tile)
+        gather_roots: list[int] = []
+        for _, group in sorted(by_output.items()):
+            group = sorted(group, key=lambda t: t.input_part)
+            root = placement.core_of(group[-1])
+            gather_roots.append(root)
+            if reduction_volume > 0:
+                for tile in group[:-1]:
+                    src = placement.core_of(tile)
+                    cost.reduction += reduction_volume * _weighted_distance(
+                        wafer, problem, src, root
+                    )
+                    cost.total_bytes += reduction_volume
+        if gather_volume > 0 and len(gather_roots) > 1:
+            anchor = gather_roots[0]
+            for root in gather_roots[1:]:
+                cost.gather += gather_volume * _weighted_distance(
+                    wafer, problem, root, anchor
+                )
+                cost.total_bytes += gather_volume
+    return cost

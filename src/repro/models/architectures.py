@@ -1,0 +1,331 @@
+"""Transformer architecture descriptions used by the evaluation.
+
+The paper evaluates decoder-only models (LLaMA-13B/32B/65B, Baichuan-13B,
+Qwen-32B) and encoder-containing models (BERT-large, T5-11B).  For simulation
+purposes a model is fully described by its block geometry (hidden size, head
+counts, FFN width, number of blocks) plus its attention masking mode, which
+determines whether plain token-grained pipelining applies (causal mask) or the
+blocked variant is needed (bidirectional / prefix masks, Section 4.2.2).
+
+Weights and activations are 8-bit, matching the paper's digital CIM datapath.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import GB
+
+
+class AttentionMask(enum.Enum):
+    """Masking mode of the attention mechanism (Fig. 6)."""
+
+    CAUSAL = "causal"
+    BIDIRECTIONAL = "bidirectional"
+    PREFIX = "prefix"
+
+
+@dataclass(frozen=True)
+class ModelArch:
+    """Geometry of one transformer stack (all blocks identical)."""
+
+    name: str
+    num_blocks: int
+    hidden_size: int
+    num_heads: int
+    ffn_hidden_size: int
+    #: number of KV heads (== num_heads unless grouped-query attention)
+    num_kv_heads: int | None = None
+    #: per-head dimension when it differs from hidden_size / num_heads
+    #: (e.g. T5-11B uses 128 heads of width 128 over a 1024-wide model)
+    head_dim_override: int | None = None
+    #: 3 for gated FFNs (LLaMA/Qwen/Baichuan SwiGLU), 2 for vanilla FFNs
+    ffn_matrices: int = 3
+    vocab_size: int = 32_000
+    max_context: int = 4096
+    attention_mask: AttentionMask = AttentionMask.CAUSAL
+    #: bytes per weight (1 = INT8)
+    weight_bytes_per_param: int = 1
+    #: bytes per activation / KV element (1 = INT8)
+    activation_bytes: int = 1
+    #: for encoder-decoder models: how many of the blocks are encoder blocks
+    encoder_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.head_dim_override is None and self.hidden_size % self.num_heads != 0:
+            raise ConfigurationError(
+                f"hidden size {self.hidden_size} not divisible by "
+                f"{self.num_heads} heads"
+            )
+        if self.num_kv_heads is not None and self.num_heads % self.num_kv_heads != 0:
+            raise ConfigurationError("num_heads must be a multiple of num_kv_heads")
+        if self.encoder_blocks > self.num_blocks:
+            raise ConfigurationError("encoder_blocks cannot exceed num_blocks")
+        if self.ffn_matrices not in (2, 3):
+            raise ConfigurationError("ffn_matrices must be 2 or 3")
+
+    # ------------------------------------------------------------- dimensions
+
+    @property
+    def head_dim(self) -> int:
+        if self.head_dim_override is not None:
+            return self.head_dim_override
+        return self.hidden_size // self.num_heads
+
+    @property
+    def kv_heads(self) -> int:
+        return self.num_kv_heads if self.num_kv_heads is not None else self.num_heads
+
+    @property
+    def q_dim(self) -> int:
+        """Width of the Q projection output (== hidden size unless overridden)."""
+        return self.num_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (or V) projection output."""
+        return self.kv_heads * self.head_dim
+
+    @property
+    def is_decoder_only(self) -> bool:
+        return self.encoder_blocks == 0 and self.attention_mask is AttentionMask.CAUSAL
+
+    @property
+    def has_encoder(self) -> bool:
+        return self.encoder_blocks > 0 or self.attention_mask is not AttentionMask.CAUSAL
+
+    # ---------------------------------------------------------------- weights
+
+    @property
+    def attention_weight_params(self) -> int:
+        """Parameters of Q/K/V/output projections in one block."""
+        qkv = self.hidden_size * (self.q_dim + 2 * self.kv_dim)
+        out = self.q_dim * self.hidden_size
+        return qkv + out
+
+    @property
+    def ffn_weight_params(self) -> int:
+        return self.ffn_matrices * self.hidden_size * self.ffn_hidden_size
+
+    @property
+    def block_weight_params(self) -> int:
+        return self.attention_weight_params + self.ffn_weight_params
+
+    @property
+    def block_weight_bytes(self) -> int:
+        return self.block_weight_params * self.weight_bytes_per_param
+
+    @property
+    def total_weight_params(self) -> int:
+        embedding = self.vocab_size * self.hidden_size
+        return self.num_blocks * self.block_weight_params + 2 * embedding
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return self.total_weight_params * self.weight_bytes_per_param
+
+    @property
+    def parameter_count_billions(self) -> float:
+        return self.total_weight_params / 1e9
+
+    # --------------------------------------------------------------- KV cache
+
+    @property
+    def kv_bytes_per_token_per_block(self) -> int:
+        """Bytes of K plus V stored for one token in one block."""
+        return 2 * self.kv_dim * self.activation_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        return self.num_blocks * self.kv_bytes_per_token_per_block
+
+    def kv_bytes_for_sequence(self, length: int) -> int:
+        return length * self.kv_bytes_per_token
+
+    # ------------------------------------------------------------- activations
+
+    @property
+    def activation_bytes_per_token(self) -> int:
+        """Hidden-state bytes for one token between pipeline stages."""
+        return self.hidden_size * self.activation_bytes
+
+    # ---------------------------------------------------------------- compute
+
+    def flops_per_token(self, context_length: int) -> float:
+        """Forward-pass multiply-accumulate count for one token.
+
+        Includes the position-dependent attention score/context GEMVs against
+        ``context_length`` cached tokens.
+        """
+        weight_macs = self.block_weight_params
+        attention_macs = 2 * self.num_heads * self.head_dim * max(context_length, 1)
+        return self.num_blocks * (weight_macs + attention_macs)
+
+    def prefill_flops(self, prompt_length: int) -> float:
+        """Multiply-accumulates to prefill a prompt of ``prompt_length`` tokens."""
+        weight_macs = prompt_length * self.num_blocks * self.block_weight_params
+        attention_macs = (
+            self.num_blocks
+            * self.num_heads
+            * self.head_dim
+            * prompt_length
+            * (prompt_length + 1)
+        )
+        return weight_macs + attention_macs
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.parameter_count_billions:.1f}B params, "
+            f"{self.num_blocks} blocks, h={self.hidden_size})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry of the paper's workloads
+# ---------------------------------------------------------------------------
+
+
+def llama_13b() -> ModelArch:
+    return ModelArch(
+        name="LLaMA-13B",
+        num_blocks=40,
+        hidden_size=5120,
+        num_heads=40,
+        ffn_hidden_size=13824,
+    )
+
+
+def llama_32b() -> ModelArch:
+    """The paper's '32B' LLaMA configuration (LLaMA-30B geometry)."""
+    return ModelArch(
+        name="LLaMA-32B",
+        num_blocks=60,
+        hidden_size=6656,
+        num_heads=52,
+        ffn_hidden_size=17920,
+    )
+
+
+def llama_65b() -> ModelArch:
+    return ModelArch(
+        name="LLaMA-65B",
+        num_blocks=80,
+        hidden_size=8192,
+        num_heads=64,
+        ffn_hidden_size=22016,
+    )
+
+
+def baichuan_13b() -> ModelArch:
+    return ModelArch(
+        name="Baichuan-13B",
+        num_blocks=40,
+        hidden_size=5120,
+        num_heads=40,
+        ffn_hidden_size=13696,
+        vocab_size=64_000,
+    )
+
+
+def qwen_32b() -> ModelArch:
+    return ModelArch(
+        name="Qwen-32B",
+        num_blocks=64,
+        hidden_size=5120,
+        num_heads=40,
+        num_kv_heads=8,
+        ffn_hidden_size=27648,
+        vocab_size=152_064,
+        max_context=32_768,
+    )
+
+
+def bert_large() -> ModelArch:
+    return ModelArch(
+        name="BERT-Large",
+        num_blocks=24,
+        hidden_size=1024,
+        num_heads=16,
+        ffn_hidden_size=4096,
+        ffn_matrices=2,
+        vocab_size=30_522,
+        max_context=512,
+        attention_mask=AttentionMask.BIDIRECTIONAL,
+        encoder_blocks=24,
+    )
+
+
+def t5_11b() -> ModelArch:
+    return ModelArch(
+        name="T5-11B",
+        num_blocks=48,
+        hidden_size=1024,
+        num_heads=128,
+        head_dim_override=128,
+        ffn_hidden_size=65_536,
+        ffn_matrices=2,
+        vocab_size=32_128,
+        max_context=512,
+        attention_mask=AttentionMask.PREFIX,
+        encoder_blocks=24,
+    )
+
+
+def generic_llm(billions: float) -> ModelArch:
+    """A generic LLaMA-shaped model of roughly ``billions`` parameters.
+
+    Used by the Fig. 1 hardware-scaling-tax study, which sweeps model sizes
+    from 7B to 130B.
+    """
+    known = {
+        7.0: (32, 4096, 32, 11008),
+        13.0: (40, 5120, 40, 13824),
+        19.5: (48, 5632, 44, 15104),
+        32.0: (60, 6656, 52, 17920),
+        65.0: (80, 8192, 64, 22016),
+        130.0: (96, 10240, 80, 27648),
+    }
+    if billions in known:
+        blocks, hidden, heads, ffn = known[billions]
+    else:
+        # Scale hidden size and depth jointly; keep head_dim = 128.
+        hidden = int(round((billions / 13.0) ** (1.0 / 3.0) * 5120 / 128)) * 128
+        hidden = max(1024, hidden)
+        heads = hidden // 128
+        ffn = int(round(2.7 * hidden))
+        blocks = max(8, int(round(billions * 1e9 / (12 * hidden * hidden))))
+    return ModelArch(
+        name=f"Generic-{billions:g}B",
+        num_blocks=blocks,
+        hidden_size=hidden,
+        num_heads=heads,
+        ffn_hidden_size=ffn,
+    )
+
+
+MODEL_REGISTRY: dict[str, callable] = {
+    "llama-13b": llama_13b,
+    "llama-32b": llama_32b,
+    "llama-65b": llama_65b,
+    "baichuan-13b": baichuan_13b,
+    "qwen-32b": qwen_32b,
+    "bert-large": bert_large,
+    "t5-11b": t5_11b,
+}
+
+
+def get_model(name: str) -> ModelArch:
+    """Look up a model architecture by its registry name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise ConfigurationError(
+            f"unknown model '{name}'; known models: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[key]()
+
+
+def fits_on_wafer(arch: ModelArch, wafer_sram_bytes: int = 54 * GB) -> bool:
+    """Whether the model's weights alone fit in a single wafer's SRAM."""
+    return arch.total_weight_bytes <= wafer_sram_bytes

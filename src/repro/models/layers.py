@@ -1,0 +1,145 @@
+"""Per-block layer decomposition used by the inter-core mapping.
+
+The inter-core mapper (Section 4.3.1) places *weighted* layers of a single
+transformer block onto CIM cores and then repeats that placement for every
+block.  For each layer the MIQP objective needs:
+
+* ``output(l)``    -- output-activation volume handed to the next layer,
+* ``reduction(l)`` -- partial-sum volume reduced across input-channel splits,
+* ``gather(l)``    -- gathered volume when output-channel splits are concatenated,
+* ``I(l), O(l)``   -- number of splits along the input / output channels,
+* ``num_cores(l)`` -- cores required to hold the layer's weights.
+
+Attention score / context GEMVs have no static weights; they run on the KV
+cores and are handled by the KV mapping (Section 4.4.3), not here.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .architectures import ModelArch
+
+PARTIAL_SUM_BYTES = 4  # 32-bit partial sums
+
+
+class LayerKind(enum.Enum):
+    """Weighted layers inside one transformer block."""
+
+    QKV_PROJECTION = "qkv_projection"
+    OUTPUT_PROJECTION = "output_projection"
+    FFN_UP = "ffn_up"
+    FFN_DOWN = "ffn_down"
+
+
+@dataclass(frozen=True)
+class BlockLayer:
+    """One weighted layer of a transformer block, as seen by the mapper."""
+
+    index: int
+    kind: LayerKind
+    input_dim: int
+    output_dim: int
+    weight_bytes: int
+    activation_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.input_dim <= 0 or self.output_dim <= 0:
+            raise ConfigurationError("layer dimensions must be positive")
+        if self.weight_bytes <= 0:
+            raise ConfigurationError("layer weight bytes must be positive")
+
+    # -- MIQP constants --------------------------------------------------------
+
+    def num_cores(self, core_weight_capacity_bytes: int) -> int:
+        """#Core(l): cores needed to hold this layer's weights."""
+        return max(1, math.ceil(self.weight_bytes / core_weight_capacity_bytes))
+
+    def output_splits(self, core_weight_capacity_bytes: int) -> int:
+        """O(l): splits along the output-channel dimension (prioritised)."""
+        cores = self.num_cores(core_weight_capacity_bytes)
+        return min(cores, self.output_dim)
+
+    def input_splits(self, core_weight_capacity_bytes: int) -> int:
+        """I(l): splits along the input-channel dimension."""
+        cores = self.num_cores(core_weight_capacity_bytes)
+        return max(1, math.ceil(cores / self.output_splits(core_weight_capacity_bytes)))
+
+    def output_volume_bytes(self) -> int:
+        """output(l): bytes of output activation produced per token."""
+        return self.output_dim * self.activation_bytes
+
+    def reduction_volume_bytes(self, core_weight_capacity_bytes: int) -> int:
+        """reduction(l): bytes of 32-bit partial sums reduced per token."""
+        if self.input_splits(core_weight_capacity_bytes) <= 1:
+            return 0
+        return self.output_dim * PARTIAL_SUM_BYTES
+
+    def gather_volume_bytes(self, core_weight_capacity_bytes: int) -> int:
+        """gather(l): bytes gathered when concatenating output-channel splits."""
+        if self.output_splits(core_weight_capacity_bytes) <= 1:
+            return 0
+        return self.output_dim * self.activation_bytes
+
+    def macs_per_token(self) -> int:
+        """8-bit multiply-accumulates for one token through this layer."""
+        return self.input_dim * self.output_dim
+
+
+def build_block_layers(arch: ModelArch) -> list[BlockLayer]:
+    """Weighted layers of one transformer block, in dataflow order."""
+    act = arch.activation_bytes
+    wb = arch.weight_bytes_per_param
+    hidden = arch.hidden_size
+    qkv_out = arch.q_dim + 2 * arch.kv_dim
+    layers = [
+        BlockLayer(
+            index=0,
+            kind=LayerKind.QKV_PROJECTION,
+            input_dim=hidden,
+            output_dim=qkv_out,
+            weight_bytes=hidden * qkv_out * wb,
+            activation_bytes=act,
+        ),
+        BlockLayer(
+            index=1,
+            kind=LayerKind.OUTPUT_PROJECTION,
+            input_dim=arch.q_dim,
+            output_dim=hidden,
+            weight_bytes=arch.q_dim * hidden * wb,
+            activation_bytes=act,
+        ),
+        BlockLayer(
+            index=2,
+            kind=LayerKind.FFN_UP,
+            input_dim=hidden,
+            output_dim=arch.ffn_hidden_size,
+            weight_bytes=(arch.ffn_matrices - 1) * hidden * arch.ffn_hidden_size * wb,
+            activation_bytes=act,
+        ),
+        BlockLayer(
+            index=3,
+            kind=LayerKind.FFN_DOWN,
+            input_dim=arch.ffn_hidden_size,
+            output_dim=hidden,
+            weight_bytes=arch.ffn_hidden_size * hidden * wb,
+            activation_bytes=act,
+        ),
+    ]
+    return layers
+
+
+def block_weight_bytes(arch: ModelArch) -> int:
+    """Total weight bytes of one block, as seen by the mapper."""
+    return sum(layer.weight_bytes for layer in build_block_layers(arch))
+
+
+def cores_per_block(arch: ModelArch, core_weight_capacity_bytes: int) -> int:
+    """Total CIM cores needed to hold one block's weights."""
+    return sum(
+        layer.num_cores(core_weight_capacity_bytes)
+        for layer in build_block_layers(arch)
+    )

@@ -1,0 +1,151 @@
+"""The six-stage pipeline decomposition of a transformer block (Fig. 4).
+
+Each transformer block is split into six pipeline stages:
+
+1. LayerNorm + QKV generation          (weighted GEMV on weight cores)
+2. Score  S = Q K^T                     (GEMV against the KV cache cores)
+3. Softmax                              (SFU)
+4. Context  softmax(S) V                (GEMV against the KV cache cores)
+5. Output projection (+ residual)       (weighted GEMV on weight cores)
+6. LayerNorm + FFN1 + FFN2 (+ residual) (weighted GEMVs on weight cores)
+
+A model with N blocks therefore forms a unified 6N-stage pipeline.  The stage
+specs below give, for a single token at a given context position, the
+multiply-accumulate count, the SFU element count, the static weight bytes the
+stage needs resident, and the activation bytes it hands to the next stage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .architectures import ModelArch
+
+STAGES_PER_BLOCK = 6
+
+
+class StageKind(enum.Enum):
+    """The six pipeline stages of a transformer block."""
+
+    QKV_GENERATION = "qkv_generation"
+    SCORE = "score"
+    SOFTMAX = "softmax"
+    CONTEXT = "context"
+    PROJECTION = "projection"
+    FFN = "ffn"
+
+
+#: stages whose GEMV runs against the dynamically managed KV cache
+KV_STAGES = frozenset({StageKind.SCORE, StageKind.CONTEXT})
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """Static description of one pipeline stage of one block."""
+
+    kind: StageKind
+    arch: ModelArch
+
+    # ------------------------------------------------------------------ compute
+
+    def macs_per_token(self, context_length: int) -> float:
+        """Multiply-accumulates for one token with ``context_length`` cached tokens."""
+        arch = self.arch
+        h = arch.hidden_size
+        ctx = max(1, context_length)
+        if self.kind is StageKind.QKV_GENERATION:
+            return float(h * (arch.q_dim + 2 * arch.kv_dim))
+        if self.kind is StageKind.SCORE:
+            return float(arch.num_heads * arch.head_dim * ctx)
+        if self.kind is StageKind.SOFTMAX:
+            return 0.0
+        if self.kind is StageKind.CONTEXT:
+            return float(arch.num_heads * arch.head_dim * ctx)
+        if self.kind is StageKind.PROJECTION:
+            return float(arch.q_dim * h)
+        if self.kind is StageKind.FFN:
+            return float(arch.ffn_matrices * h * arch.ffn_hidden_size)
+        raise AssertionError(f"unhandled stage kind {self.kind}")
+
+    def sfu_elements_per_token(self, context_length: int) -> int:
+        """Elements processed by the SFU (softmax, layernorm, residual adds)."""
+        arch = self.arch
+        ctx = max(1, context_length)
+        if self.kind is StageKind.QKV_GENERATION:
+            return arch.hidden_size  # leading LayerNorm
+        if self.kind is StageKind.SOFTMAX:
+            return arch.num_heads * ctx
+        if self.kind is StageKind.PROJECTION:
+            return arch.hidden_size  # residual add
+        if self.kind is StageKind.FFN:
+            # LayerNorm + activation function + residual add
+            return 2 * arch.hidden_size + arch.ffn_hidden_size
+        return 0
+
+    # ------------------------------------------------------------------ storage
+
+    @property
+    def weight_bytes(self) -> int:
+        """Static weights that must reside on the stage's cores."""
+        arch = self.arch
+        h = arch.hidden_size
+        wb = arch.weight_bytes_per_param
+        if self.kind is StageKind.QKV_GENERATION:
+            return h * (arch.q_dim + 2 * arch.kv_dim) * wb
+        if self.kind is StageKind.PROJECTION:
+            return arch.q_dim * h * wb
+        if self.kind is StageKind.FFN:
+            return arch.ffn_matrices * h * arch.ffn_hidden_size * wb
+        return 0
+
+    @property
+    def uses_kv_cache(self) -> bool:
+        return self.kind in KV_STAGES
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weight_bytes > 0
+
+    # ------------------------------------------------------------------ dataflow
+
+    def output_bytes_per_token(self, context_length: int) -> int:
+        """Activation bytes handed to the next stage for one token."""
+        arch = self.arch
+        ctx = max(1, context_length)
+        if self.kind is StageKind.QKV_GENERATION:
+            return (arch.q_dim + 2 * arch.kv_dim) * arch.activation_bytes
+        if self.kind is StageKind.SCORE:
+            return arch.num_heads * ctx * arch.activation_bytes
+        if self.kind is StageKind.SOFTMAX:
+            return arch.num_heads * ctx * arch.activation_bytes
+        if self.kind is StageKind.CONTEXT:
+            return arch.q_dim * arch.activation_bytes
+        if self.kind is StageKind.PROJECTION:
+            return arch.hidden_size * arch.activation_bytes
+        if self.kind is StageKind.FFN:
+            return arch.hidden_size * arch.activation_bytes
+        raise AssertionError(f"unhandled stage kind {self.kind}")
+
+    def kv_write_bytes_per_token(self) -> int:
+        """KV-cache bytes appended per token processed by this stage."""
+        if self.kind is StageKind.QKV_GENERATION:
+            return self.arch.kv_bytes_per_token_per_block
+        return 0
+
+
+def build_stage_specs(arch: ModelArch) -> list[StageSpec]:
+    """The six stage specs of one block of ``arch``, in pipeline order."""
+    return [StageSpec(kind=kind, arch=arch) for kind in StageKind]
+
+
+def pipeline_depth(arch: ModelArch) -> int:
+    """Total number of stages in the unified pipeline (6N)."""
+    return STAGES_PER_BLOCK * arch.num_blocks
+
+
+def block_macs_per_token(arch: ModelArch, context_length: int) -> float:
+    """MACs for one token through one whole block."""
+    return sum(
+        spec.macs_per_token(context_length) for spec in build_stage_specs(arch)
+    )

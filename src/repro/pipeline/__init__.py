@@ -1,0 +1,19 @@
+"""Pipeline strategies: token-grained, sequence-grained and blocked TGP."""
+
+from .blocked import BLOCKING_OVERHEAD, BlockedTokenGrainedPipeline
+from .engine import EpochRecord, PipelineConfig, PipelineEngine
+from .sequence_grained import SequenceGrainedPipeline
+from .stages import StageCost, TokenCostModel
+from .tgp import TokenGrainedPipeline
+
+__all__ = [
+    "TokenCostModel",
+    "StageCost",
+    "PipelineConfig",
+    "PipelineEngine",
+    "EpochRecord",
+    "TokenGrainedPipeline",
+    "SequenceGrainedPipeline",
+    "BlockedTokenGrainedPipeline",
+    "BLOCKING_OVERHEAD",
+]

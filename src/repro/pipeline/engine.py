@@ -1,0 +1,229 @@
+"""Shared pipeline simulation engine.
+
+The engine serves a request trace on the wafer by advancing the admitted
+sequences in *epochs*: every epoch each active sequence processes up to
+``chunk_tokens`` tokens (prefill tokens stream back-to-back; decode tokens are
+one per pipeline traversal).  The wall-clock cost of an epoch is
+
+    epoch_time = processed_tokens * stage_interval / utilization
+
+where ``stage_interval`` is the slowest of the six stage latencies at the
+epoch's average context length and ``utilization`` is supplied by the concrete
+pipeline strategy (token-grained, sequence-grained or blocked).  Energy is
+accumulated from the per-token cost model, and KV-cache growth / eviction is
+driven through the inter-sequence scheduler so that thrashing shows up as
+recomputed tokens and extra time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..models.architectures import ModelArch
+from ..models.pipeline_stages import pipeline_depth
+from ..results import EnergyBreakdown, RunResult
+from ..workload.generator import Trace
+from ..workload.requests import Sequence, SequencePhase
+from ..workload.scheduler import InterSequenceScheduler, KVCapacityProvider
+from .stages import TokenCostModel
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the epoch-based pipeline simulation."""
+
+    #: tokens each active sequence may advance per epoch
+    chunk_tokens: int = 128
+    #: context-length quantisation for memoising per-token costs
+    context_quantum: int = 256
+    #: hard cap on epochs (guards against livelock in pathological configs)
+    max_epochs: int = 2_000_000
+
+
+@dataclass
+class EpochRecord:
+    """Bookkeeping for one simulation epoch (exposed for tests/inspection)."""
+
+    epoch: int
+    tokens: int
+    utilization: float
+    duration_s: float
+    active_sequences: int
+
+
+class PipelineEngine:
+    """Base class for the three pipeline strategies."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        arch: ModelArch,
+        cost_model: TokenCostModel,
+        kv_manager: KVCapacityProvider,
+        config: PipelineConfig | None = None,
+        scheduler: InterSequenceScheduler | None = None,
+    ) -> None:
+        self.arch = arch
+        self.cost_model = cost_model
+        self.kv_manager = kv_manager
+        self.config = config or PipelineConfig()
+        self.scheduler = scheduler or InterSequenceScheduler(kv_manager)
+        self.depth = pipeline_depth(arch)
+        self.epochs: list[EpochRecord] = []
+        self._interval_cache: dict[int, float] = {}
+        self._energy_cache: dict[int, EnergyBreakdown] = {}
+
+    # ------------------------------------------------------------ cached costs
+
+    def _quantize(self, context: float) -> int:
+        quantum = self.config.context_quantum
+        return max(1, int(round(context / quantum)) * quantum)
+
+    def stage_interval(self, context: float) -> float:
+        key = self._quantize(context)
+        if key not in self._interval_cache:
+            self._interval_cache[key] = self.cost_model.stage_interval(key)
+        return self._interval_cache[key]
+
+    def token_energy(self, context: float) -> EnergyBreakdown:
+        key = self._quantize(context)
+        if key not in self._energy_cache:
+            self._energy_cache[key] = self.cost_model.token_energy(key)
+        return self._energy_cache[key]
+
+    # ----------------------------------------------------------- strategy hook
+
+    def epoch_utilization(
+        self,
+        prefill_segments: list[tuple[Sequence, int]],
+        decode_sequences: int,
+    ) -> float:
+        """Fraction of pipeline slots doing useful work this epoch."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ running
+
+    def run(self, trace: Trace, workload_name: str | None = None) -> RunResult:
+        """Serve ``trace`` to completion and return aggregate results."""
+        self.scheduler.submit_all(list(trace.requests))
+        self.epochs = []
+        time_s = 0.0
+        energy = EnergyBreakdown()
+        processed_tokens = 0
+        utilization_time = 0.0
+        stalled_epochs = 0
+
+        for epoch_index in range(self.config.max_epochs):
+            if self.scheduler.all_done:
+                break
+            self.scheduler.fill(time_s)
+            active = self.scheduler.active
+            if not active:
+                if self.scheduler.waiting:
+                    raise SimulationError(
+                        "KV cache cannot hold even a single waiting sequence; "
+                        "reduce sequence lengths or enlarge the wafer"
+                    )
+                break
+
+            epoch_tokens = 0
+            epoch_energy = EnergyBreakdown()
+            prefill_segments: list[tuple[Sequence, int]] = []
+            decode_sequences = 0
+            context_weighted = 0.0
+            max_decode_chunk = 0
+
+            for sequence in list(active):
+                if sequence not in self.scheduler.active:
+                    continue  # evicted by an earlier sequence's KV growth
+                budget = self._sequence_budget(sequence)
+                if budget <= 0:
+                    continue
+                if not self.scheduler.grow_sequence(sequence, budget):
+                    continue
+                segments = sequence.advance_tokens(budget)
+                for phase, count, start_position in segments:
+                    avg_context = start_position + (count - 1) / 2.0
+                    epoch_tokens += count
+                    context_weighted += avg_context * count
+                    epoch_energy = epoch_energy + self.token_energy(avg_context).scaled(count)
+                    if phase is SequencePhase.PREFILL:
+                        prefill_segments.append((sequence, count))
+                    else:
+                        decode_sequences += 1
+                        max_decode_chunk = max(max_decode_chunk, count)
+                if sequence.is_complete:
+                    self.scheduler.complete(sequence, time_s)
+
+            if epoch_tokens == 0:
+                # Nothing could make progress: force an eviction to break the tie.
+                stalled_epochs += 1
+                if stalled_epochs > 2000:
+                    raise SimulationError(
+                        "pipeline made no progress for 2000 consecutive epochs; a "
+                        "sequence's context does not fit the configured KV cache"
+                    )
+                victim = self.scheduler.evict_most_recent()
+                if victim is None:
+                    raise SimulationError("pipeline live-locked with no active work")
+                continue
+            stalled_epochs = 0
+
+            avg_context = context_weighted / epoch_tokens
+            interval = self.stage_interval(avg_context)
+            utilization = max(1e-6, min(1.0, self.epoch_utilization(prefill_segments, decode_sequences)))
+            duration = epoch_tokens * interval / utilization
+            # Autoregressive dependency bound: a decoding sequence produces at
+            # most one token per full pipeline traversal, no matter how much
+            # other work keeps the pipeline busy.
+            dependency_bound = max_decode_chunk * self.depth * interval
+            duration = max(duration, dependency_bound)
+            utilization = min(utilization, epoch_tokens * interval / duration) if duration > 0 else utilization
+            time_s += duration
+            energy = energy + epoch_energy
+            processed_tokens += epoch_tokens
+            utilization_time += utilization * duration
+            self.epochs.append(
+                EpochRecord(
+                    epoch=epoch_index,
+                    tokens=epoch_tokens,
+                    utilization=utilization,
+                    duration_s=duration,
+                    active_sequences=len(active),
+                )
+            )
+        else:
+            raise SimulationError("epoch limit reached before the trace completed")
+
+        # Pipeline fill/drain: one full traversal at the final context length.
+        if processed_tokens > 0:
+            time_s += self.cost_model.token_pipeline_latency(int(trace.mean_prefill_length) or 1)
+
+        output_tokens = sum(
+            sequence.request.decode_length for sequence in self.scheduler.completed
+        )
+        recomputed = self.scheduler.stats.recomputed_tokens
+        return RunResult(
+            system=self.name,
+            model=self.arch.name,
+            workload=workload_name or trace.spec.name,
+            total_time_s=time_s,
+            total_tokens=processed_tokens,
+            output_tokens=output_tokens,
+            energy=energy,
+            utilization=(utilization_time / time_s) if time_s > 0 else 0.0,
+            recomputed_tokens=recomputed,
+            evictions=self.scheduler.stats.evictions,
+            extra={"epochs": len(self.epochs)},
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    def _sequence_budget(self, sequence: Sequence) -> int:
+        if sequence.phase is SequencePhase.PREFILL:
+            return min(self.config.chunk_tokens, sequence.remaining_tokens)
+        if sequence.phase is SequencePhase.DECODE:
+            return min(self.config.chunk_tokens, sequence.remaining_decode)
+        return 0

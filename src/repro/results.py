@@ -1,0 +1,120 @@
+"""Shared result dataclasses used by the pipeline engines, simulator and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy split into the four categories the paper plots (Fig. 14/20).
+
+    All values in joules.
+    """
+
+    compute_j: float = 0.0
+    on_chip_memory_j: float = 0.0
+    off_chip_memory_j: float = 0.0
+    communication_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.compute_j
+            + self.on_chip_memory_j
+            + self.off_chip_memory_j
+            + self.communication_j
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_j=self.compute_j + other.compute_j,
+            on_chip_memory_j=self.on_chip_memory_j + other.on_chip_memory_j,
+            off_chip_memory_j=self.off_chip_memory_j + other.off_chip_memory_j,
+            communication_j=self.communication_j + other.communication_j,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_j=self.compute_j * factor,
+            on_chip_memory_j=self.on_chip_memory_j * factor,
+            off_chip_memory_j=self.off_chip_memory_j * factor,
+            communication_j=self.communication_j * factor,
+        )
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_j
+        if total == 0:
+            return {key: 0.0 for key in ("compute", "on_chip_memory", "off_chip_memory", "communication")}
+        return {
+            "compute": self.compute_j / total,
+            "on_chip_memory": self.on_chip_memory_j / total,
+            "off_chip_memory": self.off_chip_memory_j / total,
+            "communication": self.communication_j / total,
+        }
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "compute_j": self.compute_j,
+            "on_chip_memory_j": self.on_chip_memory_j,
+            "off_chip_memory_j": self.off_chip_memory_j,
+            "communication_j": self.communication_j,
+            "total_j": self.total_j,
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of serving one request trace on one system."""
+
+    system: str
+    model: str
+    workload: str
+    #: wall-clock seconds to serve the whole trace
+    total_time_s: float
+    #: tokens that left the pipeline (prefill + decode, excluding recompute waste)
+    total_tokens: int
+    #: generated (decode) tokens only -- the numerator of serving throughput
+    output_tokens: int
+    energy: EnergyBreakdown = field(default_factory=EnergyBreakdown)
+    #: average pipeline / compute utilization in [0, 1]
+    utilization: float = 0.0
+    #: tokens recomputed due to KV-cache eviction (waste)
+    recomputed_tokens: int = 0
+    #: number of KV-cache evictions observed
+    evictions: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.output_tokens / self.total_time_s
+
+    @property
+    def total_throughput_tokens_per_s(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.total_tokens / self.total_time_s
+
+    @property
+    def energy_per_output_token_j(self) -> float:
+        if self.output_tokens <= 0:
+            return 0.0
+        return self.energy.total_j / self.output_tokens
+
+    def as_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "model": self.model,
+            "workload": self.workload,
+            "total_time_s": self.total_time_s,
+            "total_tokens": self.total_tokens,
+            "output_tokens": self.output_tokens,
+            "throughput_tokens_per_s": self.throughput_tokens_per_s,
+            "energy_per_output_token_j": self.energy_per_output_token_j,
+            "utilization": self.utilization,
+            "recomputed_tokens": self.recomputed_tokens,
+            "evictions": self.evictions,
+            "energy": self.energy.as_dict(),
+        }

@@ -1,0 +1,26 @@
+"""End-to-end simulation: system builder, energy accounting and result types."""
+
+from .accounting import EnergyAccountant
+from .engine import (
+    BuiltOuroboros,
+    KVPolicy,
+    MappingStrategy,
+    OuroborosSystemConfig,
+    PipelineMode,
+    build_system,
+    required_wafers,
+)
+from .results import EnergyBreakdown, RunResult
+
+__all__ = [
+    "EnergyAccountant",
+    "BuiltOuroboros",
+    "OuroborosSystemConfig",
+    "PipelineMode",
+    "KVPolicy",
+    "MappingStrategy",
+    "build_system",
+    "required_wafers",
+    "EnergyBreakdown",
+    "RunResult",
+]

@@ -1,0 +1,68 @@
+"""Energy accounting helpers shared by the Ouroboros simulator and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.energy import EnergyModel
+from ..results import EnergyBreakdown
+
+
+@dataclass
+class EnergyAccountant:
+    """Accumulates energy events into the paper's four-way breakdown."""
+
+    energy_model: EnergyModel
+    breakdown: EnergyBreakdown = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.breakdown is None:
+            self.breakdown = EnergyBreakdown()
+
+    # ------------------------------------------------------------------ compute
+
+    def add_cim_macs(self, macs: float, crossbar_config) -> None:
+        self.breakdown.compute_j += macs * self.energy_model.cim_mac_j(crossbar_config)
+
+    def add_digital_macs(self, macs: float) -> None:
+        self.breakdown.compute_j += macs * self.energy_model.digital_mac_j
+
+    def add_sfu_elements(self, elements: float) -> None:
+        self.breakdown.compute_j += elements * self.energy_model.sfu_j_per_element
+
+    # ------------------------------------------------------------------ memory
+
+    def add_sram_read(self, num_bytes: float) -> None:
+        self.breakdown.on_chip_memory_j += num_bytes * self.energy_model.sram_read_j_per_byte
+
+    def add_sram_write(self, num_bytes: float) -> None:
+        self.breakdown.on_chip_memory_j += num_bytes * self.energy_model.sram_write_j_per_byte
+
+    def add_hbm_access(self, num_bytes: float) -> None:
+        self.breakdown.off_chip_memory_j += num_bytes * self.energy_model.hbm_j_per_byte
+
+    def add_dram_access(self, num_bytes: float) -> None:
+        self.breakdown.off_chip_memory_j += num_bytes * self.energy_model.dram_j_per_byte
+
+    # ------------------------------------------------------------ communication
+
+    def add_noc_traffic(self, num_bytes: float, hops: float, die_crossings: float = 0.0) -> None:
+        self.breakdown.communication_j += self.energy_model.noc_transfer_energy_j(
+            num_bytes, hops, die_crossings
+        )
+
+    def add_nvlink_traffic(self, num_bytes: float) -> None:
+        self.breakdown.communication_j += num_bytes * self.energy_model.nvlink_j_per_byte
+
+    def add_optical_traffic(self, num_bytes: float) -> None:
+        self.breakdown.communication_j += num_bytes * self.energy_model.optical_j_per_byte
+
+    # ------------------------------------------------------------------ readout
+
+    def snapshot(self) -> EnergyBreakdown:
+        return EnergyBreakdown(
+            compute_j=self.breakdown.compute_j,
+            on_chip_memory_j=self.breakdown.on_chip_memory_j,
+            off_chip_memory_j=self.breakdown.off_chip_memory_j,
+            communication_j=self.breakdown.communication_j,
+        )

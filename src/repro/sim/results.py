@@ -1,0 +1,5 @@
+"""Result types of the end-to-end simulation (re-exported from :mod:`repro.results`)."""
+
+from ..results import EnergyBreakdown, RunResult
+
+__all__ = ["EnergyBreakdown", "RunResult"]

@@ -1,0 +1,71 @@
+"""Unit helpers used throughout the Ouroboros reproduction.
+
+All internal quantities use a consistent base unit system:
+
+* time      -- seconds
+* energy    -- joules
+* data size -- bytes
+* power     -- watts
+* frequency -- hertz
+
+The constants below make module-level parameter tables readable
+(e.g. ``4 * MB`` instead of ``4_194_304``).
+"""
+
+from __future__ import annotations
+
+# --- data sizes (bytes) -----------------------------------------------------
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+BITS_PER_BYTE = 8
+
+# --- time (seconds) ---------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+# --- energy (joules) --------------------------------------------------------
+PJ = 1e-12
+NJ = 1e-9
+UJ = 1e-6
+MJ = 1e-3
+
+# --- power (watts) ----------------------------------------------------------
+MW = 1e-3
+UW = 1e-6
+
+# --- frequency (hertz) ------------------------------------------------------
+MHZ = 1e6
+GHZ = 1e9
+
+# --- compute ----------------------------------------------------------------
+TERA = 1e12
+GIGA = 1e9
+MEGA = 1e6
+
+
+def bytes_to_gb(num_bytes: float) -> float:
+    """Convert a byte count to gibibytes (GiB)."""
+    return num_bytes / GB
+
+
+def bytes_to_mb(num_bytes: float) -> float:
+    """Convert a byte count to mebibytes (MiB)."""
+    return num_bytes / MB
+
+
+def joules_to_pj(joules: float) -> float:
+    """Convert joules to picojoules."""
+    return joules / PJ
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def tops(ops_per_second: float) -> float:
+    """Convert raw operations/second to tera-operations/second."""
+    return ops_per_second / TERA

@@ -1,0 +1,51 @@
+"""Workload generation and inter-sequence scheduling."""
+
+from .distributions import (
+    LP128_LD2048,
+    LP2048_LD128,
+    LP2048_LD2048,
+    NAMED_DISTRIBUTIONS,
+    WIKITEXT2,
+    FixedLengthDistribution,
+    LengthDistribution,
+    LengthSample,
+    UniformLengthDistribution,
+    WikiTextLikeDistribution,
+    get_distribution,
+)
+from .generator import (
+    PAPER_WORKLOADS,
+    Trace,
+    TraceGenerator,
+    WorkloadSpec,
+    generate_trace,
+    make_workload,
+)
+from .requests import Request, Sequence, SequencePhase
+from .scheduler import InterSequenceScheduler, KVCapacityProvider, SchedulerStats
+
+__all__ = [
+    "LengthDistribution",
+    "LengthSample",
+    "FixedLengthDistribution",
+    "WikiTextLikeDistribution",
+    "UniformLengthDistribution",
+    "WIKITEXT2",
+    "LP128_LD2048",
+    "LP2048_LD128",
+    "LP2048_LD2048",
+    "NAMED_DISTRIBUTIONS",
+    "get_distribution",
+    "WorkloadSpec",
+    "Trace",
+    "TraceGenerator",
+    "make_workload",
+    "generate_trace",
+    "PAPER_WORKLOADS",
+    "Request",
+    "Sequence",
+    "SequencePhase",
+    "InterSequenceScheduler",
+    "KVCapacityProvider",
+    "SchedulerStats",
+]

@@ -1,0 +1,123 @@
+"""Trace generation: turn a length distribution into a batch of requests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .distributions import LengthDistribution, get_distribution
+from .requests import Request
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: a length distribution plus a request count."""
+
+    name: str
+    distribution: LengthDistribution
+    num_requests: int = 1000
+    seed: int = 0
+    #: mean inter-arrival gap in seconds (0 = all requests available at t=0)
+    arrival_rate_per_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise ConfigurationError("num_requests must be positive")
+
+
+@dataclass
+class Trace:
+    """A generated batch of requests."""
+
+    spec: WorkloadSpec
+    requests: list[Request] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def total_prefill_tokens(self) -> int:
+        return sum(request.prefill_length for request in self.requests)
+
+    @property
+    def total_decode_tokens(self) -> int:
+        return sum(request.decode_length for request in self.requests)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.total_prefill_tokens + self.total_decode_tokens
+
+    @property
+    def mean_prefill_length(self) -> float:
+        return self.total_prefill_tokens / max(1, len(self.requests))
+
+    @property
+    def mean_decode_length(self) -> float:
+        return self.total_decode_tokens / max(1, len(self.requests))
+
+    def summary(self) -> dict[str, float]:
+        prefills = [request.prefill_length for request in self.requests]
+        decodes = [request.decode_length for request in self.requests]
+        return {
+            "num_requests": len(self.requests),
+            "mean_prefill": float(np.mean(prefills)),
+            "max_prefill": float(np.max(prefills)),
+            "mean_decode": float(np.mean(decodes)),
+            "max_decode": float(np.max(decodes)),
+            "total_tokens": float(self.total_tokens),
+        }
+
+
+class TraceGenerator:
+    """Generates reproducible request traces from a workload spec."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+
+    def generate(self) -> Trace:
+        rng = np.random.default_rng(self.spec.seed)
+        requests: list[Request] = []
+        arrival = 0.0
+        for request_id in range(self.spec.num_requests):
+            sample = self.spec.distribution.sample(rng)
+            if self.spec.arrival_rate_per_s > 0:
+                arrival += float(rng.exponential(1.0 / self.spec.arrival_rate_per_s))
+            requests.append(
+                Request(
+                    request_id=request_id,
+                    prefill_length=sample.prefill_length,
+                    decode_length=sample.decode_length,
+                    arrival_time=arrival,
+                )
+            )
+        return Trace(spec=self.spec, requests=requests)
+
+
+def make_workload(
+    name: str, num_requests: int = 1000, seed: int = 0
+) -> WorkloadSpec:
+    """Build one of the paper's workload settings by name.
+
+    Recognised names: ``wikitext2``, ``lp128_ld2048``, ``lp2048_ld128``,
+    ``lp2048_ld2048``.
+    """
+    distribution = get_distribution(name)
+    return WorkloadSpec(
+        name=distribution.name,
+        distribution=distribution,
+        num_requests=num_requests,
+        seed=seed,
+    )
+
+
+def generate_trace(name: str, num_requests: int = 1000, seed: int = 0) -> Trace:
+    """Convenience wrapper: build a workload spec and generate its trace."""
+    return TraceGenerator(make_workload(name, num_requests, seed)).generate()
+
+
+PAPER_WORKLOADS = ("wikitext2", "lp128_ld2048", "lp2048_ld128", "lp2048_ld2048")

@@ -1,0 +1,205 @@
+"""Request and sequence abstractions for the inference workload.
+
+A *request* arrives with a prompt of ``prefill_length`` tokens and asks for
+``decode_length`` output tokens.  Once admitted by the scheduler it becomes a
+*sequence* whose KV cache grows by one entry per processed token.  The paper's
+evaluation processes batches of 1000 requests per workload setting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class Request:
+    """An inference request: a prompt plus a target number of output tokens."""
+
+    request_id: int
+    prefill_length: int
+    decode_length: int
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prefill_length <= 0:
+            raise SchedulingError("prefill_length must be positive")
+        if self.decode_length < 0:
+            raise SchedulingError("decode_length must be non-negative")
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens that flow through the pipeline for this request."""
+        return self.prefill_length + self.decode_length
+
+    @property
+    def final_context_length(self) -> int:
+        """KV entries held once the request completes."""
+        return self.prefill_length + self.decode_length
+
+
+class SequencePhase(enum.Enum):
+    """Lifecycle of a sequence inside the serving system."""
+
+    WAITING = "waiting"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    EVICTED = "evicted"
+    COMPLETE = "complete"
+
+
+@dataclass
+class Sequence:
+    """Mutable serving state of one admitted request."""
+
+    request: Request
+    phase: SequencePhase = SequencePhase.WAITING
+    #: prompt tokens whose KV entries have been produced so far
+    prefill_progress: int = 0
+    #: output tokens generated so far
+    decode_progress: int = 0
+    #: number of times this sequence was evicted and had to be recomputed
+    eviction_count: int = 0
+    #: tokens recomputed due to evictions (pure waste)
+    recomputed_tokens: int = 0
+    #: extra prompt tokens to re-prefill after evictions (previously generated
+    #: tokens whose KV entries were discarded)
+    extra_prefill: int = 0
+    #: decode tokens generated before the most recent eviction (they do not
+    #: need to be generated again, only their KV re-built via prefill)
+    decode_offset: int = 0
+    admission_time: float = 0.0
+    completion_time: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def sequence_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def context_length(self) -> int:
+        """KV entries currently cached for this sequence."""
+        return self.prefill_progress + self.decode_progress
+
+    @property
+    def total_prefill_target(self) -> int:
+        """Prompt tokens to prefill, including post-eviction recomputation."""
+        return self.request.prefill_length + self.extra_prefill
+
+    @property
+    def remaining_prefill(self) -> int:
+        return self.total_prefill_target - self.prefill_progress
+
+    @property
+    def remaining_decode(self) -> int:
+        return self.request.decode_length - self.decode_offset - self.decode_progress
+
+    @property
+    def generated_tokens(self) -> int:
+        """Unique output tokens produced so far (survives evictions)."""
+        return self.decode_offset + self.decode_progress
+
+    @property
+    def remaining_tokens(self) -> int:
+        return self.remaining_prefill + self.remaining_decode
+
+    @property
+    def is_complete(self) -> bool:
+        return self.phase is SequencePhase.COMPLETE
+
+    def start(self, time: float = 0.0) -> None:
+        """Move the sequence from WAITING/EVICTED into the prefill phase."""
+        if self.phase not in (SequencePhase.WAITING, SequencePhase.EVICTED):
+            raise SchedulingError(
+                f"sequence {self.sequence_id} cannot start from phase {self.phase}"
+            )
+        self.phase = SequencePhase.PREFILL
+        self.admission_time = time
+
+    def advance_token(self) -> int:
+        """Process one token; return the context length it attends to.
+
+        The returned length is the number of previously cached tokens, i.e.
+        the position of the processed token (0-based), which drives the
+        position-dependent score/context GEMV cost.
+        """
+        if self.phase is SequencePhase.PREFILL:
+            position = self.context_length
+            self.prefill_progress += 1
+            if self.remaining_prefill <= 0:
+                self.phase = (
+                    SequencePhase.DECODE
+                    if self.remaining_decode > 0
+                    else SequencePhase.COMPLETE
+                )
+            return position
+        if self.phase is SequencePhase.DECODE:
+            position = self.context_length
+            self.decode_progress += 1
+            if self.remaining_decode <= 0:
+                self.phase = SequencePhase.COMPLETE
+            return position
+        raise SchedulingError(
+            f"sequence {self.sequence_id} cannot advance from phase {self.phase}"
+        )
+
+    def advance_tokens(self, count: int) -> list[tuple["SequencePhase", int, int]]:
+        """Process up to ``count`` tokens in bulk.
+
+        Returns a list of ``(phase, tokens, start_position)`` segments, one per
+        phase the advance passed through (a chunk can finish the prefill phase
+        and continue into decode).  ``start_position`` is the context length at
+        which the segment's first token was processed.
+        """
+        segments: list[tuple[SequencePhase, int, int]] = []
+        remaining = count
+        while remaining > 0 and self.phase in (SequencePhase.PREFILL, SequencePhase.DECODE):
+            phase = self.phase
+            start_position = self.context_length
+            if phase is SequencePhase.PREFILL:
+                step = min(remaining, self.remaining_prefill)
+                self.prefill_progress += step
+                if self.remaining_prefill <= 0:
+                    self.phase = (
+                        SequencePhase.DECODE
+                        if self.remaining_decode > 0
+                        else SequencePhase.COMPLETE
+                    )
+            else:
+                step = min(remaining, self.remaining_decode)
+                self.decode_progress += step
+                if self.remaining_decode <= 0:
+                    self.phase = SequencePhase.COMPLETE
+            if step <= 0:
+                break
+            segments.append((phase, step, start_position))
+            remaining -= step
+        return segments
+
+    def evict(self) -> int:
+        """Evict the sequence; its cached prefix must be recomputed on re-entry.
+
+        The discarded context (original prompt plus every token generated so
+        far) must be re-prefilled when the sequence is re-admitted; already
+        generated output tokens are not generated again.  Returns the number
+        of tokens whose KV entries were discarded.
+        """
+        if self.phase in (SequencePhase.COMPLETE, SequencePhase.WAITING):
+            raise SchedulingError(
+                f"sequence {self.sequence_id} cannot be evicted from {self.phase}"
+            )
+        discarded = self.context_length
+        self.eviction_count += 1
+        self.recomputed_tokens += discarded
+        self.decode_offset += self.decode_progress
+        self.extra_prefill = self.decode_offset
+        self.prefill_progress = 0
+        self.decode_progress = 0
+        self.phase = SequencePhase.EVICTED
+        return discarded
+
+    def complete(self, time: float) -> None:
+        self.phase = SequencePhase.COMPLETE
+        self.completion_time = time

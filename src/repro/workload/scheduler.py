@@ -1,0 +1,192 @@
+"""Inter-sequence scheduling (Section 4.4.4).
+
+Policy reproduced from the paper:
+
+* New requests are admitted First-Come-First-Serve so no request starves.
+* Decode iterations of already-admitted requests may be scheduled as soon as
+  the current input finishes (preemptive interleave of prefill and decode).
+* When the KV cache is full, the **most recently scheduled** request is
+  evicted, new-request admission is suspended until a prior request completes,
+  and the evicted request is placed at the *front* of the waiting queue.
+* A per-core occupancy threshold reserves residual capacity for KV growth in
+  the decode phase so freshly admitted sequences do not immediately thrash.
+
+The scheduler is deliberately decoupled from the concrete KV-cache manager: it
+drives any object that satisfies :class:`KVCapacityProvider`, which both the
+distributed dynamic manager and the static baseline implement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from ..errors import SchedulingError
+from .requests import Request, Sequence, SequencePhase
+
+
+class KVCapacityProvider(Protocol):
+    """What the scheduler needs from a KV-cache manager."""
+
+    def try_admit(self, sequence: Sequence) -> bool:
+        """Reserve initial KV space for a sequence; return False if full."""
+        ...
+
+    def release(self, sequence: Sequence) -> None:
+        """Free all KV space held by a sequence (completion or eviction)."""
+        ...
+
+    def append_tokens(self, sequence: Sequence, count: int = 1) -> bool:
+        """Reserve KV space for ``count`` more tokens; return False if full."""
+        ...
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing scheduler behaviour over a run."""
+
+    admitted: int = 0
+    completed: int = 0
+    evictions: int = 0
+    recomputed_tokens: int = 0
+    rejected_admissions: int = 0
+
+
+@dataclass
+class InterSequenceScheduler:
+    """FCFS scheduler with eviction of the most recently scheduled sequence."""
+
+    kv_provider: KVCapacityProvider
+    #: maximum sequences resident at once (None = limited only by KV capacity)
+    max_active_sequences: int | None = None
+    stats: SchedulerStats = field(default_factory=SchedulerStats)
+
+    def __post_init__(self) -> None:
+        self._waiting: deque[Sequence] = deque()
+        self._active: list[Sequence] = []  # in admission order (oldest first)
+        self._completed: list[Sequence] = []
+        #: set when an eviction happened; cleared when a request completes
+        self._admission_suspended = False
+
+    # ------------------------------------------------------------------ intake
+
+    def submit(self, request: Request) -> Sequence:
+        """Queue a new request (FCFS)."""
+        sequence = Sequence(request=request)
+        self._waiting.append(sequence)
+        return sequence
+
+    def submit_all(self, requests: list[Request]) -> list[Sequence]:
+        return [self.submit(request) for request in requests]
+
+    # ------------------------------------------------------------------- state
+
+    @property
+    def waiting(self) -> list[Sequence]:
+        return list(self._waiting)
+
+    @property
+    def active(self) -> list[Sequence]:
+        return list(self._active)
+
+    @property
+    def completed(self) -> list[Sequence]:
+        return list(self._completed)
+
+    @property
+    def num_active(self) -> int:
+        return len(self._active)
+
+    @property
+    def all_done(self) -> bool:
+        return not self._waiting and not self._active
+
+    # -------------------------------------------------------------- admission
+
+    def fill(self, time: float = 0.0) -> list[Sequence]:
+        """Admit waiting sequences while capacity allows; return those admitted."""
+        admitted: list[Sequence] = []
+        while self._waiting:
+            if self._admission_suspended and self._active:
+                # Admission is suspended after an eviction until a prior
+                # request completes (Section 4.4.4); re-admitting immediately
+                # would thrash the cache.  If nothing is active there is no
+                # request to wait for, so admission resumes.
+                break
+            if (
+                self.max_active_sequences is not None
+                and len(self._active) >= self.max_active_sequences
+            ):
+                break
+            candidate = self._waiting[0]
+            if not self.kv_provider.try_admit(candidate):
+                self.stats.rejected_admissions += 1
+                break
+            self._waiting.popleft()
+            candidate.start(time)
+            self._active.append(candidate)
+            self.stats.admitted += 1
+            admitted.append(candidate)
+        return admitted
+
+    # --------------------------------------------------------------- eviction
+
+    def evict_most_recent(self) -> Sequence | None:
+        """Evict the most recently scheduled active sequence (cache full)."""
+        if not self._active:
+            return None
+        victim = self._active.pop()  # most recently admitted
+        self.kv_provider.release(victim)
+        discarded = victim.evict()
+        self.stats.evictions += 1
+        self.stats.recomputed_tokens += discarded
+        self._waiting.appendleft(victim)
+        self._admission_suspended = True
+        return victim
+
+    # -------------------------------------------------------------- completion
+
+    def complete(self, sequence: Sequence, time: float = 0.0) -> None:
+        """Mark an active sequence complete and release its KV space."""
+        if sequence not in self._active:
+            raise SchedulingError(
+                f"sequence {sequence.sequence_id} is not active and cannot complete"
+            )
+        self._active.remove(sequence)
+        self.kv_provider.release(sequence)
+        sequence.complete(time)
+        self._completed.append(sequence)
+        self.stats.completed += 1
+        # A prior request completed: new-request admission may resume.
+        self._admission_suspended = False
+
+    # ------------------------------------------------------------ token growth
+
+    def grow_sequence(self, sequence: Sequence, count: int = 1) -> bool:
+        """Reserve KV space for the next ``count`` tokens of ``sequence``.
+
+        If the KV cache is full the scheduler applies the paper's policy:
+        evict the most recently scheduled sequence(s) until the reservation
+        succeeds or the victim would be ``sequence`` itself.
+        """
+        while not self.kv_provider.append_tokens(sequence, count):
+            if len(self._active) <= 1:
+                return False
+            victim = self._active[-1]
+            if victim is sequence:
+                # Never evict the sequence we are trying to grow; try the next
+                # most recent instead.
+                if len(self._active) < 2:
+                    return False
+                victim = self._active[-2]
+                self._active.remove(victim)
+                self.kv_provider.release(victim)
+                discarded = victim.evict()
+                self.stats.evictions += 1
+                self.stats.recomputed_tokens += discarded
+                self._waiting.appendleft(victim)
+                self._admission_suspended = True
+            else:
+                self.evict_most_recent()
+        return True

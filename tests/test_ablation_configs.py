@@ -1,0 +1,95 @@
+"""Tests for the ablation configuration helpers and the energy accountant."""
+
+import pytest
+
+from repro.baselines.multi_die import ABLATION_STEPS, ablation_config, ablation_system
+from repro.hardware.config import CrossbarConfig
+from repro.hardware.energy import EnergyModel
+from repro.results import EnergyBreakdown
+from repro.sim.accounting import EnergyAccountant
+from repro.sim.engine import KVPolicy, MappingStrategy, PipelineMode
+
+
+class TestAblationConfigs:
+    def test_step_order(self):
+        assert ABLATION_STEPS[0] == "Baseline"
+        assert ABLATION_STEPS[-1] == "+KV Cache"
+        assert len(ABLATION_STEPS) == 6
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(ValueError):
+            ablation_config("+Everything")
+
+    def test_baseline_strips_all_features(self):
+        config = ablation_config("Baseline")
+        assert not config.wafer_integration
+        assert not config.cim_enabled
+        assert config.pipeline_mode is PipelineMode.SEQUENCE_GRAINED
+        assert config.mapping_strategy is MappingStrategy.NAIVE
+        assert config.kv_policy is KVPolicy.STATIC
+
+    def test_final_step_enables_everything(self):
+        config = ablation_config("+KV Cache")
+        assert config.wafer_integration
+        assert config.cim_enabled
+        assert config.pipeline_mode is PipelineMode.TOKEN_GRAINED
+        assert config.mapping_strategy is MappingStrategy.OPTIMIZED
+        assert config.kv_policy is KVPolicy.DYNAMIC
+
+    def test_steps_are_cumulative(self):
+        enabled_counts = []
+        for step in ABLATION_STEPS:
+            config = ablation_config(step)
+            enabled = sum(
+                [
+                    config.wafer_integration,
+                    config.cim_enabled,
+                    config.pipeline_mode is PipelineMode.TOKEN_GRAINED,
+                    config.mapping_strategy is MappingStrategy.OPTIMIZED,
+                    config.kv_policy is KVPolicy.DYNAMIC,
+                ]
+            )
+            enabled_counts.append(enabled)
+        assert enabled_counts == [0, 1, 2, 3, 4, 5]
+
+    def test_ablation_system_constructor(self, tiny_arch):
+        system = ablation_system(tiny_arch, "+CIM")
+        assert system.config.cim_enabled
+        assert system.config.pipeline_mode is PipelineMode.SEQUENCE_GRAINED
+
+
+class TestEnergyAccountant:
+    def test_cim_macs(self):
+        accountant = EnergyAccountant(EnergyModel())
+        accountant.add_cim_macs(1_000_000, CrossbarConfig())
+        assert accountant.breakdown.compute_j > 0
+
+    def test_categories_routed_correctly(self):
+        accountant = EnergyAccountant(EnergyModel())
+        accountant.add_sram_read(1024)
+        accountant.add_sram_write(1024)
+        accountant.add_hbm_access(1024)
+        accountant.add_nvlink_traffic(1024)
+        accountant.add_noc_traffic(1024, hops=2)
+        accountant.add_sfu_elements(100)
+        accountant.add_digital_macs(100)
+        snapshot = accountant.snapshot()
+        assert snapshot.on_chip_memory_j > 0
+        assert snapshot.off_chip_memory_j > 0
+        assert snapshot.communication_j > 0
+        assert snapshot.compute_j > 0
+
+    def test_snapshot_is_a_copy(self):
+        accountant = EnergyAccountant(EnergyModel())
+        snapshot = accountant.snapshot()
+        accountant.add_dram_access(1024)
+        assert snapshot.off_chip_memory_j == 0.0
+
+    def test_optical_traffic(self):
+        accountant = EnergyAccountant(EnergyModel())
+        accountant.add_optical_traffic(1024)
+        assert accountant.breakdown.communication_j > 0
+
+    def test_preexisting_breakdown(self):
+        accountant = EnergyAccountant(EnergyModel(), breakdown=EnergyBreakdown(compute_j=1.0))
+        assert accountant.snapshot().compute_j == 1.0

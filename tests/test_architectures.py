@@ -1,0 +1,167 @@
+"""Tests for the model architecture descriptions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.architectures import (
+    AttentionMask,
+    ModelArch,
+    baichuan_13b,
+    bert_large,
+    fits_on_wafer,
+    generic_llm,
+    get_model,
+    llama_13b,
+    llama_32b,
+    llama_65b,
+    qwen_32b,
+    t5_11b,
+)
+from repro.units import GB
+
+
+class TestRegistry:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_model("LLaMA-13B").name == "LLaMA-13B"
+        assert get_model("llama-13b").num_blocks == 40
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_model("gpt-5")
+
+    @pytest.mark.parametrize(
+        "factory,expected_billions",
+        [
+            (llama_13b, 13.0),
+            (llama_32b, 32.5),
+            (llama_65b, 65.0),
+            (baichuan_13b, 13.0),
+            (qwen_32b, 32.0),
+        ],
+    )
+    def test_parameter_counts_roughly_match_names(self, factory, expected_billions):
+        arch = factory()
+        assert arch.parameter_count_billions == pytest.approx(
+            expected_billions, rel=0.25
+        )
+
+    def test_bert_is_encoder(self):
+        arch = bert_large()
+        assert arch.has_encoder
+        assert not arch.is_decoder_only
+        assert arch.attention_mask is AttentionMask.BIDIRECTIONAL
+
+    def test_t5_prefix_mask_and_head_override(self):
+        arch = t5_11b()
+        assert arch.attention_mask is AttentionMask.PREFIX
+        assert arch.head_dim == 128
+        assert arch.q_dim == 128 * 128
+
+    def test_decoder_only_models(self):
+        for factory in (llama_13b, llama_32b, qwen_32b, baichuan_13b):
+            assert factory().is_decoder_only
+
+
+class TestDerivedQuantities:
+    def test_head_dim(self):
+        assert llama_13b().head_dim == 128
+
+    def test_gqa_kv_dim_smaller(self):
+        arch = qwen_32b()
+        assert arch.kv_heads == 8
+        assert arch.kv_dim < arch.hidden_size
+
+    def test_block_weight_bytes_llama_13b(self):
+        arch = llama_13b()
+        expected = (
+            5120 * (5120 + 2 * 5120)  # qkv
+            + 5120 * 5120              # out proj
+            + 3 * 5120 * 13824         # gated ffn
+        )
+        assert arch.block_weight_bytes == expected
+
+    def test_total_weights_fit_single_wafer_13b(self):
+        assert fits_on_wafer(llama_13b())
+        assert fits_on_wafer(llama_32b())
+
+    def test_llama_65b_does_not_fit_single_wafer(self):
+        assert not fits_on_wafer(llama_65b())
+
+    def test_kv_bytes_per_token(self):
+        arch = llama_13b()
+        assert arch.kv_bytes_per_token_per_block == 2 * 5120
+        assert arch.kv_bytes_per_token == 40 * 2 * 5120
+
+    def test_kv_bytes_for_sequence_linear(self):
+        arch = llama_13b()
+        assert arch.kv_bytes_for_sequence(100) == 100 * arch.kv_bytes_per_token
+
+    def test_flops_per_token_grows_with_context(self):
+        arch = llama_13b()
+        assert arch.flops_per_token(2048) > arch.flops_per_token(1)
+
+    def test_prefill_flops_superlinear(self):
+        arch = llama_13b()
+        assert arch.prefill_flops(2048) > 2 * arch.prefill_flops(1024)
+
+    def test_activation_bytes_per_token(self):
+        assert llama_13b().activation_bytes_per_token == 5120
+
+
+class TestGenericModels:
+    @pytest.mark.parametrize("size", [7.0, 13.0, 32.0, 65.0, 130.0])
+    def test_known_sizes_close(self, size):
+        arch = generic_llm(size)
+        assert arch.parameter_count_billions == pytest.approx(size, rel=0.3)
+
+    def test_interpolated_size(self):
+        arch = generic_llm(20.0)
+        assert 10 < arch.parameter_count_billions < 35
+
+    def test_str_representation(self):
+        assert "LLaMA-13B" in str(llama_13b())
+
+
+class TestValidation:
+    def test_bad_head_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelArch(
+                name="bad", num_blocks=2, hidden_size=100, num_heads=3, ffn_hidden_size=256
+            )
+
+    def test_bad_kv_heads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelArch(
+                name="bad",
+                num_blocks=2,
+                hidden_size=256,
+                num_heads=4,
+                num_kv_heads=3,
+                ffn_hidden_size=256,
+            )
+
+    def test_bad_ffn_matrices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelArch(
+                name="bad",
+                num_blocks=2,
+                hidden_size=256,
+                num_heads=4,
+                ffn_hidden_size=256,
+                ffn_matrices=4,
+            )
+
+    def test_encoder_blocks_bounded(self):
+        with pytest.raises(ConfigurationError):
+            ModelArch(
+                name="bad",
+                num_blocks=2,
+                hidden_size=256,
+                num_heads=4,
+                ffn_hidden_size=256,
+                encoder_blocks=3,
+            )
+
+    def test_total_weight_bytes_positive(self, tiny_arch):
+        assert tiny_arch.total_weight_bytes > 0
+        assert tiny_arch.total_weight_bytes < GB

@@ -1,0 +1,66 @@
+"""Tests for the CIM-core circuit design comparison (Table 2 / Fig. 21 support)."""
+
+import pytest
+
+from repro.baselines.cim_cores import (
+    ALL_DESIGNS,
+    ISSCC22,
+    OUROBOROS_CORE,
+    OUROBOROS_LUT_CORE,
+    VLSI22,
+    CIMCoreSystem,
+    cim_core_hardware,
+)
+from repro.models.architectures import llama_13b
+from repro.workload.generator import generate_trace
+
+TRACE = generate_trace("lp128_ld2048", num_requests=10)
+
+
+class TestDesignTable:
+    def test_paper_capacities(self):
+        assert OUROBOROS_CORE.wafer_capacity_bytes == pytest.approx(54 * 2**30)
+        assert VLSI22.wafer_capacity_bytes < ISSCC22.wafer_capacity_bytes
+
+    def test_dense_designs_more_efficient_at_macro_level(self):
+        assert VLSI22.mac_energy_j < OUROBOROS_CORE.mac_energy_j
+        assert ISSCC22.mac_energy_j < OUROBOROS_CORE.mac_energy_j
+
+    def test_lut_variant_saves_ten_percent(self):
+        assert OUROBOROS_LUT_CORE.mac_energy_j == pytest.approx(
+            0.9 * OUROBOROS_CORE.mac_energy_j
+        )
+
+    def test_capacity_check(self):
+        arch = llama_13b()
+        assert OUROBOROS_CORE.fits_model(arch)
+        assert not VLSI22.fits_model(arch)
+        assert not ISSCC22.fits_model(arch)
+
+    def test_all_designs_registered(self):
+        names = {design.name for design in ALL_DESIGNS}
+        assert {"VLSI'22", "ISSCC'22", "This work", "This work + LUT"} <= names
+
+
+class TestSystemLevel:
+    def test_capacity_limited_designs_use_hbm(self):
+        arch = llama_13b()
+        dense = cim_core_hardware(VLSI22, arch)
+        ours = cim_core_hardware(OUROBOROS_CORE, arch)
+        assert not dense.memory_is_on_chip
+        assert ours.memory_is_on_chip
+        assert dense.memory_bandwidth_bytes_per_s == pytest.approx(1.6e12)
+
+    def test_ouroboros_core_wins_at_system_level(self):
+        """Dense macros lose end-to-end because they stream weights from HBM."""
+        arch = llama_13b()
+        ours = CIMCoreSystem(arch, OUROBOROS_CORE).serve(TRACE)
+        dense = CIMCoreSystem(arch, VLSI22).serve(TRACE)
+        assert ours.throughput_tokens_per_s > dense.throughput_tokens_per_s
+        assert ours.energy_per_output_token_j < dense.energy_per_output_token_j
+
+    def test_dense_design_energy_dominated_by_off_chip(self):
+        arch = llama_13b()
+        dense = CIMCoreSystem(arch, ISSCC22).serve(TRACE)
+        fractions = dense.energy.fractions()
+        assert fractions["off_chip_memory"] > fractions["compute"]

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_summary_args(self):
+        args = build_parser().parse_args(["summary", "llama-13b"])
+        assert args.command == "summary"
+        assert args.model == "llama-13b"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "llama-13b"])
+        assert args.workload == "wikitext2"
+        assert args.requests == 200
+        assert not args.baselines
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig11"])
+        assert args.figure == "fig11"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["summary", "gpt-5"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_summary_command(self, capsys):
+        code = main(["summary", "llama-13b", "--anneal", "0"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "weight_cores" in captured
+        assert "13,923" in captured or "13923" in captured
+
+    def test_serve_command_small(self, capsys):
+        code = main([
+            "serve", "llama-13b", "--workload", "lp128_ld2048", "--requests", "5",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "tok/s" in captured
+        assert "energy breakdown" in captured
+
+    def test_experiment_fig11(self, capsys):
+        code = main(["experiment", "fig11", "--requests", "5", "--anneal", "0"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 11" in captured
+        assert "1/32" in captured
+
+    def test_experiment_fig18_with_model_restriction(self, capsys):
+        code = main([
+            "experiment", "fig18", "--requests", "5", "--anneal", "0",
+            "--models", "llama-13b",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 18" in captured
+        assert "llama-13b" in captured

@@ -1,0 +1,97 @@
+"""Tests for the CIM core behavioural model."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.hardware.core import CIMCore, CoreRole
+from repro.units import MB
+
+
+@pytest.fixture
+def core():
+    return CIMCore(core_id=0)
+
+
+class TestRoles:
+    def test_initial_role_unassigned(self, core):
+        assert core.role is CoreRole.UNASSIGNED
+        assert core.is_available
+
+    def test_assign_weights(self, core):
+        core.assign_weights(tile="qkv", weight_bytes=3 * MB)
+        assert core.role is CoreRole.WEIGHT
+        assert core.assigned_tile == "qkv"
+        assert core.weight_bytes_used == 3 * MB
+        assert core.weight_bytes_free == 1 * MB
+
+    def test_assign_weights_overflow(self, core):
+        with pytest.raises(CapacityError):
+            core.assign_weights(tile="big", weight_bytes=5 * MB)
+
+    def test_assign_kv_cache(self, core):
+        core.assign_kv_cache()
+        assert core.role is CoreRole.KV_CACHE
+        assert core.free_logical_blocks == core.total_logical_blocks == 256
+
+    def test_defective_core_rejects_assignment(self, core):
+        core.mark_defective()
+        assert core.is_defective
+        with pytest.raises(CapacityError):
+            core.assign_weights(tile="x", weight_bytes=1024)
+        with pytest.raises(CapacityError):
+            core.assign_kv_cache()
+
+    def test_release_returns_to_pool(self, core):
+        core.assign_weights(tile="x", weight_bytes=1 * MB)
+        core.release()
+        assert core.is_available
+        assert core.weight_bytes_used == 0
+
+    def test_release_keeps_defective(self, core):
+        core.mark_defective()
+        core.release()
+        assert core.is_defective
+
+    def test_free_logical_blocks_zero_unless_kv(self, core):
+        assert core.free_logical_blocks == 0
+        core.assign_weights(tile="x", weight_bytes=1024)
+        assert core.free_logical_blocks == 0
+
+
+class TestCompute:
+    def test_gemv_cost_single_crossbar_tile(self, core):
+        cost = core.gemv_cost(input_dim=1024, output_dim=128)
+        assert cost.cycles == 256
+        assert cost.macs == 1024 * 128
+
+    def test_gemv_cost_parallel_tiles_same_latency(self, core):
+        one_tile = core.gemv_cost(input_dim=1024, output_dim=128)
+        many_tiles = core.gemv_cost(input_dim=1024, output_dim=128 * 16)
+        # 16 tiles fit in 32 crossbars -> still one wave.
+        assert many_tiles.latency_s == pytest.approx(one_tile.latency_s, rel=0.05)
+        assert many_tiles.energy_j > one_tile.energy_j
+
+    def test_gemv_cost_waves_when_oversubscribed(self, core):
+        one_wave = core.gemv_cost(input_dim=1024, output_dim=128 * 32)
+        two_waves = core.gemv_cost(input_dim=1024 * 2, output_dim=128 * 32)
+        assert two_waves.latency_s > one_wave.latency_s
+
+    def test_gemv_energy_scales_with_macs(self, core):
+        small = core.gemv_cost(input_dim=512, output_dim=128)
+        large = core.gemv_cost(input_dim=1024, output_dim=256)
+        assert large.energy_j > small.energy_j
+
+    def test_sfu_cost(self, core):
+        cost = core.sfu_cost(elements=640)
+        assert cost.latency_s == pytest.approx(10 / 1e9)
+        assert cost.energy_j > 0
+
+    def test_sfu_zero_elements(self, core):
+        cost = core.sfu_cost(elements=0)
+        assert cost.latency_s == 0.0
+
+    def test_buffer_write_energy(self, core):
+        assert core.buffer_write_cost(1024) > 0
+        assert core.buffer_write_cost(2048) == pytest.approx(
+            2 * core.buffer_write_cost(1024)
+        )

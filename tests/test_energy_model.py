@@ -1,0 +1,107 @@
+"""Tests for the energy/area characterisation tables."""
+
+import pytest
+
+from repro.hardware.config import CrossbarConfig
+from repro.hardware.energy import (
+    CrossbarAreaModel,
+    CrossbarEnergyModel,
+    EnergyModel,
+)
+from repro.units import PJ
+
+
+class TestCrossbarEnergy:
+    def test_dynamic_power_sums_components(self):
+        model = CrossbarEnergyModel()
+        expected = (6.6 + 0.054 + 4.94 + 3.26) * 1e-3
+        assert model.dynamic_power_w == pytest.approx(expected)
+
+    def test_energy_per_cycle(self):
+        model = CrossbarEnergyModel()
+        assert model.energy_per_cycle_j == pytest.approx(
+            model.dynamic_power_w / 300e6
+        )
+
+    def test_energy_per_mac_order_of_magnitude(self):
+        model = CrossbarEnergyModel()
+        per_mac = model.energy_per_mac_j(CrossbarConfig())
+        # Sub-picojoule per 8-bit MAC at the crossbar level.
+        assert 0.01 * PJ < per_mac < 1.0 * PJ
+
+    def test_static_energy_positive(self):
+        assert CrossbarEnergyModel().static_energy_per_cycle_j > 0
+
+
+class TestEnergyModel:
+    def test_cim_mac_includes_core_overhead(self):
+        model = EnergyModel()
+        crossbar = CrossbarConfig()
+        assert model.cim_mac_j(crossbar) == pytest.approx(
+            model.crossbar.energy_per_mac_j(crossbar) * model.cim_core_overhead_factor
+        )
+
+    def test_core_level_efficiency_matches_paper(self):
+        """The calibrated core should land near the paper's 10.98 TOPS/W."""
+        model = EnergyModel()
+        crossbar = CrossbarConfig()
+        ops_per_joule = 2.0 / model.cim_mac_j(crossbar)
+        tops_per_w = ops_per_joule / 1e12
+        assert 8.0 < tops_per_w < 14.0
+
+    def test_cim_cheaper_than_digital_mac(self):
+        model = EnergyModel()
+        assert model.cim_mac_j(CrossbarConfig()) < model.digital_mac_j
+
+    def test_hbm_much_more_expensive_than_sram(self):
+        model = EnergyModel()
+        assert model.hbm_j_per_byte > 5 * model.sram_read_j_per_byte
+
+    def test_noc_transfer_energy_scales_with_hops(self):
+        model = EnergyModel()
+        one = model.noc_transfer_energy_j(1024, hops=1)
+        four = model.noc_transfer_energy_j(1024, hops=4)
+        assert four == pytest.approx(4 * one)
+
+    def test_noc_transfer_die_crossing_surcharge(self):
+        model = EnergyModel()
+        without = model.noc_transfer_energy_j(1024, hops=4, die_crossings=0)
+        with_crossing = model.noc_transfer_energy_j(1024, hops=4, die_crossings=2)
+        assert with_crossing > without
+
+    def test_htree_energy(self):
+        model = EnergyModel()
+        assert model.htree_energy_j(1024, levels=5) == pytest.approx(
+            1024 * 5 * model.htree_j_per_byte_per_level
+        )
+
+    def test_gemv_energy_wrapper(self):
+        model = EnergyModel()
+        crossbar = CrossbarConfig()
+        assert model.cim_gemv_energy_j(crossbar, macs=1000) == pytest.approx(
+            1000 * model.cim_mac_j(crossbar)
+        )
+
+
+class TestAreaModel:
+    def test_reference_area(self):
+        model = CrossbarAreaModel()
+        reference = model.crossbar_area_mm2(model.reference_activation_ratio)
+        assert reference == pytest.approx(0.063 + 0.0023 + 0.0093 + 0.0022)
+
+    def test_area_grows_with_activation_ratio(self):
+        model = CrossbarAreaModel()
+        assert model.crossbar_area_mm2(1 / 8) > model.crossbar_area_mm2(1 / 32)
+        assert model.crossbar_area_mm2(1 / 128) < model.crossbar_area_mm2(1 / 32)
+
+    def test_crossbars_per_core_at_reference(self):
+        from repro.hardware.config import CoreConfig
+
+        model = CrossbarAreaModel()
+        assert model.crossbars_per_core(CoreConfig(), 1 / 32) == 32
+
+    def test_crossbars_per_core_shrinks_at_higher_ratio(self):
+        from repro.hardware.config import CoreConfig
+
+        model = CrossbarAreaModel()
+        assert model.crossbars_per_core(CoreConfig(), 1 / 4) < 32

@@ -1,0 +1,114 @@
+"""Tests for pipeline-engine internals: caching, budgets, livelock handling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.kvcache.manager import DistributedKVCacheManager
+from repro.pipeline.engine import PipelineConfig
+from repro.pipeline.stages import TokenCostModel
+from repro.pipeline.tgp import TokenGrainedPipeline
+from repro.workload.requests import Request, Sequence, SequencePhase
+
+from .conftest import make_trace
+
+
+def make_engine(arch, wafer_config, blocks_per_core=256, chunk=32, kv_cores=48):
+    cost_model = TokenCostModel(arch=arch, wafer_config=wafer_config)
+    kv_manager = DistributedKVCacheManager(
+        arch, kv_core_ids=list(range(kv_cores)), blocks_per_core=blocks_per_core
+    )
+    return TokenGrainedPipeline(
+        arch,
+        cost_model,
+        kv_manager,
+        config=PipelineConfig(chunk_tokens=chunk, context_quantum=64),
+    )
+
+
+class TestCaching:
+    def test_quantize_rounds_to_quantum(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config)
+        assert engine._quantize(1) == 1
+        assert engine._quantize(70) == 64
+        assert engine._quantize(100) == 128
+
+    def test_interval_cache_populated(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config)
+        first = engine.stage_interval(70)
+        second = engine.stage_interval(90)  # same quantised key
+        assert first == second
+        assert len(engine._interval_cache) == 1
+
+    def test_energy_cache_key_matches_interval_cache(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config)
+        engine.token_energy(10)
+        engine.token_energy(500)
+        assert len(engine._energy_cache) == 2
+
+
+class TestSequenceBudget:
+    def test_prefill_budget_caps_at_chunk(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config, chunk=16)
+        seq = Sequence(Request(request_id=0, prefill_length=100, decode_length=10))
+        seq.start()
+        assert engine._sequence_budget(seq) == 16
+
+    def test_decode_budget_caps_at_remaining(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config, chunk=64)
+        seq = Sequence(Request(request_id=0, prefill_length=4, decode_length=10))
+        seq.start()
+        seq.advance_tokens(4)
+        assert seq.phase is SequencePhase.DECODE
+        assert engine._sequence_budget(seq) == 10
+
+    def test_complete_sequence_budget_zero(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config)
+        seq = Sequence(Request(request_id=0, prefill_length=2, decode_length=0))
+        seq.start()
+        seq.advance_tokens(2)
+        assert engine._sequence_budget(seq) == 0
+
+
+class TestRunEdgeCases:
+    def test_empty_wait_queue_finishes_immediately(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config)
+        trace = make_trace(num_requests=1, prefill=8, decode=4)
+        trace.requests.clear()
+        result = engine.run(trace)
+        assert result.total_tokens == 0
+        assert result.total_time_s >= 0.0
+
+    def test_sequence_too_large_for_cache_raises(self, tiny_arch, small_wafer_config):
+        # One block per core and a single-core cache: even one sequence's
+        # initial reservation cannot be satisfied.
+        engine = make_engine(tiny_arch, small_wafer_config, blocks_per_core=1, kv_cores=2)
+        trace = make_trace(num_requests=1, prefill=8, decode=4)
+        with pytest.raises(SimulationError):
+            engine.run(trace)
+
+    def test_prefill_only_requests_complete(self, tiny_arch, small_wafer_config):
+        engine = make_engine(tiny_arch, small_wafer_config)
+        trace = make_trace(num_requests=3, prefill=16, decode=0)
+        result = engine.run(trace)
+        assert result.output_tokens == 0
+        assert result.total_tokens == 48
+
+    def test_dependency_bound_enforced(self, tiny_arch, small_wafer_config):
+        """A lone decoding sequence cannot finish faster than depth x interval."""
+        engine = make_engine(tiny_arch, small_wafer_config, chunk=128)
+        trace = make_trace(num_requests=1, prefill=2, decode=50)
+        result = engine.run(trace)
+        interval = engine.stage_interval(32)
+        assert result.total_time_s >= 50 * engine.depth * interval * 0.9
+
+    def test_eviction_pressure_counted(self, tiny_arch, small_wafer_config):
+        """An undersized KV cache forces evictions that show up in the result."""
+        engine = make_engine(
+            tiny_arch, small_wafer_config, blocks_per_core=2, kv_cores=24, chunk=64
+        )
+        trace = make_trace(num_requests=6, prefill=300, decode=64)
+        result = engine.run(trace)
+        assert result.output_tokens == trace.total_decode_tokens
+        assert result.evictions > 0
+        assert result.recomputed_tokens > 0
+        assert result.total_tokens > trace.total_tokens  # recomputation is extra work

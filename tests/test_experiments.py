@@ -1,0 +1,204 @@
+"""Tests for the experiment drivers (reduced settings; shape checks).
+
+These tests assert the *qualitative* properties the paper's figures show
+(orderings, peaks, trends) rather than absolute values, using small request
+counts so the whole file runs in tens of seconds.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentSettings,
+    fig01_scaling_tax,
+    fig11_row_activation,
+    fig13_throughput,
+    fig14_energy,
+    fig15_ablation,
+    fig17_kv_threshold,
+    fig18_mapping,
+    fig21_cim_cores,
+    headline,
+)
+from repro.experiments.common import (
+    OUROBOROS_NAME,
+    FigureResult,
+    geometric_mean,
+    normalized_energy,
+    normalized_throughput,
+    run_all_systems,
+)
+
+FAST = ExperimentSettings(num_requests=25, anneal_iterations=5)
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    return fig13_throughput.main_comparison_grid(
+        FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+    )
+
+
+class TestCommonHelpers:
+    def test_run_all_systems_contains_everyone(self, small_grid):
+        cell = small_grid[("llama-13b", "lp128_ld2048")]
+        assert OUROBOROS_NAME in cell
+        assert "DGX A100" in cell
+        assert len(cell) == 5
+
+    def test_normalization_reference_is_one(self, small_grid):
+        cell = small_grid[("llama-13b", "lp128_ld2048")]
+        assert normalized_throughput(cell)["DGX A100"] == pytest.approx(1.0)
+        assert normalized_energy(cell)["DGX A100"] == pytest.approx(1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_figure_result_table_formatting(self):
+        result = FigureResult(figure="Fig. X", description="demo")
+        result.rows_data.append({"a": 1, "b": 2.5})
+        table = result.format_table()
+        assert "Fig. X" in table
+        assert "2.500" in table
+
+    def test_grid_cache_reused(self):
+        first = fig13_throughput.main_comparison_grid(
+            FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+        )
+        second = fig13_throughput.main_comparison_grid(
+            FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+        )
+        assert first is second
+
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 11
+
+
+class TestFig01:
+    def test_data_movement_dominates_and_grows(self):
+        result = fig01_scaling_tax.run(FAST)
+        fractions = [row["data_movement_fraction"] for row in result.rows()]
+        assert all(f > 0.5 for f in fractions)
+        totals = [row["total_energy_j"] for row in result.rows()]
+        assert totals[-1] > totals[0]
+
+    def test_gpu_count_grows_with_model(self):
+        result = fig01_scaling_tax.run(FAST)
+        gpus = [row["num_gpus"] for row in result.rows()]
+        assert gpus == sorted(gpus)
+        assert gpus[-1] == 8
+
+
+class TestFig11:
+    def test_peak_at_1_over_32(self):
+        result = fig11_row_activation.run(FAST)
+        assert result.best_ratio() == pytest.approx(1 / 32)
+
+    def test_regimes_labelled(self):
+        result = fig11_row_activation.run(FAST)
+        bounds = {row["row_activation_ratio"]: row["bound_by"] for row in result.rows()}
+        assert bounds["1/4"] == "sram_capacity"
+        assert bounds["1/128"] == "compute"
+
+
+class TestFig13And14:
+    def test_ouroboros_wins_throughput(self, small_grid):
+        result = fig13_throughput.run(
+            FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+        )
+        cell = result.grid[("llama-13b", "lp128_ld2048")]
+        assert cell[OUROBOROS_NAME] > max(
+            value for name, value in cell.items() if name != OUROBOROS_NAME
+        )
+
+    def test_ouroboros_wins_energy(self, small_grid):
+        result = fig14_energy.run(
+            FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+        )
+        cell = result.grid[("llama-13b", "lp128_ld2048")]
+        assert cell[OUROBOROS_NAME] < min(
+            value for name, value in cell.items() if name != OUROBOROS_NAME
+        )
+
+    def test_energy_breakdown_rows(self):
+        result = fig14_energy.run(
+            FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+        )
+        ours_rows = [row for row in result.rows() if row["system"] == OUROBOROS_NAME]
+        assert ours_rows[0]["off_chip_frac"] == 0.0
+        dgx_rows = [row for row in result.rows() if row["system"] == "DGX A100"]
+        assert dgx_rows[0]["off_chip_frac"] > 0.3
+
+    def test_headline_summary(self):
+        result = headline.run(FAST, models=("llama-13b",), workloads=("lp128_ld2048",))
+        assert result.average_speedup > 1.0
+        assert result.average_efficiency_gain > 1.0
+        assert result.peak_speedup >= result.average_speedup
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return fig15_ablation.run(FAST, models=("llama-13b",), workloads=("lp128_ld2048",))
+
+    def test_full_system_beats_baseline(self, ablation):
+        series = ablation.normalized_series("llama-13b", "lp128_ld2048")
+        assert series["+KV Cache"]["throughput"] > 1.5
+        assert series["+KV Cache"]["energy"] < 0.6
+
+    def test_cim_step_cuts_energy(self, ablation):
+        series = ablation.normalized_series("llama-13b", "lp128_ld2048")
+        assert series["+CIM"]["energy"] < series["+Wafer"]["energy"] * 0.7
+
+    def test_tgp_step_improves_throughput(self, ablation):
+        series = ablation.normalized_series("llama-13b", "lp128_ld2048")
+        assert series["+TGP"]["throughput"] >= series["+CIM"]["throughput"]
+
+    def test_kv_step_improves_throughput(self, ablation):
+        series = ablation.normalized_series("llama-13b", "lp128_ld2048")
+        assert series["+KV Cache"]["throughput"] >= series["+Mapping"]["throughput"]
+
+    def test_rows_cover_all_steps(self, ablation):
+        steps = {row["step"] for row in ablation.rows()}
+        assert steps == set(fig15_ablation.ABLATION_STEPS)
+
+
+class TestFig17:
+    def test_threshold_sweep_runs(self):
+        result = fig17_kv_threshold.run(
+            FAST, models=("llama-13b",), thresholds=(0.0, 0.2)
+        )
+        series = result.normalized_series("llama-13b")
+        assert set(series) == {0.0, 0.2}
+        assert series[0.0]["throughput"] == pytest.approx(1.0)
+
+
+class TestFig18:
+    def test_ordering_and_reduction(self):
+        result = fig18_mapping.run(FAST, models=("llama-13b",))
+        normalized = result.normalized("llama-13b")
+        assert normalized["Cerebras"] == pytest.approx(1.0)
+        assert normalized["Ours"] < normalized["Cerebras"]
+        assert normalized["Ours"] <= normalized["WaferLLM"] * 1.001
+        summary = fig18_mapping.mapping_quality_summary(result)
+        assert 0.0 < summary["reduction_vs_cerebras"] < 1.0
+
+
+class TestFig21:
+    def test_table2_entries(self):
+        rows = fig21_cim_cores.table2()
+        assert len(rows) == 3
+        ours = next(row for row in rows if row["design"] == "This work")
+        assert ours["wafer_capacity_gb"] == pytest.approx(54.0)
+
+    def test_dense_designs_lose_at_system_level(self):
+        result = fig21_cim_cores.run(
+            FAST, models=("llama-13b",), workloads=("lp128_ld2048",)
+        )
+        throughput = result.normalized_throughput("llama-13b", "lp128_ld2048")
+        assert throughput["VLSI'22"] < 1.0
+        assert throughput["ISSCC'22"] < 1.0
+        energy = result.normalized_energy("llama-13b", "lp128_ld2048")
+        assert energy["This work + LUT"] < 1.0
+        assert energy["VLSI'22"] > 1.0

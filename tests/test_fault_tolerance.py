@@ -1,0 +1,120 @@
+"""Tests for the replacement-chain fault-tolerance scheme."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.kvcache.manager import DistributedKVCacheManager
+from repro.mapping.fault_tolerance import FaultToleranceManager
+from repro.mapping.intercore import map_model
+from repro.workload.requests import Request, Sequence
+
+
+@pytest.fixture
+def mapped_system(tiny_arch, small_wafer):
+    mapping = map_model(tiny_arch, small_wafer)
+    kv_manager = DistributedKVCacheManager(
+        tiny_arch, kv_core_ids=mapping.kv_core_ids, blocks_per_core=16
+    )
+    ft = FaultToleranceManager(small_wafer, mapping, kv_manager=kv_manager)
+    return mapping, kv_manager, ft
+
+
+def admit_one(kv_manager, seq_id=0):
+    seq = Sequence(Request(request_id=seq_id, prefill_length=32, decode_length=8))
+    seq.start()
+    assert kv_manager.try_admit(seq)
+    return seq
+
+
+class TestRoles:
+    def test_initial_roles(self, mapped_system):
+        mapping, _, ft = mapped_system
+        weight_core = mapping.weight_core_ids[0]
+        kv_core = mapping.kv_core_ids[0]
+        assert ft.role_of(weight_core) == "weight"
+        assert ft.role_of(kv_core) == "kv"
+
+    def test_weight_and_kv_sets_match_mapping(self, mapped_system):
+        mapping, _, ft = mapped_system
+        assert ft.weight_cores == set(mapping.weight_core_ids)
+        assert ft.kv_cores == set(mapping.kv_core_ids)
+
+
+class TestKVCoreFailure:
+    def test_kv_core_failure_only_recomputes_local_sequences(self, mapped_system):
+        mapping, kv_manager, ft = mapped_system
+        seq = admit_one(kv_manager)
+        used_cores = set()
+        for table in kv_manager.page_tables:
+            used_cores.update(table.cores_of(seq.sequence_id))
+        failed = next(iter(used_cores))
+        result = ft.fail_core(failed)
+        assert result.failed_core == failed
+        assert result.reclaimed_kv_core is None
+        assert seq.sequence_id in result.affected_sequences
+        assert ft.role_of(failed) == "failed"
+
+    def test_unused_kv_core_failure_affects_nothing(self, mapped_system):
+        mapping, kv_manager, ft = mapped_system
+        admit_one(kv_manager)
+        used = set()
+        for table in kv_manager.page_tables:
+            used.update(table.cores_of(0))
+        unused = next(core for core in mapping.kv_core_ids if core not in used)
+        result = ft.fail_core(unused)
+        assert result.affected_sequences == []
+
+
+class TestWeightCoreFailure:
+    def test_replacement_chain_built(self, mapped_system):
+        mapping, _, ft = mapped_system
+        failed = mapping.weight_core_ids[0]
+        result = ft.fail_core(failed)
+        assert result.chain[0] == failed
+        assert result.reclaimed_kv_core is not None
+        assert result.chain[-1] == result.reclaimed_kv_core
+        assert result.chain_length >= 1
+
+    def test_chain_is_mesh_connected(self, mapped_system, small_wafer):
+        mapping, _, ft = mapped_system
+        result = ft.fail_core(mapping.weight_core_ids[0])
+        for a, b in zip(result.chain, result.chain[1:]):
+            assert small_wafer.manhattan(a, b) == 1
+
+    def test_roles_updated_after_recovery(self, mapped_system):
+        mapping, _, ft = mapped_system
+        failed = mapping.weight_core_ids[0]
+        result = ft.fail_core(failed)
+        assert ft.role_of(failed) == "failed"
+        assert ft.role_of(result.reclaimed_kv_core) == "weight"
+        assert len(ft.weight_cores) == len(mapping.weight_core_ids)
+
+    def test_recovery_latency_sub_millisecond(self, mapped_system):
+        mapping, _, ft = mapped_system
+        result = ft.fail_core(mapping.weight_core_ids[0])
+        assert 0 < result.recovery_latency_s < 1e-3
+        assert result.moved_weight_bytes > 0
+
+    def test_double_failure_rejected(self, mapped_system):
+        mapping, _, ft = mapped_system
+        failed = mapping.weight_core_ids[0]
+        ft.fail_core(failed)
+        with pytest.raises(MappingError):
+            ft.fail_core(failed)
+
+    def test_multiple_failures_supported(self, mapped_system):
+        mapping, _, ft = mapped_system
+        for core in mapping.weight_core_ids[:3]:
+            result = ft.fail_core(core)
+            assert result.reclaimed_kv_core is not None
+        assert len(ft.failed_cores) == 3
+
+    def test_unassigned_core_failure_is_noop(self, small_wafer, tiny_arch):
+        mapping = map_model(tiny_arch, small_wafer)
+        ft = FaultToleranceManager(small_wafer, mapping)
+        # Fabricate an unassigned core by removing it from the KV set.
+        spare = mapping.kv_core_ids[-1]
+        ft._kv_cores.discard(spare)
+        result = ft.fail_core(spare)
+        assert result.chain == []
+        assert result.recovery_latency_s == 0.0

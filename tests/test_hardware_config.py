@@ -1,0 +1,153 @@
+"""Tests for the hardware configuration dataclasses and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.config import (
+    CoreConfig,
+    CrossbarConfig,
+    DieConfig,
+    WaferConfig,
+    default_wafer_config,
+    with_row_activation_ratio,
+)
+from repro.units import GB, MB
+
+
+class TestCrossbarConfig:
+    def test_default_sram_capacity_is_128kb(self):
+        config = CrossbarConfig()
+        assert config.sram_bytes == 128 * 1024
+
+    def test_weight_capacity_equals_sram_capacity_for_8bit(self):
+        config = CrossbarConfig()
+        assert config.weight_capacity_bytes == config.sram_bytes
+
+    def test_weight_matrix_shape(self):
+        config = CrossbarConfig()
+        assert config.weight_rows == 1024
+        assert config.weight_columns == 128
+
+    def test_rows_active_per_cycle_default(self):
+        config = CrossbarConfig()
+        assert config.rows_active_per_cycle == 32
+
+    def test_gemv_cycles_default(self):
+        config = CrossbarConfig()
+        # 8 bit-serial passes over 1024/32 = 32 row groups.
+        assert config.gemv_cycles == 8 * 32
+
+    def test_macs_per_cycle(self):
+        config = CrossbarConfig()
+        assert config.macs_per_cycle == pytest.approx(1024 * 128 / 256)
+
+    def test_peak_ops_scale_with_activation_ratio(self):
+        low = CrossbarConfig(row_activation_ratio=1 / 64)
+        high = CrossbarConfig(row_activation_ratio=1 / 16)
+        assert high.peak_ops_per_second > low.peak_ops_per_second
+
+    def test_invalid_activation_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(row_activation_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(row_activation_ratio=1.5)
+
+    def test_invalid_mac_arrays_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(mac_arrays=64)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(rows=0)
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(columns=1020)
+
+
+class TestCoreConfig:
+    def test_core_sram_is_4mb(self):
+        assert CoreConfig().sram_bytes == 4 * MB
+
+    def test_weight_capacity(self):
+        assert CoreConfig().weight_capacity_bytes == 4 * MB
+
+    def test_htree_levels(self):
+        assert CoreConfig().htree_levels == 5
+
+    def test_peak_ops_scale_with_crossbar_count(self):
+        base = CoreConfig()
+        double = CoreConfig(crossbars_per_core=64)
+        assert double.peak_ops_per_second == pytest.approx(2 * base.peak_ops_per_second)
+
+    def test_invalid_core_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreConfig(crossbars_per_core=0)
+        with pytest.raises(ConfigurationError):
+            CoreConfig(core_area_mm2=-1.0)
+
+
+class TestDieConfig:
+    def test_cores_per_die(self):
+        assert DieConfig().cores_per_die == 13 * 17
+
+    def test_die_sram(self):
+        die = DieConfig()
+        assert die.sram_bytes == die.cores_per_die * 4 * MB
+
+    def test_invalid_die_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DieConfig(rows=0)
+
+
+class TestWaferConfig:
+    def test_paper_geometry(self):
+        wafer = default_wafer_config()
+        assert wafer.dies_per_wafer == 63
+        assert wafer.cores_per_wafer == 63 * 221
+        assert wafer.core_rows == 9 * 13
+        assert wafer.core_cols == 7 * 17
+
+    def test_total_sram_close_to_54_gb(self):
+        wafer = default_wafer_config()
+        assert 52 * GB < wafer.sram_bytes < 56 * GB
+
+    def test_inter_wafer_bandwidth(self):
+        wafer = default_wafer_config()
+        assert wafer.inter_wafer_bandwidth_bytes_per_s == pytest.approx(
+            8 * 100e9 / 8
+        )
+
+    def test_invalid_wafer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaferConfig(die_rows=0)
+        with pytest.raises(ConfigurationError):
+            WaferConfig(inter_die_cost_factor=0.5)
+
+    def test_with_row_activation_ratio_changes_crossbar(self):
+        wafer = with_row_activation_ratio(default_wafer_config(), 1 / 8)
+        assert wafer.die.core.crossbar.row_activation_ratio == pytest.approx(1 / 8)
+        # Capacity is unchanged (the area trade-off is modelled separately).
+        assert wafer.sram_bytes == default_wafer_config().sram_bytes
+
+    def test_peak_ops_positive(self):
+        assert default_wafer_config().peak_ops_per_second > 1e15
+
+
+def test_small_wafer_fixture(small_wafer_config):
+    assert small_wafer_config.cores_per_wafer == 64
+    assert small_wafer_config.core_rows == 8
+    assert small_wafer_config.core_cols == 8
+
+
+def test_gemv_cycles_scale_inverse_with_ratio():
+    ratios = [1 / 8, 1 / 16, 1 / 32]
+    cycles = [CrossbarConfig(row_activation_ratio=r).gemv_cycles for r in ratios]
+    assert cycles == sorted(cycles)
+    assert cycles[2] == pytest.approx(cycles[0] * 4, rel=0.01)
+
+
+def test_cycle_time_matches_frequency():
+    config = CrossbarConfig()
+    assert config.cycle_time_s == pytest.approx(1.0 / (300e6))
+    assert math.isclose(config.cycle_time_s * config.frequency_hz, 1.0)

@@ -1,0 +1,95 @@
+"""Tests for the intra-core H-tree cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.htree import (
+    LeafAssignment,
+    NodeOp,
+    assignment_cost,
+    build_tree,
+    evaluate_tree,
+)
+
+
+def grouped(slices_per_part: int, parts: int) -> LeafAssignment:
+    """Leaves grouped by output part (best layout)."""
+    slices = [
+        (i, o) for o in range(parts) for i in range(slices_per_part)
+    ]
+    return LeafAssignment(slices=slices)
+
+
+def interleaved(slices_per_part: int, parts: int) -> LeafAssignment:
+    """Leaves interleaving output parts (worst layout)."""
+    slices = [
+        (i, o) for i in range(slices_per_part) for o in range(parts)
+    ]
+    return LeafAssignment(slices=slices)
+
+
+class TestLeafAssignment:
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            LeafAssignment(slices=[(0, 0), (0, 1), (1, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeafAssignment(slices=[])
+
+
+class TestTreeStructure:
+    def test_single_output_part_all_reductions(self):
+        assignment = grouped(slices_per_part=4, parts=1)
+        cost = assignment_cost(assignment)
+        assert cost.concat_nodes == 0
+        assert cost.reduction_nodes == 3
+        assert cost.weighted_concat_depth == 0
+
+    def test_all_distinct_parts_all_concats(self):
+        assignment = LeafAssignment(slices=[(0, o) for o in range(4)])
+        cost = assignment_cost(assignment)
+        assert cost.reduction_nodes == 0
+        assert cost.concat_nodes == 3
+
+    def test_grouped_beats_interleaved(self):
+        best = assignment_cost(grouped(2, 2))
+        worst = assignment_cost(interleaved(2, 2))
+        assert best.weighted_concat_depth < worst.weighted_concat_depth
+
+    def test_grouped_beats_interleaved_larger(self):
+        best = assignment_cost(grouped(4, 4))
+        worst = assignment_cost(interleaved(4, 4))
+        assert best.weighted_concat_depth < worst.weighted_concat_depth
+        assert best.concat_nodes < worst.concat_nodes
+
+    def test_tree_levels(self):
+        assignment = grouped(4, 2)
+        root = build_tree(assignment)
+        assert root.depth == 3  # 8 leaves -> 3 levels
+
+    def test_root_op_concatenation_for_two_parts(self):
+        assignment = grouped(2, 2)
+        root = build_tree(assignment)
+        assert root.op is NodeOp.CONCATENATION
+
+    def test_traffic_accounts_for_bytes(self):
+        assignment = grouped(2, 2)
+        cost = assignment_cost(assignment, output_bytes_per_part=100.0)
+        assert cost.traffic_bytes > 0
+
+    def test_concat_near_leaves_more_traffic(self):
+        best = assignment_cost(grouped(4, 2), output_bytes_per_part=128.0)
+        worst = assignment_cost(interleaved(4, 2), output_bytes_per_part=128.0)
+        assert worst.traffic_bytes >= best.traffic_bytes
+
+    def test_evaluate_tree_consistent_with_assignment_cost(self):
+        assignment = grouped(4, 2)
+        direct = evaluate_tree(build_tree(assignment))
+        wrapped = assignment_cost(assignment)
+        assert direct.weighted_concat_depth == wrapped.weighted_concat_depth
+
+    def test_as_dict(self):
+        cost = assignment_cost(grouped(2, 2))
+        data = cost.as_dict()
+        assert set(data) >= {"weighted_concat_depth", "concat_nodes", "reduction_nodes"}

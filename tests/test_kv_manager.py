@@ -1,0 +1,233 @@
+"""Tests for the distributed dynamic KV-cache manager and its static baseline."""
+
+import pytest
+
+from repro.errors import ConfigurationError, KVCacheError
+from repro.kvcache.manager import DistributedKVCacheManager
+from repro.kvcache.static import StaticKVCacheManager
+from repro.workload.requests import Request, Sequence
+
+
+def make_sequence(seq_id: int, prefill: int = 64, decode: int = 64) -> Sequence:
+    seq = Sequence(Request(request_id=seq_id, prefill_length=prefill, decode_length=decode))
+    seq.start()
+    return seq
+
+
+@pytest.fixture
+def manager(tiny_arch):
+    # 2 blocks x 2 groups -> 4 groups over 32 KV cores, 16 blocks per core.
+    return DistributedKVCacheManager(
+        tiny_arch, kv_core_ids=list(range(32)), blocks_per_core=16, threshold=0.0
+    )
+
+
+class TestConstruction:
+    def test_requires_cores(self, tiny_arch):
+        with pytest.raises(ConfigurationError):
+            DistributedKVCacheManager(tiny_arch, kv_core_ids=[])
+
+    def test_invalid_threshold(self, tiny_arch):
+        with pytest.raises(ConfigurationError):
+            DistributedKVCacheManager(tiny_arch, kv_core_ids=[0, 1], threshold=1.5)
+
+    def test_tokens_per_block_from_head_dim(self, manager, tiny_arch):
+        assert manager.tokens_per_block == 16384 // tiny_arch.head_dim
+
+    def test_total_blocks(self, manager):
+        assert manager.total_blocks == 32 * 16
+
+    def test_page_tables_per_block(self, manager, tiny_arch):
+        assert len(manager.page_tables) == tiny_arch.num_blocks
+
+
+class TestAdmission:
+    def test_admit_reserves_blocks(self, manager, tiny_arch):
+        seq = make_sequence(0)
+        assert manager.try_admit(seq)
+        slots = 2 * tiny_arch.num_blocks * tiny_arch.kv_heads
+        assert manager.used_blocks == slots
+        assert manager.blocks_held(0) == slots
+        assert 0 in manager.resident_sequences
+
+    def test_admit_registers_page_tables(self, manager, tiny_arch):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        for table in manager.page_tables:
+            placements = table.lookup(0)
+            assert len(placements) == tiny_arch.kv_heads
+
+    def test_double_admit_rejected(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        with pytest.raises(KVCacheError):
+            manager.try_admit(seq)
+
+    def test_admission_fails_when_full(self, manager):
+        admitted = 0
+        while manager.try_admit(make_sequence(admitted)):
+            admitted += 1
+            if admitted > 1000:
+                pytest.fail("manager never filled up")
+        assert admitted == manager.max_concurrent_sequences(1)
+        assert manager.stats.failed_admissions >= 1
+
+    def test_consecutive_sequences_use_different_cores(self, manager):
+        manager.try_admit(make_sequence(0))
+        manager.try_admit(make_sequence(1))
+        table = manager.page_tables[0]
+        cores_a = set(table.cores_of(0))
+        cores_b = set(table.cores_of(1))
+        assert cores_a != cores_b
+
+    def test_heads_spread_across_cores(self, manager, tiny_arch):
+        manager.try_admit(make_sequence(0))
+        placements = manager.page_tables[0].lookup(0)
+        k_cores = [p.k_core for p in placements]
+        assert len(set(k_cores)) == tiny_arch.kv_heads
+
+
+class TestGrowthAndRelease:
+    def test_growth_within_first_block_free(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        before = manager.used_blocks
+        assert manager.append_tokens(seq, manager.tokens_per_block)
+        assert manager.used_blocks == before
+
+    def test_growth_allocates_new_blocks(self, manager, tiny_arch):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        before = manager.used_blocks
+        assert manager.append_tokens(seq, manager.tokens_per_block + 1)
+        slots = 2 * tiny_arch.num_blocks * tiny_arch.kv_heads
+        assert manager.used_blocks == before + slots
+
+    def test_growth_tracks_tokens(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        manager.append_tokens(seq, 10)
+        manager.append_token(seq)
+        assert manager.tokens_cached(0) == 11
+
+    def test_growth_of_unknown_sequence_rejected(self, manager):
+        with pytest.raises(KVCacheError):
+            manager.append_tokens(make_sequence(5), 1)
+
+    def test_growth_fails_when_exhausted(self, tiny_arch):
+        manager = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(32)), blocks_per_core=2
+        )
+        seq = make_sequence(0)
+        assert manager.try_admit(seq)
+        huge = manager.tokens_per_block * 10
+        assert not manager.append_tokens(seq, huge)
+        assert manager.stats.failed_growths == 1
+
+    def test_release_returns_blocks(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        manager.append_tokens(seq, manager.tokens_per_block * 3)
+        manager.release(seq)
+        assert manager.used_blocks == 0
+        assert manager.resident_sequences == []
+
+    def test_release_unknown_is_noop(self, manager):
+        manager.release(make_sequence(9))
+        assert manager.used_blocks == 0
+
+    def test_utilization_and_peak(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        assert 0 < manager.utilization <= 1
+        assert manager.stats.peak_used_blocks == manager.used_blocks
+
+
+class TestThreshold:
+    def test_threshold_reserves_headroom(self, tiny_arch):
+        no_reserve = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(32)), blocks_per_core=16, threshold=0.0
+        )
+        reserve = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(32)), blocks_per_core=16, threshold=0.5
+        )
+
+        def fill(manager):
+            count = 0
+            while manager.try_admit(make_sequence(count)):
+                count += 1
+                if count > 500:
+                    break
+            return count
+
+        assert fill(reserve) < fill(no_reserve)
+
+
+class TestFailures:
+    def test_fail_core_reports_affected_sequences(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        cores = manager.page_tables[0].cores_of(0)
+        affected = manager.fail_core(cores[0])
+        assert 0 in affected
+        assert cores[0] in manager.failed_cores
+
+    def test_fail_unknown_core_rejected(self, manager):
+        with pytest.raises(KVCacheError):
+            manager.fail_core(10_000)
+
+    def test_failed_core_reduces_capacity(self, manager):
+        before = manager.total_blocks
+        manager.fail_core(manager.kv_core_ids[0])
+        assert manager.total_blocks == before - manager.blocks_per_core
+
+    def test_failed_core_not_used_for_new_sequences(self, manager):
+        failed = manager.kv_core_ids[0]
+        manager.fail_core(failed)
+        manager.try_admit(make_sequence(0))
+        for table in manager.page_tables:
+            if table.contains(0):
+                assert failed not in table.cores_of(0)
+
+
+class TestStaticManager:
+    def test_blocks_per_sequence_worst_case(self, tiny_arch):
+        manager = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=64)
+        expected_slots = 2 * tiny_arch.num_blocks * tiny_arch.kv_heads
+        per_slot = -(-tiny_arch.max_context // manager.tokens_per_block)
+        assert manager.blocks_per_sequence() == expected_slots * per_slot
+
+    def test_static_admits_fewer_than_dynamic(self, tiny_arch):
+        static = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=16)
+        dynamic = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(32)), blocks_per_core=16
+        )
+        assert static.max_concurrent_sequences() <= dynamic.max_concurrent_sequences(1)
+
+    def test_static_growth_bounded_by_reserved_context(self, tiny_arch):
+        manager = StaticKVCacheManager(
+            tiny_arch, kv_core_ids=32, blocks_per_core=1024, reserved_context=32
+        )
+        seq = make_sequence(0, prefill=16, decode=32)
+        assert manager.try_admit(seq)
+        seq.advance_tokens(16)
+        assert manager.append_tokens(seq, 16)
+        assert not manager.append_tokens(seq, 64)
+
+    def test_static_release(self, tiny_arch):
+        manager = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=1024)
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        manager.release(seq)
+        assert manager.used_blocks == 0
+
+    def test_static_double_admit_rejected(self, tiny_arch):
+        manager = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=1024)
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        with pytest.raises(KVCacheError):
+            manager.try_admit(seq)
+
+    def test_static_requires_cores(self, tiny_arch):
+        with pytest.raises(ConfigurationError):
+            StaticKVCacheManager(tiny_arch, kv_core_ids=0)

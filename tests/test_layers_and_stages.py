@@ -1,0 +1,152 @@
+"""Tests for the per-block layer decomposition and the 6-stage pipeline specs."""
+
+import pytest
+
+from repro.models.architectures import llama_13b, qwen_32b
+from repro.models.layers import (
+    LayerKind,
+    block_weight_bytes,
+    build_block_layers,
+    cores_per_block,
+)
+from repro.models.pipeline_stages import (
+    STAGES_PER_BLOCK,
+    StageKind,
+    block_macs_per_token,
+    build_stage_specs,
+    pipeline_depth,
+)
+from repro.units import MB
+
+
+class TestBlockLayers:
+    def test_four_weighted_layers(self, tiny_arch):
+        layers = build_block_layers(tiny_arch)
+        assert [layer.kind for layer in layers] == [
+            LayerKind.QKV_PROJECTION,
+            LayerKind.OUTPUT_PROJECTION,
+            LayerKind.FFN_UP,
+            LayerKind.FFN_DOWN,
+        ]
+
+    def test_layer_weights_sum_to_block_weights(self, tiny_arch):
+        assert block_weight_bytes(tiny_arch) == tiny_arch.block_weight_bytes
+
+    def test_layer_weights_sum_llama(self):
+        arch = llama_13b()
+        assert block_weight_bytes(arch) == arch.block_weight_bytes
+
+    def test_num_cores_matches_capacity(self):
+        arch = llama_13b()
+        layers = build_block_layers(arch)
+        qkv = layers[0]
+        assert qkv.num_cores(4 * MB) == pytest.approx(
+            -(-qkv.weight_bytes // (4 * MB))
+        )
+
+    def test_cores_per_block_reasonable_for_13b(self):
+        assert 70 <= cores_per_block(llama_13b(), 4 * MB) <= 90
+
+    def test_output_split_prioritised(self):
+        arch = llama_13b()
+        for layer in build_block_layers(arch):
+            cores = layer.num_cores(4 * MB)
+            assert layer.output_splits(4 * MB) * layer.input_splits(4 * MB) >= cores
+            # Output-channel splitting is prioritised: with 4 MB cores the
+            # input channels never need splitting for these dimensions.
+            assert layer.input_splits(4 * MB) == 1
+
+    def test_reduction_zero_when_no_input_split(self):
+        arch = llama_13b()
+        for layer in build_block_layers(arch):
+            assert layer.reduction_volume_bytes(4 * MB) == 0
+
+    def test_reduction_positive_when_input_split(self):
+        arch = llama_13b()
+        layer = build_block_layers(arch)[0]
+        # A capacity small enough that output-channel splitting alone cannot
+        # provide one tile per core forces input-channel splits too.
+        tiny_capacity = 4 * 1024
+        assert layer.input_splits(tiny_capacity) > 1
+        assert layer.reduction_volume_bytes(tiny_capacity) > 0
+
+    def test_gather_volume(self):
+        arch = llama_13b()
+        layer = build_block_layers(arch)[0]
+        assert layer.gather_volume_bytes(4 * MB) == layer.output_dim
+
+    def test_macs_per_token(self, tiny_arch):
+        layers = build_block_layers(tiny_arch)
+        assert layers[0].macs_per_token() == tiny_arch.hidden_size * (
+            tiny_arch.q_dim + 2 * tiny_arch.kv_dim
+        )
+
+    def test_gqa_shrinks_qkv_layer(self):
+        arch = qwen_32b()
+        qkv = build_block_layers(arch)[0]
+        assert qkv.output_dim == arch.q_dim + 2 * arch.kv_dim
+        assert qkv.output_dim < 3 * arch.hidden_size
+
+
+class TestStageSpecs:
+    def test_six_stages(self, tiny_arch):
+        specs = build_stage_specs(tiny_arch)
+        assert len(specs) == STAGES_PER_BLOCK == 6
+        assert [spec.kind for spec in specs] == list(StageKind)
+
+    def test_pipeline_depth(self, tiny_arch):
+        assert pipeline_depth(tiny_arch) == 6 * tiny_arch.num_blocks
+
+    def test_weighted_stages(self, tiny_arch):
+        specs = {spec.kind: spec for spec in build_stage_specs(tiny_arch)}
+        assert specs[StageKind.QKV_GENERATION].is_weighted
+        assert specs[StageKind.PROJECTION].is_weighted
+        assert specs[StageKind.FFN].is_weighted
+        assert not specs[StageKind.SCORE].is_weighted
+        assert not specs[StageKind.SOFTMAX].is_weighted
+        assert not specs[StageKind.CONTEXT].is_weighted
+
+    def test_kv_stages(self, tiny_arch):
+        specs = {spec.kind: spec for spec in build_stage_specs(tiny_arch)}
+        assert specs[StageKind.SCORE].uses_kv_cache
+        assert specs[StageKind.CONTEXT].uses_kv_cache
+        assert not specs[StageKind.FFN].uses_kv_cache
+
+    def test_stage_weights_sum_to_block(self, tiny_arch):
+        specs = build_stage_specs(tiny_arch)
+        assert sum(spec.weight_bytes for spec in specs) == tiny_arch.block_weight_bytes
+
+    def test_attention_macs_scale_with_context(self, tiny_arch):
+        specs = {spec.kind: spec for spec in build_stage_specs(tiny_arch)}
+        score = specs[StageKind.SCORE]
+        assert score.macs_per_token(200) == pytest.approx(2 * score.macs_per_token(100))
+
+    def test_weighted_macs_independent_of_context(self, tiny_arch):
+        specs = {spec.kind: spec for spec in build_stage_specs(tiny_arch)}
+        ffn = specs[StageKind.FFN]
+        assert ffn.macs_per_token(1) == ffn.macs_per_token(4096)
+
+    def test_softmax_has_no_macs_but_sfu_work(self, tiny_arch):
+        specs = {spec.kind: spec for spec in build_stage_specs(tiny_arch)}
+        softmax = specs[StageKind.SOFTMAX]
+        assert softmax.macs_per_token(128) == 0
+        assert softmax.sfu_elements_per_token(128) == tiny_arch.num_heads * 128
+
+    def test_kv_write_only_in_qkv_stage(self, tiny_arch):
+        specs = {spec.kind: spec for spec in build_stage_specs(tiny_arch)}
+        assert specs[StageKind.QKV_GENERATION].kv_write_bytes_per_token() == (
+            tiny_arch.kv_bytes_per_token_per_block
+        )
+        assert specs[StageKind.FFN].kv_write_bytes_per_token() == 0
+
+    def test_output_bytes_positive(self, tiny_arch):
+        for spec in build_stage_specs(tiny_arch):
+            assert spec.output_bytes_per_token(64) > 0
+
+    def test_block_macs_match_flops_per_token(self):
+        arch = llama_13b()
+        context = 512
+        per_block = block_macs_per_token(arch, context)
+        assert per_block * arch.num_blocks == pytest.approx(
+            arch.flops_per_token(context), rel=0.01
+        )

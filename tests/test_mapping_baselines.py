@@ -1,0 +1,84 @@
+"""Tests for the mapping-scheme transmission-volume comparison (Fig. 18 support)."""
+
+import pytest
+
+from repro.mapping.baselines import (
+    cerebras_summa_volume,
+    compare_mapping_schemes,
+    ouroboros_volume,
+    waferllm_volume,
+)
+
+
+@pytest.fixture(scope="module")
+def volumes(tiny_arch_module, small_wafer_module):
+    return compare_mapping_schemes(
+        tiny_arch_module, small_wafer_module, anneal_iterations=30, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_arch_module():
+    from repro.models.architectures import ModelArch
+
+    return ModelArch(
+        name="Tiny-0.01B",
+        num_blocks=2,
+        hidden_size=256,
+        num_heads=4,
+        ffn_hidden_size=512,
+        vocab_size=1000,
+        max_context=256,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_wafer_module():
+    from repro.hardware.config import CoreConfig, DieConfig, WaferConfig
+    from repro.hardware.wafer import Wafer
+
+    die = DieConfig(core=CoreConfig(), rows=4, cols=4, width_mm=10.0, height_mm=10.0)
+    return Wafer(WaferConfig(die=die, die_rows=2, die_cols=2, wafer_side_mm=30.0))
+
+
+class TestVolumes:
+    def test_all_schemes_positive(self, volumes):
+        for volume in volumes.values():
+            assert volume.byte_hops_per_token > 0
+            assert volume.bytes_per_token > 0
+
+    def test_scheme_labels(self, volumes):
+        assert set(volumes) == {"Cerebras", "WaferLLM", "Ours"}
+
+    def test_ouroboros_not_worse_than_waferllm(self, volumes):
+        assert (
+            volumes["Ours"].byte_hops_per_token
+            <= volumes["WaferLLM"].byte_hops_per_token
+        )
+
+    def test_ouroboros_beats_cerebras(self, volumes):
+        assert (
+            volumes["Ours"].byte_hops_per_token
+            < volumes["Cerebras"].byte_hops_per_token
+        )
+
+    def test_normalization_helper(self, volumes):
+        assert volumes["Cerebras"].normalized_to(volumes["Cerebras"]) == pytest.approx(1.0)
+        assert volumes["Ours"].normalized_to(volumes["Cerebras"]) < 1.0
+
+    def test_volume_scales_with_blocks(self, tiny_arch_module, small_wafer_module):
+        import dataclasses
+
+        double = dataclasses.replace(tiny_arch_module, num_blocks=4)
+        single_volume = cerebras_summa_volume(tiny_arch_module, small_wafer_module)
+        double_volume = cerebras_summa_volume(double, small_wafer_module)
+        assert double_volume.byte_hops_per_token == pytest.approx(
+            2 * single_volume.byte_hops_per_token
+        )
+
+    def test_individual_entry_points(self, tiny_arch_module, small_wafer_module):
+        assert waferllm_volume(tiny_arch_module, small_wafer_module).scheme == "WaferLLM"
+        assert (
+            ouroboros_volume(tiny_arch_module, small_wafer_module, anneal_iterations=10).scheme
+            == "Ouroboros"
+        )

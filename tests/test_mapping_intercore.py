@@ -1,0 +1,120 @@
+"""Tests for the inter-core mapper (greedy + annealing) and whole-model mapping."""
+
+import itertools
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hardware.wafer import Wafer
+from repro.hardware.yieldmodel import DefectMap
+from repro.mapping.intercore import BlockMapper, map_model
+from repro.mapping.objective import MappingProblem, Placement, evaluate_placement
+from repro.units import MB
+
+
+@pytest.fixture
+def tiny_problem(tiny_arch):
+    return MappingProblem.from_arch(tiny_arch, core_weight_capacity_bytes=4 * MB)
+
+
+class TestBlockMapper:
+    def test_greedy_places_all_tiles(self, tiny_problem, small_wafer):
+        mapper = BlockMapper(tiny_problem, small_wafer)
+        mapping = mapper.map_block(list(range(16)))
+        assert len(mapping.weight_core_ids) == len(tiny_problem.tiles())
+        assert set(mapping.weight_core_ids) <= set(range(16))
+
+    def test_kv_cores_are_leftover_region_cores(self, tiny_problem, small_wafer):
+        mapper = BlockMapper(tiny_problem, small_wafer)
+        mapping = mapper.map_block(list(range(16)))
+        assert set(mapping.kv_core_ids) == set(range(16)) - set(mapping.weight_core_ids)
+
+    def test_insufficient_region_rejected(self, tiny_problem, small_wafer):
+        mapper = BlockMapper(tiny_problem, small_wafer)
+        with pytest.raises(MappingError):
+            mapper.map_block([0, 1])
+
+    def test_defective_cores_skipped(self, tiny_problem, small_wafer_config):
+        wafer = Wafer(
+            small_wafer_config,
+            defect_map=DefectMap(frozenset({0, 1}), core_yield=0.97, total_cores=64),
+        )
+        mapper = BlockMapper(tiny_problem, wafer)
+        mapping = mapper.map_block(list(range(16)))
+        assert 0 not in mapping.weight_core_ids
+        assert 1 not in mapping.weight_core_ids
+
+    def test_annealing_does_not_worsen_cost(self, tiny_problem, small_wafer):
+        region = list(range(16))
+        greedy_only = BlockMapper(tiny_problem, small_wafer, anneal_iterations=0)
+        annealed = BlockMapper(tiny_problem, small_wafer, anneal_iterations=150, seed=1)
+        greedy_cost = greedy_only.map_block(region).cost.total
+        annealed_cost = annealed.map_block(region).cost.total
+        assert annealed_cost <= greedy_cost * 1.0001
+
+    def test_annealing_reaches_brute_force_optimum_on_tiny_instance(
+        self, tiny_problem, small_wafer
+    ):
+        """On a 4-tile/6-core instance the annealer should match brute force."""
+        region = [0, 1, 2, 8, 9, 10]
+        tiles = tiny_problem.tiles()
+        best = min(
+            evaluate_placement(
+                tiny_problem, Placement(dict(zip(tiles, perm))), small_wafer
+            ).total
+            for perm in itertools.permutations(region, len(tiles))
+        )
+        mapper = BlockMapper(tiny_problem, small_wafer, anneal_iterations=400, seed=3)
+        result = mapper.map_block(region)
+        assert result.cost.total <= best * 1.10
+
+    def test_mapping_deterministic_for_seed(self, tiny_problem, small_wafer):
+        region = list(range(16))
+        a = BlockMapper(tiny_problem, small_wafer, anneal_iterations=50, seed=7).map_block(region)
+        b = BlockMapper(tiny_problem, small_wafer, anneal_iterations=50, seed=7).map_block(region)
+        assert a.weight_core_ids == b.weight_core_ids
+
+
+class TestMapModel:
+    def test_map_model_covers_all_blocks(self, tiny_arch, small_wafer):
+        mapping = map_model(tiny_arch, small_wafer)
+        assert len(mapping.block_mappings) == tiny_arch.num_blocks
+        assert mapping.num_weight_cores == 4 * tiny_arch.num_blocks
+
+    def test_weight_and_kv_cores_disjoint(self, tiny_arch, small_wafer):
+        mapping = map_model(tiny_arch, small_wafer)
+        assert set(mapping.weight_core_ids).isdisjoint(mapping.kv_core_ids)
+
+    def test_no_core_reused_across_blocks(self, tiny_arch, small_wafer):
+        mapping = map_model(tiny_arch, small_wafer)
+        cores = mapping.weight_core_ids
+        assert len(cores) == len(set(cores))
+
+    def test_model_too_large_rejected(self, small_arch, small_wafer):
+        # Small-0.3B needs far more weight cores than the 64-core test wafer has.
+        with pytest.raises(MappingError):
+            map_model(small_arch, small_wafer)
+
+    def test_activation_route_hops_positive(self, tiny_arch, small_wafer):
+        mapping = map_model(tiny_arch, small_wafer)
+        assert mapping.activation_route_hops >= 1.0
+
+    def test_total_cost_aggregates_blocks(self, tiny_arch, small_wafer):
+        mapping = map_model(tiny_arch, small_wafer)
+        assert mapping.total_cost().total >= sum(
+            block.cost.total for block in mapping.block_mappings
+        )
+        assert mapping.byte_hops_per_token() == mapping.total_cost().total
+
+    def test_defects_respected(self, tiny_arch, small_wafer_config):
+        defective = frozenset({0, 5, 20})
+        wafer = Wafer(
+            small_wafer_config,
+            defect_map=DefectMap(defective, core_yield=0.95, total_cores=64),
+        )
+        mapping = map_model(tiny_arch, wafer)
+        assert not defective & set(mapping.weight_core_ids)
+
+    def test_average_hops_per_transfer(self, tiny_arch, small_wafer):
+        mapping = map_model(tiny_arch, small_wafer)
+        assert mapping.average_hops_per_transfer() > 0

@@ -1,0 +1,86 @@
+"""Tests for the intra-core DP mapper over the H-tree."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.hardware.htree import assignment_cost
+from repro.mapping.intracore import (
+    IntraCoreMapper,
+    IntraCoreProblem,
+    grouped_assignment,
+    naive_assignment,
+)
+
+
+class TestProblemValidation:
+    def test_too_many_slices_rejected(self):
+        with pytest.raises(MappingError):
+            IntraCoreProblem(input_parts=8, output_parts=8, num_leaves=32)
+
+    def test_non_power_of_two_leaves_rejected(self):
+        with pytest.raises(MappingError):
+            IntraCoreProblem(input_parts=2, output_parts=2, num_leaves=12)
+
+    def test_non_positive_parts_rejected(self):
+        with pytest.raises(MappingError):
+            IntraCoreProblem(input_parts=0, output_parts=2)
+
+
+class TestAssignments:
+    def test_naive_and_grouped_cover_all_slices(self):
+        problem = IntraCoreProblem(input_parts=4, output_parts=2, num_leaves=8)
+        for builder in (naive_assignment, grouped_assignment):
+            assignment = builder(problem)
+            assert len(assignment.slices) == 8
+            originals = {(i, o) for i in range(4) for o in range(2)}
+            assert originals <= set(assignment.slices)
+
+    def test_grouped_no_worse_than_naive(self):
+        problem = IntraCoreProblem(input_parts=4, output_parts=4, num_leaves=16)
+        grouped_cost = assignment_cost(grouped_assignment(problem))
+        naive_cost = assignment_cost(naive_assignment(problem))
+        assert grouped_cost.weighted_concat_depth <= naive_cost.weighted_concat_depth
+
+
+class TestOptimizer:
+    def test_single_output_part_needs_no_concat(self):
+        problem = IntraCoreProblem(input_parts=8, output_parts=1, num_leaves=8)
+        result = IntraCoreMapper(problem).optimize()
+        assert result.objective == 0
+        assert result.cost.concat_nodes == 0
+
+    def test_optimizer_matches_grouped_structure(self):
+        problem = IntraCoreProblem(input_parts=4, output_parts=2, num_leaves=8)
+        result = IntraCoreMapper(problem).optimize()
+        grouped_cost = assignment_cost(grouped_assignment(problem))
+        assert result.cost.weighted_concat_depth <= grouped_cost.weighted_concat_depth
+
+    def test_optimizer_beats_naive(self):
+        problem = IntraCoreProblem(input_parts=4, output_parts=4, num_leaves=16)
+        result = IntraCoreMapper(problem).optimize()
+        assert result.objective <= result.naive_objective
+        assert 0.0 <= result.improvement <= 1.0
+
+    def test_objective_consistent_with_tree_evaluation(self):
+        problem = IntraCoreProblem(input_parts=2, output_parts=4, num_leaves=8)
+        result = IntraCoreMapper(problem).optimize()
+        assert result.objective == result.cost.weighted_concat_depth
+
+    def test_concatenations_pushed_to_root(self):
+        problem = IntraCoreProblem(input_parts=4, output_parts=2, num_leaves=8)
+        result = IntraCoreMapper(problem).optimize()
+        # Two output parts need exactly one concatenation, at the root.
+        assert result.cost.concat_nodes == 1
+        assert result.objective == 1
+
+    def test_paper_sized_instance(self):
+        """A realistic 32-crossbar core with a 5x7-ish tile finishes quickly."""
+        problem = IntraCoreProblem(input_parts=4, output_parts=8, num_leaves=32)
+        result = IntraCoreMapper(problem).optimize()
+        assert result.objective <= result.naive_objective
+        assert len(result.assignment.slices) == 32
+
+    def test_fallback_path_for_huge_state_space(self):
+        problem = IntraCoreProblem(input_parts=2, output_parts=16, num_leaves=32)
+        result = IntraCoreMapper(problem).optimize()
+        assert result.objective <= result.naive_objective

@@ -1,0 +1,152 @@
+"""Tests for the mapping objective (tiles, volumes, placement cost)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mapping.objective import MappingProblem, Placement, Tile, evaluate_placement
+from repro.units import MB
+
+
+@pytest.fixture
+def problem(small_arch):
+    return MappingProblem.from_arch(small_arch, core_weight_capacity_bytes=4 * MB)
+
+
+@pytest.fixture
+def tiny_problem(tiny_arch):
+    return MappingProblem.from_arch(tiny_arch, core_weight_capacity_bytes=4 * MB)
+
+
+class TestTiles:
+    def test_tiny_model_one_tile_per_layer(self, tiny_problem):
+        tiles = tiny_problem.tiles()
+        assert len(tiles) == 4
+        assert {tile.layer_index for tile in tiles} == {0, 1, 2, 3}
+
+    def test_small_model_more_tiles(self, problem, small_arch):
+        tiles = problem.tiles()
+        assert len(tiles) == problem.num_cores_required()
+        assert len(tiles) >= 4
+
+    def test_tiles_of_layer(self, problem):
+        layer0 = problem.tiles_of_layer(0)
+        assert all(tile.layer_index == 0 for tile in layer0)
+
+    def test_layer_lookup(self, problem):
+        assert problem.layer(0).index == 0
+        with pytest.raises(MappingError):
+            problem.layer(99)
+
+    def test_tile_weight_bytes_sum(self, tiny_problem, tiny_arch):
+        total = sum(tiny_problem.tile_weight_bytes(tile) for tile in tiny_problem.tiles())
+        assert total == pytest.approx(tiny_arch.block_weight_bytes, rel=0.01)
+
+
+class TestVolumes:
+    def test_inter_layer_bytes_split_across_parts(self, problem):
+        for layer in problem.layers:
+            per_tile = problem.inter_layer_bytes(layer)
+            parts = layer.output_splits(problem.core_weight_capacity_bytes)
+            assert per_tile * parts == pytest.approx(layer.output_volume_bytes())
+
+    def test_gather_zero_for_single_part_layers(self, tiny_problem):
+        for layer in tiny_problem.layers:
+            assert tiny_problem.gather_bytes(layer) == 0
+
+
+class TestPlacementCost:
+    def place_linear(self, problem, wafer, order=None):
+        tiles = problem.tiles()
+        cores = order or wafer.s_shaped_order()
+        return Placement({tile: cores[i] for i, tile in enumerate(tiles)})
+
+    def test_compact_placement_cheaper_than_spread(self, tiny_problem, small_wafer):
+        compact = self.place_linear(tiny_problem, small_wafer)
+        spread_cores = [0, 15, 48, 63]
+        tiles = tiny_problem.tiles()
+        spread = Placement({tile: spread_cores[i] for i, tile in enumerate(tiles)})
+        compact_cost = evaluate_placement(tiny_problem, compact, small_wafer)
+        spread_cost = evaluate_placement(tiny_problem, spread, small_wafer)
+        assert compact_cost.total < spread_cost.total
+
+    def test_cost_components_non_negative(self, tiny_problem, small_wafer):
+        cost = evaluate_placement(tiny_problem, self.place_linear(tiny_problem, small_wafer), small_wafer)
+        assert cost.inter_layer >= 0
+        assert cost.reduction >= 0
+        assert cost.gather >= 0
+        assert cost.total_bytes > 0
+
+    def test_cost_addition(self, tiny_problem, small_wafer):
+        cost = evaluate_placement(tiny_problem, self.place_linear(tiny_problem, small_wafer), small_wafer)
+        doubled = cost + cost
+        assert doubled.total == pytest.approx(2 * cost.total)
+
+    def test_next_block_handoff_adds_cost(self, tiny_problem, small_wafer):
+        placement = self.place_linear(tiny_problem, small_wafer)
+        without = evaluate_placement(tiny_problem, placement, small_wafer)
+        with_handoff = evaluate_placement(
+            tiny_problem, placement, small_wafer, next_block_entry_core=63
+        )
+        assert with_handoff.total > without.total
+
+    def test_die_crossing_penalised(self, tiny_problem, small_wafer):
+        tiles = tiny_problem.tiles()
+        same_die = Placement({tile: i for i, tile in enumerate(tiles)})
+        # Spread across two dies at the same Manhattan spacing.
+        row = small_wafer.core_id_at
+        cross_die = Placement(
+            {
+                tiles[0]: row(0, 2),
+                tiles[1]: row(0, 3),
+                tiles[2]: row(0, 4),
+                tiles[3]: row(0, 5),
+            }
+        )
+        same_die_alt = Placement(
+            {
+                tiles[0]: row(0, 0),
+                tiles[1]: row(0, 1),
+                tiles[2]: row(0, 2),
+                tiles[3]: row(0, 3),
+            }
+        )
+        assert (
+            evaluate_placement(tiny_problem, cross_die, small_wafer).total
+            > evaluate_placement(tiny_problem, same_die_alt, small_wafer).total
+        )
+
+
+class TestPlacementValidation:
+    def test_duplicate_core_rejected(self, tiny_problem, small_wafer):
+        tiles = tiny_problem.tiles()
+        placement = Placement({tile: 0 for tile in tiles})
+        with pytest.raises(MappingError):
+            placement.validate(small_wafer)
+
+    def test_unplaced_tile_rejected(self, tiny_problem):
+        placement = Placement({})
+        with pytest.raises(MappingError):
+            placement.core_of(tiny_problem.tiles()[0])
+
+    def test_defective_core_rejected(self, tiny_problem, small_wafer_config):
+        from repro.hardware.wafer import Wafer
+        from repro.hardware.yieldmodel import DefectMap
+
+        wafer = Wafer(
+            small_wafer_config,
+            defect_map=DefectMap(frozenset({0}), core_yield=0.99, total_cores=64),
+        )
+        tiles = tiny_problem.tiles()
+        placement = Placement({tile: i for i, tile in enumerate(tiles)})
+        with pytest.raises(MappingError):
+            placement.validate(wafer)
+
+    def test_valid_placement_passes(self, tiny_problem, small_wafer):
+        tiles = tiny_problem.tiles()
+        placement = Placement({tile: i for i, tile in enumerate(tiles)})
+        placement.validate(small_wafer)
+        assert sorted(placement.cores()) == list(range(len(tiles)))
+
+
+def test_tile_str():
+    assert str(Tile(1, 0, 2)) == "L1[i0,o2]"

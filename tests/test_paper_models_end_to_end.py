@@ -1,0 +1,76 @@
+"""End-to-end checks on the paper's actual models (small traces, full wafer).
+
+These are the heaviest tests in the suite (each builds a full 13,923-core
+wafer mapping); traces are kept small so the whole file stays under a minute.
+"""
+
+import pytest
+
+from repro.core.system import OuroborosSystem
+from repro.baselines.gpu import DGXA100System
+from repro.experiments.common import ExperimentSettings
+from repro.models.architectures import llama_13b, llama_32b
+from repro.workload.generator import generate_trace
+
+SETTINGS = ExperimentSettings(num_requests=30, anneal_iterations=0)
+
+
+@pytest.fixture(scope="module")
+def llama13b_system():
+    return OuroborosSystem(llama_13b(), SETTINGS.system_config())
+
+
+class TestLLaMA13B:
+    def test_summary_matches_paper_scale(self, llama13b_system):
+        summary = llama13b_system.summary()
+        assert summary["total_cores"] == 13_923
+        assert 3000 <= summary["weight_cores"] <= 3300
+        assert summary["kv_cores"] > 10_000
+        assert summary["pipeline_depth"] == 240
+        assert 35 <= summary["kv_capacity_gib"] <= 46
+
+    def test_defects_tolerated(self, llama13b_system):
+        summary = llama13b_system.summary()
+        assert summary["healthy_cores"] < summary["total_cores"]
+
+    def test_serving_beats_dgx_on_decode_heavy_workload(self, llama13b_system):
+        trace = generate_trace("lp128_ld2048", num_requests=30)
+        ours = llama13b_system.serve(trace)
+        dgx = DGXA100System(llama_13b()).serve(
+            generate_trace("lp128_ld2048", num_requests=30)
+        )
+        assert ours.throughput_tokens_per_s > dgx.throughput_tokens_per_s
+        assert ours.energy_per_output_token_j < dgx.energy_per_output_token_j
+
+    def test_energy_is_compute_dominated(self, llama13b_system):
+        trace = generate_trace("wikitext2", num_requests=30)
+        result = llama13b_system.serve(trace)
+        fractions = result.energy.fractions()
+        assert fractions["off_chip_memory"] == 0.0
+        assert fractions["compute"] > 0.5
+
+    def test_all_requests_complete(self, llama13b_system):
+        trace = generate_trace("wikitext2", num_requests=30)
+        result = llama13b_system.serve(trace)
+        assert result.output_tokens == trace.total_decode_tokens
+
+
+class TestLLaMA32B:
+    def test_fits_single_wafer_with_less_kv(self):
+        system = OuroborosSystem(llama_32b(), SETTINGS.system_config())
+        summary = system.summary()
+        assert summary["wafers"] == 1
+        small = OuroborosSystem(llama_13b(), SETTINGS.system_config()).summary()
+        assert summary["kv_capacity_gib"] < small["kv_capacity_gib"]
+
+    def test_32b_gains_less_than_13b(self):
+        """The paper's 13B-vs-32B gap: KV capacity limits concurrency at 32B."""
+        trace_13 = generate_trace("lp128_ld2048", num_requests=30)
+        trace_32 = generate_trace("lp128_ld2048", num_requests=30)
+        ours_13 = OuroborosSystem(llama_13b(), SETTINGS.system_config()).serve(trace_13)
+        ours_32 = OuroborosSystem(llama_32b(), SETTINGS.system_config()).serve(trace_32)
+        dgx_13 = DGXA100System(llama_13b()).serve(generate_trace("lp128_ld2048", num_requests=30))
+        dgx_32 = DGXA100System(llama_32b()).serve(generate_trace("lp128_ld2048", num_requests=30))
+        speedup_13 = ours_13.throughput_tokens_per_s / dgx_13.throughput_tokens_per_s
+        speedup_32 = ours_32.throughput_tokens_per_s / dgx_32.throughput_tokens_per_s
+        assert speedup_13 > speedup_32

@@ -1,0 +1,131 @@
+"""Tests for the per-token stage cost model."""
+
+import pytest
+
+from repro.models.pipeline_stages import StageKind
+from repro.pipeline.stages import TokenCostModel
+
+
+@pytest.fixture
+def cost_model(tiny_arch, small_wafer_config):
+    return TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config)
+
+
+class TestLatency:
+    def test_all_stage_latencies_positive(self, cost_model):
+        for kind in StageKind:
+            assert cost_model.stage_latency(kind, context=64) > 0
+
+    def test_stage_interval_is_max(self, cost_model):
+        interval = cost_model.stage_interval(context=64)
+        latencies = [cost_model.stage_latency(kind, 64) for kind in StageKind]
+        assert interval == pytest.approx(max(latencies))
+
+    def test_ffn_is_bottleneck_for_weighted_stages(self, cost_model):
+        ffn = cost_model.stage_latency(StageKind.FFN, 64)
+        proj = cost_model.stage_latency(StageKind.PROJECTION, 64)
+        assert ffn >= proj
+
+    def test_context_stage_latency_grows_with_context(self, cost_model):
+        short = cost_model.stage_latency(StageKind.CONTEXT, 16)
+        long = cost_model.stage_latency(StageKind.CONTEXT, 1024)
+        assert long >= short
+
+    def test_weighted_stage_latency_context_independent(self, cost_model):
+        assert cost_model.stage_latency(StageKind.FFN, 16) == pytest.approx(
+            cost_model.stage_latency(StageKind.FFN, 2048)
+        )
+
+    def test_token_pipeline_latency_scales_with_blocks(self, cost_model, tiny_arch):
+        per_block = sum(cost_model.stage_latency(kind, 64) for kind in StageKind)
+        assert cost_model.token_pipeline_latency(64) == pytest.approx(
+            per_block * tiny_arch.num_blocks
+        )
+
+    def test_non_cim_weighted_stage_slower(self, tiny_arch, small_wafer_config):
+        cim = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config)
+        no_cim = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, cim_enabled=False
+        )
+        assert no_cim.stage_latency(StageKind.FFN, 64) >= cim.stage_latency(StageKind.FFN, 64)
+
+    def test_weight_reuse_amortises_non_cim_reads(self, tiny_arch, small_wafer_config):
+        per_token = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, cim_enabled=False,
+            weight_reuse_tokens=1.0,
+        )
+        amortised = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, cim_enabled=False,
+            weight_reuse_tokens=512.0,
+        )
+        assert amortised.stage_latency(StageKind.FFN, 64) <= per_token.stage_latency(
+            StageKind.FFN, 64
+        )
+
+    def test_reduced_link_bandwidth_slows_transfers(self, tiny_arch, small_wafer_config):
+        fast = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config)
+        slow = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, transfer_bandwidth_scale=0.01
+        )
+        assert slow.stage_interval(64) >= fast.stage_interval(64)
+
+    def test_stage_report_covers_all_stages(self, cost_model):
+        report = cost_model.stage_report(64)
+        assert [entry.kind for entry in report] == list(StageKind)
+
+
+class TestEnergy:
+    def test_energy_breakdown_positive(self, cost_model):
+        energy = cost_model.token_energy(128)
+        assert energy.compute_j > 0
+        assert energy.on_chip_memory_j > 0
+        assert energy.communication_j > 0
+        assert energy.off_chip_memory_j == 0.0
+
+    def test_energy_grows_with_context(self, cost_model):
+        assert cost_model.token_energy(2048).total_j > cost_model.token_energy(16).total_j
+
+    def test_energy_scales_with_average_hops(self, tiny_arch, small_wafer_config):
+        near = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config, average_hops=1.0)
+        far = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config, average_hops=10.0)
+        assert far.token_energy(64).communication_j > near.token_energy(64).communication_j
+        assert far.token_energy(64).compute_j == pytest.approx(
+            near.token_energy(64).compute_j
+        )
+
+    def test_non_cim_energy_much_higher(self, tiny_arch, small_wafer_config):
+        cim = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config)
+        no_cim = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, cim_enabled=False
+        )
+        assert no_cim.token_energy(64).total_j > 2 * cim.token_energy(64).total_j
+
+    def test_weight_reuse_reduces_non_cim_energy(self, tiny_arch, small_wafer_config):
+        per_token = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, cim_enabled=False,
+            weight_reuse_tokens=1.0,
+        )
+        amortised = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, cim_enabled=False,
+            weight_reuse_tokens=512.0,
+        )
+        assert amortised.token_energy(64).on_chip_memory_j < per_token.token_energy(64).on_chip_memory_j
+
+    def test_lut_optimisation_saves_compute_energy(self, tiny_arch, small_wafer_config):
+        base = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config)
+        lut = TokenCostModel(
+            arch=tiny_arch, wafer_config=small_wafer_config, lut_optimized=True
+        )
+        assert lut.token_energy(64).compute_j == pytest.approx(
+            0.9 * base.token_energy(64).compute_j, rel=0.05
+        )
+
+    def test_energy_scales_with_blocks(self, tiny_arch, small_wafer_config):
+        import dataclasses
+
+        double = dataclasses.replace(tiny_arch, num_blocks=4)
+        small = TokenCostModel(arch=tiny_arch, wafer_config=small_wafer_config)
+        big = TokenCostModel(arch=double, wafer_config=small_wafer_config)
+        assert big.token_energy(64).total_j == pytest.approx(
+            2 * small.token_energy(64).total_j, rel=0.01
+        )

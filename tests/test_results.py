@@ -1,0 +1,67 @@
+"""Tests for the shared result dataclasses."""
+
+import pytest
+
+from repro.results import EnergyBreakdown, RunResult
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        energy = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert energy.total_j == 10.0
+
+    def test_addition(self):
+        a = EnergyBreakdown(1.0, 1.0, 1.0, 1.0)
+        b = EnergyBreakdown(2.0, 0.0, 0.0, 0.0)
+        total = a + b
+        assert total.compute_j == 3.0
+        assert total.total_j == 6.0
+
+    def test_scaled(self):
+        energy = EnergyBreakdown(1.0, 2.0, 3.0, 4.0).scaled(0.5)
+        assert energy.total_j == 5.0
+
+    def test_fractions_sum_to_one(self):
+        energy = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert sum(energy.fractions().values()) == pytest.approx(1.0)
+
+    def test_fractions_of_zero_energy(self):
+        assert all(value == 0.0 for value in EnergyBreakdown().fractions().values())
+
+    def test_as_dict(self):
+        data = EnergyBreakdown(1.0, 0.0, 0.0, 0.0).as_dict()
+        assert data["compute_j"] == 1.0
+        assert data["total_j"] == 1.0
+
+
+class TestRunResult:
+    def make(self, time_s=2.0, output=100, total=200) -> RunResult:
+        return RunResult(
+            system="test",
+            model="tiny",
+            workload="unit",
+            total_time_s=time_s,
+            total_tokens=total,
+            output_tokens=output,
+            energy=EnergyBreakdown(compute_j=1.0),
+        )
+
+    def test_throughput(self):
+        result = self.make()
+        assert result.throughput_tokens_per_s == 50.0
+        assert result.total_throughput_tokens_per_s == 100.0
+
+    def test_zero_time_throughput(self):
+        assert self.make(time_s=0.0).throughput_tokens_per_s == 0.0
+
+    def test_energy_per_output_token(self):
+        assert self.make().energy_per_output_token_j == pytest.approx(0.01)
+
+    def test_zero_output_energy(self):
+        assert self.make(output=0).energy_per_output_token_j == 0.0
+
+    def test_as_dict_round_trip(self):
+        data = self.make().as_dict()
+        assert data["system"] == "test"
+        assert data["throughput_tokens_per_s"] == 50.0
+        assert "energy" in data

@@ -1,0 +1,178 @@
+"""Tests for the inter-sequence scheduler (FCFS, eviction, suspension)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.workload.requests import Request, Sequence, SequencePhase
+from repro.workload.scheduler import InterSequenceScheduler
+
+
+class FakeKVProvider:
+    """KV manager stub with a fixed sequence-slot capacity."""
+
+    def __init__(self, capacity: int, token_capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self.token_capacity = token_capacity
+        self.resident: dict[int, int] = {}
+
+    def try_admit(self, sequence: Sequence) -> bool:
+        if len(self.resident) >= self.capacity:
+            return False
+        self.resident[sequence.sequence_id] = 0
+        return True
+
+    def release(self, sequence: Sequence) -> None:
+        self.resident.pop(sequence.sequence_id, None)
+
+    def append_tokens(self, sequence: Sequence, count: int = 1) -> bool:
+        if self.token_capacity is not None:
+            total = sum(self.resident.values()) + count
+            if total > self.token_capacity:
+                return False
+        self.resident[sequence.sequence_id] = self.resident.get(sequence.sequence_id, 0) + count
+        return True
+
+
+def requests(n: int, prefill: int = 8, decode: int = 4) -> list[Request]:
+    return [
+        Request(request_id=i, prefill_length=prefill, decode_length=decode)
+        for i in range(n)
+    ]
+
+
+class TestAdmission:
+    def test_fcfs_admission_order(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=3))
+        scheduler.submit_all(requests(5))
+        admitted = scheduler.fill()
+        assert [seq.sequence_id for seq in admitted] == [0, 1, 2]
+        assert scheduler.num_active == 3
+        assert len(scheduler.waiting) == 2
+
+    def test_admission_limited_by_max_active(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=10), max_active_sequences=2)
+        scheduler.submit_all(requests(5))
+        scheduler.fill()
+        assert scheduler.num_active == 2
+
+    def test_admitted_sequences_enter_prefill(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2))
+        scheduler.submit_all(requests(2))
+        for seq in scheduler.fill():
+            assert seq.phase is SequencePhase.PREFILL
+
+    def test_rejected_admission_counted(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=1))
+        scheduler.submit_all(requests(3))
+        scheduler.fill()
+        assert scheduler.stats.rejected_admissions == 1
+
+    def test_all_done(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2))
+        assert scheduler.all_done
+        scheduler.submit_all(requests(1))
+        assert not scheduler.all_done
+
+
+class TestCompletion:
+    def test_complete_releases_and_readmits(self):
+        provider = FakeKVProvider(capacity=2)
+        scheduler = InterSequenceScheduler(provider)
+        scheduler.submit_all(requests(3))
+        scheduler.fill()
+        first = scheduler.active[0]
+        scheduler.complete(first, time=1.0)
+        assert first.is_complete
+        assert first.completion_time == 1.0
+        assert first.sequence_id not in provider.resident
+        scheduler.fill()
+        assert scheduler.num_active == 2
+
+    def test_complete_unknown_sequence_rejected(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2))
+        scheduler.submit_all(requests(1))
+        orphan = Sequence(Request(request_id=99, prefill_length=4, decode_length=1))
+        with pytest.raises(SchedulingError):
+            scheduler.complete(orphan)
+
+    def test_stats_track_completions(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=4))
+        scheduler.submit_all(requests(2))
+        scheduler.fill()
+        for seq in list(scheduler.active):
+            scheduler.complete(seq)
+        assert scheduler.stats.completed == 2
+        assert scheduler.all_done
+
+
+class TestEviction:
+    def test_evict_most_recent(self):
+        provider = FakeKVProvider(capacity=3)
+        scheduler = InterSequenceScheduler(provider)
+        scheduler.submit_all(requests(3))
+        scheduler.fill()
+        for seq in scheduler.active:
+            seq.advance_tokens(4)
+        victim = scheduler.evict_most_recent()
+        assert victim.sequence_id == 2
+        assert victim.phase is SequencePhase.EVICTED
+        assert scheduler.waiting[0] is victim
+        assert scheduler.stats.evictions == 1
+
+    def test_admission_suspended_after_eviction(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=3))
+        scheduler.submit_all(requests(4))
+        scheduler.fill()
+        for seq in scheduler.active:
+            seq.advance_tokens(2)
+        scheduler.evict_most_recent()
+        assert scheduler.fill() == []
+        # Completing a request resumes admission.
+        scheduler.complete(scheduler.active[0])
+        assert scheduler.fill() != []
+
+    def test_admission_resumes_when_nothing_active(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2))
+        scheduler.submit_all(requests(2))
+        scheduler.fill()
+        for seq in scheduler.active:
+            seq.advance_tokens(2)
+        scheduler.evict_most_recent()
+        scheduler.evict_most_recent()
+        assert scheduler.num_active == 0
+        # Nothing active -> suspension lifts so the system cannot deadlock.
+        assert scheduler.fill() != []
+
+    def test_evict_with_no_active_returns_none(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2))
+        assert scheduler.evict_most_recent() is None
+
+
+class TestGrowth:
+    def test_growth_without_pressure(self):
+        provider = FakeKVProvider(capacity=2, token_capacity=100)
+        scheduler = InterSequenceScheduler(provider)
+        scheduler.submit_all(requests(2))
+        scheduler.fill()
+        assert scheduler.grow_sequence(scheduler.active[0], 10)
+
+    def test_growth_evicts_most_recent_under_pressure(self):
+        provider = FakeKVProvider(capacity=3, token_capacity=10)
+        scheduler = InterSequenceScheduler(provider)
+        scheduler.submit_all(requests(3))
+        scheduler.fill()
+        for seq in scheduler.active:
+            assert scheduler.grow_sequence(seq, 1)
+            seq.advance_tokens(1)
+        first = scheduler.active[0]
+        # Needs 8 more tokens; capacity 10 already holds 3 -> evictions.
+        assert scheduler.grow_sequence(first, 8)
+        assert scheduler.stats.evictions >= 1
+        assert first in scheduler.active
+
+    def test_growth_fails_when_alone_and_oversized(self):
+        provider = FakeKVProvider(capacity=1, token_capacity=4)
+        scheduler = InterSequenceScheduler(provider)
+        scheduler.submit_all(requests(1))
+        scheduler.fill()
+        assert not scheduler.grow_sequence(scheduler.active[0], 100)

@@ -1,0 +1,47 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_data_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert units.GB == 1024 ** 3
+
+
+def test_time_constants():
+    assert units.US == 1e-6
+    assert units.NS * 1000 == pytest.approx(units.US)
+    assert units.MS == 1e-3
+
+
+def test_energy_constants():
+    assert units.PJ == 1e-12
+    assert units.NJ == pytest.approx(1000 * units.PJ)
+    assert units.UJ == pytest.approx(1000 * units.NJ)
+
+
+def test_bytes_to_gb_roundtrip():
+    assert units.bytes_to_gb(54 * units.GB) == 54
+
+
+def test_bytes_to_mb():
+    assert units.bytes_to_mb(4 * units.MB) == 4
+
+
+def test_joules_to_pj():
+    assert units.joules_to_pj(3e-12) == 3.0
+
+
+def test_seconds_to_us():
+    assert units.seconds_to_us(2e-6) == 2.0
+
+
+def test_tops():
+    assert units.tops(2e12) == 2.0
+
+
+def test_frequency_constants():
+    assert units.GHZ == 1000 * units.MHZ

@@ -1,0 +1,136 @@
+"""Tests for wafer geometry, S-shaped ordering, defects and lazy cores."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.core import CoreRole
+from repro.hardware.wafer import Wafer
+from repro.hardware.yieldmodel import DefectMap
+
+
+class TestGeometry:
+    def test_num_cores(self, small_wafer):
+        assert small_wafer.num_cores == 64
+
+    def test_coordinate_roundtrip(self, small_wafer):
+        for core_id in (0, 7, 8, 63):
+            coord = small_wafer.coordinate_of(core_id)
+            assert small_wafer.core_id_at(coord.row, coord.col) == core_id
+
+    def test_coordinate_out_of_range(self, small_wafer):
+        with pytest.raises(ConfigurationError):
+            small_wafer.coordinate_of(64)
+        with pytest.raises(ConfigurationError):
+            small_wafer.core_id_at(100, 0)
+
+    def test_manhattan_distance(self, small_wafer):
+        a = small_wafer.core_id_at(0, 0)
+        b = small_wafer.core_id_at(3, 5)
+        assert small_wafer.manhattan(a, b) == 8
+        assert small_wafer.manhattan(a, a) == 0
+
+    def test_die_membership(self, small_wafer):
+        # 4x4 cores per die; core (0,0) and (0,3) same die, (0,4) next die.
+        a = small_wafer.core_id_at(0, 0)
+        b = small_wafer.core_id_at(0, 3)
+        c = small_wafer.core_id_at(0, 4)
+        assert small_wafer.same_die(a, b)
+        assert not small_wafer.same_die(a, c)
+        assert small_wafer.die_crossings(a, c) == 1
+
+    def test_die_of(self, small_wafer):
+        core = small_wafer.core_id_at(5, 6)
+        die = small_wafer.die_of(core)
+        assert die.coordinate.row == 1
+        assert die.coordinate.col == 1
+
+    def test_neighbors_interior(self, small_wafer):
+        core = small_wafer.core_id_at(3, 3)
+        assert len(small_wafer.neighbors(core)) == 4
+
+    def test_neighbors_corner(self, small_wafer):
+        assert len(small_wafer.neighbors(0)) == 2
+
+    def test_neighbors_are_adjacent(self, small_wafer):
+        core = small_wafer.core_id_at(2, 2)
+        for neighbor in small_wafer.neighbors(core):
+            assert small_wafer.manhattan(core, neighbor) == 1
+
+
+class TestSShapedOrder:
+    def test_covers_all_cores_once(self, small_wafer):
+        order = small_wafer.s_shaped_order()
+        assert sorted(order) == list(range(64))
+
+    def test_consecutive_cores_adjacent(self, small_wafer):
+        order = small_wafer.s_shaped_order()
+        distances = [
+            small_wafer.manhattan(a, b) for a, b in zip(order, order[1:])
+        ]
+        assert max(distances) == 1
+
+    def test_banded_order_covers_all_cores(self, small_wafer):
+        order = small_wafer.s_shaped_order(band_height=3)
+        assert sorted(order) == list(range(64))
+
+    def test_banded_order_keeps_slices_compact(self, small_wafer):
+        order = small_wafer.s_shaped_order(band_height=4)
+        slice_cores = order[:16]
+        coords = [small_wafer.coordinate_of(c) for c in slice_cores]
+        row_span = max(c.row for c in coords) - min(c.row for c in coords)
+        col_span = max(c.col for c in coords) - min(c.col for c in coords)
+        assert row_span <= 4
+        assert col_span <= 4
+
+    def test_band_height_below_one_clamped(self, small_wafer):
+        assert small_wafer.s_shaped_order(band_height=0) == small_wafer.s_shaped_order(1)
+
+
+class TestDefects:
+    def test_no_defect_map_all_healthy(self, small_wafer):
+        assert small_wafer.num_healthy_cores == 64
+        assert not small_wafer.is_defective(0)
+
+    def test_defect_map_applied(self, small_wafer_config):
+        defects = DefectMap(
+            defective_cores=frozenset({3, 10}), core_yield=0.99, total_cores=64
+        )
+        wafer = Wafer(small_wafer_config, defect_map=defects)
+        assert wafer.is_defective(3)
+        assert not wafer.is_defective(4)
+        assert wafer.num_healthy_cores == 62
+        assert 3 not in wafer.healthy_core_ids()
+
+    def test_mismatched_defect_map_rejected(self, small_wafer_config):
+        defects = DefectMap(
+            defective_cores=frozenset(), core_yield=1.0, total_cores=100
+        )
+        with pytest.raises(ConfigurationError):
+            Wafer(small_wafer_config, defect_map=defects)
+
+    def test_defective_core_object_marked(self, small_wafer_config):
+        defects = DefectMap(
+            defective_cores=frozenset({5}), core_yield=0.99, total_cores=64
+        )
+        wafer = Wafer(small_wafer_config, defect_map=defects)
+        assert wafer.core(5).is_defective
+
+
+class TestLazyCores:
+    def test_cores_created_on_demand(self, small_wafer):
+        assert small_wafer.instantiated_cores() == {}
+        core = small_wafer.core(10)
+        assert core.core_id == 10
+        assert list(small_wafer.instantiated_cores()) == [10]
+
+    def test_core_identity_stable(self, small_wafer):
+        assert small_wafer.core(3) is small_wafer.core(3)
+
+    def test_cores_with_role(self, small_wafer):
+        small_wafer.core(1).assign_kv_cache()
+        assert small_wafer.cores_with_role(CoreRole.KV_CACHE) == [1]
+
+    def test_capacities(self, small_wafer):
+        assert small_wafer.sram_bytes == 64 * 4 * 1024 * 1024
+        assert small_wafer.usable_sram_bytes == small_wafer.sram_bytes
+        assert small_wafer.peak_ops_per_second > 0

@@ -1,0 +1,70 @@
+"""Tests for the Murphy yield model and defect sampling."""
+
+import pytest
+
+from repro.hardware.config import WaferConfig
+from repro.hardware.yieldmodel import (
+    expected_defective_cores,
+    murphy_yield,
+    sample_defect_map,
+)
+
+
+class TestMurphyYield:
+    def test_zero_defect_density_perfect_yield(self):
+        assert murphy_yield(2.97, 0.0) == 1.0
+
+    def test_zero_area_perfect_yield(self):
+        assert murphy_yield(0.0, 0.09) == 1.0
+
+    def test_paper_core_yield_is_high(self):
+        # 2.97 mm^2 at 0.09 defects/cm^2 -> ~99.7% per-core yield.
+        yield_value = murphy_yield(2.97, 0.09)
+        assert 0.99 < yield_value < 1.0
+
+    def test_yield_decreases_with_area(self):
+        assert murphy_yield(10.0, 0.09) < murphy_yield(1.0, 0.09)
+
+    def test_yield_decreases_with_defect_density(self):
+        assert murphy_yield(2.97, 0.5) < murphy_yield(2.97, 0.05)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            murphy_yield(-1.0, 0.09)
+        with pytest.raises(ValueError):
+            murphy_yield(1.0, -0.09)
+
+
+class TestDefectSampling:
+    def test_deterministic_for_seed(self):
+        config = WaferConfig()
+        a = sample_defect_map(config, seed=42)
+        b = sample_defect_map(config, seed=42)
+        assert a.defective_cores == b.defective_cores
+
+    def test_different_seeds_differ(self):
+        config = WaferConfig()
+        a = sample_defect_map(config, seed=1)
+        b = sample_defect_map(config, seed=2)
+        assert a.defective_cores != b.defective_cores
+
+    def test_defect_count_near_expectation(self):
+        config = WaferConfig()
+        defects = sample_defect_map(config, seed=0)
+        expected = expected_defective_cores(config)
+        assert 0 <= len(defects.defective_cores) <= 5 * max(expected, 10)
+
+    def test_healthy_cores_accounting(self):
+        config = WaferConfig()
+        defects = sample_defect_map(config, seed=0)
+        assert defects.healthy_cores + len(defects.defective_cores) == config.cores_per_wafer
+        assert 0.0 < defects.observed_yield <= 1.0
+
+    def test_is_defective_lookup(self):
+        config = WaferConfig()
+        defects = sample_defect_map(config, seed=3)
+        for core in list(defects.defective_cores)[:5]:
+            assert defects.is_defective(core)
+
+    def test_expected_defective_cores_positive(self):
+        assert expected_defective_cores(WaferConfig()) > 0
