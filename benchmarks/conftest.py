@@ -25,6 +25,14 @@ from repro.experiments import ExperimentSettings
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every figure benchmark ``slow`` so ``-m "not slow"`` is a fast smoke run."""
+    bench_dir = Path(__file__).parent
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+
 def bench_settings(num_requests: int | None = None) -> ExperimentSettings:
     if num_requests is None:
         # The session-wide default can be scaled via the environment; figures

@@ -7,6 +7,26 @@ token-grained pipelining, and prints throughput, energy per output token and
 the energy breakdown alongside a DGX A100 baseline.
 
 Run:  python examples/quickstart.py [num_requests]
+
+Going further:
+
+* Sweep a whole model x workload grid in one call -- fanned across a process
+  pool on multi-core machines, optionally cached on disk::
+
+      from repro.experiments import ExperimentSettings, run_grid
+      grid = run_grid(("llama-13b", "llama-32b"), ("wikitext2", "lp2048_ld2048"),
+                      ExperimentSettings(num_requests=200))
+      print(grid[("llama-13b", "wikitext2")]["Ours"].throughput_tokens_per_s)
+
+  (`REPRO_SWEEP_PROCS` caps the workers; `REPRO_RESULT_CACHE_DIR` enables the
+  on-disk result cache keyed by model/workload/settings.)
+
+* Benchmark the simulator itself and keep the numbers::
+
+      python -m repro bench --output BENCH_PR1.json     # or scripts/bench.sh
+
+  The JSON report breaks the wall-clock into build / serve / grid / annealer
+  stages so perf regressions are visible across PRs.
 """
 
 from __future__ import annotations

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the serving-simulator benchmark and write BENCH_PR1.json at the repo root.
+#
+# Usage: scripts/bench.sh [extra `repro bench` args...]
+#   REPRO_BENCH_REQUESTS  requests per workload (default 150; the paper uses 1000)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m repro bench \
+    --requests "${REPRO_BENCH_REQUESTS:-150}" \
+    --output BENCH_PR1.json \
+    "$@"

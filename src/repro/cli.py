@@ -14,12 +14,18 @@ Three sub-commands cover the workflows a downstream user needs:
     Regenerate one of the paper's figures (``fig01`` ... ``fig21``,
     ``headline`` or ``all``) and print the regenerated rows.
 
+``bench``
+    Time the headline experiments stage by stage (system build, serving,
+    the comparison grid, the mapping annealer) and write a machine-readable
+    JSON report so the repository keeps a perf trajectory across PRs.
+
 Examples::
 
     python -m repro summary llama-13b
     python -m repro serve llama-13b --workload lp128_ld2048 --requests 200 --baselines
     python -m repro experiment fig11
     python -m repro experiment fig13 --requests 100 --models llama-13b
+    python -m repro bench --output BENCH_PR1.json
 """
 
 from __future__ import annotations
@@ -75,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--anneal", type=int, default=50)
     experiment.add_argument("--models", nargs="*", default=None,
                             help="restrict to these models where supported")
+
+    bench = subparsers.add_parser(
+        "bench", help="time the headline experiments and emit a JSON report"
+    )
+    bench.add_argument("--requests", type=int, default=150,
+                       help="requests per workload (the paper uses 1000)")
+    bench.add_argument("--output", default="BENCH_PR1.json",
+                       help="path of the JSON report (default: BENCH_PR1.json)")
+    bench.add_argument("--models", nargs="*", default=None,
+                       help="restrict the grid to these models")
+    bench.add_argument("--label", default="headline",
+                       help="label recorded in the report")
+    bench.add_argument("--anneal-micro", type=int, default=500,
+                       help="iterations for the annealer microbenchmark")
     return parser
 
 
@@ -158,6 +178,21 @@ def _experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench(args: argparse.Namespace) -> int:
+    from .perf import run_bench
+
+    report = run_bench(
+        num_requests=args.requests,
+        models=tuple(args.models) if args.models else None,
+        label=args.label,
+        anneal_iterations=args.anneal_micro,
+    )
+    path = report.write(args.output)
+    print(report.format_table())
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "summary":
@@ -166,6 +201,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _serve(args)
     if args.command == "experiment":
         return _experiment(args)
+    if args.command == "bench":
+        return _bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

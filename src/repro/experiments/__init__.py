@@ -44,6 +44,7 @@ from .common import (
     FigureResult,
     run_all_systems,
     run_baseline,
+    run_grid,
     run_ouroboros,
 )
 
@@ -73,6 +74,7 @@ __all__ = [
     "run_ouroboros",
     "run_baseline",
     "run_all_systems",
+    "run_grid",
     "ALL_EXPERIMENTS",
     "fig01_scaling_tax",
     "fig11_row_activation",

@@ -131,6 +131,25 @@ def run_baseline(
     return system.serve(trace, workload_name=workload)
 
 
+def run_grid(
+    models: tuple[str, ...],
+    workloads: tuple[str, ...],
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    runner=None,
+) -> dict[tuple[str, str], dict[str, RunResult]]:
+    """Run a model x workload grid through the parallel :class:`SweepRunner`.
+
+    Cells fan out across a process pool on multi-core machines and can be
+    served from the on-disk result cache (``REPRO_RESULT_CACHE_DIR``); on a
+    single core the runner reuses one built system per model, exactly like
+    the historical serial loop.
+    """
+    from ..perf.sweep import SweepRunner
+
+    runner = runner or SweepRunner()
+    return runner.run_grid(tuple(models), tuple(workloads), settings)
+
+
 def run_all_systems(
     model: ModelArch | str,
     workload: str,

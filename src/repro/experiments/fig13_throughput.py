@@ -6,14 +6,18 @@ cell reports the throughput of DGX A100, TPUv4, AttAcc, Cerebras WSE-2 and
 Ouroboros, normalized to DGX A100.
 
 Because Fig. 14 (energy) uses exactly the same runs, the raw grid is cached
-per settings object and shared between the two drivers.
+per settings object and shared between the two drivers.  Cell execution is
+delegated to :class:`repro.perf.SweepRunner`, which fans the independent cells
+across a process pool on multi-core machines (``REPRO_SWEEP_PROCS`` overrides
+the worker count) and can reuse an on-disk result cache
+(``REPRO_RESULT_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.system import OuroborosSystem
+from ..perf.sweep import SweepRunner
 from ..results import RunResult
 from .common import (
     DECODER_MODELS,
@@ -24,8 +28,6 @@ from .common import (
     FigureResult,
     geometric_mean,
     normalized_throughput,
-    resolve_model,
-    run_all_systems,
 )
 
 #: cache of raw grids keyed by the settings object (they are frozen/hashable)
@@ -40,21 +42,14 @@ def main_comparison_grid(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     models: tuple[str, ...] = DECODER_MODELS,
     workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER,
+    runner: SweepRunner | None = None,
 ) -> dict[tuple[str, str], dict[str, RunResult]]:
     """Raw results for every (model, workload) cell of Fig. 13/14."""
     key = _cache_key(settings, tuple(models), tuple(workloads))
     if key in _GRID_CACHE:
         return _GRID_CACHE[key]
-    grid: dict[tuple[str, str], dict[str, RunResult]] = {}
-    for model in models:
-        arch = resolve_model(model)
-        # Build the Ouroboros system once per model and reuse it for all
-        # workloads (the baselines are analytical and cheap to re-create).
-        ouroboros = OuroborosSystem(arch, settings.system_config())
-        for workload in workloads:
-            grid[(model, workload)] = run_all_systems(
-                arch, workload, settings, ouroboros_system=ouroboros
-            )
+    runner = runner or SweepRunner()
+    grid = runner.run_grid(tuple(models), tuple(workloads), settings)
     _GRID_CACHE[key] = grid
     return grid
 

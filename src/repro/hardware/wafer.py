@@ -16,6 +16,9 @@ The wafer exposes:
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import ConfigurationError
 from .config import WaferConfig
@@ -23,6 +26,36 @@ from .core import CIMCore, CoreRole
 from .die import CoreCoordinate, Die, DieCoordinate
 from .energy import EnergyModel
 from .yieldmodel import DefectMap
+
+
+@dataclass(frozen=True)
+class WaferGeometry:
+    """Flat per-core coordinate arrays for vectorised distance computations.
+
+    ``rows[i]``/``cols[i]`` are core ``i``'s global mesh coordinates and
+    ``die_rows[i]``/``die_cols[i]`` the coordinates of the die it sits on.
+    Built once per wafer and shared by the mapping objective, the annealer and
+    the route-hop estimator, which would otherwise pay a Python call stack per
+    coordinate lookup.
+    """
+
+    rows: np.ndarray
+    cols: np.ndarray
+    die_rows: np.ndarray
+    die_cols: np.ndarray
+
+    def weighted_distance(self, a: int, b: int, inter_die_factor: float) -> float:
+        """Manhattan distance with the die-crossing penalty (scalar fast path)."""
+        distance = float(
+            abs(int(self.rows[a]) - int(self.rows[b]))
+            + abs(int(self.cols[a]) - int(self.cols[b]))
+        )
+        if (
+            self.die_rows[a] != self.die_rows[b]
+            or self.die_cols[a] != self.die_cols[b]
+        ):
+            distance *= inter_die_factor
+        return distance
 
 
 class Wafer:
@@ -53,8 +86,23 @@ class Wafer:
             for col in range(self.config.die_cols)
         ]
         self._cores: dict[int, CIMCore] = {}
+        self._geometry: WaferGeometry | None = None
 
     # --------------------------------------------------------------- geometry
+
+    def geometry(self) -> WaferGeometry:
+        """Cached flat coordinate arrays for every core (built on first use)."""
+        if self._geometry is None:
+            ids = np.arange(self.num_cores, dtype=np.int64)
+            rows = ids // self.core_cols
+            cols = ids % self.core_cols
+            self._geometry = WaferGeometry(
+                rows=rows,
+                cols=cols,
+                die_rows=rows // self.config.die.rows,
+                die_cols=cols // self.config.die.cols,
+            )
+        return self._geometry
 
     @property
     def num_cores(self) -> int:

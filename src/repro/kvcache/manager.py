@@ -12,14 +12,17 @@ Address translation is three-level (Fig. 12): a per-block page table maps the
 sequence to per-head core coordinates; each core's bitmap maps the sequence to
 logical blocks; each crossbar's free-block table tracks valid rows.  For
 simulation speed the manager keeps the block occupancy in vectorised per-core
-counters, while the page tables are materialised exactly (they are cheap and
-the fault-tolerance path needs them).
+counters plus O(1) running totals (free/healthy block counts are maintained
+incrementally, never recomputed by scanning the core arrays), and the ring
+selection of admission cores is a handful of vectorised index operations; the
+page tables are materialised exactly (they are cheap and the fault-tolerance
+path needs them).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,7 +30,7 @@ from ..errors import ConfigurationError, KVCacheError
 from ..models.architectures import ModelArch
 from ..workload.requests import Sequence
 from .blocks import tokens_per_block
-from .pagetable import HeadPlacement, PageTable
+from .pagetable import PageTable
 
 
 @dataclass
@@ -48,15 +51,24 @@ class KVCacheStats:
 
 @dataclass
 class _SequenceAllocation:
-    """Internal record of one resident sequence's KV allocation."""
+    """Internal record of one resident sequence's KV allocation.
+
+    The per-core slot multiplicity is stored sparsely: ``unique_cores`` holds
+    the local indices of the cores the sequence actually touches and
+    ``unique_counts`` the number of (block, head, K/V) slots on each.  Growth
+    and release then scale with the sequence's footprint instead of the total
+    KV-core count.
+    """
 
     sequence_id: int
-    #: local indices (into the manager's core arrays) of every (block, head, K/V) slot
-    slot_cores: np.ndarray
-    #: per-core slot multiplicity (bincount of slot_cores over all KV cores)
-    slot_counts: np.ndarray
+    unique_cores: np.ndarray
+    unique_counts: np.ndarray
     blocks_per_slot: int
     tokens: int
+
+    @property
+    def total_slots(self) -> int:
+        return int(self.unique_counts.sum())
 
 
 class DistributedKVCacheManager:
@@ -87,8 +99,14 @@ class DistributedKVCacheManager:
         num_cores = len(self.kv_core_ids)
         self._free_blocks = np.full(num_cores, blocks_per_core, dtype=np.int64)
         self._core_index = {core_id: i for i, core_id in enumerate(self.kv_core_ids)}
+        self._core_ids_array = np.asarray(self.kv_core_ids, dtype=np.int64)
         self._allocations: dict[int, _SequenceAllocation] = {}
         self._failed_cores: set[int] = set()
+        #: O(1) running totals (kept in sync by every allocation mutation)
+        self._free_total = num_cores * blocks_per_core
+        self._free_on_failed = 0
+        self._threshold_blocks = int(self.threshold * blocks_per_core)
+        self._block_bytes = self.tokens_per_block * arch.head_dim * self.element_bytes
 
         # Split the KV cores into one (K group, V group) pair per transformer
         # block, preserving wafer order so that each block's KV cores sit near
@@ -112,6 +130,33 @@ class DistributedKVCacheManager:
             self._ring_pointers.append(0)
         self.page_tables = [PageTable(block_index=b) for b in range(arch.num_blocks)]
 
+        # Vectorised admission state: all (K, V) groups interleaved in block
+        # order, as one flat index array plus reduceat offsets, and -- when
+        # every group has the same size -- stacked 2D matrices that let one
+        # fancy-index pick the ring cores of every block at once.
+        self._group_arrays = [
+            np.asarray(group, dtype=np.int64)
+            for pair in zip(self._k_groups, self._v_groups)
+            for group in pair
+        ]
+        self._group_concat = np.concatenate(self._group_arrays)
+        sizes = [len(group) for group in self._group_arrays]
+        self._group_offsets = np.cumsum([0] + sizes[:-1])
+        heads = self.arch.kv_heads
+        self._head_range = np.arange(heads, dtype=np.int64)
+        if len(set(sizes)) == 1:
+            size = sizes[0]
+            self._k_matrix = np.stack(
+                [np.asarray(g, dtype=np.int64) for g in self._k_groups]
+            )
+            self._v_matrix = np.stack(
+                [np.asarray(g, dtype=np.int64) for g in self._v_groups]
+            )
+            self._uniform_group_size = size
+        else:
+            self._k_matrix = self._v_matrix = None
+            self._uniform_group_size = 0
+
     # ------------------------------------------------------------------ sizing
 
     @property
@@ -124,14 +169,11 @@ class DistributedKVCacheManager:
 
     @property
     def used_blocks(self) -> int:
-        healthy = self.total_blocks
-        return int(healthy - self._available_blocks())
+        return self.total_blocks - self._available_blocks()
 
     def _available_blocks(self) -> int:
-        mask = np.ones(self.num_kv_cores, dtype=bool)
-        for core_id in self._failed_cores:
-            mask[self._core_index[core_id]] = False
-        return int(self._free_blocks[mask].sum())
+        """Free blocks on healthy cores -- an O(1) incremental counter."""
+        return self._free_total - self._free_on_failed
 
     @property
     def utilization(self) -> float:
@@ -140,9 +182,8 @@ class DistributedKVCacheManager:
 
     @property
     def capacity_bytes(self) -> int:
-        """Raw KV capacity in bytes across all healthy KV cores."""
-        block_bytes = self.tokens_per_block * self.arch.head_dim * self.element_bytes
-        return self.total_blocks * block_bytes
+        """Raw KV capacity in bytes across all healthy KV cores (O(1))."""
+        return self.total_blocks * self._block_bytes
 
     @property
     def resident_sequences(self) -> list[int]:
@@ -156,16 +197,23 @@ class DistributedKVCacheManager:
         allocation = self._allocations.get(sequence_id)
         if allocation is None:
             return 0
-        return allocation.blocks_per_slot * int(allocation.slot_counts.sum())
+        return allocation.blocks_per_slot * allocation.total_slots
 
     def max_concurrent_sequences(self, context_length: int) -> int:
-        """How many sequences of a given context length fit simultaneously."""
+        """How many sequences of a given context length fit simultaneously.
+
+        Returns 0 when no healthy KV cores remain or when a single sequence of
+        that context length needs more blocks than the whole cache holds.
+        """
+        total = self.total_blocks
+        if total <= 0:
+            return 0
         slots = 2 * self.arch.num_blocks * self.arch.kv_heads
-        blocks_per_slot = max(1, math.ceil(context_length / self.tokens_per_block))
+        blocks_per_slot = max(1, math.ceil(max(0, context_length) / self.tokens_per_block))
         blocks_per_sequence = slots * blocks_per_slot
         if blocks_per_sequence == 0:
             return 0
-        return self.total_blocks // blocks_per_sequence
+        return total // blocks_per_sequence
 
     # -------------------------------------------------------------- allocation
 
@@ -176,7 +224,7 @@ class DistributedKVCacheManager:
         failed) are skipped for *new* allocations; if fewer than ``count``
         usable cores exist, cores may be reused for several heads.
         """
-        threshold_blocks = int(self.threshold * self.blocks_per_core)
+        threshold_blocks = self._threshold_blocks
         usable: list[int] = []
         size = len(group)
         for offset in range(size):
@@ -194,54 +242,104 @@ class DistributedKVCacheManager:
             usable.append(usable[len(usable) % max(1, len(usable))])
         return usable[:count]
 
+    def _select_all_blocks_fast(self) -> np.ndarray | None:
+        """Ring selection for every (block, K/V) group in a few array ops.
+
+        Only valid when no core has failed and every core of every group sits
+        above the reservation threshold (the overwhelmingly common case); the
+        caller falls back to the per-group walk otherwise.  Returns an array of
+        shape ``(2 * num_blocks, kv_heads)`` of local core indices, rows
+        alternating K group / V group per block.
+        """
+        size = self._uniform_group_size
+        if size == 0:
+            return None
+        heads = len(self._head_range)
+        pointers = np.asarray(self._ring_pointers, dtype=np.int64)
+        rows = np.arange(len(self._k_groups), dtype=np.int64)[:, None]
+        if size >= heads:
+            ring = (pointers[:, None] + self._head_range[None, :]) % size
+            k_sel = self._k_matrix[rows, ring]
+            v_sel = self._v_matrix[rows, ring]
+        else:
+            # Fewer cores than heads: the walk hands out each core once in
+            # ring order, then pads every remaining head with the first
+            # usable core -- replicate that exactly.
+            ring = (pointers[:, None] + np.arange(size, dtype=np.int64)[None, :]) % size
+            k_part = self._k_matrix[rows, ring]
+            v_part = self._v_matrix[rows, ring]
+            k_pad = np.repeat(k_part[:, :1], heads - size, axis=1)
+            v_pad = np.repeat(v_part[:, :1], heads - size, axis=1)
+            k_sel = np.concatenate([k_part, k_pad], axis=1)
+            v_sel = np.concatenate([v_part, v_pad], axis=1)
+        stacked = np.empty((2 * len(self._k_groups), len(self._head_range)), dtype=np.int64)
+        stacked[0::2] = k_sel
+        stacked[1::2] = v_sel
+        return stacked
+
     def try_admit(self, sequence: Sequence) -> bool:
         """Reserve one logical block per (block, head, K/V) slot for a sequence."""
         sequence_id = sequence.sequence_id
         if sequence_id in self._allocations:
             raise KVCacheError(f"sequence {sequence_id} is already resident")
         heads = self.arch.kv_heads
-        slot_cores: list[int] = []
-        placements_per_block: list[list[HeadPlacement]] = []
-        for block in range(self.arch.num_blocks):
-            pointer = self._ring_pointers[block]
-            k_cores = self._select_cores(self._k_groups[block], pointer, heads)
-            v_cores = self._select_cores(self._v_groups[block], pointer, heads)
-            if k_cores is None or v_cores is None:
-                self.stats.failed_admissions += 1
-                return False
-            placements = [
-                HeadPlacement(
-                    head=h,
-                    k_core=self.kv_core_ids[k_cores[h]],
-                    v_core=self.kv_core_ids[v_cores[h]],
-                )
-                for h in range(heads)
-            ]
-            placements_per_block.append(placements)
-            slot_cores.extend(k_cores)
-            slot_cores.extend(v_cores)
+        num_blocks = self.arch.num_blocks
 
-        cores = np.asarray(slot_cores, dtype=np.int64)
-        counts = np.bincount(cores, minlength=self.num_kv_cores)
-        if np.any(self._free_blocks - counts < 0):
+        selection: np.ndarray | None = None
+        if not self._failed_cores:
+            group_free = self._free_blocks[self._group_concat]
+            mins = np.minimum.reduceat(group_free, self._group_offsets)
+            if mins.min() > self._threshold_blocks:
+                # Every core of every group is usable: pure ring arithmetic.
+                selection = self._select_all_blocks_fast()
+            else:
+                maxes = np.maximum.reduceat(group_free, self._group_offsets)
+                if maxes.min() <= self._threshold_blocks:
+                    # Some group has no usable core at all: admission fails
+                    # before any placement work, exactly as the walk would.
+                    self.stats.failed_admissions += 1
+                    return False
+
+        if selection is None:
+            rows: list[list[int]] = []
+            for block in range(num_blocks):
+                pointer = self._ring_pointers[block]
+                k_cores = self._select_cores(self._k_groups[block], pointer, heads)
+                v_cores = self._select_cores(self._v_groups[block], pointer, heads)
+                if k_cores is None or v_cores is None:
+                    self.stats.failed_admissions += 1
+                    return False
+                rows.append(k_cores)
+                rows.append(v_cores)
+            selection = np.asarray(rows, dtype=np.int64)
+
+        counts = np.bincount(selection.ravel(), minlength=self.num_kv_cores)
+        touched = np.nonzero(counts)[0]
+        touched_counts = counts[touched]
+        if np.any(self._free_blocks[touched] < touched_counts):
             self.stats.failed_admissions += 1
             return False
 
-        self._free_blocks -= counts
+        self._free_blocks[touched] -= touched_counts
+        total_reserved = int(touched_counts.sum())
+        self._free_total -= total_reserved
         self._allocations[sequence_id] = _SequenceAllocation(
             sequence_id=sequence_id,
-            slot_cores=cores,
-            slot_counts=counts,
+            unique_cores=touched,
+            unique_counts=touched_counts,
             blocks_per_slot=1,
             tokens=0,
         )
-        for block, placements in enumerate(placements_per_block):
-            self.page_tables[block].register(sequence_id, placements)
+        global_rows = self._core_ids_array[selection]
+        for block in range(num_blocks):
+            self.page_tables[block].register_heads(
+                sequence_id, global_rows[2 * block], global_rows[2 * block + 1]
+            )
             self._ring_pointers[block] = (
                 self._ring_pointers[block] + heads
             ) % max(1, len(self._k_groups[block]))
         self.stats.admitted_sequences += 1
-        self.stats.allocated_blocks += int(counts.sum())
+        self.stats.allocated_blocks += total_reserved
         self._update_peak()
         return True
 
@@ -258,13 +356,17 @@ class DistributedKVCacheManager:
         needed = max(1, math.ceil(new_tokens / self.tokens_per_block))
         delta = needed - allocation.blocks_per_slot
         if delta > 0:
-            required = allocation.slot_counts * delta
-            if np.any(self._free_blocks - required < 0):
+            required = allocation.unique_counts * delta
+            if np.any(self._free_blocks[allocation.unique_cores] < required):
                 self.stats.failed_growths += 1
                 return False
-            self._free_blocks -= required
+            self._free_blocks[allocation.unique_cores] -= required
+            total_required = int(required.sum())
+            self._free_total -= total_required
+            if self._failed_cores:
+                self._free_on_failed -= self._sum_on_failed(allocation, delta)
             allocation.blocks_per_slot = needed
-            self.stats.allocated_blocks += int(required.sum())
+            self.stats.allocated_blocks += total_required
         allocation.tokens = new_tokens
         self._update_peak()
         return True
@@ -278,12 +380,28 @@ class DistributedKVCacheManager:
         allocation = self._allocations.pop(sequence.sequence_id, None)
         if allocation is None:
             return
-        returned = allocation.slot_counts * allocation.blocks_per_slot
-        self._free_blocks += returned
+        returned = allocation.unique_counts * allocation.blocks_per_slot
+        self._free_blocks[allocation.unique_cores] += returned
+        self._free_total += int(returned.sum())
+        if self._failed_cores:
+            self._free_on_failed += self._sum_on_failed(
+                allocation, allocation.blocks_per_slot
+            )
         for table in self.page_tables:
             table.remove(sequence.sequence_id)
         self.stats.released_sequences += 1
         self.stats.released_blocks += int(returned.sum())
+
+    def _sum_on_failed(self, allocation: _SequenceAllocation, per_slot: int) -> int:
+        """Blocks of an allocation delta that land on failed cores."""
+        failed_locals = [
+            self._core_index[core_id]
+            for core_id in self._failed_cores
+        ]
+        mask = np.isin(allocation.unique_cores, failed_locals)
+        if not mask.any():
+            return 0
+        return int(allocation.unique_counts[mask].sum()) * per_slot
 
     # ---------------------------------------------------------------- failures
 
@@ -295,12 +413,14 @@ class DistributedKVCacheManager:
         """
         if core_id not in self._core_index:
             raise KVCacheError(f"core {core_id} is not a KV core")
-        self._failed_cores.add(core_id)
         local = self._core_index[core_id]
+        if core_id not in self._failed_cores:
+            self._free_on_failed += int(self._free_blocks[local])
+        self._failed_cores.add(core_id)
         affected = [
             allocation.sequence_id
             for allocation in self._allocations.values()
-            if allocation.slot_counts[local] > 0
+            if bool((allocation.unique_cores == local).any())
         ]
         return affected
 

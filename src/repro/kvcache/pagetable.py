@@ -3,11 +3,17 @@
 Fig. 12a: the page table, kept on an amortised storage core per transformer
 block, maps a sequence number to the list of core coordinates that store each
 of its attention heads (one core per head, per K/V group).
+
+Entries are stored as two compact per-head core arrays (K cores, V cores);
+:class:`HeadPlacement` objects are materialised lazily on :meth:`lookup`, so
+the serving hot path (which registers and removes thousands of entries but
+rarely inspects them) never pays for per-head object construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence as SequenceType
 
 from ..errors import KVCacheError
 
@@ -26,23 +32,46 @@ class PageTable:
     """Per-transformer-block page table: sequence id -> head placements."""
 
     block_index: int
-    _entries: dict[int, list[HeadPlacement]] = field(default_factory=dict)
+    _entries: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = field(
+        default_factory=dict
+    )
 
-    def register(self, sequence_id: int, placements: list[HeadPlacement]) -> None:
+    def register_heads(
+        self,
+        sequence_id: int,
+        k_cores: SequenceType[int] | Iterable[int],
+        v_cores: SequenceType[int] | Iterable[int],
+    ) -> None:
+        """Register a sequence from per-head K-core and V-core arrays."""
         if sequence_id in self._entries:
             raise KVCacheError(
                 f"sequence {sequence_id} already registered in block {self.block_index}"
             )
-        self._entries[sequence_id] = list(placements)
+        # ndarray.tolist() converts to Python ints in C; the genexp fallback
+        # covers plain iterables.
+        k = k_cores.tolist() if hasattr(k_cores, "tolist") else [int(c) for c in k_cores]
+        v = v_cores.tolist() if hasattr(v_cores, "tolist") else [int(c) for c in v_cores]
+        self._entries[sequence_id] = (tuple(k), tuple(v))
+
+    def register(self, sequence_id: int, placements: list[HeadPlacement]) -> None:
+        self.register_heads(
+            sequence_id,
+            [p.k_core for p in placements],
+            [p.v_core for p in placements],
+        )
 
     def lookup(self, sequence_id: int) -> list[HeadPlacement]:
         try:
-            return self._entries[sequence_id]
+            k_cores, v_cores = self._entries[sequence_id]
         except KeyError as exc:
             raise KVCacheError(
                 f"sequence {sequence_id} has no page-table entry in block "
                 f"{self.block_index}"
             ) from exc
+        return [
+            HeadPlacement(head=head, k_core=k, v_core=v)
+            for head, (k, v) in enumerate(zip(k_cores, v_cores))
+        ]
 
     def contains(self, sequence_id: int) -> bool:
         return sequence_id in self._entries
@@ -52,9 +81,10 @@ class PageTable:
 
     def cores_of(self, sequence_id: int) -> list[int]:
         """All distinct cores referenced by a sequence in this block."""
-        placements = self.lookup(sequence_id)
-        cores = {p.k_core for p in placements} | {p.v_core for p in placements}
-        return sorted(cores)
+        if sequence_id not in self._entries:
+            self.lookup(sequence_id)  # raises with the canonical message
+        k_cores, v_cores = self._entries[sequence_id]
+        return sorted(set(k_cores) | set(v_cores))
 
     @property
     def resident_sequences(self) -> list[int]:

@@ -52,6 +52,14 @@ class StaticKVCacheManager:
         self.stats = StaticKVCacheStats()
         self._resident: dict[int, int] = {}  # sequence id -> reserved blocks
         self._free_blocks = num_cores * blocks_per_core
+        # Static reservations never vary per sequence, so the per-sequence
+        # block count and the byte capacity are computed once, not per call.
+        slots = 2 * self.arch.num_blocks * self.arch.kv_heads
+        blocks_per_slot = max(1, math.ceil(self.reserved_context / self.tokens_per_block))
+        self._blocks_per_sequence = slots * blocks_per_slot
+        self._capacity_bytes = (
+            self.total_blocks * self.tokens_per_block * arch.head_dim * self.element_bytes
+        )
 
     # ------------------------------------------------------------------ sizing
 
@@ -67,15 +75,21 @@ class StaticKVCacheManager:
     def utilization(self) -> float:
         return self.used_blocks / self.total_blocks if self.total_blocks else 0.0
 
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw KV capacity in bytes (cached at construction; O(1))."""
+        return self._capacity_bytes
+
     def blocks_per_sequence(self) -> int:
-        """Blocks statically reserved for one sequence."""
-        slots = 2 * self.arch.num_blocks * self.arch.kv_heads
-        blocks_per_slot = max(1, math.ceil(self.reserved_context / self.tokens_per_block))
-        return slots * blocks_per_slot
+        """Blocks statically reserved for one sequence (cached; O(1))."""
+        return self._blocks_per_sequence
 
     def max_concurrent_sequences(self, context_length: int | None = None) -> int:
-        """Static allocation ignores the actual context length."""
-        per_sequence = self.blocks_per_sequence()
+        """Static allocation ignores the actual context length.
+
+        Returns 0 when a single worst-case sequence does not fit the cache.
+        """
+        per_sequence = self._blocks_per_sequence
         return self.total_blocks // per_sequence if per_sequence else 0
 
     @property

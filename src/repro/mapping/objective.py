@@ -15,11 +15,19 @@ mirroring Eq. 1:
   vector (the ``gather(l)`` term).
 
 All volumes are per processed token; the simulator scales them by token counts.
+
+The objective is evaluated many thousands of times by the annealer and the
+per-block pattern replication, so the traffic structure -- which is a pure
+function of the problem, not of the placement -- is precomputed once into flat
+edge arrays (:meth:`MappingProblem.edge_arrays`) and every full evaluation is
+a handful of vectorised numpy operations over cached wafer geometry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..errors import MappingError
 from ..hardware.wafer import Wafer
@@ -37,6 +45,31 @@ class Tile:
 
     def __str__(self) -> str:
         return f"L{self.layer_index}[i{self.input_part},o{self.output_part}]"
+
+
+@dataclass(frozen=True)
+class EdgeArrays:
+    """Static per-token traffic of one block, as flat tile-index edge lists.
+
+    Each traffic class is a triple of aligned arrays: source tile index,
+    destination tile index, and per-edge byte volume.  The arrays depend only
+    on the problem (layer splits), never on the placement, so they are built
+    once and reused by every :func:`evaluate_placement` call and by the
+    annealer's incremental delta evaluation.
+    """
+
+    inter_src: np.ndarray
+    inter_dst: np.ndarray
+    inter_vol: np.ndarray
+    reduction_src: np.ndarray
+    reduction_dst: np.ndarray
+    reduction_vol: np.ndarray
+    gather_src: np.ndarray
+    gather_dst: np.ndarray
+    gather_vol: np.ndarray
+    #: tile indices of the last layer and the per-tile hand-off volume
+    handoff_tiles: np.ndarray
+    handoff_vol: float
 
 
 @dataclass(frozen=True)
@@ -64,22 +97,46 @@ class MappingProblem:
 
     # ------------------------------------------------------------------- tiles
 
+    def _tile_cache(self) -> tuple[tuple[Tile, ...], dict[int, tuple[Tile, ...]]]:
+        """Tile list and per-layer grouping, built once per problem instance."""
+        cached = self.__dict__.get("_tiles_cached")
+        if cached is None:
+            all_tiles: list[Tile] = []
+            by_layer: dict[int, tuple[Tile, ...]] = {}
+            for layer in self.layers:
+                o_parts = layer.output_splits(self.core_weight_capacity_bytes)
+                i_parts = layer.input_splits(self.core_weight_capacity_bytes)
+                layer_tiles = [
+                    Tile(layer.index, i, o)
+                    for o in range(o_parts)
+                    for i in range(i_parts)
+                ]
+                by_layer[layer.index] = tuple(layer_tiles)
+                all_tiles.extend(layer_tiles)
+            cached = (tuple(all_tiles), by_layer)
+            object.__setattr__(self, "_tiles_cached", cached)
+        return cached
+
     def tiles(self) -> list[Tile]:
         """All tiles of one block, in layer order."""
-        result: list[Tile] = []
-        for layer in self.layers:
-            o_parts = layer.output_splits(self.core_weight_capacity_bytes)
-            i_parts = layer.input_splits(self.core_weight_capacity_bytes)
-            for o in range(o_parts):
-                for i in range(i_parts):
-                    result.append(Tile(layer.index, i, o))
-        return result
+        return list(self._tile_cache()[0])
 
     def tiles_of_layer(self, layer_index: int) -> list[Tile]:
-        return [tile for tile in self.tiles() if tile.layer_index == layer_index]
+        by_layer = self._tile_cache()[1]
+        if layer_index not in by_layer:
+            return []
+        return list(by_layer[layer_index])
+
+    def tile_indices(self) -> dict[Tile, int]:
+        """Tile -> position in :meth:`tiles` order (cached)."""
+        cached = self.__dict__.get("_tile_index_cached")
+        if cached is None:
+            cached = {tile: i for i, tile in enumerate(self._tile_cache()[0])}
+            object.__setattr__(self, "_tile_index_cached", cached)
+        return cached
 
     def num_cores_required(self) -> int:
-        return len(self.tiles())
+        return len(self._tile_cache()[0])
 
     def layer(self, layer_index: int) -> BlockLayer:
         for layer in self.layers:
@@ -110,6 +167,104 @@ class MappingProblem:
         """Bytes one output part contributes to the gather (per token)."""
         o_parts = layer.output_splits(self.core_weight_capacity_bytes)
         return layer.gather_volume_bytes(self.core_weight_capacity_bytes) / max(1, o_parts)
+
+    # ------------------------------------------------------------ edge arrays
+
+    def edge_arrays(self) -> EdgeArrays:
+        """The static traffic structure as flat tile-index edge lists (cached)."""
+        cached = self.__dict__.get("_edges_cached")
+        if cached is not None:
+            return cached
+        tiles, by_layer = self._tile_cache()
+        index_of = self.tile_indices()
+        layers = sorted(self.layers, key=lambda layer: layer.index)
+
+        inter_src: list[int] = []
+        inter_dst: list[int] = []
+        inter_vol: list[float] = []
+        for producer, consumer in zip(layers, layers[1:]):
+            volume = self.inter_layer_bytes(producer)
+            src_ids = [index_of[t] for t in by_layer[producer.index]]
+            dst_ids = [index_of[t] for t in by_layer[consumer.index]]
+            for src in src_ids:
+                for dst in dst_ids:
+                    inter_src.append(src)
+                    inter_dst.append(dst)
+                    inter_vol.append(volume)
+
+        reduction_src: list[int] = []
+        reduction_dst: list[int] = []
+        reduction_vol: list[float] = []
+        gather_src: list[int] = []
+        gather_dst: list[int] = []
+        gather_vol: list[float] = []
+        for layer in layers:
+            r_volume = self.reduction_bytes(layer)
+            g_volume = self.gather_bytes(layer)
+            by_output: dict[int, list[Tile]] = {}
+            for tile in by_layer[layer.index]:
+                by_output.setdefault(tile.output_part, []).append(tile)
+            gather_roots: list[int] = []
+            for _, group in sorted(by_output.items()):
+                group = sorted(group, key=lambda t: t.input_part)
+                root = index_of[group[-1]]
+                gather_roots.append(root)
+                if r_volume > 0:
+                    for tile in group[:-1]:
+                        reduction_src.append(index_of[tile])
+                        reduction_dst.append(root)
+                        reduction_vol.append(r_volume)
+            if g_volume > 0 and len(gather_roots) > 1:
+                anchor = gather_roots[0]
+                for root in gather_roots[1:]:
+                    gather_src.append(root)
+                    gather_dst.append(anchor)
+                    gather_vol.append(g_volume)
+
+        last = layers[-1]
+        handoff_tiles = np.asarray(
+            [index_of[t] for t in by_layer[last.index]], dtype=np.int64
+        )
+        cached = EdgeArrays(
+            inter_src=np.asarray(inter_src, dtype=np.int64),
+            inter_dst=np.asarray(inter_dst, dtype=np.int64),
+            inter_vol=np.asarray(inter_vol, dtype=np.float64),
+            reduction_src=np.asarray(reduction_src, dtype=np.int64),
+            reduction_dst=np.asarray(reduction_dst, dtype=np.int64),
+            reduction_vol=np.asarray(reduction_vol, dtype=np.float64),
+            gather_src=np.asarray(gather_src, dtype=np.int64),
+            gather_dst=np.asarray(gather_dst, dtype=np.int64),
+            gather_vol=np.asarray(gather_vol, dtype=np.float64),
+            handoff_tiles=handoff_tiles,
+            handoff_vol=self.inter_layer_bytes(last),
+        )
+        object.__setattr__(self, "_edges_cached", cached)
+        return cached
+
+    def tile_adjacency(self) -> list[list[tuple[int, float]]]:
+        """Undirected tile adjacency [(neighbour index, volume)] (cached).
+
+        Combines all three traffic classes; used by the annealer to evaluate
+        the cost change of moving one tile without re-walking the whole edge
+        list.
+        """
+        cached = self.__dict__.get("_adjacency_cached")
+        if cached is not None:
+            return cached
+        edges = self.edge_arrays()
+        adjacency: list[list[tuple[int, float]]] = [
+            [] for _ in range(self.num_cores_required())
+        ]
+        for src_arr, dst_arr, vol_arr in (
+            (edges.inter_src, edges.inter_dst, edges.inter_vol),
+            (edges.reduction_src, edges.reduction_dst, edges.reduction_vol),
+            (edges.gather_src, edges.gather_dst, edges.gather_vol),
+        ):
+            for src, dst, vol in zip(src_arr.tolist(), dst_arr.tolist(), vol_arr.tolist()):
+                adjacency[src].append((dst, vol))
+                adjacency[dst].append((src, vol))
+        object.__setattr__(self, "_adjacency_cached", adjacency)
+        return adjacency
 
 
 @dataclass
@@ -178,6 +333,43 @@ def _weighted_distance(wafer: Wafer, problem: MappingProblem, a: int, b: int) ->
     return distance
 
 
+def placement_core_array(problem: MappingProblem, placement: Placement) -> np.ndarray:
+    """Core id of every tile, in :meth:`MappingProblem.tiles` order."""
+    tiles = problem._tile_cache()[0]
+    assignment = placement.assignment
+    cores = np.empty(len(tiles), dtype=np.int64)
+    for i, tile in enumerate(tiles):
+        core = assignment.get(tile)
+        if core is None:
+            raise MappingError(f"tile {tile} is not placed")
+        cores[i] = core
+    return cores
+
+
+def _class_cost(
+    geometry,
+    factor: float,
+    cores: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    vol: np.ndarray,
+) -> float:
+    """Σ volume · weighted Manhattan distance over one traffic class."""
+    if len(src) == 0:
+        return 0.0
+    a = cores[src]
+    b = cores[dst]
+    dist = np.abs(geometry.rows[a] - geometry.rows[b]) + np.abs(
+        geometry.cols[a] - geometry.cols[b]
+    )
+    weighted = dist.astype(np.float64)
+    cross = (geometry.die_rows[a] != geometry.die_rows[b]) | (
+        geometry.die_cols[a] != geometry.die_cols[b]
+    )
+    weighted[cross] *= factor
+    return float(np.dot(vol, weighted))
+
+
 def evaluate_placement(
     problem: MappingProblem,
     placement: Placement,
@@ -190,58 +382,47 @@ def evaluate_placement(
     last layer to the first layer of the following block (used when evaluating
     whole-wafer mappings).
     """
-    cost = CommunicationCost()
-    layers = sorted(problem.layers, key=lambda layer: layer.index)
-    tiles_by_layer = {
-        layer.index: problem.tiles_of_layer(layer.index) for layer in layers
-    }
+    edges = problem.edge_arrays()
+    geometry = wafer.geometry()
+    factor = problem.inter_die_cost_factor
+    cores = placement_core_array(problem, placement)
 
-    # Inter-layer traffic: producer tiles -> consumer tiles of the next layer.
-    for producer, consumer in zip(layers, layers[1:]):
-        volume = problem.inter_layer_bytes(producer)
-        for src_tile in tiles_by_layer[producer.index]:
-            src = placement.core_of(src_tile)
-            for dst_tile in tiles_by_layer[consumer.index]:
-                dst = placement.core_of(dst_tile)
-                cost.inter_layer += volume * _weighted_distance(wafer, problem, src, dst)
-                cost.total_bytes += volume
+    inter = _class_cost(
+        geometry, factor, cores, edges.inter_src, edges.inter_dst, edges.inter_vol
+    )
+    reduction = _class_cost(
+        geometry,
+        factor,
+        cores,
+        edges.reduction_src,
+        edges.reduction_dst,
+        edges.reduction_vol,
+    )
+    gather = _class_cost(
+        geometry, factor, cores, edges.gather_src, edges.gather_dst, edges.gather_vol
+    )
+    total_bytes = float(
+        edges.inter_vol.sum() + edges.reduction_vol.sum() + edges.gather_vol.sum()
+    )
 
     # Hand-off to the next block's first layer (single representative core).
-    if next_block_entry_core is not None and layers:
-        last = layers[-1]
-        volume = problem.inter_layer_bytes(last)
-        for src_tile in tiles_by_layer[last.index]:
-            src = placement.core_of(src_tile)
-            cost.inter_layer += volume * _weighted_distance(
-                wafer, problem, src, next_block_entry_core
-            )
-            cost.total_bytes += volume
+    if next_block_entry_core is not None and len(edges.handoff_tiles) > 0:
+        src_cores = cores[edges.handoff_tiles]
+        entry = int(next_block_entry_core)
+        dist = np.abs(geometry.rows[src_cores] - geometry.rows[entry]) + np.abs(
+            geometry.cols[src_cores] - geometry.cols[entry]
+        )
+        weighted = dist.astype(np.float64)
+        cross = (geometry.die_rows[src_cores] != geometry.die_rows[entry]) | (
+            geometry.die_cols[src_cores] != geometry.die_cols[entry]
+        )
+        weighted[cross] *= factor
+        inter += float(edges.handoff_vol * weighted.sum())
+        total_bytes += edges.handoff_vol * len(src_cores)
 
-    # Intra-layer reduction and gather traffic.
-    for layer in layers:
-        tiles = tiles_by_layer[layer.index]
-        reduction_volume = problem.reduction_bytes(layer)
-        gather_volume = problem.gather_bytes(layer)
-        by_output: dict[int, list[Tile]] = {}
-        for tile in tiles:
-            by_output.setdefault(tile.output_part, []).append(tile)
-        gather_roots: list[int] = []
-        for _, group in sorted(by_output.items()):
-            group = sorted(group, key=lambda t: t.input_part)
-            root = placement.core_of(group[-1])
-            gather_roots.append(root)
-            if reduction_volume > 0:
-                for tile in group[:-1]:
-                    src = placement.core_of(tile)
-                    cost.reduction += reduction_volume * _weighted_distance(
-                        wafer, problem, src, root
-                    )
-                    cost.total_bytes += reduction_volume
-        if gather_volume > 0 and len(gather_roots) > 1:
-            anchor = gather_roots[0]
-            for root in gather_roots[1:]:
-                cost.gather += gather_volume * _weighted_distance(
-                    wafer, problem, root, anchor
-                )
-                cost.total_bytes += gather_volume
-    return cost
+    return CommunicationCost(
+        inter_layer=inter,
+        reduction=reduction,
+        gather=gather,
+        total_bytes=total_bytes,
+    )

@@ -1,0 +1,15 @@
+"""Performance infrastructure: parallel sweeps and benchmark telemetry.
+
+:mod:`repro.perf.sweep` provides :class:`SweepRunner`, which fans the
+(model, workload) cells of figure sweeps across a ``ProcessPoolExecutor`` with
+an optional on-disk result cache keyed by (arch, config, trace spec).
+
+:mod:`repro.perf.bench` times the headline experiments stage by stage and
+emits a machine-readable JSON report (``repro bench`` on the command line), so
+every PR leaves a perf trajectory behind.
+"""
+
+from .bench import BenchReport, run_bench
+from .sweep import SweepCell, SweepRunner
+
+__all__ = ["SweepRunner", "SweepCell", "BenchReport", "run_bench"]

@@ -1,0 +1,135 @@
+"""Benchmark harness: time the headline experiments, emit machine-readable JSON.
+
+``repro bench`` (or ``scripts/bench.sh``) times the serving simulator stage by
+stage -- system build (mapping + KV setup) per model, trace serving per
+workload, the full headline comparison grid, and a mapping-annealer
+microbenchmark -- and writes the measurements to a JSON file
+(``BENCH_PR1.json`` by default).  Future PRs append their own reports, so the
+repository carries its performance trajectory alongside the code.
+
+The harness measures *cold* numbers: every stage builds its own systems and
+the sweep result cache is disabled, so the report reflects simulator speed,
+not cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class BenchReport:
+    """Per-stage wall-clock timings of one benchmark run."""
+
+    label: str
+    num_requests: int
+    #: stage name -> seconds (flat, machine-readable)
+    timings_s: dict[str, float] = field(default_factory=dict)
+    #: contextual metadata (python version, platform, cpu count, settings)
+    meta: dict[str, object] = field(default_factory=dict)
+    #: headline figures of merit measured during the grid stage
+    headline: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.timings_s.values())
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["total_s"] = self.total_s
+        return payload
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def format_table(self) -> str:
+        lines = [f"benchmark '{self.label}' ({self.num_requests} requests/workload)"]
+        width = max(len(name) for name in self.timings_s) if self.timings_s else 10
+        for name, seconds in self.timings_s.items():
+            lines.append(f"  {name:<{width}} {seconds:9.3f} s")
+        lines.append(f"  {'TOTAL':<{width}} {self.total_s:9.3f} s")
+        for name, value in self.headline.items():
+            lines.append(f"  headline.{name}: {value:.3f}")
+        return "\n".join(lines)
+
+
+def run_bench(
+    num_requests: int = 150,
+    models: tuple[str, ...] | None = None,
+    label: str = "headline",
+    anneal_iterations: int = 500,
+) -> BenchReport:
+    """Time the headline experiment pipeline stage by stage."""
+    import os
+
+    from ..core.system import OuroborosSystem
+    from ..experiments import headline
+    from ..experiments.common import (
+        DECODER_MODELS,
+        PAPER_WORKLOAD_ORDER,
+        ExperimentSettings,
+        resolve_model,
+        workload_trace,
+    )
+    from ..hardware.wafer import Wafer
+    from ..mapping.intercore import map_model
+
+    models = tuple(models) if models else DECODER_MODELS
+    settings = ExperimentSettings(num_requests=num_requests)
+    report = BenchReport(
+        label=label,
+        num_requests=num_requests,
+        meta={
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "models": list(models),
+            "anneal_iterations_sweep": settings.anneal_iterations,
+            "anneal_iterations_micro": anneal_iterations,
+        },
+    )
+
+    # Stage 1: system build (defect sampling + mapping + KV setup) per model.
+    for model in models:
+        arch = resolve_model(model)
+        start = time.perf_counter()
+        system = OuroborosSystem(arch, settings.system_config())
+        system.built
+        report.timings_s[f"build.{model}"] = time.perf_counter() - start
+
+    # Stage 2: serving each paper workload on the first model.
+    arch = resolve_model(models[0])
+    system = OuroborosSystem(arch, settings.system_config())
+    system.built
+    for workload in PAPER_WORKLOAD_ORDER:
+        trace = workload_trace(workload, settings)
+        start = time.perf_counter()
+        system.serve(trace, workload_name=workload)
+        report.timings_s[f"serve.{models[0]}.{workload}"] = time.perf_counter() - start
+
+    # Stage 3: the full headline grid (models x workloads x all systems).
+    start = time.perf_counter()
+    result = headline.run(settings, models=models)
+    report.timings_s["headline_grid"] = time.perf_counter() - start
+    report.headline = {
+        "average_speedup": result.average_speedup,
+        "peak_speedup": result.peak_speedup,
+        "average_efficiency_gain": result.average_efficiency_gain,
+        "peak_efficiency_gain": result.peak_efficiency_gain,
+    }
+
+    # Stage 4: mapping-annealer microbenchmark (incremental delta evaluation).
+    arch = resolve_model(models[0])
+    wafer = Wafer(settings.system_config().wafer)
+    start = time.perf_counter()
+    map_model(arch, wafer, anneal_iterations=anneal_iterations)
+    report.timings_s[f"mapping_anneal_{anneal_iterations}"] = time.perf_counter() - start
+
+    return report

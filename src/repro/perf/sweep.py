@@ -1,0 +1,176 @@
+"""Parallel sweep runner with an on-disk result cache.
+
+Figure sweeps evaluate a grid of (model, workload) cells, each serving one
+trace on Ouroboros plus the four baselines.  Cells are independent, so they
+can fan out across a ``ProcessPoolExecutor``; on a single-core machine (or
+with ``max_workers=1``) the runner degrades to the serial path, which reuses
+one built Ouroboros system per model exactly like the original grid loop.
+
+Results can additionally be cached on disk keyed by the *content* of the cell:
+the model name, the workload spec (name, request count, seed) and every
+serving-relevant field of the settings object.  Re-running a sweep with
+unchanged inputs then costs one pickle load per cell.  Caching is off unless a
+cache directory is supplied (or ``REPRO_RESULT_CACHE_DIR`` is set), because a
+stale cache must never silently shadow a code change; the key embeds a schema
+version that must be bumped when result semantics change.
+
+Usage::
+
+    from repro.perf import SweepRunner
+
+    runner = SweepRunner()                       # workers = CPU count
+    grid = runner.run_grid(("llama-13b",), ("wikitext2",), settings)
+    result = grid[("llama-13b", "wikitext2")]["Ours"]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..results import RunResult
+
+#: bump when RunResult semantics or serving behaviour changes incompatibly
+_CACHE_SCHEMA = "1"
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid cell: serve one workload of one model on every system."""
+
+    model: str
+    workload: str
+
+
+def _cell_key(cell: SweepCell, settings) -> str:
+    """Content hash of (arch, config, trace spec) identifying one cell."""
+    payload = {
+        "schema": _CACHE_SCHEMA,
+        "model": cell.model,
+        "workload": cell.workload,
+        "settings": asdict(settings),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _run_cell(args: tuple[SweepCell, object]) -> tuple[SweepCell, dict[str, RunResult]]:
+    """Worker entry point: run every system on one cell (picklable, top level)."""
+    from ..experiments.common import run_all_systems
+
+    cell, settings = args
+    return cell, run_all_systems(cell.model, cell.workload, settings)
+
+
+class SweepRunner:
+    """Fan (model, workload) cells across processes, with optional caching."""
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if max_workers is None:
+            env = os.environ.get("REPRO_SWEEP_PROCS")
+            max_workers = int(env) if env else (os.cpu_count() or 1)
+        self.max_workers = max(1, max_workers)
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_RESULT_CACHE_DIR") or None
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -------------------------------------------------------------------- cache
+
+    def _cache_path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _cache_load(self, key: str) -> dict[str, RunResult] | None:
+        if self.cache_dir is None:
+            return None
+        path = self._cache_path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None  # corrupt entries are treated as misses
+
+    def _cache_store(self, key: str, results: dict[str, RunResult]) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(key)
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(results, handle)
+        tmp.replace(path)
+
+    # --------------------------------------------------------------------- runs
+
+    def run_cells(
+        self, cells: list[SweepCell], settings
+    ) -> dict[SweepCell, dict[str, RunResult]]:
+        """Run every cell, via the cache / process pool / serial path."""
+        results: dict[SweepCell, dict[str, RunResult]] = {}
+        pending: list[SweepCell] = []
+        for cell in cells:
+            cached = self._cache_load(_cell_key(cell, settings))
+            if cached is not None:
+                results[cell] = cached
+                self.cache_hits += 1
+            else:
+                pending.append(cell)
+                self.cache_misses += 1
+
+        if pending:
+            if self.max_workers > 1 and len(pending) > 1:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    for cell, cell_results in pool.map(
+                        _run_cell, [(cell, settings) for cell in pending]
+                    ):
+                        results[cell] = cell_results
+                        self._cache_store(_cell_key(cell, settings), cell_results)
+            else:
+                for cell, cell_results in self._run_serial(pending, settings):
+                    results[cell] = cell_results
+                    self._cache_store(_cell_key(cell, settings), cell_results)
+        return results
+
+    def _run_serial(self, cells: list[SweepCell], settings):
+        """Serial path: group by model so each system is built exactly once."""
+        from ..core.system import OuroborosSystem
+        from ..experiments.common import resolve_model, run_all_systems
+
+        by_model: dict[str, list[SweepCell]] = {}
+        for cell in cells:
+            by_model.setdefault(cell.model, []).append(cell)
+        for model, model_cells in by_model.items():
+            arch = resolve_model(model)
+            system = OuroborosSystem(arch, settings.system_config())
+            for cell in model_cells:
+                yield cell, run_all_systems(
+                    arch, cell.workload, settings, ouroboros_system=system
+                )
+
+    def run_grid(
+        self,
+        models: tuple[str, ...],
+        workloads: tuple[str, ...],
+        settings,
+    ) -> dict[tuple[str, str], dict[str, RunResult]]:
+        """Run the full model x workload grid (Fig. 13/14 shape)."""
+        cells = [
+            SweepCell(model=model, workload=workload)
+            for model in models
+            for workload in workloads
+        ]
+        raw = self.run_cells(cells, settings)
+        return {(cell.model, cell.workload): raw[cell] for cell in cells}

@@ -13,11 +13,28 @@ pipeline strategy (token-grained, sequence-grained or blocked).  Energy is
 accumulated from the per-token cost model, and KV-cache growth / eviction is
 driven through the inter-sequence scheduler so that thrashing shows up as
 recomputed tokens and extra time.
+
+Two implementations of the epoch loop exist:
+
+* :meth:`PipelineEngine.run` -- the fast path.  Every epoch it materialises
+  the active sequences' integer state (remaining prefill/decode, positions,
+  budgets) as flat numpy arrays, derives each sequence's prefill/decode takes
+  with a handful of vectorised operations, and accumulates energy as
+  per-quantized-context-bin token counts that are scaled by the memoized
+  :class:`EnergyBreakdown` once per epoch.  No per-segment energy objects are
+  allocated and the scheduler is queried through its O(1) membership set.
+* :meth:`PipelineEngine.run_scalar` -- the retained scalar reference: the
+  original one-sequence-at-a-time loop, kept for validation.  It shares the
+  epoch-closing arithmetic (duration, utilization, per-bin energy scaling)
+  with the fast path, so the two produce bitwise-identical
+  :class:`RunResult` fields; the equivalence suite asserts exactly that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import SimulationError
 from ..models.architectures import ModelArch
@@ -27,6 +44,9 @@ from ..workload.generator import Trace
 from ..workload.requests import Sequence, SequencePhase
 from ..workload.scheduler import InterSequenceScheduler, KVCapacityProvider
 from .stages import TokenCostModel
+
+#: epochs without forward progress tolerated before declaring a livelock
+_MAX_STALLED_EPOCHS = 2000
 
 
 @dataclass(frozen=True)
@@ -88,10 +108,14 @@ class PipelineEngine:
         return self._interval_cache[key]
 
     def token_energy(self, context: float) -> EnergyBreakdown:
-        key = self._quantize(context)
-        if key not in self._energy_cache:
-            self._energy_cache[key] = self.cost_model.token_energy(key)
-        return self._energy_cache[key]
+        return self._energy_for_key(self._quantize(context))
+
+    def _energy_for_key(self, key: int) -> EnergyBreakdown:
+        cached = self._energy_cache.get(key)
+        if cached is None:
+            cached = self.cost_model.token_energy(key)
+            self._energy_cache[key] = cached
+        return cached
 
     # ----------------------------------------------------------- strategy hook
 
@@ -106,81 +130,111 @@ class PipelineEngine:
     # ------------------------------------------------------------------ running
 
     def run(self, trace: Trace, workload_name: str | None = None) -> RunResult:
-        """Serve ``trace`` to completion and return aggregate results."""
-        self.scheduler.submit_all(list(trace.requests))
+        """Serve ``trace`` to completion and return aggregate results.
+
+        This is the array-based fast path; see the module docstring.  The
+        retained reference implementation is :meth:`run_scalar`.
+        """
+        scheduler = self.scheduler
+        scheduler.submit_all(list(trace.requests))
         self.epochs = []
         time_s = 0.0
         energy = EnergyBreakdown()
         processed_tokens = 0
         utilization_time = 0.0
         stalled_epochs = 0
+        chunk = self.config.chunk_tokens
 
         for epoch_index in range(self.config.max_epochs):
-            if self.scheduler.all_done:
+            if scheduler.all_done:
                 break
-            self.scheduler.fill(time_s)
-            active = self.scheduler.active
+            scheduler.fill(time_s)
+            active = scheduler.active
             if not active:
-                if self.scheduler.waiting:
+                if scheduler.waiting:
                     raise SimulationError(
                         "KV cache cannot hold even a single waiting sequence; "
                         "reduce sequence lengths or enlarge the wafer"
                     )
                 break
 
+            # Flat integer state of every active sequence, then the epoch's
+            # advances in a few vectorised operations: every sequence takes
+            # min(chunk, remaining) tokens, split into a prefill take at its
+            # current position and a decode take right after it.
+            snapshot = active  # `active` is already a defensive copy
+            count = len(snapshot)
+            rem_prefill = np.fromiter(
+                (s.remaining_prefill for s in snapshot), dtype=np.int64, count=count
+            )
+            rem_decode = np.fromiter(
+                (s.remaining_decode for s in snapshot), dtype=np.int64, count=count
+            )
+            positions = np.fromiter(
+                (s.context_length for s in snapshot), dtype=np.int64, count=count
+            )
+            budgets = np.minimum(chunk, rem_prefill + rem_decode)
+            prefill_takes = np.minimum(budgets, rem_prefill)
+            decode_takes = np.minimum(budgets - prefill_takes, rem_decode)
+            prefill_avgs = positions + (prefill_takes - 1) / 2.0
+            decode_avgs = (positions + prefill_takes) + (decode_takes - 1) / 2.0
+
+            budget_list = budgets.tolist()
+            prefill_take_list = prefill_takes.tolist()
+            decode_take_list = decode_takes.tolist()
+            prefill_avg_list = prefill_avgs.tolist()
+            decode_avg_list = decode_avgs.tolist()
+
             epoch_tokens = 0
-            epoch_energy = EnergyBreakdown()
+            context_weighted = 0.0
+            energy_bins: dict[int, int] = {}
             prefill_segments: list[tuple[Sequence, int]] = []
             decode_sequences = 0
-            context_weighted = 0.0
             max_decode_chunk = 0
 
-            for sequence in list(active):
-                if sequence not in self.scheduler.active:
+            for i, sequence in enumerate(snapshot):
+                if not scheduler.is_active(sequence):
                     continue  # evicted by an earlier sequence's KV growth
-                budget = self._sequence_budget(sequence)
+                budget = budget_list[i]
                 if budget <= 0:
                     continue
-                if not self.scheduler.grow_sequence(sequence, budget):
+                if not scheduler.grow_sequence(sequence, budget):
                     continue
-                segments = sequence.advance_tokens(budget)
-                for phase, count, start_position in segments:
-                    avg_context = start_position + (count - 1) / 2.0
-                    epoch_tokens += count
-                    context_weighted += avg_context * count
-                    epoch_energy = epoch_energy + self.token_energy(avg_context).scaled(count)
-                    if phase is SequencePhase.PREFILL:
-                        prefill_segments.append((sequence, count))
-                    else:
-                        decode_sequences += 1
-                        max_decode_chunk = max(max_decode_chunk, count)
+                prefill_take = prefill_take_list[i]
+                decode_take = decode_take_list[i]
+                if prefill_take > 0:
+                    avg_context = prefill_avg_list[i]
+                    epoch_tokens += prefill_take
+                    context_weighted += avg_context * prefill_take
+                    key = self._quantize(avg_context)
+                    energy_bins[key] = energy_bins.get(key, 0) + prefill_take
+                    prefill_segments.append((sequence, prefill_take))
+                if decode_take > 0:
+                    avg_context = decode_avg_list[i]
+                    epoch_tokens += decode_take
+                    context_weighted += avg_context * decode_take
+                    key = self._quantize(avg_context)
+                    energy_bins[key] = energy_bins.get(key, 0) + decode_take
+                    decode_sequences += 1
+                    if decode_take > max_decode_chunk:
+                        max_decode_chunk = decode_take
+                sequence.apply_advance(prefill_take, decode_take)
                 if sequence.is_complete:
-                    self.scheduler.complete(sequence, time_s)
+                    scheduler.complete(sequence, time_s)
 
             if epoch_tokens == 0:
-                # Nothing could make progress: force an eviction to break the tie.
-                stalled_epochs += 1
-                if stalled_epochs > 2000:
-                    raise SimulationError(
-                        "pipeline made no progress for 2000 consecutive epochs; a "
-                        "sequence's context does not fit the configured KV cache"
-                    )
-                victim = self.scheduler.evict_most_recent()
-                if victim is None:
-                    raise SimulationError("pipeline live-locked with no active work")
+                stalled_epochs = self._handle_stall(stalled_epochs)
                 continue
             stalled_epochs = 0
 
-            avg_context = context_weighted / epoch_tokens
-            interval = self.stage_interval(avg_context)
-            utilization = max(1e-6, min(1.0, self.epoch_utilization(prefill_segments, decode_sequences)))
-            duration = epoch_tokens * interval / utilization
-            # Autoregressive dependency bound: a decoding sequence produces at
-            # most one token per full pipeline traversal, no matter how much
-            # other work keeps the pipeline busy.
-            dependency_bound = max_decode_chunk * self.depth * interval
-            duration = max(duration, dependency_bound)
-            utilization = min(utilization, epoch_tokens * interval / duration) if duration > 0 else utilization
+            duration, utilization, epoch_energy = self._close_epoch(
+                epoch_tokens,
+                context_weighted,
+                energy_bins,
+                prefill_segments,
+                decode_sequences,
+                max_decode_chunk,
+            )
             time_s += duration
             energy = energy + epoch_energy
             processed_tokens += epoch_tokens
@@ -191,20 +245,171 @@ class PipelineEngine:
                     tokens=epoch_tokens,
                     utilization=utilization,
                     duration_s=duration,
-                    active_sequences=len(active),
+                    active_sequences=count,
                 )
             )
         else:
             raise SimulationError("epoch limit reached before the trace completed")
 
+        return self._finish(trace, workload_name, time_s, energy, processed_tokens, utilization_time)
+
+    def run_scalar(self, trace: Trace, workload_name: str | None = None) -> RunResult:
+        """Retained scalar reference: advance one sequence at a time.
+
+        Kept as the validation oracle for the array-based :meth:`run`; both
+        paths share the epoch-closing arithmetic, so their results must match
+        bit for bit.  Prefer :meth:`run` everywhere else -- this loop is an
+        order of magnitude slower on large traces.
+        """
+        scheduler = self.scheduler
+        scheduler.submit_all(list(trace.requests))
+        self.epochs = []
+        time_s = 0.0
+        energy = EnergyBreakdown()
+        processed_tokens = 0
+        utilization_time = 0.0
+        stalled_epochs = 0
+
+        for epoch_index in range(self.config.max_epochs):
+            if scheduler.all_done:
+                break
+            scheduler.fill(time_s)
+            active = scheduler.active
+            if not active:
+                if scheduler.waiting:
+                    raise SimulationError(
+                        "KV cache cannot hold even a single waiting sequence; "
+                        "reduce sequence lengths or enlarge the wafer"
+                    )
+                break
+
+            epoch_tokens = 0
+            context_weighted = 0.0
+            energy_bins: dict[int, int] = {}
+            prefill_segments: list[tuple[Sequence, int]] = []
+            decode_sequences = 0
+            max_decode_chunk = 0
+            active_count = len(active)
+
+            for sequence in active:  # `active` is already a defensive copy
+                if not scheduler.is_active(sequence):
+                    continue  # evicted by an earlier sequence's KV growth
+                budget = self._sequence_budget(sequence)
+                if budget <= 0:
+                    continue
+                if not scheduler.grow_sequence(sequence, budget):
+                    continue
+                segments = sequence.advance_tokens(budget)
+                for phase, count, start_position in segments:
+                    avg_context = start_position + (count - 1) / 2.0
+                    epoch_tokens += count
+                    context_weighted += avg_context * count
+                    key = self._quantize(avg_context)
+                    energy_bins[key] = energy_bins.get(key, 0) + count
+                    if phase is SequencePhase.PREFILL:
+                        prefill_segments.append((sequence, count))
+                    else:
+                        decode_sequences += 1
+                        max_decode_chunk = max(max_decode_chunk, count)
+                if sequence.is_complete:
+                    scheduler.complete(sequence, time_s)
+
+            if epoch_tokens == 0:
+                stalled_epochs = self._handle_stall(stalled_epochs)
+                continue
+            stalled_epochs = 0
+
+            duration, utilization, epoch_energy = self._close_epoch(
+                epoch_tokens,
+                context_weighted,
+                energy_bins,
+                prefill_segments,
+                decode_sequences,
+                max_decode_chunk,
+            )
+            time_s += duration
+            energy = energy + epoch_energy
+            processed_tokens += epoch_tokens
+            utilization_time += utilization * duration
+            self.epochs.append(
+                EpochRecord(
+                    epoch=epoch_index,
+                    tokens=epoch_tokens,
+                    utilization=utilization,
+                    duration_s=duration,
+                    active_sequences=active_count,
+                )
+            )
+        else:
+            raise SimulationError("epoch limit reached before the trace completed")
+
+        return self._finish(trace, workload_name, time_s, energy, processed_tokens, utilization_time)
+
+    # ------------------------------------------------------------ epoch pieces
+
+    def _handle_stall(self, stalled_epochs: int) -> int:
+        """Nothing could make progress: force an eviction to break the tie."""
+        stalled_epochs += 1
+        if stalled_epochs > _MAX_STALLED_EPOCHS:
+            raise SimulationError(
+                f"pipeline made no progress for {_MAX_STALLED_EPOCHS} consecutive "
+                "epochs; a sequence's context does not fit the configured KV cache"
+            )
+        victim = self.scheduler.evict_most_recent()
+        if victim is None:
+            raise SimulationError("pipeline live-locked with no active work")
+        return stalled_epochs
+
+    def _close_epoch(
+        self,
+        epoch_tokens: int,
+        context_weighted: float,
+        energy_bins: dict[int, int],
+        prefill_segments: list[tuple[Sequence, int]],
+        decode_sequences: int,
+        max_decode_chunk: int,
+    ) -> tuple[float, float, EnergyBreakdown]:
+        """Duration / utilization / energy of one epoch (shared by both paths)."""
+        avg_context = context_weighted / epoch_tokens
+        interval = self.stage_interval(avg_context)
+        utilization = max(
+            1e-6, min(1.0, self.epoch_utilization(prefill_segments, decode_sequences))
+        )
+        duration = epoch_tokens * interval / utilization
+        # Autoregressive dependency bound: a decoding sequence produces at
+        # most one token per full pipeline traversal, no matter how much
+        # other work keeps the pipeline busy.
+        dependency_bound = max_decode_chunk * self.depth * interval
+        duration = max(duration, dependency_bound)
+        utilization = (
+            min(utilization, epoch_tokens * interval / duration)
+            if duration > 0
+            else utilization
+        )
+        # One memoized EnergyBreakdown lookup and scale per quantized context
+        # bin -- not per segment -- in first-touch order.
+        epoch_energy = EnergyBreakdown()
+        for key, bin_tokens in energy_bins.items():
+            epoch_energy = epoch_energy + self._energy_for_key(key).scaled(bin_tokens)
+        return duration, utilization, epoch_energy
+
+    def _finish(
+        self,
+        trace: Trace,
+        workload_name: str | None,
+        time_s: float,
+        energy: EnergyBreakdown,
+        processed_tokens: int,
+        utilization_time: float,
+    ) -> RunResult:
         # Pipeline fill/drain: one full traversal at the final context length.
         if processed_tokens > 0:
-            time_s += self.cost_model.token_pipeline_latency(int(trace.mean_prefill_length) or 1)
-
+            time_s += self.cost_model.token_pipeline_latency(
+                int(trace.mean_prefill_length) or 1
+            )
         output_tokens = sum(
             sequence.request.decode_length for sequence in self.scheduler.completed
         )
-        recomputed = self.scheduler.stats.recomputed_tokens
         return RunResult(
             system=self.name,
             model=self.arch.name,
@@ -214,7 +419,7 @@ class PipelineEngine:
             output_tokens=output_tokens,
             energy=energy,
             utilization=(utilization_time / time_s) if time_s > 0 else 0.0,
-            recomputed_tokens=recomputed,
+            recomputed_tokens=self.scheduler.stats.recomputed_tokens,
             evictions=self.scheduler.stats.evictions,
             extra={"epochs": len(self.epochs)},
         )

@@ -65,6 +65,7 @@ class InterSequenceScheduler:
     def __post_init__(self) -> None:
         self._waiting: deque[Sequence] = deque()
         self._active: list[Sequence] = []  # in admission order (oldest first)
+        self._active_ids: set[int] = set()  # O(1) membership mirror of _active
         self._completed: list[Sequence] = []
         #: set when an eviction happened; cleared when a request completes
         self._admission_suspended = False
@@ -88,6 +89,12 @@ class InterSequenceScheduler:
 
     @property
     def active(self) -> list[Sequence]:
+        """Snapshot of the active sequences in admission order.
+
+        The copy makes ``for seq in scheduler.active: scheduler.complete(seq)``
+        safe; the epoch loop's per-sequence membership checks go through the
+        O(1) :meth:`is_active` instead of this list.
+        """
         return list(self._active)
 
     @property
@@ -98,9 +105,21 @@ class InterSequenceScheduler:
     def num_active(self) -> int:
         return len(self._active)
 
+    def is_active(self, sequence: Sequence) -> bool:
+        """O(1) membership test (the hot check of the epoch loop)."""
+        return sequence.sequence_id in self._active_ids
+
     @property
     def all_done(self) -> bool:
         return not self._waiting and not self._active
+
+    def _remove_active(self, sequence: Sequence) -> None:
+        """Drop a sequence from the active list by identity (no dataclass eq)."""
+        for index in range(len(self._active) - 1, -1, -1):
+            if self._active[index] is sequence:
+                del self._active[index]
+                break
+        self._active_ids.discard(sequence.sequence_id)
 
     # -------------------------------------------------------------- admission
 
@@ -126,6 +145,7 @@ class InterSequenceScheduler:
             self._waiting.popleft()
             candidate.start(time)
             self._active.append(candidate)
+            self._active_ids.add(candidate.sequence_id)
             self.stats.admitted += 1
             admitted.append(candidate)
         return admitted
@@ -137,6 +157,7 @@ class InterSequenceScheduler:
         if not self._active:
             return None
         victim = self._active.pop()  # most recently admitted
+        self._active_ids.discard(victim.sequence_id)
         self.kv_provider.release(victim)
         discarded = victim.evict()
         self.stats.evictions += 1
@@ -149,11 +170,11 @@ class InterSequenceScheduler:
 
     def complete(self, sequence: Sequence, time: float = 0.0) -> None:
         """Mark an active sequence complete and release its KV space."""
-        if sequence not in self._active:
+        if sequence.sequence_id not in self._active_ids:
             raise SchedulingError(
                 f"sequence {sequence.sequence_id} is not active and cannot complete"
             )
-        self._active.remove(sequence)
+        self._remove_active(sequence)
         self.kv_provider.release(sequence)
         sequence.complete(time)
         self._completed.append(sequence)
@@ -180,7 +201,7 @@ class InterSequenceScheduler:
                 if len(self._active) < 2:
                     return False
                 victim = self._active[-2]
-                self._active.remove(victim)
+                self._remove_active(victim)
                 self.kv_provider.release(victim)
                 discarded = victim.evict()
                 self.stats.evictions += 1

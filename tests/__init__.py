@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Making ``tests`` a package lets test modules import shared helpers from the
+sibling ``conftest`` (``from .conftest import make_trace``) without relying on
+pytest's rootdir-relative sys.path insertion.
+"""

@@ -1,0 +1,119 @@
+"""Equivalence of the array-based epoch engine and the retained scalar loop.
+
+The fast path (:meth:`PipelineEngine.run`) advances all active sequences per
+epoch with flat numpy arrays and accumulates energy per quantized context bin;
+the retained reference (:meth:`PipelineEngine.run_scalar`) walks one sequence
+at a time.  Both share the epoch-closing arithmetic, so every ``RunResult``
+field must match **bit for bit** -- across all three pipeline modes, both KV
+policies, and under eviction pressure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.kvcache.manager import DistributedKVCacheManager
+from repro.kvcache.static import StaticKVCacheManager
+from repro.pipeline.blocked import BlockedTokenGrainedPipeline
+from repro.pipeline.engine import PipelineConfig
+from repro.pipeline.sequence_grained import SequenceGrainedPipeline
+from repro.pipeline.stages import TokenCostModel
+from repro.pipeline.tgp import TokenGrainedPipeline
+from repro.workload.distributions import UniformLengthDistribution
+from repro.workload.generator import TraceGenerator, WorkloadSpec
+
+from .conftest import make_trace
+
+ENGINES = [TokenGrainedPipeline, SequenceGrainedPipeline, BlockedTokenGrainedPipeline]
+KV_POLICIES = ["dynamic", "static"]
+
+
+def build_engine(engine_cls, arch, wafer_config, kv_policy, *, blocks_per_core=256,
+                 kv_cores=48, chunk=32):
+    cost_model = TokenCostModel(arch=arch, wafer_config=wafer_config)
+    if kv_policy == "dynamic":
+        kv_manager = DistributedKVCacheManager(
+            arch, kv_core_ids=list(range(kv_cores)), blocks_per_core=blocks_per_core
+        )
+    else:
+        kv_manager = StaticKVCacheManager(
+            arch, kv_core_ids=kv_cores, blocks_per_core=blocks_per_core
+        )
+    config = PipelineConfig(chunk_tokens=chunk, context_quantum=32)
+    return engine_cls(arch, cost_model, kv_manager, config=config)
+
+
+def assert_bitwise_equal(fast, scalar):
+    assert fast.total_tokens == scalar.total_tokens
+    assert fast.output_tokens == scalar.output_tokens
+    assert fast.evictions == scalar.evictions
+    assert fast.recomputed_tokens == scalar.recomputed_tokens
+    # Floating-point fields must be *exactly* equal, not approximately.
+    assert fast.total_time_s == scalar.total_time_s
+    assert fast.utilization == scalar.utilization
+    assert fast.energy.compute_j == scalar.energy.compute_j
+    assert fast.energy.on_chip_memory_j == scalar.energy.on_chip_memory_j
+    assert fast.energy.off_chip_memory_j == scalar.energy.off_chip_memory_j
+    assert fast.energy.communication_j == scalar.energy.communication_j
+    assert fast.extra["epochs"] == scalar.extra["epochs"]
+
+
+def mixed_trace(num_requests=10, seed=3):
+    spec = WorkloadSpec(
+        name="mixed",
+        distribution=UniformLengthDistribution(
+            prefill_low=8, prefill_high=96, decode_low=4, decode_high=32
+        ),
+        num_requests=num_requests,
+        seed=seed,
+    )
+    return TraceGenerator(spec).generate()
+
+
+class TestArrayEngineMatchesScalar:
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("kv_policy", KV_POLICIES)
+    def test_fixed_length_trace(self, engine_cls, kv_policy, tiny_arch, small_wafer_config):
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        result_fast = fast.run(make_trace(num_requests=8, prefill=48, decode=16))
+        result_scalar = scalar.run_scalar(make_trace(num_requests=8, prefill=48, decode=16))
+        assert_bitwise_equal(result_fast, result_scalar)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("kv_policy", KV_POLICIES)
+    def test_mixed_length_trace(self, engine_cls, kv_policy, tiny_arch, small_wafer_config):
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        assert_bitwise_equal(fast.run(mixed_trace()), scalar.run_scalar(mixed_trace()))
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_under_eviction_pressure(self, engine_cls, tiny_arch, small_wafer_config):
+        """An undersized cache exercises eviction + re-prefill in both paths."""
+        kwargs = dict(blocks_per_core=2, kv_cores=24, chunk=64)
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        trace_args = dict(num_requests=6, prefill=300, decode=64)
+        result_fast = fast.run(make_trace(**trace_args))
+        result_scalar = scalar.run_scalar(make_trace(**trace_args))
+        assert result_fast.evictions > 0  # the scenario actually thrashes
+        assert_bitwise_equal(result_fast, result_scalar)
+
+    def test_epoch_records_match(self, tiny_arch, small_wafer_config):
+        fast = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        scalar = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        fast.run(mixed_trace())
+        scalar.run_scalar(mixed_trace())
+        assert [dataclasses.astuple(r) for r in fast.epochs] == [
+            dataclasses.astuple(r) for r in scalar.epochs
+        ]
+
+    def test_prefill_only_requests(self, tiny_arch, small_wafer_config):
+        fast = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        scalar = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        result_fast = fast.run(make_trace(num_requests=3, prefill=16, decode=0))
+        result_scalar = scalar.run_scalar(make_trace(num_requests=3, prefill=16, decode=0))
+        assert result_fast.output_tokens == 0
+        assert_bitwise_equal(result_fast, result_scalar)

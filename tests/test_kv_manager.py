@@ -143,6 +143,114 @@ class TestGrowthAndRelease:
         assert manager.stats.peak_used_blocks == manager.used_blocks
 
 
+class TestSizingEdgeCases:
+    def test_capacity_bytes_matches_block_geometry(self, manager, tiny_arch):
+        expected = (
+            manager.total_blocks
+            * manager.tokens_per_block
+            * tiny_arch.head_dim
+            * manager.element_bytes
+        )
+        assert manager.capacity_bytes == expected
+
+    def test_capacity_bytes_shrinks_with_failed_cores(self, manager):
+        before = manager.capacity_bytes
+        manager.fail_core(manager.kv_core_ids[0])
+        per_core = manager.blocks_per_core * manager.tokens_per_block * \
+            manager.arch.head_dim * manager.element_bytes
+        assert manager.capacity_bytes == before - per_core
+
+    def test_max_concurrent_zero_when_all_cores_failed(self, tiny_arch):
+        manager = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(4)), blocks_per_core=16
+        )
+        for core in list(manager.kv_core_ids):
+            manager.fail_core(core)
+        assert manager.total_blocks == 0
+        assert manager.max_concurrent_sequences(1) == 0
+        assert manager.capacity_bytes == 0
+        assert manager.utilization == 0.0
+
+    def test_max_concurrent_zero_when_context_exceeds_capacity(self, tiny_arch):
+        manager = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(4)), blocks_per_core=2
+        )
+        huge_context = manager.tokens_per_block * manager.total_blocks * 10
+        assert manager.max_concurrent_sequences(huge_context) == 0
+
+    def test_max_concurrent_handles_non_positive_context(self, manager):
+        # Degenerate context lengths behave like a single-block reservation.
+        assert manager.max_concurrent_sequences(0) == manager.max_concurrent_sequences(1)
+        assert manager.max_concurrent_sequences(-5) == manager.max_concurrent_sequences(1)
+
+    def test_admission_rejected_when_all_cores_failed(self, tiny_arch):
+        manager = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(4)), blocks_per_core=16
+        )
+        for core in list(manager.kv_core_ids):
+            manager.fail_core(core)
+        assert not manager.try_admit(make_sequence(0))
+        assert manager.stats.failed_admissions == 1
+
+    def test_used_blocks_consistent_after_growth_and_failure(self, manager):
+        seq = make_sequence(0)
+        manager.try_admit(seq)
+        manager.append_tokens(seq, manager.tokens_per_block + 1)
+        used_before = manager.used_blocks
+        victim = manager.page_tables[0].cores_of(0)[0]
+        manager.fail_core(victim)
+        # The failed core's blocks leave both the total and the free pool.
+        assert manager.total_blocks == (manager.num_kv_cores - 1) * manager.blocks_per_core
+        assert 0 < manager.used_blocks <= used_before
+        manager.release(seq)
+        assert manager.used_blocks == 0
+
+    def test_static_max_concurrent_zero_when_sequence_oversized(self, tiny_arch):
+        manager = StaticKVCacheManager(
+            tiny_arch, kv_core_ids=2, blocks_per_core=1,
+            reserved_context=tiny_arch.max_context,
+        )
+        assert manager.blocks_per_sequence() > manager.total_blocks
+        assert manager.max_concurrent_sequences() == 0
+
+    def test_static_capacity_bytes(self, tiny_arch):
+        manager = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=16)
+        expected = (
+            manager.total_blocks
+            * manager.tokens_per_block
+            * tiny_arch.head_dim
+            * manager.element_bytes
+        )
+        assert manager.capacity_bytes == expected
+
+
+class TestRingSelectionEquivalence:
+    def test_fast_selection_matches_walk_when_heads_exceed_group(self, tiny_arch):
+        # 8 cores / 4 groups -> group size 2 < kv_heads: the fast path must
+        # reproduce the walk's pad-with-first-usable behaviour exactly.
+        manager = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(8)), blocks_per_core=16
+        )
+        heads = tiny_arch.kv_heads
+        assert heads > len(manager._k_groups[0])
+        fast = manager._select_all_blocks_fast()
+        for block in range(tiny_arch.num_blocks):
+            pointer = manager._ring_pointers[block]
+            walk_k = manager._select_cores(manager._k_groups[block], pointer, heads)
+            walk_v = manager._select_cores(manager._v_groups[block], pointer, heads)
+            assert fast[2 * block].tolist() == walk_k
+            assert fast[2 * block + 1].tolist() == walk_v
+
+    def test_fast_selection_matches_walk_after_pointer_advance(self, manager, tiny_arch):
+        manager.try_admit(make_sequence(0))  # advances every ring pointer
+        heads = tiny_arch.kv_heads
+        fast = manager._select_all_blocks_fast()
+        for block in range(tiny_arch.num_blocks):
+            pointer = manager._ring_pointers[block]
+            walk_k = manager._select_cores(manager._k_groups[block], pointer, heads)
+            assert fast[2 * block].tolist() == walk_k
+
+
 class TestThreshold:
     def test_threshold_reserves_headroom(self, tiny_arch):
         no_reserve = DistributedKVCacheManager(
