@@ -1,0 +1,51 @@
+"""Benchmark: regenerate Fig. 22 (open-loop arrival-rate sweep).
+
+Not a figure of the paper: the sweep opens the arrival-time-driven serving
+workload on top of the closed-batch evaluation.  One (model, workload) cell is
+served at increasing Poisson arrival rates — fractions of the measured
+closed-batch service rate — and the qualitative queueing-theory shape is
+asserted: throughput tracks the offered load below saturation and plateaus
+above it, while the latency percentiles grow monotonically with load.
+"""
+
+from repro.experiments import fig22_arrival_sweep
+
+from .conftest import bench_settings, record_figure
+
+LOAD_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+def test_fig22_arrival_sweep(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig22_arrival_sweep.run,
+        args=(settings,),
+        kwargs={"load_fractions": LOAD_FRACTIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(results_dir, "fig22_arrival_sweep", result)
+
+    rows = result.rows()
+    assert [row["load"] for row in rows] == list(LOAD_FRACTIONS)
+    assert result.base_rate_per_s > 0
+
+    # Below saturation throughput tracks the offered load: each doubling of
+    # the arrival rate raises served throughput substantially.
+    throughputs = [row["throughput_tok_s"] for row in rows]
+    assert throughputs == sorted(throughputs)
+    assert throughputs[1] > throughputs[0] * 1.5
+
+    # Past saturation the gain flattens out: the 1.0 -> 2.0 load step gains
+    # far less than the sub-saturation doublings.
+    subsaturation_gain = throughputs[1] / throughputs[0]
+    saturated_gain = throughputs[3] / throughputs[2]
+    assert saturated_gain < subsaturation_gain
+
+    # Latency percentiles are populated, internally ordered, and the tail
+    # grows with offered load.
+    for row in rows:
+        assert 0 < row["ttft_p50_s"] <= row["ttft_p95_s"]
+        assert 0 < row["latency_p50_s"] <= row["latency_p95_s"] <= row["latency_p99_s"]
+    p95s = [row["latency_p95_s"] for row in rows]
+    assert p95s[-1] > p95s[0]

@@ -10,6 +10,13 @@ Run:  python examples/quickstart.py [num_requests]
 
 Going further:
 
+* Serve open-loop instead of closed-batch: give the workload a Poisson
+  arrival rate and the engine gates admission on arrival times, skips idle
+  gaps, and reports TTFT / end-to-end latency percentiles (this script's
+  second serving run, or ``python -m repro serve llama-13b --arrival-rate 25``).
+  ``python -m repro experiment fig22`` sweeps arrival rate vs. throughput and
+  tail latency.
+
 * Sweep a whole model x workload grid in one call -- fanned across a process
   pool on multi-core machines, optionally cached on disk::
 
@@ -23,10 +30,11 @@ Going further:
 
 * Benchmark the simulator itself and keep the numbers::
 
-      python -m repro bench --output BENCH_PR1.json     # or scripts/bench.sh
+      python -m repro bench --output BENCH_PR2.json     # or scripts/bench.sh
 
-  The JSON report breaks the wall-clock into build / serve / grid / annealer
-  stages so perf regressions are visible across PRs.
+  The JSON report breaks the wall-clock into build / serve (closed-batch and
+  open-loop) / grid / annealer stages so perf regressions are visible across
+  PRs.
 """
 
 from __future__ import annotations
@@ -77,6 +85,22 @@ def main(num_requests: int = 200) -> None:
         print(f"  {category:>16}: {fraction:6.1%}")
     print(f"\nPipeline utilization: {ours.utilization:.1%}; "
           f"KV evictions: {ours.evictions}; recomputed tokens: {ours.recomputed_tokens}")
+
+    # Open-loop serving: the same request mix arriving as a Poisson process at
+    # the closed-batch service rate (saturation).  Admission is gated on the
+    # arrival times and the result carries per-request latency percentiles.
+    arrival_rate = num_requests / ours.total_time_s
+    open_trace = generate_trace(
+        "wikitext2", num_requests=num_requests, arrival_rate_per_s=arrival_rate
+    )
+    open_loop = system.serve(open_trace)
+    print(f"\nOpen-loop at {arrival_rate:,.1f} req/s (saturation): "
+          f"{open_loop.throughput_tokens_per_s:,.0f} tok/s")
+    print(f"  TTFT p50/p95:        {open_loop.ttft.p50_s * 1e3:7.1f} / "
+          f"{open_loop.ttft.p95_s * 1e3:7.1f} ms")
+    print(f"  latency p50/p95/p99: {open_loop.latency.p50_s * 1e3:7.1f} / "
+          f"{open_loop.latency.p95_s * 1e3:7.1f} / "
+          f"{open_loop.latency.p99_s * 1e3:7.1f} ms")
 
 
 if __name__ == "__main__":

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Run the serving-simulator benchmark and write BENCH_PR1.json at the repo root.
+# Run the serving-simulator benchmark and write BENCH_PR2.json at the repo root.
+# The stages now include one open-loop (arrival-time-driven) serving run.
 #
 # Usage: scripts/bench.sh [extra `repro bench` args...]
 #   REPRO_BENCH_REQUESTS  requests per workload (default 150; the paper uses 1000)
@@ -9,5 +10,5 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 exec python -m repro bench \
     --requests "${REPRO_BENCH_REQUESTS:-150}" \
-    --output BENCH_PR1.json \
+    --output BENCH_PR2.json \
     "$@"

@@ -8,11 +8,14 @@ Three sub-commands cover the workflows a downstream user needs:
 ``serve``
     Serve one of the paper's workloads on Ouroboros (and optionally the
     baselines) and print throughput, energy per token and the energy
-    breakdown.
+    breakdown.  ``--arrival-rate R`` switches to open-loop serving: requests
+    arrive as a Poisson process at R requests/s and the report adds TTFT and
+    end-to-end latency percentiles.
 
 ``experiment``
-    Regenerate one of the paper's figures (``fig01`` ... ``fig21``,
-    ``headline`` or ``all``) and print the regenerated rows.
+    Regenerate one of the paper's figures (``fig01`` ... ``fig22``,
+    ``headline`` or ``all``) and print the regenerated rows.  ``fig22`` is
+    the open-loop arrival-rate sweep (beyond the paper's own figures).
 
 ``bench``
     Time the headline experiments stage by stage (system build, serving,
@@ -23,9 +26,11 @@ Examples::
 
     python -m repro summary llama-13b
     python -m repro serve llama-13b --workload lp128_ld2048 --requests 200 --baselines
+    python -m repro serve llama-13b --arrival-rate 25 --requests 200
     python -m repro experiment fig11
     python -m repro experiment fig13 --requests 100 --models llama-13b
-    python -m repro bench --output BENCH_PR1.json
+    python -m repro experiment fig22 --requests 100
+    python -m repro bench --output BENCH_PR2.json
 """
 
 from __future__ import annotations
@@ -67,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--requests", type=int, default=200)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--kv-threshold", type=float, default=0.1)
+    serve.add_argument("--arrival-rate", type=float, default=0.0,
+                       help="open-loop Poisson arrival rate in requests/s "
+                            "(0 = closed batch, all requests at t=0)")
     serve.add_argument("--baselines", action="store_true",
                        help="also run the DGX/TPU/AttAcc/Cerebras baselines")
 
@@ -87,8 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR1.json",
-                       help="path of the JSON report (default: BENCH_PR1.json)")
+    bench.add_argument("--output", default="BENCH_PR2.json",
+                       help="path of the JSON report (default: BENCH_PR2.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -129,11 +137,25 @@ def _print_result_row(name: str, result, reference=None) -> None:
 
 
 def _serve(args: argparse.Namespace) -> int:
+    if args.baselines and args.arrival_rate > 0:
+        print(
+            "error: --baselines is a closed-batch comparison; the analytic "
+            "baseline models ignore arrival times, so an open-loop 'speedup' "
+            "would be a load artifact. Drop --baselines (or --arrival-rate).",
+            file=sys.stderr,
+        )
+        return 2
     arch = get_model(args.model)
     settings = ExperimentSettings(
-        num_requests=args.requests, seed=args.seed, kv_threshold=args.kv_threshold
+        num_requests=args.requests,
+        seed=args.seed,
+        kv_threshold=args.kv_threshold,
+        arrival_rate_per_s=args.arrival_rate,
     )
-    print(f"Serving {args.requests} '{args.workload}' requests of {arch.name}")
+    mode = (
+        f"open-loop at {args.arrival_rate:g} req/s" if args.arrival_rate > 0 else "batch"
+    )
+    print(f"Serving {args.requests} '{args.workload}' requests of {arch.name} ({mode})")
     if args.baselines:
         results = run_all_systems(arch, args.workload, settings)
         reference = results["DGX A100"]
@@ -148,13 +170,26 @@ def _serve(args: argparse.Namespace) -> int:
         })
     else:
         system = OuroborosSystem(arch, settings.system_config())
-        trace = generate_trace(args.workload, num_requests=args.requests, seed=args.seed)
+        trace = generate_trace(
+            args.workload,
+            num_requests=args.requests,
+            seed=args.seed,
+            arrival_rate_per_s=args.arrival_rate,
+        )
         result = system.serve(trace, workload_name=args.workload)
         _print_result_row(OUROBOROS_NAME, result)
         print("  energy breakdown:", {
             k: f"{v:.1%}" for k, v in result.energy.fractions().items()
         })
         print(f"  utilization: {result.utilization:.1%}  evictions: {result.evictions}")
+        if args.arrival_rate > 0:
+            print(
+                f"  TTFT p50/p95: {result.ttft.p50_s * 1e3:.1f}/"
+                f"{result.ttft.p95_s * 1e3:.1f} ms  "
+                f"latency p50/p95/p99: {result.latency.p50_s * 1e3:.1f}/"
+                f"{result.latency.p95_s * 1e3:.1f}/"
+                f"{result.latency.p99_s * 1e3:.1f} ms"
+            )
     return 0
 
 

@@ -13,6 +13,7 @@ fig17            Fig. 17 -- KV-cache threshold sweep
 fig18            Fig. 18 -- mapping transmission volume
 fig19/20         Fig. 19/20 -- multi-wafer scaling (LLaMA-65B)
 fig21            Table 2 / Fig. 21 -- CIM-core circuit designs
+fig22            (beyond the paper) open-loop arrival-rate sweep
 headline         abstract -- average/peak speedup and efficiency
 ===============  =====================================================
 
@@ -31,6 +32,7 @@ from . import (
     fig18_mapping,
     fig19_20_multiwafer,
     fig21_cim_cores,
+    fig22_arrival_sweep,
     headline,
 )
 from .common import (
@@ -59,6 +61,7 @@ ALL_EXPERIMENTS = {
     "fig18": fig18_mapping,
     "fig19_20": fig19_20_multiwafer,
     "fig21": fig21_cim_cores,
+    "fig22": fig22_arrival_sweep,
     "headline": headline,
 }
 
@@ -86,5 +89,6 @@ __all__ = [
     "fig18_mapping",
     "fig19_20_multiwafer",
     "fig21_cim_cores",
+    "fig22_arrival_sweep",
     "headline",
 ]

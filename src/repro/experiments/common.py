@@ -59,6 +59,10 @@ class ExperimentSettings:
     anneal_iterations: int = 50
     kv_threshold: float = 0.1
     model_defects: bool = True
+    #: mean Poisson request arrival rate in requests/s (0 = closed batch);
+    #: nonzero rates serve the trace open-loop and populate the TTFT /
+    #: end-to-end latency fields of RunResult
+    arrival_rate_per_s: float = 0.0
 
     def pipeline_config(self) -> PipelineConfig:
         return PipelineConfig(chunk_tokens=self.chunk_tokens)
@@ -91,7 +95,10 @@ def workload_trace(
     workload: str, settings: ExperimentSettings = DEFAULT_SETTINGS
 ) -> Trace:
     return generate_trace(
-        workload, num_requests=settings.num_requests, seed=settings.seed
+        workload,
+        num_requests=settings.num_requests,
+        seed=settings.seed,
+        arrival_rate_per_s=settings.arrival_rate_per_s,
     )
 
 
@@ -155,11 +162,19 @@ def run_all_systems(
     workload: str,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     ouroboros_system: OuroborosSystem | None = None,
+    systems: tuple[str, ...] | None = None,
 ) -> dict[str, RunResult]:
-    """Run every baseline plus Ouroboros on one (model, workload) cell."""
+    """Run every baseline plus Ouroboros on one (model, workload) cell.
+
+    ``systems`` restricts the baseline set (Ouroboros always runs); the
+    arrival-rate sweep uses ``systems=()`` because the analytic baselines
+    have no notion of arrival times.
+    """
     arch = resolve_model(model)
     results: dict[str, RunResult] = {}
     for name in BASELINE_SYSTEMS:
+        if systems is not None and name not in systems:
+            continue
         result = run_baseline(name, arch, workload, settings)
         if result is not None:
             results[name] = result

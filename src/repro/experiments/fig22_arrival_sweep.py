@@ -1,0 +1,96 @@
+"""Fig. 22 -- open-loop serving: arrival rate versus throughput and latency.
+
+This figure extends the paper's closed-batch evaluation (Figs. 13/14) with the
+serving mode production deployments actually run: requests arrive over time
+(Poisson process) and the system is measured on tail latency as well as
+throughput.  The sweep fixes one (model, workload) cell and serves the same
+request mix at increasing arrival rates, expressed as fractions of the
+*closed-batch service rate* -- the request throughput the system sustains when
+every request is available at t=0.  Below saturation the wafer idles between
+arrivals (throughput tracks the offered load, latency stays flat); past
+saturation a queue builds and the latency percentiles grow while throughput
+plateaus at the batch rate.
+
+Only Ouroboros is swept: the analytic baseline models have no notion of
+arrival times.  Cell execution goes through :class:`repro.perf.SweepRunner`,
+so the rate variants fan out across a process pool on multi-core machines and
+reuse the on-disk result cache (``REPRO_RESULT_CACHE_DIR``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..perf.sweep import SweepCell, SweepRunner
+from ..results import RunResult
+from .common import DEFAULT_SETTINGS, OUROBOROS_NAME, ExperimentSettings, FigureResult
+
+#: offered load as a fraction of the closed-batch service rate, in plot order
+DEFAULT_LOAD_FRACTIONS = (0.25, 0.5, 1.0, 2.0)
+
+
+@dataclass
+class ArrivalSweepResult(FigureResult):
+    model: str = ""
+    workload: str = ""
+    #: closed-batch request service rate (requests/s) the sweep is scaled by
+    base_rate_per_s: float = 0.0
+    #: RunResult per swept arrival rate (requests/s), in sweep order
+    results: dict[float, RunResult] = field(default_factory=dict)
+
+    def saturation_throughput_tok_s(self) -> float:
+        """Output-token throughput at the highest swept load."""
+        if not self.results:
+            return 0.0
+        return self.results[max(self.results)].throughput_tokens_per_s
+
+
+def run(
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    model: str = "llama-13b",
+    workload: str = "wikitext2",
+    load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
+    runner: SweepRunner | None = None,
+) -> ArrivalSweepResult:
+    """Sweep Poisson arrival rates on one (model, workload) cell."""
+    runner = runner or SweepRunner()
+    cell = SweepCell(model=model, workload=workload, systems=())
+
+    # Anchor: the closed-batch run both defines the service rate the sweep is
+    # scaled by and doubles as the regression reference (arrival rate 0 must
+    # reproduce the batch numbers bit for bit).
+    batch_settings = replace(settings, arrival_rate_per_s=0.0)
+    batch = runner.run_variants(cell, [batch_settings])[0][OUROBOROS_NAME]
+    base_rate = settings.num_requests / batch.total_time_s
+
+    rates = [fraction * base_rate for fraction in load_fractions]
+    variants = [replace(settings, arrival_rate_per_s=rate) for rate in rates]
+    sweep = runner.run_variants(cell, variants)
+
+    result = ArrivalSweepResult(
+        figure="Fig. 22",
+        description=(
+            f"Open-loop arrival sweep on {model}/{workload} "
+            f"(load relative to the closed-batch rate, {base_rate:.1f} req/s)"
+        ),
+        model=model,
+        workload=workload,
+        base_rate_per_s=base_rate,
+    )
+    for fraction, rate, cell_results in zip(load_fractions, rates, sweep):
+        run_result = cell_results[OUROBOROS_NAME]
+        result.results[rate] = run_result
+        result.rows_data.append(
+            {
+                "load": fraction,
+                "arrival_rate_req_s": rate,
+                "throughput_tok_s": run_result.throughput_tokens_per_s,
+                "ttft_p50_s": run_result.ttft.p50_s,
+                "ttft_p95_s": run_result.ttft.p95_s,
+                "latency_p50_s": run_result.latency.p50_s,
+                "latency_p95_s": run_result.latency.p95_s,
+                "latency_p99_s": run_result.latency.p99_s,
+                "evictions": run_result.evictions,
+            }
+        )
+    return result

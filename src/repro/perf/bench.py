@@ -2,9 +2,10 @@
 
 ``repro bench`` (or ``scripts/bench.sh``) times the serving simulator stage by
 stage -- system build (mapping + KV setup) per model, trace serving per
-workload, the full headline comparison grid, and a mapping-annealer
+workload (closed batch plus one open-loop arrival-driven run at the measured
+saturation rate), the full headline comparison grid, and a mapping-annealer
 microbenchmark -- and writes the measurements to a JSON file
-(``BENCH_PR1.json`` by default).  Future PRs append their own reports, so the
+(``BENCH_PR2.json`` by default).  Future PRs append their own reports, so the
 repository carries its performance trajectory alongside the code.
 
 The harness measures *cold* numbers: every stage builds its own systems and
@@ -18,7 +19,7 @@ import json
 import platform
 import sys
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 
@@ -108,22 +109,40 @@ def run_bench(
     arch = resolve_model(models[0])
     system = OuroborosSystem(arch, settings.system_config())
     system.built
+    first_batch_result = None
     for workload in PAPER_WORKLOAD_ORDER:
         trace = workload_trace(workload, settings)
         start = time.perf_counter()
-        system.serve(trace, workload_name=workload)
+        result = system.serve(trace, workload_name=workload)
         report.timings_s[f"serve.{models[0]}.{workload}"] = time.perf_counter() - start
+        if first_batch_result is None:
+            first_batch_result = result
+
+    # Stage 2b: open-loop (arrival-time-driven) serving of the first workload
+    # at the saturation rate measured by the closed-batch run above.
+    workload = PAPER_WORKLOAD_ORDER[0]
+    rate = num_requests / first_batch_result.total_time_s
+    open_loop_settings = replace(settings, arrival_rate_per_s=rate)
+    trace = workload_trace(workload, open_loop_settings)
+    start = time.perf_counter()
+    open_result = system.serve(trace, workload_name=workload)
+    report.timings_s[f"serve_open_loop.{models[0]}.{workload}"] = (
+        time.perf_counter() - start
+    )
+    report.meta["open_loop_arrival_rate_per_s"] = rate
+    report.headline["open_loop_ttft_p95_s"] = open_result.ttft.p95_s
+    report.headline["open_loop_latency_p99_s"] = open_result.latency.p99_s
 
     # Stage 3: the full headline grid (models x workloads x all systems).
     start = time.perf_counter()
     result = headline.run(settings, models=models)
     report.timings_s["headline_grid"] = time.perf_counter() - start
-    report.headline = {
+    report.headline.update({
         "average_speedup": result.average_speedup,
         "peak_speedup": result.peak_speedup,
         "average_efficiency_gain": result.average_efficiency_gain,
         "peak_efficiency_gain": result.peak_efficiency_gain,
-    }
+    })
 
     # Stage 4: mapping-annealer microbenchmark (incremental delta evaluation).
     arch = resolve_model(models[0])

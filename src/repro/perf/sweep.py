@@ -36,15 +36,22 @@ from pathlib import Path
 from ..results import RunResult
 
 #: bump when RunResult semantics or serving behaviour changes incompatibly
-_CACHE_SCHEMA = "1"
+#: (2: RunResult grew ttft/latency stats; completion stamped at epoch end)
+_CACHE_SCHEMA = "2"
 
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One grid cell: serve one workload of one model on every system."""
+    """One grid cell: serve one workload of one model on every system.
+
+    ``systems`` optionally restricts the baseline set run alongside Ouroboros
+    (``()`` = Ouroboros only, e.g. for the open-loop arrival sweep, where the
+    analytic baselines have no notion of arrival times).
+    """
 
     model: str
     workload: str
+    systems: tuple[str, ...] | None = None
 
 
 def _cell_key(cell: SweepCell, settings) -> str:
@@ -53,6 +60,7 @@ def _cell_key(cell: SweepCell, settings) -> str:
         "schema": _CACHE_SCHEMA,
         "model": cell.model,
         "workload": cell.workload,
+        "systems": list(cell.systems) if cell.systems is not None else None,
         "settings": asdict(settings),
     }
     canonical = json.dumps(payload, sort_keys=True, default=str)
@@ -64,7 +72,9 @@ def _run_cell(args: tuple[SweepCell, object]) -> tuple[SweepCell, dict[str, RunR
     from ..experiments.common import run_all_systems
 
     cell, settings = args
-    return cell, run_all_systems(cell.model, cell.workload, settings)
+    return cell, run_all_systems(
+        cell.model, cell.workload, settings, systems=cell.systems
+    )
 
 
 class SweepRunner:
@@ -115,50 +125,87 @@ class SweepRunner:
 
     # --------------------------------------------------------------------- runs
 
-    def run_cells(
-        self, cells: list[SweepCell], settings
-    ) -> dict[SweepCell, dict[str, RunResult]]:
-        """Run every cell, via the cache / process pool / serial path."""
-        results: dict[SweepCell, dict[str, RunResult]] = {}
-        pending: list[SweepCell] = []
-        for cell in cells:
+    def _run_pairs(
+        self, pairs: list[tuple[SweepCell, object]]
+    ) -> list[dict[str, RunResult]]:
+        """Run (cell, settings) pairs via the cache / process pool / serial path.
+
+        The shared dispatch behind :meth:`run_cells` (one settings, many
+        cells) and :meth:`run_variants` (one cell, many settings).  Results
+        come back in input order.
+        """
+        results: list[dict[str, RunResult] | None] = [None] * len(pairs)
+        pending: list[int] = []
+        for index, (cell, settings) in enumerate(pairs):
             cached = self._cache_load(_cell_key(cell, settings))
             if cached is not None:
-                results[cell] = cached
+                results[index] = cached
                 self.cache_hits += 1
             else:
-                pending.append(cell)
+                pending.append(index)
                 self.cache_misses += 1
 
         if pending:
             if self.max_workers > 1 and len(pending) > 1:
                 with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    for cell, cell_results in pool.map(
-                        _run_cell, [(cell, settings) for cell in pending]
+                    for index, (_, cell_results) in zip(
+                        pending,
+                        pool.map(_run_cell, [pairs[index] for index in pending]),
                     ):
-                        results[cell] = cell_results
-                        self._cache_store(_cell_key(cell, settings), cell_results)
+                        results[index] = cell_results
+                        self._cache_store(_cell_key(*pairs[index]), cell_results)
             else:
-                for cell, cell_results in self._run_serial(pending, settings):
-                    results[cell] = cell_results
-                    self._cache_store(_cell_key(cell, settings), cell_results)
+                for index, cell_results in self._run_serial(pairs, pending):
+                    results[index] = cell_results
+                    self._cache_store(_cell_key(*pairs[index]), cell_results)
         return results
 
-    def _run_serial(self, cells: list[SweepCell], settings):
-        """Serial path: group by model so each system is built exactly once."""
+    def _run_serial(self, pairs, pending: list[int]):
+        """Serial path: build each distinct (model, system config) once.
+
+        Grid cells share one settings object, so this degrades to the
+        build-once-per-model loop; arrival-rate variants differ only in trace
+        knobs, so they share one built system too.
+        """
         from ..core.system import OuroborosSystem
         from ..experiments.common import resolve_model, run_all_systems
 
-        by_model: dict[str, list[SweepCell]] = {}
-        for cell in cells:
-            by_model.setdefault(cell.model, []).append(cell)
-        for model, model_cells in by_model.items():
+        groups: dict[tuple, list[int]] = {}
+        for index in pending:
+            cell, settings = pairs[index]
+            groups.setdefault((cell.model, settings.system_config()), []).append(index)
+        for (model, config), indices in groups.items():
             arch = resolve_model(model)
-            system = OuroborosSystem(arch, settings.system_config())
-            for cell in model_cells:
-                yield cell, run_all_systems(
-                    arch, cell.workload, settings, ouroboros_system=system
+            system = OuroborosSystem(arch, config)
+            for index in indices:
+                cell, settings = pairs[index]
+                yield index, run_all_systems(
+                    arch,
+                    cell.workload,
+                    settings,
+                    ouroboros_system=system,
+                    systems=cell.systems,
                 )
+
+    def run_cells(
+        self, cells: list[SweepCell], settings
+    ) -> dict[SweepCell, dict[str, RunResult]]:
+        """Run every cell, via the cache / process pool / serial path."""
+        flat = self._run_pairs([(cell, settings) for cell in cells])
+        return dict(zip(cells, flat))
+
+    def run_variants(
+        self, cell: SweepCell, settings_list: list
+    ) -> list[dict[str, RunResult]]:
+        """Run one cell under several settings variants, in input order.
+
+        This is the sweep shape of the open-loop arrival-rate experiment: the
+        (model, workload) pair is fixed and the settings vary (e.g. by
+        ``arrival_rate_per_s``).  Variants fan out across the process pool and
+        use the on-disk cache exactly like grid cells — the cache key embeds
+        the settings, so each variant caches independently.
+        """
+        return self._run_pairs([(cell, settings) for settings in settings_list])
 
     def run_grid(
         self,

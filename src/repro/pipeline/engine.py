@@ -14,6 +14,13 @@ accumulated from the per-token cost model, and KV-cache growth / eviction is
 driven through the inter-sequence scheduler so that thrashing shows up as
 recomputed tokens and extra time.
 
+Traces whose requests carry nonzero ``arrival_time``s are served *open-loop*:
+admission is gated on arrival, the clock jumps across idle gaps to the next
+arrival, and the per-request timestamps (first output token, completion — both
+stamped at the end of the epoch that produced them) feed the TTFT and
+end-to-end latency distributions on :class:`RunResult`.  Batch traces (every
+arrival at t=0) reduce to the original closed-loop behaviour bit for bit.
+
 Two implementations of the epoch loop exist:
 
 * :meth:`PipelineEngine.run` -- the fast path.  Every epoch it materialises
@@ -39,7 +46,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..models.architectures import ModelArch
 from ..models.pipeline_stages import pipeline_depth
-from ..results import EnergyBreakdown, RunResult
+from ..results import EnergyBreakdown, LatencyStats, RunResult
 from ..workload.generator import Trace
 from ..workload.requests import Sequence, SequencePhase
 from ..workload.scheduler import InterSequenceScheduler, KVCapacityProvider
@@ -148,14 +155,8 @@ class PipelineEngine:
         for epoch_index in range(self.config.max_epochs):
             if scheduler.all_done:
                 break
-            scheduler.fill(time_s)
-            active = scheduler.active
+            active, time_s = self._admit_or_skip_idle(time_s)
             if not active:
-                if scheduler.waiting:
-                    raise SimulationError(
-                        "KV cache cannot hold even a single waiting sequence; "
-                        "reduce sequence lengths or enlarge the wafer"
-                    )
                 break
 
             # Flat integer state of every active sequence, then the epoch's
@@ -191,6 +192,8 @@ class PipelineEngine:
             prefill_segments: list[tuple[Sequence, int]] = []
             decode_sequences = 0
             max_decode_chunk = 0
+            first_decoders: list[Sequence] = []
+            finished: list[Sequence] = []
 
             for i, sequence in enumerate(snapshot):
                 if not scheduler.is_active(sequence):
@@ -218,9 +221,15 @@ class PipelineEngine:
                     decode_sequences += 1
                     if decode_take > max_decode_chunk:
                         max_decode_chunk = decode_take
+                    if sequence.generated_tokens == 0:
+                        first_decoders.append(sequence)
                 sequence.apply_advance(prefill_take, decode_take)
                 if sequence.is_complete:
+                    # Scheduler bookkeeping (KV release, admission resume)
+                    # happens mid-epoch; the wall-clock stamp is corrected to
+                    # the epoch end below, once the duration is known.
                     scheduler.complete(sequence, time_s)
+                    finished.append(sequence)
 
             if epoch_tokens == 0:
                 stalled_epochs = self._handle_stall(stalled_epochs)
@@ -236,6 +245,7 @@ class PipelineEngine:
                 max_decode_chunk,
             )
             time_s += duration
+            self._stamp_epoch_end(time_s, first_decoders, finished)
             energy = energy + epoch_energy
             processed_tokens += epoch_tokens
             utilization_time += utilization * duration
@@ -273,14 +283,8 @@ class PipelineEngine:
         for epoch_index in range(self.config.max_epochs):
             if scheduler.all_done:
                 break
-            scheduler.fill(time_s)
-            active = scheduler.active
+            active, time_s = self._admit_or_skip_idle(time_s)
             if not active:
-                if scheduler.waiting:
-                    raise SimulationError(
-                        "KV cache cannot hold even a single waiting sequence; "
-                        "reduce sequence lengths or enlarge the wafer"
-                    )
                 break
 
             epoch_tokens = 0
@@ -289,6 +293,8 @@ class PipelineEngine:
             prefill_segments: list[tuple[Sequence, int]] = []
             decode_sequences = 0
             max_decode_chunk = 0
+            first_decoders: list[Sequence] = []
+            finished: list[Sequence] = []
             active_count = len(active)
 
             for sequence in active:  # `active` is already a defensive copy
@@ -299,6 +305,7 @@ class PipelineEngine:
                     continue
                 if not scheduler.grow_sequence(sequence, budget):
                     continue
+                had_output = sequence.generated_tokens > 0
                 segments = sequence.advance_tokens(budget)
                 for phase, count, start_position in segments:
                     avg_context = start_position + (count - 1) / 2.0
@@ -311,8 +318,14 @@ class PipelineEngine:
                     else:
                         decode_sequences += 1
                         max_decode_chunk = max(max_decode_chunk, count)
+                if not had_output and sequence.generated_tokens > 0:
+                    first_decoders.append(sequence)
                 if sequence.is_complete:
+                    # Scheduler bookkeeping (KV release, admission resume)
+                    # happens mid-epoch; the wall-clock stamp is corrected to
+                    # the epoch end below, once the duration is known.
                     scheduler.complete(sequence, time_s)
+                    finished.append(sequence)
 
             if epoch_tokens == 0:
                 stalled_epochs = self._handle_stall(stalled_epochs)
@@ -328,6 +341,7 @@ class PipelineEngine:
                 max_decode_chunk,
             )
             time_s += duration
+            self._stamp_epoch_end(time_s, first_decoders, finished)
             energy = energy + epoch_energy
             processed_tokens += epoch_tokens
             utilization_time += utilization * duration
@@ -346,6 +360,50 @@ class PipelineEngine:
         return self._finish(trace, workload_name, time_s, energy, processed_tokens, utilization_time)
 
     # ------------------------------------------------------------ epoch pieces
+
+    def _admit_or_skip_idle(self, time_s: float) -> tuple[list[Sequence], float]:
+        """Fill at the current clock, jumping across idle gaps to the next arrival.
+
+        Open-loop serving can leave the wafer idle: nothing active and every
+        waiting request still in the future.  The simulation then advances the
+        clock to the earliest arrival instead of stalling.  Returns the active
+        snapshot and the (possibly advanced) clock; an empty snapshot means the
+        trace is drained.  Raises only for a genuine capacity stall — a waiting
+        sequence that *has* arrived but cannot be held even with the cache empty.
+        """
+        scheduler = self.scheduler
+        scheduler.fill(time_s)
+        active = scheduler.active
+        if active or not scheduler.waiting:
+            return active, time_s
+        if not scheduler.has_arrived_waiting(time_s):
+            # Every waiting request is still in the future: idle gap, not a
+            # capacity stall.  Jump the clock to the earliest arrival.
+            time_s = scheduler.next_arrival_time()
+            scheduler.fill(time_s)
+            active = scheduler.active
+        if not active:
+            raise SimulationError(
+                "KV cache cannot hold even a single waiting sequence; "
+                "reduce sequence lengths or enlarge the wafer"
+            )
+        return active, time_s
+
+    @staticmethod
+    def _stamp_epoch_end(
+        time_s: float, first_decoders: list[Sequence], finished: list[Sequence]
+    ) -> None:
+        """Stamp per-request timestamps with the epoch-*end* wall clock.
+
+        A token produced during an epoch leaves the pipeline when the epoch's
+        duration has elapsed, so both the first-output-token time and the
+        completion time are the post-duration clock (the in-loop
+        ``scheduler.complete`` call stamped the epoch start; overwrite it).
+        """
+        for sequence in first_decoders:
+            sequence.first_token_time = time_s
+        for sequence in finished:
+            sequence.completion_time = time_s
 
     def _handle_stall(self, stalled_epochs: int) -> int:
         """Nothing could make progress: force an eviction to break the tie."""
@@ -407,9 +465,16 @@ class PipelineEngine:
             time_s += self.cost_model.token_pipeline_latency(
                 int(trace.mean_prefill_length) or 1
             )
+        completed = self.scheduler.completed
         output_tokens = sum(
-            sequence.request.decode_length for sequence in self.scheduler.completed
+            sequence.request.decode_length for sequence in completed
         )
+        # Per-request latency metrics from the epoch-end timestamps.  TTFT
+        # excludes prefill-only requests (they never emit an output token);
+        # neither metric includes the final pipeline fill/drain correction,
+        # which is a trace-level constant.
+        ttft_samples = [s.ttft_s for s in completed if s.ttft_s is not None]
+        latency_samples = [s.latency_s for s in completed if s.latency_s is not None]
         return RunResult(
             system=self.name,
             model=self.arch.name,
@@ -421,6 +486,8 @@ class PipelineEngine:
             utilization=(utilization_time / time_s) if time_s > 0 else 0.0,
             recomputed_tokens=self.scheduler.stats.recomputed_tokens,
             evictions=self.scheduler.stats.evictions,
+            ttft=LatencyStats.from_samples(ttft_samples),
+            latency=LatencyStats.from_samples(latency_samples),
             extra={"epochs": len(self.epochs)},
         )
 

@@ -6,6 +6,50 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class LatencyStats:
+    """Distribution summary of a per-request latency metric (seconds).
+
+    Used for TTFT (time to first output token) and end-to-end request latency
+    in open-loop serving; with batch traces every arrival is t=0, so the
+    end-to-end numbers degrade gracefully to completion times.
+    """
+
+    count: int = 0
+    mean_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencyStats":
+        if not samples:
+            return cls()
+        import numpy as np
+
+        values = np.asarray(samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(values, (50.0, 95.0, 99.0))
+        return cls(
+            count=len(samples),
+            mean_s=float(values.mean()),
+            p50_s=float(p50),
+            p95_s=float(p95),
+            p99_s=float(p99),
+            max_s=float(values.max()),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass
 class EnergyBreakdown:
     """Energy split into the four categories the paper plots (Fig. 14/20).
 
@@ -83,6 +127,10 @@ class RunResult:
     recomputed_tokens: int = 0
     #: number of KV-cache evictions observed
     evictions: int = 0
+    #: per-request time to first output token (arrival -> first decode token)
+    ttft: LatencyStats = field(default_factory=LatencyStats)
+    #: per-request end-to-end latency (arrival -> completion)
+    latency: LatencyStats = field(default_factory=LatencyStats)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -116,5 +164,7 @@ class RunResult:
             "utilization": self.utilization,
             "recomputed_tokens": self.recomputed_tokens,
             "evictions": self.evictions,
+            "ttft": self.ttft.as_dict(),
+            "latency": self.latency.as_dict(),
             "energy": self.energy.as_dict(),
         }

@@ -19,7 +19,7 @@ class WorkloadSpec:
     distribution: LengthDistribution
     num_requests: int = 1000
     seed: int = 0
-    #: mean inter-arrival gap in seconds (0 = all requests available at t=0)
+    #: mean Poisson arrival rate in requests/s (0 = closed batch, all at t=0)
     arrival_rate_per_s: float = 0.0
 
     def __post_init__(self) -> None:
@@ -81,12 +81,17 @@ class TraceGenerator:
 
     def generate(self) -> Trace:
         rng = np.random.default_rng(self.spec.seed)
+        # Arrival gaps come from an independent stream: switching a workload
+        # between batch and open-loop must never change the sampled request
+        # lengths, because the arrival sweep (fig22) anchors its load
+        # fractions to the closed-batch service rate of the *same* mix.
+        arrival_rng = np.random.default_rng((self.spec.seed, 1))
         requests: list[Request] = []
         arrival = 0.0
         for request_id in range(self.spec.num_requests):
             sample = self.spec.distribution.sample(rng)
             if self.spec.arrival_rate_per_s > 0:
-                arrival += float(rng.exponential(1.0 / self.spec.arrival_rate_per_s))
+                arrival += float(arrival_rng.exponential(1.0 / self.spec.arrival_rate_per_s))
             requests.append(
                 Request(
                     request_id=request_id,
@@ -99,12 +104,16 @@ class TraceGenerator:
 
 
 def make_workload(
-    name: str, num_requests: int = 1000, seed: int = 0
+    name: str,
+    num_requests: int = 1000,
+    seed: int = 0,
+    arrival_rate_per_s: float = 0.0,
 ) -> WorkloadSpec:
     """Build one of the paper's workload settings by name.
 
     Recognised names: ``wikitext2``, ``lp128_ld2048``, ``lp2048_ld128``,
-    ``lp2048_ld2048``.
+    ``lp2048_ld2048``.  A nonzero ``arrival_rate_per_s`` turns the batch into
+    an open-loop trace with Poisson arrivals at that mean rate.
     """
     distribution = get_distribution(name)
     return WorkloadSpec(
@@ -112,12 +121,20 @@ def make_workload(
         distribution=distribution,
         num_requests=num_requests,
         seed=seed,
+        arrival_rate_per_s=arrival_rate_per_s,
     )
 
 
-def generate_trace(name: str, num_requests: int = 1000, seed: int = 0) -> Trace:
+def generate_trace(
+    name: str,
+    num_requests: int = 1000,
+    seed: int = 0,
+    arrival_rate_per_s: float = 0.0,
+) -> Trace:
     """Convenience wrapper: build a workload spec and generate its trace."""
-    return TraceGenerator(make_workload(name, num_requests, seed)).generate()
+    return TraceGenerator(
+        make_workload(name, num_requests, seed, arrival_rate_per_s)
+    ).generate()
 
 
 PAPER_WORKLOADS = ("wikitext2", "lp128_ld2048", "lp2048_ld128", "lp2048_ld2048")

@@ -71,6 +71,10 @@ class Sequence:
     #: need to be generated again, only their KV re-built via prefill)
     decode_offset: int = 0
     admission_time: float = 0.0
+    #: wall-clock instant the first output token left the pipeline (stamped at
+    #: the end of the epoch that produced it; survives later evictions because
+    #: generated tokens are never produced twice)
+    first_token_time: float | None = None
     completion_time: float | None = None
     metadata: dict = field(default_factory=dict)
 
@@ -108,6 +112,21 @@ class Sequence:
     @property
     def is_complete(self) -> bool:
         return self.phase is SequencePhase.COMPLETE
+
+    @property
+    def ttft_s(self) -> float | None:
+        """Arrival-to-first-output-token latency (None before the first token,
+        and for prefill-only requests, which never produce output tokens)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def latency_s(self) -> float | None:
+        """Arrival-to-completion latency (None until the sequence completes)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.request.arrival_time
 
     def start(self, time: float = 0.0) -> None:
         """Move the sequence from WAITING/EVICTED into the prefill phase."""

@@ -3,9 +3,12 @@
 Policy reproduced from the paper:
 
 * New requests are admitted First-Come-First-Serve so no request starves.
+  In open-loop (arrival-time-driven) serving a request additionally cannot be
+  admitted before its ``arrival_time``; with the default batch traces every
+  arrival is 0.0 and the gate is a no-op.
 * Decode iterations of already-admitted requests may be scheduled as soon as
   the current input finishes (preemptive interleave of prefill and decode).
-* When the KV cache is full, the **most recently scheduled** request is
+* When the KV cache is full, the most recently *admitted* request is
   evicted, new-request admission is suspended until a prior request completes,
   and the evicted request is placed at the *front* of the waiting queue.
 * A per-core occupancy threshold reserves residual capacity for KV growth in
@@ -55,7 +58,7 @@ class SchedulerStats:
 
 @dataclass
 class InterSequenceScheduler:
-    """FCFS scheduler with eviction of the most recently scheduled sequence."""
+    """FCFS scheduler with eviction of the most recently admitted sequence."""
 
     kv_provider: KVCapacityProvider
     #: maximum sequences resident at once (None = limited only by KV capacity)
@@ -69,6 +72,10 @@ class InterSequenceScheduler:
         self._completed: list[Sequence] = []
         #: set when an eviction happened; cleared when a request completes
         self._admission_suspended = False
+        #: requests already counted in stats.rejected_admissions (a request
+        #: blocked at the head of the queue is rejected once, not once per
+        #: epoch it stays blocked)
+        self._rejected_ids: set[int] = set()
 
     # ------------------------------------------------------------------ intake
 
@@ -113,6 +120,27 @@ class InterSequenceScheduler:
     def all_done(self) -> bool:
         return not self._waiting and not self._active
 
+    def next_arrival_time(self) -> float | None:
+        """Instant admission can next make progress (None when nothing waits).
+
+        Admission is strictly FCFS, so this is the *queue head's* arrival
+        time — a later-submitted request that happens to arrive earlier still
+        waits behind the head.  The engines use it to advance the clock
+        across idle gaps instead of stalling.
+        """
+        if not self._waiting:
+            return None
+        return self._waiting[0].request.arrival_time
+
+    def has_arrived_waiting(self, time: float) -> bool:
+        """True when the FCFS queue head has arrived at ``time``.
+
+        Distinguishes "the queue head is blocked because it has not arrived
+        yet" (engine should skip forward) from "it arrived but won't fit"
+        (a genuine capacity stall).
+        """
+        return bool(self._waiting) and self._waiting[0].request.arrival_time <= time
+
     def _remove_active(self, sequence: Sequence) -> None:
         """Drop a sequence from the active list by identity (no dataclass eq)."""
         for index in range(len(self._active) - 1, -1, -1):
@@ -124,7 +152,13 @@ class InterSequenceScheduler:
     # -------------------------------------------------------------- admission
 
     def fill(self, time: float = 0.0) -> list[Sequence]:
-        """Admit waiting sequences while capacity allows; return those admitted."""
+        """Admit arrived waiting sequences while capacity allows.
+
+        Admission stays FCFS: the queue head blocks everything behind it,
+        whether it is blocked on capacity or (open-loop serving) because its
+        ``arrival_time`` is still in the future.  Returns the admitted
+        sequences.
+        """
         admitted: list[Sequence] = []
         while self._waiting:
             if self._admission_suspended and self._active:
@@ -139,8 +173,12 @@ class InterSequenceScheduler:
             ):
                 break
             candidate = self._waiting[0]
+            if candidate.request.arrival_time > time:
+                break
             if not self.kv_provider.try_admit(candidate):
-                self.stats.rejected_admissions += 1
+                if candidate.sequence_id not in self._rejected_ids:
+                    self._rejected_ids.add(candidate.sequence_id)
+                    self.stats.rejected_admissions += 1
                 break
             self._waiting.popleft()
             candidate.start(time)
@@ -152,12 +190,9 @@ class InterSequenceScheduler:
 
     # --------------------------------------------------------------- eviction
 
-    def evict_most_recent(self) -> Sequence | None:
-        """Evict the most recently scheduled active sequence (cache full)."""
-        if not self._active:
-            return None
-        victim = self._active.pop()  # most recently admitted
-        self._active_ids.discard(victim.sequence_id)
+    def _evict(self, victim: Sequence) -> Sequence:
+        """Evict ``victim``: release its KV space, requeue it at the front."""
+        self._remove_active(victim)
         self.kv_provider.release(victim)
         discarded = victim.evict()
         self.stats.evictions += 1
@@ -165,6 +200,12 @@ class InterSequenceScheduler:
         self._waiting.appendleft(victim)
         self._admission_suspended = True
         return victim
+
+    def evict_most_recent(self) -> Sequence | None:
+        """Evict the most recently *admitted* active sequence (cache full)."""
+        if not self._active:
+            return None
+        return self._evict(self._active[-1])
 
     # -------------------------------------------------------------- completion
 
@@ -188,26 +229,17 @@ class InterSequenceScheduler:
         """Reserve KV space for the next ``count`` tokens of ``sequence``.
 
         If the KV cache is full the scheduler applies the paper's policy:
-        evict the most recently scheduled sequence(s) until the reservation
-        succeeds or the victim would be ``sequence`` itself.
+        evict the most recently admitted sequence(s) — never ``sequence``
+        itself — until the reservation succeeds or no other victim remains.
         """
         while not self.kv_provider.append_tokens(sequence, count):
             if len(self._active) <= 1:
                 return False
             victim = self._active[-1]
             if victim is sequence:
-                # Never evict the sequence we are trying to grow; try the next
-                # most recent instead.
-                if len(self._active) < 2:
-                    return False
+                # Never evict the sequence we are trying to grow; take the
+                # next most recently admitted instead (it exists: the guard
+                # above leaves at least two active sequences).
                 victim = self._active[-2]
-                self._remove_active(victim)
-                self.kv_provider.release(victim)
-                discarded = victim.evict()
-                self.stats.evictions += 1
-                self.stats.recomputed_tokens += discarded
-                self._waiting.appendleft(victim)
-                self._admission_suspended = True
-            else:
-                self.evict_most_recent()
+            self._evict(victim)
         return True

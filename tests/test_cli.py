@@ -15,13 +15,23 @@ class TestParser:
         args = build_parser().parse_args(["serve", "llama-13b"])
         assert args.workload == "wikitext2"
         assert args.requests == 200
+        assert args.arrival_rate == 0.0
         assert not args.baselines
+
+    def test_serve_arrival_rate(self):
+        args = build_parser().parse_args(["serve", "llama-13b", "--arrival-rate", "25"])
+        assert args.arrival_rate == 25.0
 
     def test_experiment_choices(self):
         args = build_parser().parse_args(["experiment", "fig11"])
         assert args.figure == "fig11"
+        assert build_parser().parse_args(["experiment", "fig22"]).figure == "fig22"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
+
+    def test_bench_default_output_tracks_pr(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.output == "BENCH_PR2.json"
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
@@ -48,6 +58,23 @@ class TestCommands:
         assert code == 0
         assert "tok/s" in captured
         assert "energy breakdown" in captured
+
+    def test_serve_rejects_baselines_with_arrival_rate(self, capsys):
+        code = main([
+            "serve", "llama-13b", "--requests", "5",
+            "--arrival-rate", "10", "--baselines",
+        ])
+        assert code == 2
+        assert "closed-batch comparison" in capsys.readouterr().err
+
+    def test_serve_command_open_loop(self, capsys):
+        code = main([
+            "serve", "llama-13b", "--requests", "5", "--arrival-rate", "10",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "open-loop at 10 req/s" in captured
+        assert "TTFT" in captured
 
     def test_experiment_fig11(self, capsys):
         code = main(["experiment", "fig11", "--requests", "5", "--anneal", "0"])

@@ -57,10 +57,14 @@ def assert_bitwise_equal(fast, scalar):
     assert fast.energy.on_chip_memory_j == scalar.energy.on_chip_memory_j
     assert fast.energy.off_chip_memory_j == scalar.energy.off_chip_memory_j
     assert fast.energy.communication_j == scalar.energy.communication_j
+    # Latency distributions are derived from the per-epoch timestamps, so
+    # they expose any divergence in completion/first-token stamping.
+    assert fast.ttft.as_dict() == scalar.ttft.as_dict()
+    assert fast.latency.as_dict() == scalar.latency.as_dict()
     assert fast.extra["epochs"] == scalar.extra["epochs"]
 
 
-def mixed_trace(num_requests=10, seed=3):
+def mixed_trace(num_requests=10, seed=3, arrival_rate_per_s=0.0):
     spec = WorkloadSpec(
         name="mixed",
         distribution=UniformLengthDistribution(
@@ -68,6 +72,7 @@ def mixed_trace(num_requests=10, seed=3):
         ),
         num_requests=num_requests,
         seed=seed,
+        arrival_rate_per_s=arrival_rate_per_s,
     )
     return TraceGenerator(spec).generate()
 
@@ -116,4 +121,54 @@ class TestArrayEngineMatchesScalar:
         result_fast = fast.run(make_trace(num_requests=3, prefill=16, decode=0))
         result_scalar = scalar.run_scalar(make_trace(num_requests=3, prefill=16, decode=0))
         assert result_fast.output_tokens == 0
+        assert result_fast.ttft.count == 0  # no output tokens -> no TTFT samples
         assert_bitwise_equal(result_fast, result_scalar)
+
+
+class TestOpenLoopEquivalence:
+    """Fast vs. scalar must stay bitwise-equal under nonzero arrival rates."""
+
+    #: slow (idle gaps dominate) and bursty (nearly closed-batch)
+    ARRIVAL_RATES = [0.5, 500.0]
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("kv_policy", KV_POLICIES)
+    @pytest.mark.parametrize("rate", ARRIVAL_RATES)
+    def test_arrival_driven_trace(
+        self, engine_cls, kv_policy, rate, tiny_arch, small_wafer_config
+    ):
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        result_fast = fast.run(mixed_trace(arrival_rate_per_s=rate))
+        result_scalar = scalar.run_scalar(mixed_trace(arrival_rate_per_s=rate))
+        assert result_fast.ttft.count > 0
+        assert result_fast.latency.p99_s > 0
+        assert_bitwise_equal(result_fast, result_scalar)
+
+    def test_arrival_driven_under_eviction_pressure(self, tiny_arch, small_wafer_config):
+        kwargs = dict(blocks_per_core=2, kv_cores=24, chunk=64)
+        fast = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        scalar = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        spec = WorkloadSpec(
+            name="pressure",
+            distribution=UniformLengthDistribution(
+                prefill_low=200, prefill_high=320, decode_low=32, decode_high=64
+            ),
+            num_requests=6,
+            seed=7,
+            # bursty: arrivals land faster than sequences drain, so the
+            # undersized cache still thrashes
+            arrival_rate_per_s=2000.0,
+        )
+        result_fast = fast.run(TraceGenerator(spec).generate())
+        result_scalar = scalar.run_scalar(TraceGenerator(spec).generate())
+        assert result_fast.evictions > 0  # the scenario actually thrashes
+        assert_bitwise_equal(result_fast, result_scalar)
+
+    def test_zero_rate_reduces_to_batch(self, tiny_arch, small_wafer_config):
+        """arrival_rate_per_s == 0 is the regression anchor: identical to batch."""
+        open_loop = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        batch = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        result_open = open_loop.run(mixed_trace(arrival_rate_per_s=0.0))
+        result_batch = batch.run(mixed_trace())
+        assert_bitwise_equal(result_open, result_batch)

@@ -72,7 +72,8 @@ class TestCommonHelpers:
         assert first is second
 
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 11
+        assert len(ALL_EXPERIMENTS) == 12
+        assert "fig22" in ALL_EXPERIMENTS
 
 
 class TestFig01:
@@ -183,6 +184,39 @@ class TestFig18:
         assert normalized["Ours"] <= normalized["WaferLLM"] * 1.001
         summary = fig18_mapping.mapping_quality_summary(result)
         assert 0.0 < summary["reduction_vs_cerebras"] < 1.0
+
+
+class TestFig22:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments import fig22_arrival_sweep
+        from repro.perf.sweep import SweepRunner
+
+        return fig22_arrival_sweep.run(
+            FAST,
+            model="llama-13b",
+            workload="lp128_ld2048",
+            load_fractions=(0.25, 2.0),
+            runner=SweepRunner(max_workers=1),
+        )
+
+    def test_rows_cover_the_sweep(self, sweep):
+        assert [row["load"] for row in sweep.rows()] == [0.25, 2.0]
+        assert sweep.base_rate_per_s > 0
+        assert "Fig. 22" in sweep.format_table()
+
+    def test_latency_grows_with_load(self, sweep):
+        low, high = sweep.rows()
+        assert 0 < low["ttft_p50_s"]
+        assert low["latency_p95_s"] <= high["latency_p95_s"]
+        assert low["latency_p50_s"] <= low["latency_p95_s"] <= low["latency_p99_s"]
+
+    def test_throughput_grows_toward_saturation(self, sweep):
+        low, high = sweep.rows()
+        assert 0 < low["throughput_tok_s"] < high["throughput_tok_s"]
+        assert sweep.saturation_throughput_tok_s() == pytest.approx(
+            high["throughput_tok_s"]
+        )
 
 
 class TestFig21:

@@ -26,6 +26,16 @@ class TestCellKey:
         other = SweepCell(model="llama-13b", workload="wikitext2")
         assert _cell_key(CELLS[0], FAST) != _cell_key(other, FAST)
 
+    def test_key_depends_on_system_restriction(self):
+        restricted = SweepCell(model="llama-13b", workload="lp128_ld2048", systems=())
+        assert _cell_key(CELLS[0], FAST) != _cell_key(restricted, FAST)
+
+    def test_key_depends_on_arrival_rate(self):
+        open_loop = ExperimentSettings(
+            num_requests=10, anneal_iterations=5, arrival_rate_per_s=20.0
+        )
+        assert _cell_key(CELLS[0], FAST) != _cell_key(CELLS[0], open_loop)
+
 
 class TestSerialRunner:
     def test_grid_contains_all_systems(self):
@@ -42,6 +52,43 @@ class TestSerialRunner:
         assert len(grid) == 2
         for cell in grid.values():
             assert cell[OUROBOROS_NAME].total_tokens > 0
+
+    def test_system_restriction_skips_baselines(self):
+        runner = SweepRunner(max_workers=1)
+        cell = SweepCell(model="llama-13b", workload="lp128_ld2048", systems=())
+        results = runner.run_variants(cell, [FAST])[0]
+        assert list(results) == [OUROBOROS_NAME]
+
+
+class TestRunVariants:
+    def test_variants_in_input_order(self):
+        from dataclasses import replace
+
+        runner = SweepRunner(max_workers=1)
+        cell = SweepCell(model="llama-13b", workload="lp128_ld2048", systems=())
+        rates = [0.0, 40.0]
+        variants = [replace(FAST, arrival_rate_per_s=rate) for rate in rates]
+        results = runner.run_variants(cell, variants)
+        assert len(results) == 2
+        batch, open_loop = (r[OUROBOROS_NAME] for r in results)
+        assert batch.latency.count == FAST.num_requests
+        # The open-loop variant really served a different trace: arrivals
+        # spread the work out, so it cannot finish faster than the batch.
+        assert open_loop.total_time_s > batch.total_time_s
+        assert open_loop.ttft.p95_s > 0
+
+    def test_variants_hit_the_cache(self, tmp_path):
+        from dataclasses import replace
+
+        cell = SweepCell(model="llama-13b", workload="lp128_ld2048", systems=())
+        variants = [replace(FAST, arrival_rate_per_s=rate) for rate in (0.0, 40.0)]
+        cold = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        cold.run_variants(cell, variants)
+        assert cold.cache_misses == 2
+        warm = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        results = warm.run_variants(cell, variants)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert results[0][OUROBOROS_NAME].total_tokens > 0
 
 
 class TestResultCache:

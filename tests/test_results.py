@@ -2,7 +2,36 @@
 
 import pytest
 
-from repro.results import EnergyBreakdown, RunResult
+from repro.results import EnergyBreakdown, LatencyStats, RunResult
+
+
+class TestLatencyStats:
+    def test_empty_samples(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.count == 0
+        assert stats.mean_s == 0.0
+        assert stats.p99_s == 0.0
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_samples([0.25])
+        assert stats.count == 1
+        assert stats.mean_s == 0.25
+        assert stats.p50_s == 0.25
+        assert stats.p99_s == 0.25
+        assert stats.max_s == 0.25
+
+    def test_percentiles_are_ordered(self):
+        stats = LatencyStats.from_samples([float(i) for i in range(1, 101)])
+        assert stats.mean_s == pytest.approx(50.5)
+        assert stats.p50_s <= stats.p95_s <= stats.p99_s <= stats.max_s
+        assert stats.p50_s == pytest.approx(50.5)
+        assert stats.max_s == 100.0
+
+    def test_as_dict(self):
+        data = LatencyStats.from_samples([1.0, 2.0, 3.0]).as_dict()
+        assert data["count"] == 3
+        assert data["mean_s"] == pytest.approx(2.0)
+        assert set(data) == {"count", "mean_s", "p50_s", "p95_s", "p99_s", "max_s"}
 
 
 class TestEnergyBreakdown:
@@ -65,3 +94,10 @@ class TestRunResult:
         assert data["system"] == "test"
         assert data["throughput_tokens_per_s"] == 50.0
         assert "energy" in data
+        assert data["ttft"]["count"] == 0
+        assert data["latency"]["count"] == 0
+
+    def test_default_latency_stats_are_empty(self):
+        result = self.make()
+        assert result.ttft.count == 0
+        assert result.latency.count == 0

@@ -88,6 +88,28 @@ class TestTraceGeneration:
         assert arrivals == sorted(arrivals)
         assert arrivals[-1] > 0
 
+    def test_generate_trace_passes_arrival_rate(self):
+        batch = generate_trace("lp128_ld2048", num_requests=10)
+        open_loop = generate_trace("lp128_ld2048", num_requests=10, arrival_rate_per_s=50.0)
+        assert all(r.arrival_time == 0.0 for r in batch)
+        arrivals = [r.arrival_time for r in open_loop]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0
+        assert open_loop.spec.arrival_rate_per_s == 50.0
+
+    def test_arrival_rate_does_not_change_the_request_mix(self):
+        """Arrivals come from an independent RNG stream: the open-loop trace
+        must carry exactly the lengths of the batch trace it is compared to,
+        even for distributions that consume the RNG per sample."""
+        batch = generate_trace("wikitext2", num_requests=50, seed=3)
+        open_loop = generate_trace("wikitext2", num_requests=50, seed=3, arrival_rate_per_s=40.0)
+        assert [r.prefill_length for r in batch] == [r.prefill_length for r in open_loop]
+        assert [r.decode_length for r in batch] == [r.decode_length for r in open_loop]
+
+    def test_make_workload_passes_arrival_rate(self):
+        spec = make_workload("wikitext2", num_requests=10, arrival_rate_per_s=8.0)
+        assert spec.arrival_rate_per_s == 8.0
+
     def test_summary(self):
         trace = generate_trace("lp128_ld2048", num_requests=5)
         summary = trace.summary()
