@@ -1,21 +1,30 @@
 #!/usr/bin/env python3
-"""Quickstart: serve a WikiText-like trace of LLaMA-13B requests on Ouroboros.
+"""Quickstart: the unified serving API in one file.
 
-Builds a single-wafer Ouroboros deployment (defect sampling, inter-core
-mapping, distributed KV-cache manager), serves a batch of requests with
-token-grained pipelining, and prints throughput, energy per output token and
-the energy breakdown alongside a DGX A100 baseline.
+Describes a deployment with the fluent builder (`repro.deployment(...)`),
+serves it through the single `repro.serve(...)` entry point, swaps the system
+string to compare against a baseline from the registry, and re-serves the same
+spec open-loop for latency percentiles.
 
 Run:  python examples/quickstart.py [num_requests]
 
 Going further:
 
-* Serve open-loop instead of closed-batch: give the workload a Poisson
-  arrival rate and the engine gates admission on arrival times, skips idle
-  gaps, and reports TTFT / end-to-end latency percentiles (this script's
-  second serving run, or ``python -m repro serve llama-13b --arrival-rate 25``).
-  ``python -m repro experiment fig22`` sweeps arrival rate vs. throughput and
-  tail latency.
+* Every registered system is one string away::
+
+      from repro import SYSTEM_REGISTRY, serve
+      print(sorted(SYSTEM_REGISTRY))   # ouroboros, dgx-a100, tpu-v4, ...
+
+* Specs serialize losslessly -- store them, diff them, use them as cache
+  keys::
+
+      spec.to_dict()                       # JSON-ready dict
+      DeploymentSpec.from_dict(d) == spec  # True
+
+* Named presets reproduce the paper's figure configurations::
+
+      from repro import preset, serve
+      result = serve(preset("fig22-open-loop"))
 
 * Sweep a whole model x workload grid in one call -- fanned across a process
   pool on multi-core machines, optionally cached on disk::
@@ -26,35 +35,39 @@ Going further:
       print(grid[("llama-13b", "wikitext2")]["Ours"].throughput_tokens_per_s)
 
   (`REPRO_SWEEP_PROCS` caps the workers; `REPRO_RESULT_CACHE_DIR` enables the
-  on-disk result cache keyed by model/workload/settings.)
+  on-disk result cache keyed by the canonical deployment-spec dicts.)
 
 * Benchmark the simulator itself and keep the numbers::
 
-      python -m repro bench --output BENCH_PR2.json     # or scripts/bench.sh
-
-  The JSON report breaks the wall-clock into build / serve (closed-batch and
-  open-loop) / grid / annealer stages so perf regressions are visible across
-  PRs.
+      python -m repro bench --output BENCH_PR3.json     # or scripts/bench.sh
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import replace
 
-from repro import OuroborosSystem, OuroborosSystemConfig, generate_trace, get_model
-from repro.baselines import DGXA100System
-from repro.pipeline.engine import PipelineConfig
+from repro import deployment, get_model, serve
 
 
 def main(num_requests: int = 200) -> None:
     model = get_model("llama-13b")
     print(f"Model: {model}")
 
-    config = OuroborosSystemConfig(
-        anneal_iterations=50,
-        pipeline=PipelineConfig(chunk_tokens=256),
+    # One spec describes the whole run: model, system, knobs, workload.
+    spec = (
+        deployment("llama-13b")
+        .system("ouroboros")
+        .anneal(50)
+        .chunk(256)
+        .kv(policy="dynamic", threshold=0.1)
+        .workload("wikitext2", num_requests=num_requests)
+        .build()
     )
-    system = OuroborosSystem(model, config)
+
+    from repro import build_deployment
+
+    system = build_deployment(spec)
     summary = system.summary()
     print("\nOuroboros deployment")
     for key in ("wafers", "total_cores", "healthy_cores", "weight_cores", "kv_cores",
@@ -62,12 +75,10 @@ def main(num_requests: int = 200) -> None:
         print(f"  {key:>16}: {summary[key]:.2f}" if isinstance(summary[key], float)
               else f"  {key:>16}: {summary[key]}")
 
-    trace = generate_trace("wikitext2", num_requests=num_requests)
-    print(f"\nServing {len(trace)} requests "
-          f"({trace.total_prefill_tokens} prefill + {trace.total_decode_tokens} decode tokens)")
-
-    ours = system.serve(trace)
-    dgx = DGXA100System(model).serve(generate_trace("wikitext2", num_requests=num_requests))
+    print(f"\nServing {num_requests} 'wikitext2' requests")
+    ours = serve(spec)
+    # The same run on a baseline is a one-string change.
+    dgx = serve(spec.with_system("dgx-a100"))
 
     print("\n{:<14} {:>14} {:>16} {:>10}".format(
         "system", "tokens/s", "energy/token (mJ)", "speedup"))
@@ -86,14 +97,11 @@ def main(num_requests: int = 200) -> None:
     print(f"\nPipeline utilization: {ours.utilization:.1%}; "
           f"KV evictions: {ours.evictions}; recomputed tokens: {ours.recomputed_tokens}")
 
-    # Open-loop serving: the same request mix arriving as a Poisson process at
-    # the closed-batch service rate (saturation).  Admission is gated on the
-    # arrival times and the result carries per-request latency percentiles.
+    # Open-loop serving: the same spec with a Poisson arrival rate at the
+    # closed-batch service rate (saturation).  Admission is gated on arrival
+    # times and the result carries per-request latency percentiles.
     arrival_rate = num_requests / ours.total_time_s
-    open_trace = generate_trace(
-        "wikitext2", num_requests=num_requests, arrival_rate_per_s=arrival_rate
-    )
-    open_loop = system.serve(open_trace)
+    open_loop = serve(replace(spec, arrival_rate_per_s=arrival_rate))
     print(f"\nOpen-loop at {arrival_rate:,.1f} req/s (saturation): "
           f"{open_loop.throughput_tokens_per_s:,.0f} tok/s")
     print(f"  TTFT p50/p95:        {open_loop.ttft.p50_s * 1e3:7.1f} / "

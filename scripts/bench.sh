@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Run the serving-simulator benchmark and write BENCH_PR2.json at the repo root.
-# The stages now include one open-loop (arrival-time-driven) serving run.
+# Run the serving-simulator benchmark and write BENCH_PR3.json at the repo root.
+# The stages build every system through the unified DeploymentSpec API, so the
+# report doubles as a smoke test that the serve path has not regressed.
 #
 # Usage: scripts/bench.sh [extra `repro bench` args...]
 #   REPRO_BENCH_REQUESTS  requests per workload (default 150; the paper uses 1000)
@@ -10,5 +11,5 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 exec python -m repro bench \
     --requests "${REPRO_BENCH_REQUESTS:-150}" \
-    --output BENCH_PR2.json \
+    --output BENCH_PR3.json \
     "$@"

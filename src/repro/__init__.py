@@ -10,6 +10,19 @@ against.  The :mod:`repro.experiments` subpackage regenerates every table and
 figure of the paper's evaluation.
 """
 
+from .api import (
+    PRESETS,
+    SYSTEM_REGISTRY,
+    DeploymentSpec,
+    ServingSystem,
+    SystemEntry,
+    build_deployment,
+    deployment,
+    get_system,
+    preset,
+    register_system,
+    serve,
+)
 from .core.system import OuroborosSystem
 from .models.architectures import (
     MODEL_REGISTRY,
@@ -25,19 +38,34 @@ from .sim.engine import (
     OuroborosSystemConfig,
     PipelineMode,
     build_system,
+    default_system_config,
     required_wafers,
 )
 from .workload.generator import PAPER_WORKLOADS, Trace, generate_trace, make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # unified serving API
+    "DeploymentSpec",
+    "ServingSystem",
+    "SystemEntry",
+    "SYSTEM_REGISTRY",
+    "PRESETS",
+    "deployment",
+    "preset",
+    "serve",
+    "build_deployment",
+    "get_system",
+    "register_system",
+    # core system and knobs
     "OuroborosSystem",
     "OuroborosSystemConfig",
     "PipelineMode",
     "KVPolicy",
     "MappingStrategy",
     "build_system",
+    "default_system_config",
     "required_wafers",
     "ModelArch",
     "AttentionMask",

@@ -105,6 +105,29 @@ class BaselineSystem:
                 f"{hardware.name}'s {hardware.memory_capacity_bytes / GB:.1f} GiB memory"
             )
 
+    # ------------------------------------------------------------ introspection
+
+    @property
+    def name(self) -> str:
+        """Display name (the ``ServingSystem`` protocol)."""
+        return self.hardware.name
+
+    def summary(self) -> dict[str, float]:
+        """Key facts about the modelled deployment (protocol counterpart of
+        :meth:`repro.core.system.OuroborosSystem.summary`)."""
+        hw = self.hardware
+        return {
+            "system": hw.name,
+            "model": self.arch.name,
+            "num_devices": hw.num_devices,
+            "peak_tops": hw.peak_macs_per_s * 2.0 / 1e12,
+            "memory_capacity_gib": hw.memory_capacity_bytes / (1 << 30),
+            "memory_bandwidth_tb_per_s": hw.memory_bandwidth_bytes_per_s / 1e12,
+            "tensor_parallel": hw.tensor_parallel,
+            "max_batch_size": hw.max_batch_size,
+            "weight_gib": self.weight_bytes() / (1 << 30),
+        }
+
     # ----------------------------------------------------------------- sizing
 
     def weight_bytes(self) -> float:

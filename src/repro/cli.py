@@ -1,6 +1,6 @@
 """Command-line interface for the Ouroboros reproduction.
 
-Three sub-commands cover the workflows a downstream user needs:
+Four sub-commands cover the workflows a downstream user needs:
 
 ``summary``
     Build a deployment for a model and print its core/KV/pipeline summary.
@@ -10,7 +10,8 @@ Three sub-commands cover the workflows a downstream user needs:
     baselines) and print throughput, energy per token and the energy
     breakdown.  ``--arrival-rate R`` switches to open-loop serving: requests
     arrive as a Poisson process at R requests/s and the report adds TTFT and
-    end-to-end latency percentiles.
+    end-to-end latency percentiles.  ``--system`` serves on any registered
+    system (``python -m repro serve llama-13b --system tpu-v4``).
 
 ``experiment``
     Regenerate one of the paper's figures (``fig01`` ... ``fig22``,
@@ -22,6 +23,9 @@ Three sub-commands cover the workflows a downstream user needs:
     the comparison grid, the mapping annealer) and write a machine-readable
     JSON report so the repository keeps a perf trajectory across PRs.
 
+Every command describes its run as a :class:`repro.api.DeploymentSpec` and
+executes it through the single :func:`repro.api.serve` entry point.
+
 Examples::
 
     python -m repro summary llama-13b
@@ -30,7 +34,7 @@ Examples::
     python -m repro experiment fig11
     python -m repro experiment fig13 --requests 100 --models llama-13b
     python -m repro experiment fig22 --requests 100
-    python -m repro bench --output BENCH_PR2.json
+    python -m repro bench --output BENCH_PR3.json
 """
 
 from __future__ import annotations
@@ -38,18 +42,19 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 
-from .core.system import OuroborosSystem
+from . import api
+from .errors import ConfigurationError
 from .experiments import ALL_EXPERIMENTS, ExperimentSettings
 from .experiments.common import (
-    BASELINE_SYSTEMS,
     OUROBOROS_NAME,
+    cell_deployments,
     normalized_energy,
     normalized_throughput,
-    run_all_systems,
 )
-from .models.architectures import MODEL_REGISTRY, get_model
-from .workload.generator import PAPER_WORKLOADS, generate_trace
+from .models.architectures import MODEL_REGISTRY
+from .workload.generator import PAPER_WORKLOADS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary = subparsers.add_parser("summary", help="print a deployment summary")
     summary.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    summary.add_argument("--system", choices=sorted(api.SYSTEM_REGISTRY),
+                         default="ouroboros",
+                         help="registered system to summarise")
     summary.add_argument("--anneal", type=int, default=50,
                          help="annealing iterations for the inter-core mapper")
     summary.add_argument("--wafers", type=int, default=None,
@@ -69,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser("serve", help="serve a workload and report results")
     serve.add_argument("model", choices=sorted(MODEL_REGISTRY))
     serve.add_argument("--workload", choices=PAPER_WORKLOADS, default="wikitext2")
+    serve.add_argument("--system", choices=sorted(api.SYSTEM_REGISTRY),
+                       default="ouroboros",
+                       help="registered system to serve on")
     serve.add_argument("--requests", type=int, default=200)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--kv-threshold", type=float, default=0.1)
@@ -95,8 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR2.json",
-                       help="path of the JSON report (default: BENCH_PR2.json)")
+    bench.add_argument("--output", default="BENCH_PR3.json",
+                       help="path of the JSON report (default: BENCH_PR3.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -107,17 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _print_summary(args: argparse.Namespace) -> int:
-    arch = get_model(args.model)
     settings = ExperimentSettings(anneal_iterations=args.anneal)
-    config = settings.system_config()
+    spec = settings.deployment(args.model, "wikitext2", system=args.system)
     if args.wafers is not None:
-        import dataclasses
-
-        config = dataclasses.replace(config, num_wafers=args.wafers)
-        system = OuroborosSystem(arch, config, auto_scale_wafers=False)
-    else:
-        system = OuroborosSystem(arch, config)
-    print(f"{arch}")
+        spec = replace(
+            spec,
+            config=replace(spec.config, num_wafers=args.wafers),
+            auto_scale_wafers=False,
+        )
+    system = api.build_deployment(spec)
+    print(f"{api.resolve_model(spec.model)}")
     for key, value in system.summary().items():
         if isinstance(value, float):
             print(f"  {key:>16}: {value:,.2f}")
@@ -137,31 +147,39 @@ def _print_result_row(name: str, result, reference=None) -> None:
 
 
 def _serve(args: argparse.Namespace) -> int:
-    if args.baselines and args.arrival_rate > 0:
-        print(
-            "error: --baselines is a closed-batch comparison; the analytic "
-            "baseline models ignore arrival times, so an open-loop 'speedup' "
-            "would be a load artifact. Drop --baselines (or --arrival-rate).",
-            file=sys.stderr,
-        )
-        return 2
-    arch = get_model(args.model)
     settings = ExperimentSettings(
         num_requests=args.requests,
         seed=args.seed,
         kv_threshold=args.kv_threshold,
         arrival_rate_per_s=args.arrival_rate,
     )
+    try:
+        if args.baselines:
+            specs = cell_deployments(args.model, args.workload, settings)
+        else:
+            specs = [settings.deployment(args.model, args.workload, system=args.system)]
+        for spec in specs:
+            spec.validate()
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    arch = api.resolve_model(args.model)
     mode = (
         f"open-loop at {args.arrival_rate:g} req/s" if args.arrival_rate > 0 else "batch"
     )
     print(f"Serving {args.requests} '{args.workload}' requests of {arch.name} ({mode})")
     if args.baselines:
-        results = run_all_systems(arch, args.workload, settings)
+        results = {}
+        for spec in specs:
+            try:
+                result = api.serve(spec)
+            except ConfigurationError:
+                continue
+            key = OUROBOROS_NAME if spec.system == "ouroboros" else result.system
+            results[key] = result
         reference = results["DGX A100"]
-        for name in list(BASELINE_SYSTEMS) + [OUROBOROS_NAME]:
-            if name in results:
-                _print_result_row(name, results[name], reference)
+        for name, result in results.items():
+            _print_result_row(name, result, reference)
         print("\n  normalized throughput:", {
             k: round(v, 2) for k, v in normalized_throughput(results).items()
         })
@@ -169,15 +187,8 @@ def _serve(args: argparse.Namespace) -> int:
             k: round(v, 2) for k, v in normalized_energy(results).items()
         })
     else:
-        system = OuroborosSystem(arch, settings.system_config())
-        trace = generate_trace(
-            args.workload,
-            num_requests=args.requests,
-            seed=args.seed,
-            arrival_rate_per_s=args.arrival_rate,
-        )
-        result = system.serve(trace, workload_name=args.workload)
-        _print_result_row(OUROBOROS_NAME, result)
+        result = api.serve(specs[0])
+        _print_result_row(result.system, result)
         print("  energy breakdown:", {
             k: f"{v:.1%}" for k, v in result.energy.fractions().items()
         })

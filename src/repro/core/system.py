@@ -28,7 +28,8 @@ from ..sim.engine import (
     MappingStrategy,
     OuroborosSystemConfig,
     PipelineMode,
-    build_system,
+    _build_system,
+    default_system_config,
     required_wafers,
 )
 from ..workload.generator import Trace, generate_trace
@@ -44,7 +45,7 @@ class OuroborosSystem:
         auto_scale_wafers: bool = True,
     ) -> None:
         self.arch = get_model(model) if isinstance(model, str) else model
-        config = config or OuroborosSystemConfig()
+        config = config if config is not None else default_system_config()
         if auto_scale_wafers:
             needed = required_wafers(self.arch, config)
             if needed > config.num_wafers:
@@ -55,15 +56,20 @@ class OuroborosSystem:
     # ------------------------------------------------------------------ build
 
     @property
+    def name(self) -> str:
+        """Display name (the ``ServingSystem`` protocol)."""
+        return "Ouroboros"
+
+    @property
     def built(self) -> BuiltOuroboros:
         """The underlying built system (constructed lazily on first use)."""
         if self._built is None:
-            self._built = build_system(self.arch, self.config)
+            self._built = _build_system(self.arch, self.config)
         return self._built
 
     def rebuild(self) -> BuiltOuroboros:
         """Force a rebuild (e.g. after changing defect seeds)."""
-        self._built = build_system(self.arch, self.config)
+        self._built = _build_system(self.arch, self.config)
         return self._built
 
     # ---------------------------------------------------------------- serving

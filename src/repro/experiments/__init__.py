@@ -44,6 +44,7 @@ from .common import (
     PAPER_WORKLOAD_ORDER,
     ExperimentSettings,
     FigureResult,
+    cell_deployments,
     run_all_systems,
     run_baseline,
     run_grid,
@@ -74,6 +75,7 @@ __all__ = [
     "PAPER_WORKLOAD_ORDER",
     "BASELINE_SYSTEMS",
     "OUROBOROS_NAME",
+    "cell_deployments",
     "run_ouroboros",
     "run_baseline",
     "run_all_systems",

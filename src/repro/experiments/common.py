@@ -10,13 +10,12 @@ figure.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
-from ..baselines.attacc import AttAccSystem
-from ..baselines.cerebras import CerebrasWSE2System
+from .. import api
+from ..api import DeploymentSpec, comparison_grid_keys, get_system
 from ..baselines.common import BaselineSystem
-from ..baselines.gpu import DGXA100System
-from ..baselines.tpu import TPUv4System
 from ..core.system import OuroborosSystem
 from ..errors import ConfigurationError
 from ..models.architectures import ModelArch, get_model
@@ -34,12 +33,11 @@ DECODER_MODELS = ("llama-13b", "baichuan-13b", "llama-32b", "qwen-32b")
 #: encoder-containing models of Fig. 16
 ENCODER_MODELS = ("bert-large", "t5-11b")
 
-#: baseline systems of Fig. 13/14/16/19/20, in plotting order
+#: compatibility view of the Fig. 13/14 comparison baselines; derived from the
+#: canonical :data:`repro.api.SYSTEM_REGISTRY`, keyed by display name
 BASELINE_SYSTEMS: dict[str, type[BaselineSystem]] = {
-    "DGX A100": DGXA100System,
-    "TPUv4": TPUv4System,
-    "AttAcc": AttAccSystem,
-    "Cerebras": CerebrasWSE2System,
+    get_system(key).display_name: get_system(key).system_cls
+    for key in comparison_grid_keys()
 }
 
 OUROBOROS_NAME = "Ours"
@@ -68,7 +66,8 @@ class ExperimentSettings:
         return PipelineConfig(chunk_tokens=self.chunk_tokens)
 
     def system_config(self, **overrides) -> OuroborosSystemConfig:
-        config = OuroborosSystemConfig(
+        config = replace(
+            api.default_system_config(),
             anneal_iterations=self.anneal_iterations,
             kv_threshold=self.kv_threshold,
             model_defects=self.model_defects,
@@ -77,6 +76,30 @@ class ExperimentSettings:
         if overrides:
             config = replace(config, **overrides)
         return config
+
+    def deployment(
+        self,
+        model: ModelArch | str,
+        workload: str,
+        system: str = "ouroboros",
+        *,
+        workload_label: str | None = None,
+        options: dict | None = None,
+        config: OuroborosSystemConfig | None = None,
+        **config_overrides,
+    ) -> DeploymentSpec:
+        """Build the :class:`DeploymentSpec` these settings describe."""
+        return DeploymentSpec(
+            model=api.resolve_model_name(model),
+            system=get_system(system).key,
+            config=config if config is not None else self.system_config(**config_overrides),
+            options=dict(options or {}),
+            workload=workload,
+            workload_label=workload_label,
+            num_requests=self.num_requests,
+            seed=self.seed,
+            arrival_rate_per_s=self.arrival_rate_per_s,
+        )
 
 
 DEFAULT_SETTINGS = ExperimentSettings()
@@ -108,13 +131,16 @@ def run_ouroboros(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     **config_overrides,
 ) -> RunResult:
-    """Serve one workload on a freshly built Ouroboros system."""
-    arch = resolve_model(model)
-    system = OuroborosSystem(arch, settings.system_config(**config_overrides))
-    trace = workload_trace(workload, settings)
-    result = system.serve(trace, workload_name=workload)
-    result.system = OUROBOROS_NAME
-    return result
+    """Deprecated: serve one workload on Ouroboros.
+
+    Thin shim over :func:`repro.api.serve`; results are bitwise-identical.
+    """
+    warnings.warn(
+        "run_ouroboros() is deprecated; use repro.api.serve(settings.deployment(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return api.serve(settings.deployment(model, workload, **config_overrides))
 
 
 def run_baseline(
@@ -123,19 +149,21 @@ def run_baseline(
     workload: str,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
 ) -> RunResult | None:
-    """Serve one workload on a named baseline.
+    """Deprecated: serve one workload on a named baseline.
 
-    Returns ``None`` when the baseline cannot deploy the model at all (e.g.
-    the model does not fit the Cerebras WSE-2's SRAM), mirroring missing bars.
+    Thin shim over :func:`repro.api.serve`.  Returns ``None`` when the
+    baseline cannot deploy the model at all (e.g. the model does not fit the
+    Cerebras WSE-2's SRAM), mirroring missing bars.
     """
-    arch = resolve_model(model)
-    system_cls = BASELINE_SYSTEMS[name]
+    warnings.warn(
+        "run_baseline() is deprecated; use repro.api.serve(settings.deployment(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     try:
-        system = system_cls(arch)
+        return api.serve(settings.deployment(model, workload, system=name))
     except ConfigurationError:
         return None
-    trace = workload_trace(workload, settings)
-    return system.serve(trace, workload_name=workload)
 
 
 def run_grid(
@@ -157,6 +185,28 @@ def run_grid(
     return runner.run_grid(tuple(models), tuple(workloads), settings)
 
 
+def cell_deployments(
+    model: ModelArch | str,
+    workload: str,
+    settings: ExperimentSettings = DEFAULT_SETTINGS,
+    systems: tuple[str, ...] | None = None,
+) -> list[DeploymentSpec]:
+    """The specs one comparison cell serves: the baselines, then Ouroboros.
+
+    ``systems`` restricts the baseline set by key or display name (Ouroboros
+    always runs); ``()`` means Ouroboros only, e.g. for the open-loop arrival
+    sweep, where the analytic baselines have no notion of arrival times.
+    """
+    specs: list[DeploymentSpec] = []
+    for key in comparison_grid_keys():
+        entry = get_system(key)
+        if systems is not None and not {entry.key, entry.display_name} & set(systems):
+            continue
+        specs.append(settings.deployment(model, workload, system=key))
+    specs.append(settings.deployment(model, workload))
+    return specs
+
+
 def run_all_systems(
     model: ModelArch | str,
     workload: str,
@@ -166,25 +216,33 @@ def run_all_systems(
 ) -> dict[str, RunResult]:
     """Run every baseline plus Ouroboros on one (model, workload) cell.
 
-    ``systems`` restricts the baseline set (Ouroboros always runs); the
-    arrival-rate sweep uses ``systems=()`` because the analytic baselines
-    have no notion of arrival times.
+    Every system is constructed and served through the unified
+    :func:`repro.api.serve` entry point.  Specs are validated loudly first
+    (e.g. a nonzero arrival rate with closed-batch baselines raises the typed
+    :class:`ConfigurationError` instead of being swallowed); only *capacity*
+    failures while building -- a baseline that cannot deploy the model at all
+    -- are omitted, mirroring the missing bars of the paper's figures.
+    ``ouroboros_system`` serves on a caller-provided system instead of the
+    spec-built one (legacy hook).
     """
-    arch = resolve_model(model)
+    specs = cell_deployments(model, workload, settings, systems=systems)
+    for spec in specs:
+        spec.validate()
     results: dict[str, RunResult] = {}
-    for name in BASELINE_SYSTEMS:
-        if systems is not None and name not in systems:
+    for spec in specs:
+        display = get_system(spec.system).display_name
+        if spec.system == "ouroboros":
+            if ouroboros_system is not None:
+                trace = api.trace_for(spec)
+                result = ouroboros_system.serve(trace, workload_name=spec.label())
+                result.system = OUROBOROS_NAME
+                results[OUROBOROS_NAME] = result
+                continue
+            display = OUROBOROS_NAME
+        try:
+            results[display] = api.serve(spec)
+        except ConfigurationError:
             continue
-        result = run_baseline(name, arch, workload, settings)
-        if result is not None:
-            results[name] = result
-    if ouroboros_system is not None:
-        trace = workload_trace(workload, settings)
-        result = ouroboros_system.serve(trace, workload_name=workload)
-        result.system = OUROBOROS_NAME
-        results[OUROBOROS_NAME] = result
-    else:
-        results[OUROBOROS_NAME] = run_ouroboros(arch, workload, settings)
     return results
 
 

@@ -14,11 +14,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from ..baselines.gpu import DGXA100System, dgx_a100_hardware
+from .. import api
+from ..baselines.gpu import dgx_a100_hardware
 from ..models.architectures import generic_llm
 from ..results import EnergyBreakdown
 from ..units import GB
-from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult, workload_trace
+from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult
 
 #: model sizes (billions of parameters) swept by Fig. 1
 MODEL_SIZES_B = (7.0, 13.0, 19.5, 32.0, 65.0, 130.0)
@@ -70,18 +71,21 @@ def run(settings: ExperimentSettings = DEFAULT_SETTINGS) -> ScalingTaxResult:
         figure="Fig. 1",
         description="Hardware scaling tax: energy breakdown vs. model size on A100s",
     )
-    trace = workload_trace(WORKLOAD, settings)
     for size in MODEL_SIZES_B:
         arch = generic_llm(size)
         num_gpus = min(8, gpus_required(size))
-        hardware = dgx_a100_hardware(num_gpus)
-        if arch.total_weight_params * 2 > hardware.memory_capacity_bytes:
+        if arch.total_weight_params * 2 > dgx_a100_hardware(num_gpus).memory_capacity_bytes:
             # The largest models exceed even 8 GPUs of HBM in FP16; the paper
             # still deploys them on 8 GPUs (weights spill / are re-streamed),
             # which we approximate by charging the full weight traffic anyway.
             num_gpus = 8
-        system = DGXA100System(arch, num_gpus=num_gpus)
-        run_result = system.serve(trace, workload_name=WORKLOAD)
+        spec = settings.deployment(
+            f"generic-{size:g}b",
+            WORKLOAD,
+            system="dgx-a100",
+            options={"num_gpus": num_gpus},
+        )
+        run_result = api.serve(spec)
         point = ScalingTaxPoint(
             model_size_b=size,
             num_gpus=num_gpus,

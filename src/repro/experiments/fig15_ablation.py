@@ -17,16 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .. import api
 from ..baselines.multi_die import ABLATION_STEPS, ablation_config
-from ..core.system import OuroborosSystem
 from ..results import RunResult
 from ..sim.engine import PipelineMode
 from .common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
     FigureResult,
-    resolve_model,
-    workload_trace,
 )
 
 ABLATION_MODELS = ("llama-13b", "llama-32b")
@@ -65,7 +63,6 @@ def run(
         description="Ablation: Wafer, CIM, TGP, Mapping, KV-cache management",
     )
     for model in models:
-        arch = resolve_model(model)
         for step in ABLATION_STEPS:
             config = ablation_config(
                 step,
@@ -73,10 +70,9 @@ def run(
                 anneal_iterations=settings.anneal_iterations,
             )
             config = replace(config, model_defects=settings.model_defects)
-            system = OuroborosSystem(arch, config)
             for workload in workloads:
-                trace = workload_trace(workload, settings)
-                run_result = system.serve(trace, workload_name=workload)
+                spec = settings.deployment(model, workload, config=config)
+                run_result = api.serve(spec)
                 run_result.system = step
                 result.raw[(model, workload, step)] = run_result
     for model in models:
@@ -107,15 +103,13 @@ def tgp_without_cim_energy_factor(
     the baseline energy on WikiText-2.  Returns the energy ratio of
     (TGP, no CIM) to the sequence-grained non-CIM baseline.
     """
-    arch = resolve_model(model)
-    trace = workload_trace(workload, settings)
     base_config = ablation_config("+Wafer", pipeline=settings.pipeline_config())
     base_config = replace(base_config, model_defects=settings.model_defects)
-    baseline = OuroborosSystem(arch, base_config).serve(trace, workload_name=workload)
+    baseline = api.serve(settings.deployment(model, workload, config=base_config))
     tgp_config = replace(
         base_config, pipeline_mode=PipelineMode.TOKEN_GRAINED, cim_enabled=False
     )
-    tgp_no_cim = OuroborosSystem(arch, tgp_config).serve(trace, workload_name=workload)
+    tgp_no_cim = api.serve(settings.deployment(model, workload, config=tgp_config))
     return tgp_no_cim.energy_per_output_token_j / max(
         baseline.energy_per_output_token_j, 1e-12
     )

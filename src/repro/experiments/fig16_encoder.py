@@ -18,39 +18,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.system import OuroborosSystem
+from .. import api
+from ..api import comparison_grid_keys
+from ..errors import ConfigurationError
 from ..results import RunResult
 from ..sim.engine import PipelineMode
-from ..workload.distributions import FixedLengthDistribution
-from ..workload.generator import Trace, TraceGenerator, WorkloadSpec
 from .common import (
-    BASELINE_SYSTEMS,
     DEFAULT_SETTINGS,
     OUROBOROS_NAME,
     ExperimentSettings,
     FigureResult,
-    resolve_model,
 )
 
 ENCODER_MODELS = ("bert-large", "t5-11b")
 
-#: encoder workloads: BERT classifies 384-token inputs; T5 summarises
-#: 512-token inputs into 64-token outputs
+#: encoder workloads (spec-addressable fixed-length settings): BERT classifies
+#: 384-token inputs; T5 summarises 512-token inputs into 64-token outputs
 ENCODER_WORKLOADS = {
-    "bert-large": FixedLengthDistribution(prefill_length=384, decode_length=1),
-    "t5-11b": FixedLengthDistribution(prefill_length=512, decode_length=64),
+    "bert-large": "lp384_ld1",
+    "t5-11b": "lp512_ld64",
 }
-
-
-def encoder_trace(model: str, settings: ExperimentSettings) -> Trace:
-    distribution = ENCODER_WORKLOADS[model]
-    spec = WorkloadSpec(
-        name=f"{model}-encoder",
-        distribution=distribution,
-        num_requests=settings.num_requests,
-        seed=settings.seed,
-    )
-    return TraceGenerator(spec).generate()
 
 
 def _per_token_throughput(result: RunResult) -> float:
@@ -95,26 +82,28 @@ def run(
         description="Encoder-based models: throughput and energy vs. baselines",
     )
     for model in models:
-        arch = resolve_model(model)
-        trace = encoder_trace(model, settings)
-        for name, system_cls in BASELINE_SYSTEMS.items():
+        workload = ENCODER_WORKLOADS[model]
+        for key in comparison_grid_keys():
+            spec = settings.deployment(
+                model, workload, system=key, workload_label="encoder"
+            )
             try:
-                baseline = system_cls(arch)
-            except Exception:
+                baseline = api.serve(spec)
+            except ConfigurationError:
                 continue
-            result.raw[(model, name)] = baseline.serve(trace, workload_name="encoder")
+            result.raw[(model, api.get_system(key).display_name)] = baseline
 
-        blocked_system = OuroborosSystem(
-            arch, settings.system_config(pipeline_mode=PipelineMode.BLOCKED)
-        )
-        blocked = blocked_system.serve(trace, workload_name="encoder")
+        blocked = api.serve(settings.deployment(
+            model, workload, workload_label="encoder",
+            pipeline_mode=PipelineMode.BLOCKED,
+        ))
         blocked.system = OUROBOROS_NAME
         result.raw[(model, OUROBOROS_NAME)] = blocked
 
-        sequence_system = OuroborosSystem(
-            arch, settings.system_config(pipeline_mode=PipelineMode.SEQUENCE_GRAINED)
-        )
-        sequential = sequence_system.serve(trace, workload_name="encoder")
+        sequential = api.serve(settings.deployment(
+            model, workload, workload_label="encoder",
+            pipeline_mode=PipelineMode.SEQUENCE_GRAINED,
+        ))
         result.blocking_speedup[model] = _per_token_throughput(blocked) / max(
             _per_token_throughput(sequential), 1e-12
         )
@@ -138,16 +127,12 @@ def decoder_blocking_penalty(
     settings: ExperimentSettings = DEFAULT_SETTINGS, model: str = "llama-13b"
 ) -> float:
     """Throughput cost of blocking on a decoder-only model (paper: ~5%)."""
-    arch = resolve_model(model)
-    from .common import workload_trace
-
-    trace = workload_trace("wikitext2", settings)
-    tgp = OuroborosSystem(
-        arch, settings.system_config(pipeline_mode=PipelineMode.TOKEN_GRAINED)
-    ).serve(trace)
-    blocked = OuroborosSystem(
-        arch, settings.system_config(pipeline_mode=PipelineMode.BLOCKED)
-    ).serve(trace)
+    tgp = api.serve(settings.deployment(
+        model, "wikitext2", pipeline_mode=PipelineMode.TOKEN_GRAINED
+    ))
+    blocked = api.serve(settings.deployment(
+        model, "wikitext2", pipeline_mode=PipelineMode.BLOCKED
+    ))
     return 1.0 - blocked.throughput_tokens_per_s / max(
         tgp.throughput_tokens_per_s, 1e-12
     )

@@ -14,30 +14,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.system import OuroborosSystem
+from .. import api
 from ..results import RunResult
 from ..sim.engine import PipelineMode
-from ..workload.distributions import FixedLengthDistribution, WikiTextLikeDistribution
-from ..workload.generator import Trace, TraceGenerator, WorkloadSpec
-from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult, resolve_model
+from .common import DEFAULT_SETTINGS, ExperimentSettings, FigureResult
 
 THRESHOLDS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 SWEEP_MODELS = ("llama-13b", "t5-11b")
 
 
-def _sweep_trace(model: str, settings: ExperimentSettings) -> Trace:
-    """A decode-heavy trace that keeps the KV cache near capacity."""
+def _sweep_workload(model: str) -> str:
+    """A decode-heavy workload that keeps the KV cache near capacity."""
     if model == "t5-11b":
-        distribution = FixedLengthDistribution(prefill_length=512, decode_length=256)
-    else:
-        distribution = WikiTextLikeDistribution(decode_log_mean=6.5)
-    spec = WorkloadSpec(
-        name=f"{model}-kv-sweep",
-        distribution=distribution,
-        num_requests=settings.num_requests,
-        seed=settings.seed,
-    )
-    return TraceGenerator(spec).generate()
+        return "lp512_ld256"
+    return "wikitext2_ldm6.5"
 
 
 @dataclass
@@ -71,20 +61,17 @@ def run(
         description="Throughput and energy vs. KV-cache admission threshold",
     )
     for model in models:
-        arch = resolve_model(model)
-        trace_template = _sweep_trace(model, settings)
+        workload = _sweep_workload(model)
         for threshold in thresholds:
-            config = settings.system_config(kv_threshold=threshold)
+            overrides = {"kv_threshold": threshold}
             if model == "t5-11b":
-                config = settings.system_config(
-                    kv_threshold=threshold, pipeline_mode=PipelineMode.BLOCKED
-                )
-            system = OuroborosSystem(arch, config)
-            # Traces are immutable inputs; regenerate per run to avoid sharing
-            # mutable Sequence state across systems.
-            trace = Trace(spec=trace_template.spec, requests=list(trace_template.requests))
-            run_result = system.serve(trace, workload_name=f"kv-threshold-{threshold}")
-            result.raw[(model, threshold)] = run_result
+                overrides["pipeline_mode"] = PipelineMode.BLOCKED
+            spec = settings.deployment(
+                model, workload,
+                workload_label=f"kv-threshold-{threshold}",
+                **overrides,
+            )
+            result.raw[(model, threshold)] = api.serve(spec)
     for model in models:
         for threshold, values in result.normalized_series(model).items():
             result.rows_data.append(

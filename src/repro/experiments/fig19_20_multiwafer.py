@@ -11,11 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..baselines.attacc import AttAccSystem
-from ..baselines.cerebras import CerebrasWSE2System
-from ..baselines.gpu import DGXA100System
-from ..baselines.tpu import TPUv4System
-from ..core.system import OuroborosSystem
+from .. import api
+from ..api import comparison_grid_keys, get_system
 from ..results import RunResult
 from .common import (
     DEFAULT_SETTINGS,
@@ -25,8 +22,6 @@ from .common import (
     FigureResult,
     normalized_energy,
     normalized_throughput,
-    resolve_model,
-    workload_trace,
 )
 
 MODEL = "llama-65b"
@@ -56,27 +51,18 @@ def run(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     workloads: tuple[str, ...] = PAPER_WORKLOAD_ORDER,
 ) -> MultiWaferResult:
-    arch = resolve_model(MODEL)
     result = MultiWaferResult(
         figure="Fig. 19/20",
         description="Multi-wafer scaling: LLaMA-65B on two wafers vs. baselines",
     )
-    ouroboros = OuroborosSystem(arch, settings.system_config(num_wafers=2))
-    result.num_wafers = ouroboros.num_wafers
-    baselines = {
-        "DGX A100": DGXA100System(arch),
-        "TPUv4": TPUv4System(arch),
-        "AttAcc": AttAccSystem(arch),
-        "Cerebras": CerebrasWSE2System(arch, num_wafers=2),
-    }
+    ouro_spec = settings.deployment(MODEL, workloads[0], num_wafers=2)
+    result.num_wafers = api.build_deployment(ouro_spec).num_wafers
     for workload in workloads:
-        trace = workload_trace(workload, settings)
-        for name, system in baselines.items():
-            result.raw[(workload, name)] = system.serve(trace, workload_name=workload)
-        ours = ouroboros.serve(
-            workload_trace(workload, settings), workload_name=workload
-        )
-        ours.system = OUROBOROS_NAME
+        for key in comparison_grid_keys():
+            options = {"num_wafers": 2} if key == "cerebras-wse2" else None
+            spec = settings.deployment(MODEL, workload, system=key, options=options)
+            result.raw[(workload, get_system(key).display_name)] = api.serve(spec)
+        ours = api.serve(settings.deployment(MODEL, workload, num_wafers=2))
         result.raw[(workload, OUROBOROS_NAME)] = ours
     for workload in workloads:
         throughput = result.normalized_throughput(workload)

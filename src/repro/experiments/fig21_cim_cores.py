@@ -12,29 +12,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..baselines.cim_cores import (
-    ALL_DESIGNS,
-    ISSCC22,
-    OUROBOROS_CORE,
-    OUROBOROS_LUT_CORE,
-    VLSI22,
-    CIMCoreDesign,
-    CIMCoreSystem,
-)
-from ..core.system import OuroborosSystem
+from .. import api
+from ..baselines.cim_cores import ISSCC22, OUROBOROS_CORE, VLSI22
 from ..results import RunResult
 from .common import (
     DEFAULT_SETTINGS,
     ExperimentSettings,
     FigureResult,
     geometric_mean,
-    resolve_model,
-    workload_trace,
 )
 
 FIG21_MODELS = ("llama-13b", "baichuan-13b", "llama-32b", "qwen-32b")
 FIG21_WORKLOADS = ("wikitext2", "lp128_ld2048", "lp2048_ld128", "lp2048_ld2048")
 DESIGN_ORDER = ("This work", "VLSI'22", "ISSCC'22", "This work + LUT")
+
+#: the dense circuit designs, as system-registry keys
+DENSE_DESIGN_SYSTEMS = {"VLSI'22": "cim-vlsi22", "ISSCC'22": "cim-isscc22"}
 
 
 def table2() -> list[dict]:
@@ -92,25 +85,17 @@ def run(
         figure="Fig. 21",
         description="System impact of CIM-core circuit designs (normalized to this work)",
     )
-    designs: dict[str, CIMCoreDesign] = {d.name: d for d in ALL_DESIGNS}
     for model in models:
-        arch = resolve_model(model)
-        ouroboros = OuroborosSystem(arch, settings.system_config())
-        ouroboros_lut = OuroborosSystem(arch, settings.system_config(lut_optimized=True))
         for workload in workloads:
-            trace = workload_trace(workload, settings)
-            ours = ouroboros.serve(workload_trace(workload, settings), workload_name=workload)
+            ours = api.serve(settings.deployment(model, workload))
             ours.system = "This work"
             result.raw[(model, workload, "This work")] = ours
-            lut = ouroboros_lut.serve(
-                workload_trace(workload, settings), workload_name=workload
-            )
+            lut = api.serve(settings.deployment(model, workload, lut_optimized=True))
             lut.system = "This work + LUT"
             result.raw[(model, workload, "This work + LUT")] = lut
-            for name in ("VLSI'22", "ISSCC'22"):
-                system = CIMCoreSystem(arch, designs[name])
-                result.raw[(model, workload, name)] = system.serve(
-                    trace, workload_name=workload
+            for name, system_key in DENSE_DESIGN_SYSTEMS.items():
+                result.raw[(model, workload, name)] = api.serve(
+                    settings.deployment(model, workload, system=system_key)
                 )
     for model in models:
         for workload in workloads:

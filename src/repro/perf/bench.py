@@ -5,12 +5,14 @@ stage -- system build (mapping + KV setup) per model, trace serving per
 workload (closed batch plus one open-loop arrival-driven run at the measured
 saturation rate), the full headline comparison grid, and a mapping-annealer
 microbenchmark -- and writes the measurements to a JSON file
-(``BENCH_PR2.json`` by default).  Future PRs append their own reports, so the
+(``BENCH_PR3.json`` by default).  Future PRs append their own reports, so the
 repository carries its performance trajectory alongside the code.
 
-The harness measures *cold* numbers: every stage builds its own systems and
-the sweep result cache is disabled, so the report reflects simulator speed,
-not cache hits.
+Runs are described as :class:`repro.api.DeploymentSpec` objects and built
+through the system registry.  The harness measures *cold* numbers: every
+stage builds its own systems (bypassing the api build memo) and the sweep
+result cache is disabled, so the report reflects simulator speed, not cache
+hits.
 """
 
 from __future__ import annotations
@@ -70,14 +72,12 @@ def run_bench(
     """Time the headline experiment pipeline stage by stage."""
     import os
 
-    from ..core.system import OuroborosSystem
+    from .. import api
     from ..experiments import headline
     from ..experiments.common import (
         DECODER_MODELS,
         PAPER_WORKLOAD_ORDER,
         ExperimentSettings,
-        resolve_model,
-        workload_trace,
     )
     from ..hardware.wafer import Wafer
     from ..mapping.intercore import map_model
@@ -98,20 +98,22 @@ def run_bench(
     )
 
     # Stage 1: system build (defect sampling + mapping + KV setup) per model.
+    # `cache=False` keeps the numbers cold (no api build memoisation).
     for model in models:
-        arch = resolve_model(model)
+        spec = settings.deployment(model, PAPER_WORKLOAD_ORDER[0])
         start = time.perf_counter()
-        system = OuroborosSystem(arch, settings.system_config())
+        system = api.build_deployment(spec, cache=False)
         system.built
         report.timings_s[f"build.{model}"] = time.perf_counter() - start
 
     # Stage 2: serving each paper workload on the first model.
-    arch = resolve_model(models[0])
-    system = OuroborosSystem(arch, settings.system_config())
+    system = api.build_deployment(
+        settings.deployment(models[0], PAPER_WORKLOAD_ORDER[0]), cache=False
+    )
     system.built
     first_batch_result = None
     for workload in PAPER_WORKLOAD_ORDER:
-        trace = workload_trace(workload, settings)
+        trace = api.trace_for(settings.deployment(models[0], workload))
         start = time.perf_counter()
         result = system.serve(trace, workload_name=workload)
         report.timings_s[f"serve.{models[0]}.{workload}"] = time.perf_counter() - start
@@ -123,7 +125,7 @@ def run_bench(
     workload = PAPER_WORKLOAD_ORDER[0]
     rate = num_requests / first_batch_result.total_time_s
     open_loop_settings = replace(settings, arrival_rate_per_s=rate)
-    trace = workload_trace(workload, open_loop_settings)
+    trace = api.trace_for(open_loop_settings.deployment(models[0], workload))
     start = time.perf_counter()
     open_result = system.serve(trace, workload_name=workload)
     report.timings_s[f"serve_open_loop.{models[0]}.{workload}"] = (
@@ -145,7 +147,7 @@ def run_bench(
     })
 
     # Stage 4: mapping-annealer microbenchmark (incremental delta evaluation).
-    arch = resolve_model(models[0])
+    arch = api.resolve_model(models[0])
     wafer = Wafer(settings.system_config().wafer)
     start = time.perf_counter()
     map_model(arch, wafer, anneal_iterations=anneal_iterations)

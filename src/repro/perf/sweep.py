@@ -7,12 +7,13 @@ with ``max_workers=1``) the runner degrades to the serial path, which reuses
 one built Ouroboros system per model exactly like the original grid loop.
 
 Results can additionally be cached on disk keyed by the *content* of the cell:
-the model name, the workload spec (name, request count, seed) and every
-serving-relevant field of the settings object.  Re-running a sweep with
-unchanged inputs then costs one pickle load per cell.  Caching is off unless a
-cache directory is supplied (or ``REPRO_RESULT_CACHE_DIR`` is set), because a
-stale cache must never silently shadow a code change; the key embeds a schema
-version that must be bumped when result semantics change.
+the canonical dict of every :class:`repro.api.DeploymentSpec` the cell serves
+(model, system, full system config, workload incl. request count / seed /
+arrival rate).  Re-running a sweep with unchanged inputs then costs one pickle
+load per cell.  Caching is off unless a cache directory is supplied (or
+``REPRO_RESULT_CACHE_DIR`` is set), because a stale cache must never silently
+shadow a code change; the key embeds a schema version that must be bumped when
+result semantics change.
 
 Usage::
 
@@ -30,14 +31,15 @@ import json
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..results import RunResult
 
 #: bump when RunResult semantics or serving behaviour changes incompatibly
-#: (2: RunResult grew ttft/latency stats; completion stamped at epoch end)
-_CACHE_SCHEMA = "2"
+#: (2: RunResult grew ttft/latency stats; completion stamped at epoch end;
+#:  3: keys are canonical DeploymentSpec dicts)
+_CACHE_SCHEMA = "3"
 
 
 @dataclass(frozen=True)
@@ -55,15 +57,15 @@ class SweepCell:
 
 
 def _cell_key(cell: SweepCell, settings) -> str:
-    """Content hash of (arch, config, trace spec) identifying one cell."""
+    """Content hash of the canonical deployment specs one cell serves."""
+    from ..experiments.common import cell_deployments
+
+    specs = cell_deployments(cell.model, cell.workload, settings, systems=cell.systems)
     payload = {
         "schema": _CACHE_SCHEMA,
-        "model": cell.model,
-        "workload": cell.workload,
-        "systems": list(cell.systems) if cell.systems is not None else None,
-        "settings": asdict(settings),
+        "specs": [spec.to_dict() for spec in specs],
     }
-    canonical = json.dumps(payload, sort_keys=True, default=str)
+    canonical = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
@@ -161,31 +163,20 @@ class SweepRunner:
         return results
 
     def _run_serial(self, pairs, pending: list[int]):
-        """Serial path: build each distinct (model, system config) once.
+        """Serial path: run cells in order through the unified entry point.
 
-        Grid cells share one settings object, so this degrades to the
-        build-once-per-model loop; arrival-rate variants differ only in trace
-        knobs, so they share one built system too.
+        Build reuse needs no special casing here any more: `repro.api`
+        memoises built systems per (model, system, config), so grid cells
+        sharing one settings object build each model once, and arrival-rate
+        variants (which differ only in trace knobs) share one built system.
         """
-        from ..core.system import OuroborosSystem
-        from ..experiments.common import resolve_model, run_all_systems
+        from ..experiments.common import run_all_systems
 
-        groups: dict[tuple, list[int]] = {}
         for index in pending:
             cell, settings = pairs[index]
-            groups.setdefault((cell.model, settings.system_config()), []).append(index)
-        for (model, config), indices in groups.items():
-            arch = resolve_model(model)
-            system = OuroborosSystem(arch, config)
-            for index in indices:
-                cell, settings = pairs[index]
-                yield index, run_all_systems(
-                    arch,
-                    cell.workload,
-                    settings,
-                    ouroboros_system=system,
-                    systems=cell.systems,
-                )
+            yield index, run_all_systems(
+                cell.model, cell.workload, settings, systems=cell.systems
+            )
 
     def run_cells(
         self, cells: list[SweepCell], settings

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 
 from ..errors import ConfigurationError, MappingError
@@ -101,6 +102,11 @@ class BuiltOuroboros:
     defect_maps: list[DefectMap | None]
 
     # ------------------------------------------------------------------ summary
+
+    @property
+    def name(self) -> str:
+        """Display name (the ``ServingSystem`` protocol)."""
+        return "Ouroboros"
 
     @property
     def num_weight_cores(self) -> int:
@@ -231,9 +237,34 @@ def _build_kv_manager(
     )
 
 
+def default_system_config() -> OuroborosSystemConfig:
+    """The one place default Ouroboros knobs come from.
+
+    :class:`repro.api.DeploymentSpec` uses this as its ``config`` default;
+    the legacy entry points below route through it instead of each
+    constructing their own ``OuroborosSystemConfig()``.
+    """
+    return OuroborosSystemConfig()
+
+
 def build_system(arch: ModelArch, config: OuroborosSystemConfig | None = None) -> BuiltOuroboros:
+    """Deprecated public entry point: build a ready-to-serve deployment.
+
+    Prefer ``repro.api.serve(DeploymentSpec(...))`` or
+    ``repro.api.build_deployment(...)``; this shim keeps old callers working
+    (results are bitwise-identical) while steering new code to the spec API.
+    """
+    warnings.warn(
+        "build_system() is deprecated; use repro.api.serve(DeploymentSpec(...)) "
+        "or repro.api.build_deployment() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_system(arch, config if config is not None else default_system_config())
+
+
+def _build_system(arch: ModelArch, config: OuroborosSystemConfig) -> BuiltOuroboros:
     """Build a ready-to-serve Ouroboros deployment for ``arch``."""
-    config = config or OuroborosSystemConfig()
     wafers: list[Wafer] = []
     defect_maps: list[DefectMap | None] = []
     for index in range(config.num_wafers):
@@ -328,6 +359,6 @@ def _partition_blocks(
 
 def required_wafers(arch: ModelArch, config: OuroborosSystemConfig | None = None) -> int:
     """Minimum wafer count whose SRAM holds the model weights plus KV headroom."""
-    config = config or OuroborosSystemConfig()
+    config = config if config is not None else default_system_config()
     per_wafer = config.wafer.sram_bytes * 0.80  # keep ~20% for KV/activations
     return max(1, math.ceil(arch.total_weight_bytes / per_wafer))

@@ -15,6 +15,7 @@ bubbles.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 import numpy as np
@@ -128,11 +129,34 @@ NAMED_DISTRIBUTIONS: dict[str, LengthDistribution] = {
 }
 
 
+#: ``lp<prefill>_ld<decode>`` -> FixedLengthDistribution (generalises the
+#: paper's three fixed settings to arbitrary lengths, e.g. ``lp384_ld1``)
+_FIXED_PATTERN = re.compile(r"^lp(\d+)_ld(\d+)$")
+#: ``wikitext2_ldm<float>`` -> WikiText-like lengths with a heavier decode
+#: tail (e.g. ``wikitext2_ldm6.5`` for the Fig. 17 KV-pressure sweep)
+_WIKITEXT_LDM_PATTERN = re.compile(r"^wikitext2_ldm([0-9]+(?:\.[0-9]+)?)$")
+
+
 def get_distribution(name: str) -> LengthDistribution:
-    """Look up one of the paper's workload settings by name."""
+    """Look up a workload by name.
+
+    Recognises the paper's named settings plus two parametric families:
+    ``lp<P>_ld<D>`` (every request has fixed prefill/decode lengths) and
+    ``wikitext2_ldm<M>`` (WikiText-like lengths with decode log-mean ``M``),
+    which makes every trace the figure drivers use addressable by a string.
+    """
     key = name.lower()
-    if key not in NAMED_DISTRIBUTIONS:
-        raise ConfigurationError(
-            f"unknown workload '{name}'; known: {sorted(NAMED_DISTRIBUTIONS)}"
+    if key in NAMED_DISTRIBUTIONS:
+        return NAMED_DISTRIBUTIONS[key]
+    match = _FIXED_PATTERN.match(key)
+    if match:
+        return FixedLengthDistribution(
+            prefill_length=int(match.group(1)), decode_length=int(match.group(2))
         )
-    return NAMED_DISTRIBUTIONS[key]
+    match = _WIKITEXT_LDM_PATTERN.match(key)
+    if match:
+        return WikiTextLikeDistribution(decode_log_mean=float(match.group(1)))
+    raise ConfigurationError(
+        f"unknown workload '{name}'; known: {sorted(NAMED_DISTRIBUTIONS)} "
+        "(or 'lp<P>_ld<D>' / 'wikitext2_ldm<M>')"
+    )

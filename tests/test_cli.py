@@ -31,7 +31,13 @@ class TestParser:
 
     def test_bench_default_output_tracks_pr(self):
         args = build_parser().parse_args(["bench"])
-        assert args.output == "BENCH_PR2.json"
+        assert args.output == "BENCH_PR3.json"
+
+    def test_serve_system_choice(self):
+        args = build_parser().parse_args(["serve", "llama-13b", "--system", "tpu-v4"])
+        assert args.system == "tpu-v4"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "llama-13b", "--system", "gpu-9000"])
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SystemExit):
@@ -82,6 +88,14 @@ class TestCommands:
         assert code == 0
         assert "Fig. 11" in captured
         assert "1/32" in captured
+
+    def test_serve_on_registered_baseline(self, capsys):
+        code = main([
+            "serve", "llama-13b", "--requests", "5", "--system", "dgx-a100",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "DGX A100" in captured
 
     def test_experiment_fig18_with_model_restriction(self, capsys):
         code = main([
