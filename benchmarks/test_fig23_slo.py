@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Fig. 23 (multi-tenant SLO goodput vs. offered load).
+
+Not a figure of the paper: the sweep answers the capacity-planning question
+the closed-batch evaluation cannot — how much offered load the deployment
+carries per tenant while honouring a TTFT / end-to-end SLO.  Two tenants with
+different request mixes share the wafer under a continuous-batching limit;
+the qualitative queueing shape is asserted: every tenant meets its SLO at
+light load, goodput is non-increasing-ish toward overload, and far past
+saturation the SLO is lost while the TTFT tail grows.
+"""
+
+from repro.experiments import fig23_slo_goodput
+
+from .conftest import bench_settings, record_figure
+
+LOAD_FRACTIONS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_fig23_slo_goodput(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig23_slo_goodput.run,
+        args=(settings,),
+        kwargs={"load_fractions": LOAD_FRACTIONS},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(results_dir, "fig23_slo_goodput", result)
+
+    rows = result.rows()
+    assert [row["load"] for row in rows[::2]] == list(LOAD_FRACTIONS)
+    assert result.base_rate_per_s > 0
+    assert set(result.tenant_slos) == {"interactive", "batch"}
+
+    by_key = {(row["load"], row["tenant"]): row for row in rows}
+    for tenant in ("interactive", "batch"):
+        # Light load honours the SLO; far past saturation loses it.
+        assert by_key[(LOAD_FRACTIONS[0], tenant)]["meets_slo"]
+        assert not by_key[(LOAD_FRACTIONS[-1], tenant)]["meets_slo"]
+        # Goodput degrades toward overload and the TTFT tail grows.
+        light = by_key[(LOAD_FRACTIONS[0], tenant)]
+        heavy = by_key[(LOAD_FRACTIONS[-1], tenant)]
+        assert heavy["goodput"] < light["goodput"]
+        assert heavy["ttft_p99_s"] > light["ttft_p99_s"]
+
+    # The headline capacity number sits inside the swept range: some load
+    # meets the SLO for every tenant, the extremes bracket the crossing.
+    assert LOAD_FRACTIONS[0] <= result.max_load_meeting_slo() < LOAD_FRACTIONS[-1]

@@ -9,16 +9,22 @@ Two of the paper's design decisions are swept here:
    annealed placements and their effect on per-token hop distance, serving
    energy and the Fig. 18 transmission-volume comparison.
 
-Run:  python examples/design_space_exploration.py
+The mapping sweep describes each run as a fluent `DeploymentSpec`
+(`deployment(...).mapping(strategy)`) served through `repro.serve(...)`.
+
+Run:  python examples/design_space_exploration.py [--fast]
+      --fast shrinks the trace and annealing budget (CI smoke)
 """
 
 from __future__ import annotations
 
-from repro import OuroborosSystem, generate_trace, get_model
-from repro.experiments import ExperimentSettings
+import sys
+
+from repro import api, deployment, serve
 from repro.hardware.crossbar import throughput_vs_activation_ratio
 from repro.hardware.wafer import Wafer
 from repro.mapping.baselines import compare_mapping_schemes
+from repro.models.architectures import get_model
 from repro.sim.engine import MappingStrategy
 
 
@@ -33,32 +39,34 @@ def sweep_row_activation() -> None:
     print(f"  -> best ratio: 1/{int(1 / best)} (the paper's choice)\n")
 
 
-def sweep_mapping_strategy() -> None:
-    print("Mapping strategy sweep on LLaMA-13B (200 requests, lp128_ld2048)")
-    settings = ExperimentSettings(num_requests=120, anneal_iterations=80)
-    model = get_model("llama-13b")
+def sweep_mapping_strategy(num_requests: int, anneal: int) -> None:
+    print(f"Mapping strategy sweep on LLaMA-13B ({num_requests} requests, lp128_ld2048)")
     print("{:>12} {:>14} {:>14} {:>16}".format(
         "strategy", "avg hops", "tokens/s", "energy/token mJ"))
     for strategy in (MappingStrategy.NAIVE, MappingStrategy.GREEDY, MappingStrategy.OPTIMIZED):
-        system = OuroborosSystem(
-            model, settings.system_config(mapping_strategy=strategy)
+        spec = (
+            deployment("llama-13b")
+            .mapping(strategy)
+            .anneal(anneal)
+            .workload("lp128_ld2048", num_requests=num_requests)
+            .build()
         )
-        trace = generate_trace("lp128_ld2048", num_requests=120)
-        result = system.serve(trace)
+        result = serve(spec)
+        summary = api.build_deployment(spec).summary()
         print("{:>12} {:>14.1f} {:>14,.0f} {:>16.3f}".format(
             strategy.value,
-            system.summary()["average_hops"],
+            summary["average_hops"],
             result.throughput_tokens_per_s,
             result.energy_per_output_token_j * 1e3,
         ))
     print()
 
 
-def compare_transmission_volume() -> None:
+def compare_transmission_volume(anneal: int) -> None:
     print("Per-token transmission volume vs. other wafer-scale schemes (Fig. 18)")
     wafer = Wafer()
     model = get_model("llama-13b")
-    volumes = compare_mapping_schemes(model, wafer, anneal_iterations=80)
+    volumes = compare_mapping_schemes(model, wafer, anneal_iterations=anneal)
     reference = volumes["Cerebras"].byte_hops_per_token
     for scheme in ("Cerebras", "WaferLLM", "Ours"):
         value = volumes[scheme].byte_hops_per_token / reference
@@ -66,6 +74,9 @@ def compare_transmission_volume() -> None:
 
 
 if __name__ == "__main__":
+    fast = "--fast" in sys.argv[1:]
+    requests = 40 if fast else 120
+    anneal = 20 if fast else 80
     sweep_row_activation()
-    sweep_mapping_strategy()
-    compare_transmission_volume()
+    sweep_mapping_strategy(requests, anneal)
+    compare_transmission_volume(anneal)

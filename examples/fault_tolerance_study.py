@@ -1,39 +1,44 @@
 #!/usr/bin/env python3
 """Fault-tolerance study: inject core failures and observe the recovery.
 
-Builds an Ouroboros deployment of LLaMA-13B, then injects a series of runtime
-core failures.  For weight-core failures the replacement-chain remapping is
-reported (chain length, reclaimed KV core, recovery latency); for KV-core
-failures the set of sequences needing recomputation is reported.  Finally the
-script compares serving throughput before and after the failures to show that
-the degradation is bounded by the lost KV capacity rather than by a remap of
-the whole wafer.
+Builds an Ouroboros deployment of LLaMA-13B through the fluent spec API, then
+injects a series of runtime core failures.  For weight-core failures the
+replacement-chain remapping is reported (chain length, reclaimed KV core,
+recovery latency); for KV-core failures the set of sequences needing
+recomputation is reported.  Finally the script compares serving throughput
+before and after the failures to show that the degradation is bounded by the
+lost KV capacity rather than by a remap of the whole wafer.
 
 Run:  python examples/fault_tolerance_study.py [num_failures]
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import sys
 
-from repro import OuroborosSystem, generate_trace, get_model
-from repro.experiments import ExperimentSettings
+from repro import api, deployment
 from repro.kvcache.manager import DistributedKVCacheManager
 from repro.mapping.fault_tolerance import FaultToleranceManager
 from repro.workload.requests import Request, Sequence
 
 
 def main(num_failures: int = 6) -> None:
-    settings = ExperimentSettings(num_requests=100, anneal_iterations=20)
-    model = get_model("llama-13b")
-    system = OuroborosSystem(model, settings.system_config())
+    spec = (
+        deployment("llama-13b")
+        .anneal(20)
+        .workload("lp128_ld2048", num_requests=60)
+        .build()
+    )
+    system = api.build_deployment(spec)
     built = system.built
     mapping = built.mappings[0]
     wafer = built.wafers[0]
     print(f"Deployment: {built.num_weight_cores} weight cores, "
           f"{built.num_kv_cores} KV cores on {wafer.num_healthy_cores} healthy cores\n")
 
+    model = api.resolve_model(spec.model)
     kv_manager = DistributedKVCacheManager(model, mapping.kv_core_ids, threshold=0.1)
     # Put a few sequences in the cache so KV-core failures have victims.
     for seq_id in range(8):
@@ -63,11 +68,13 @@ def main(num_failures: int = 6) -> None:
               f"recovery {result.recovery_latency_s * 1e6:.1f} us")
 
     print("\nServing impact (same trace before/after failures):")
-    trace = generate_trace("lp128_ld2048", num_requests=60)
-    healthy_result = system.serve(generate_trace("lp128_ld2048", num_requests=60))
+    trace = api.trace_for(spec)
+    healthy_result = system.serve(api.trace_for(spec), workload_name=spec.label())
 
     # Rebuild the system with the failed cores marked defective to measure the
-    # post-recovery steady state.
+    # post-recovery steady state.  The degraded wafer is swapped in by hand
+    # because runtime failures are not a spec-addressable configuration.
+    from repro.hardware.wafer import Wafer as WaferClass
     from repro.hardware.yieldmodel import DefectMap
 
     failed = frozenset(ft.failed_cores)
@@ -78,13 +85,10 @@ def main(num_failures: int = 6) -> None:
         core_yield=base_map.core_yield if base_map else 1.0,
         total_cores=wafer.num_cores,
     )
-    from repro.hardware.wafer import Wafer as WaferClass
-    from repro.sim.engine import build_system
-    import dataclasses
-
-    degraded_config = dataclasses.replace(system.config, model_defects=False)
-    degraded_built = build_system(model, degraded_config)
-    degraded_built.wafers[0] = WaferClass(system.config.wafer, defect_map=degraded_map)
+    degraded_config = dataclasses.replace(spec.config, model_defects=False)
+    degraded_spec = dataclasses.replace(spec, config=degraded_config)
+    degraded_built = api.build_deployment(degraded_spec, cache=False).built
+    degraded_built.wafers[0] = WaferClass(spec.config.wafer, defect_map=degraded_map)
     degraded_result = degraded_built.serve(trace)
 
     print(f"  before failures: {healthy_result.throughput_tokens_per_s:,.0f} tokens/s")

@@ -7,6 +7,11 @@ growth then triggers evictions (thrashing) and the evicted context has to be
 recomputed; reserving a small fraction of each core removes the thrashing at a
 small concurrency cost.
 
+Every run is described by a fluent `DeploymentSpec` and served through the
+unified `repro.serve(...)` entry point; the decode-heavy trace is addressed by
+the parametric workload string ``wikitext2_ldm6.8`` (WikiText-like lengths
+with a heavier decode tail).
+
 Run:  python examples/kv_cache_tuning.py [num_requests]
 """
 
@@ -14,36 +19,28 @@ from __future__ import annotations
 
 import sys
 
-from repro import OuroborosSystem, get_model
-from repro.experiments import ExperimentSettings
-from repro.workload.distributions import WikiTextLikeDistribution
-from repro.workload.generator import TraceGenerator, WorkloadSpec
+from repro import deployment, get_model, serve
 
 THRESHOLDS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 
 
 def main(num_requests: int = 300) -> None:
-    settings = ExperimentSettings(num_requests=num_requests, anneal_iterations=20)
     model = get_model("llama-13b")
-    # Long decodes keep the cache under pressure for most of the run.
-    spec = WorkloadSpec(
-        name="decode-heavy",
-        distribution=WikiTextLikeDistribution(decode_log_mean=6.8),
-        num_requests=num_requests,
-        seed=0,
-    )
-
     print(f"KV-cache threshold sweep on {model}, {num_requests} decode-heavy requests\n")
     print("{:>10} {:>14} {:>16} {:>11} {:>18}".format(
         "threshold", "tokens/s", "energy/token mJ", "evictions", "recomputed tokens"))
 
-    baseline_throughput = None
     for threshold in THRESHOLDS:
-        system = OuroborosSystem(model, settings.system_config(kv_threshold=threshold))
-        trace = TraceGenerator(spec).generate()
-        result = system.serve(trace, workload_name=f"threshold={threshold}")
-        if baseline_throughput is None:
-            baseline_throughput = result.throughput_tokens_per_s
+        spec = (
+            deployment("llama-13b")
+            .anneal(20)
+            .kv(policy="dynamic", threshold=threshold)
+            # Long decodes keep the cache under pressure for most of the run.
+            .workload("wikitext2_ldm6.8", num_requests=num_requests,
+                      label=f"threshold={threshold}")
+            .build()
+        )
+        result = serve(spec)
         print("{:>10.2f} {:>14,.0f} {:>16.3f} {:>11} {:>18}".format(
             threshold,
             result.throughput_tokens_per_s,

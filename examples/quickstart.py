@@ -39,7 +39,7 @@ Going further:
 
 * Benchmark the simulator itself and keep the numbers::
 
-      python -m repro bench --output BENCH_PR3.json     # or scripts/bench.sh
+      python -m repro bench --output BENCH_PR4.json     # or scripts/bench.sh
 """
 
 from __future__ import annotations

@@ -3,7 +3,10 @@
 
 Reproduces a slice of the paper's main comparison (Fig. 13/14) for a chosen
 model across the four workload settings, printing normalized throughput and
-normalized energy per output token.
+normalized energy per output token.  Every cell is a set of `DeploymentSpec`s
+served through the unified `repro.api.serve` entry point (one spec per
+registered comparison system); building is memoised per (model, system,
+config), so the four workloads reuse one built system each.
 
 Run:  python examples/serving_comparison.py [model] [num_requests]
       model in {llama-13b, baichuan-13b, llama-32b, qwen-32b}
@@ -21,7 +24,6 @@ from repro.experiments.common import (
     normalized_throughput,
     run_all_systems,
 )
-from repro.core.system import OuroborosSystem
 from repro.models.architectures import get_model
 
 
@@ -30,7 +32,6 @@ def main(model_name: str = "llama-13b", num_requests: int = 200) -> None:
     arch = get_model(model_name)
     print(f"Comparing serving systems on {arch} with {num_requests} requests per workload\n")
 
-    ouroboros = OuroborosSystem(arch, settings.system_config())
     systems_order = ["DGX A100", "TPUv4", "AttAcc", "Cerebras", OUROBOROS_NAME]
 
     header = "{:<14}" + "{:>12}" * len(systems_order)
@@ -38,7 +39,7 @@ def main(model_name: str = "llama-13b", num_requests: int = 200) -> None:
     print(header.format("workload", *systems_order))
     energy_rows = []
     for workload in PAPER_WORKLOAD_ORDER:
-        cell = run_all_systems(arch, workload, settings, ouroboros_system=ouroboros)
+        cell = run_all_systems(model_name, workload, settings)
         throughput = normalized_throughput(cell)
         energy = normalized_energy(cell)
         print(header.format(

@@ -15,7 +15,9 @@ from .api import (
     SYSTEM_REGISTRY,
     DeploymentSpec,
     ServingSystem,
+    SLOTarget,
     SystemEntry,
+    TenantSpec,
     build_deployment,
     deployment,
     get_system,
@@ -31,7 +33,7 @@ from .models.architectures import (
     generic_llm,
     get_model,
 )
-from .results import EnergyBreakdown, RunResult
+from .results import EnergyBreakdown, LatencyStats, RunResult, TenantStats
 from .sim.engine import (
     KVPolicy,
     MappingStrategy,
@@ -48,6 +50,8 @@ __version__ = "1.1.0"
 __all__ = [
     # unified serving API
     "DeploymentSpec",
+    "TenantSpec",
+    "SLOTarget",
     "ServingSystem",
     "SystemEntry",
     "SYSTEM_REGISTRY",
@@ -73,7 +77,9 @@ __all__ = [
     "get_model",
     "generic_llm",
     "EnergyBreakdown",
+    "LatencyStats",
     "RunResult",
+    "TenantStats",
     "Trace",
     "generate_trace",
     "make_workload",

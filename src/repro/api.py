@@ -55,7 +55,13 @@ from .sim.engine import (
     default_system_config,
 )
 from .workload.distributions import get_distribution
-from .workload.generator import Trace, generate_trace
+from .workload.generator import (
+    TenantSpec,
+    Trace,
+    generate_multi_tenant_trace,
+    generate_trace,
+)
+from .workload.requests import SLOTarget
 
 # Deferred import: repro.baselines.attacc imports nothing from here, but keep
 # the import list alphabetised with the others above.
@@ -261,6 +267,15 @@ def _from_jsonable(tp, data):
         for arg in typing.get_args(tp):
             if arg is not type(None):
                 return _from_jsonable(arg, data)
+    if origin in (tuple, list) and isinstance(data, (list, tuple)):
+        args = typing.get_args(tp)
+        # Homogeneous containers only: tuple[X, ...] or list[X].
+        item_tp = args[0] if args else None
+        items = [
+            _from_jsonable(item_tp, item) if item_tp is not None else item
+            for item in data
+        ]
+        return tuple(items) if origin is tuple else items
     if isinstance(tp, type) and issubclass(tp, enum.Enum):
         return tp(data)
     if dataclasses.is_dataclass(tp) and isinstance(data, dict):
@@ -313,6 +328,16 @@ class DeploymentSpec:
     seed: int = 0
     #: mean Poisson arrival rate in requests/s (0 = closed batch)
     arrival_rate_per_s: float = 0.0
+    #: multi-tenant serving: per-tenant workloads and arrival processes.  When
+    #: non-empty, the trace is the arrival-ordered interleave of the tenants'
+    #: streams (seeded by ``seed``); ``workload`` and ``num_requests`` then
+    #: describe nothing and are ignored by :func:`trace_for` — leave them at
+    #: their defaults, since they still participate in spec equality and the
+    #: sweep-cache key.  ``arrival_rate_per_s`` must stay 0: the rates live on
+    #: the tenants (enforced below).
+    tenants: tuple[TenantSpec, ...] = ()
+    #: per-request SLO the run's goodput is evaluated against (optional)
+    slo: SLOTarget | None = None
     #: grow ``config.num_wafers`` to fit the model's weights (Ouroboros only)
     auto_scale_wafers: bool = True
 
@@ -324,6 +349,16 @@ class DeploymentSpec:
             raise ConfigurationError("num_requests must be positive")
         if self.arrival_rate_per_s < 0:
             raise ConfigurationError("arrival_rate_per_s cannot be negative")
+        if not isinstance(self.tenants, tuple):
+            object.__setattr__(self, "tenants", tuple(self.tenants))
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"tenant names must be unique, got {names}")
+        if self.tenants and self.arrival_rate_per_s > 0:
+            raise ConfigurationError(
+                "a multi-tenant spec carries its arrival rates on the tenants; "
+                "leave arrival_rate_per_s at 0"
+            )
 
     # ------------------------------------------------------------- validation
 
@@ -335,7 +370,10 @@ class DeploymentSpec:
         callers get one error path instead of ad-hoc CLI rejections.
         """
         entry = get_system(self.system)
-        if self.arrival_rate_per_s > 0 and not entry.supports_arrival:
+        open_loop = self.arrival_rate_per_s > 0 or any(
+            tenant.arrival_rate_per_s > 0 for tenant in self.tenants
+        )
+        if open_loop and not entry.supports_arrival:
             raise ConfigurationError(
                 f"{entry.display_name} is an analytic closed-batch comparison "
                 "model and ignores request arrival times; an open-loop "
@@ -364,7 +402,11 @@ class DeploymentSpec:
         return replace(self, system=system)
 
     def label(self) -> str:
-        return self.workload_label or self.workload
+        if self.workload_label:
+            return self.workload_label
+        if self.tenants:
+            return "+".join(tenant.name for tenant in self.tenants)
+        return self.workload
 
 
 # ---------------------------------------------------------------------------
@@ -445,6 +487,13 @@ class DeploymentBuilder:
         pipeline = replace(self._spec.config.pipeline, chunk_tokens=tokens)
         return self._config(pipeline=pipeline)
 
+    def concurrency(self, max_sequences: int | None) -> "DeploymentBuilder":
+        """Cap concurrently resident sequences (continuous-batching limit)."""
+        pipeline = replace(
+            self._spec.config.pipeline, max_active_sequences=max_sequences
+        )
+        return self._config(pipeline=pipeline)
+
     def defects(self, enabled: bool = True, seed: int | None = 0) -> "DeploymentBuilder":
         return self._config(model_defects=enabled, defect_seed=seed)
 
@@ -489,6 +538,52 @@ class DeploymentBuilder:
 
     def arrival_rate(self, rate_per_s: float) -> "DeploymentBuilder":
         self._spec = replace(self._spec, arrival_rate_per_s=rate_per_s)
+        return self
+
+    def tenants(self, *tenants: TenantSpec) -> "DeploymentBuilder":
+        """Replace the spec's tenant set (multi-tenant serving)."""
+        self._spec = replace(self._spec, tenants=tuple(tenants))
+        return self
+
+    def tenant(
+        self,
+        name: str,
+        workload: str,
+        num_requests: int = 100,
+        arrival_rate_per_s: float = 0.0,
+        slo: SLOTarget | None = None,
+    ) -> "DeploymentBuilder":
+        """Append one tenant, so multi-tenant specs read as a fluent chain::
+
+            deployment("llama-13b").tenant("chat", "wikitext2", 200, 8.0) \\
+                .tenant("batch", "lp2048_ld2048", 50).slo(ttft_s=0.5).build()
+
+        A tenant-level ``slo`` overrides the deployment-wide :meth:`slo`
+        target for that tenant's requests.
+        """
+        tenant = TenantSpec(
+            name=name,
+            workload=workload,
+            num_requests=num_requests,
+            arrival_rate_per_s=arrival_rate_per_s,
+            slo=slo,
+        )
+        self._spec = replace(self._spec, tenants=self._spec.tenants + (tenant,))
+        return self
+
+    def slo(
+        self,
+        ttft_s: float | None = None,
+        latency_s: float | None = None,
+        goodput_target: float = 0.99,
+    ) -> "DeploymentBuilder":
+        """Attach the TTFT / end-to-end SLO the run's goodput is judged by."""
+        self._spec = replace(
+            self._spec,
+            slo=SLOTarget(
+                ttft_s=ttft_s, latency_s=latency_s, goodput_target=goodput_target
+            ),
+        )
         return self
 
     # ----------------------------------------------------------------- finish
@@ -598,12 +693,16 @@ def build_deployment(spec: DeploymentSpec, *, cache: bool = True) -> ServingSyst
 
 def trace_for(spec: DeploymentSpec) -> Trace:
     """Generate the (deterministic) request trace a spec describes."""
-    return generate_trace(
+    if spec.tenants:
+        return generate_multi_tenant_trace(spec.tenants, seed=spec.seed, slo=spec.slo)
+    trace = generate_trace(
         spec.workload,
         num_requests=spec.num_requests,
         seed=spec.seed,
         arrival_rate_per_s=spec.arrival_rate_per_s,
     )
+    trace.slo = spec.slo
+    return trace
 
 
 def serve(spec: DeploymentSpec) -> RunResult:
@@ -631,6 +730,8 @@ __all__ = [
     "DeploymentSpec",
     "DeploymentBuilder",
     "deployment",
+    "TenantSpec",
+    "SLOTarget",
     "PRESETS",
     "preset",
     "resolve_model",

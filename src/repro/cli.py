@@ -14,9 +14,10 @@ Four sub-commands cover the workflows a downstream user needs:
     system (``python -m repro serve llama-13b --system tpu-v4``).
 
 ``experiment``
-    Regenerate one of the paper's figures (``fig01`` ... ``fig22``,
-    ``headline`` or ``all``) and print the regenerated rows.  ``fig22`` is
-    the open-loop arrival-rate sweep (beyond the paper's own figures).
+    Regenerate one of the paper's figures (``fig01`` ... ``fig23``,
+    ``headline`` or ``all``) and print the regenerated rows.  ``fig22``
+    (open-loop arrival-rate sweep) and ``fig23`` (multi-tenant SLO goodput
+    vs. offered load) go beyond the paper's own figures.
 
 ``bench``
     Time the headline experiments stage by stage (system build, serving,
@@ -34,7 +35,8 @@ Examples::
     python -m repro experiment fig11
     python -m repro experiment fig13 --requests 100 --models llama-13b
     python -m repro experiment fig22 --requests 100
-    python -m repro bench --output BENCH_PR3.json
+    python -m repro experiment fig23 --requests 100
+    python -m repro bench --output BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -106,8 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR3.json",
-                       help="path of the JSON report (default: BENCH_PR3.json)")
+    bench.add_argument("--output", default="BENCH_PR4.json",
+                       help="path of the JSON report (default: BENCH_PR4.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",

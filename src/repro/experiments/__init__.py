@@ -14,6 +14,7 @@ fig18            Fig. 18 -- mapping transmission volume
 fig19/20         Fig. 19/20 -- multi-wafer scaling (LLaMA-65B)
 fig21            Table 2 / Fig. 21 -- CIM-core circuit designs
 fig22            (beyond the paper) open-loop arrival-rate sweep
+fig23            (beyond the paper) multi-tenant SLO goodput vs. load
 headline         abstract -- average/peak speedup and efficiency
 ===============  =====================================================
 
@@ -33,6 +34,7 @@ from . import (
     fig19_20_multiwafer,
     fig21_cim_cores,
     fig22_arrival_sweep,
+    fig23_slo_goodput,
     headline,
 )
 from .common import (
@@ -63,6 +65,7 @@ ALL_EXPERIMENTS = {
     "fig19_20": fig19_20_multiwafer,
     "fig21": fig21_cim_cores,
     "fig22": fig22_arrival_sweep,
+    "fig23": fig23_slo_goodput,
     "headline": headline,
 }
 
@@ -92,5 +95,6 @@ __all__ = [
     "fig19_20_multiwafer",
     "fig21_cim_cores",
     "fig22_arrival_sweep",
+    "fig23_slo_goodput",
     "headline",
 ]

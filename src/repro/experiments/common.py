@@ -22,7 +22,8 @@ from ..models.architectures import ModelArch, get_model
 from ..pipeline.engine import PipelineConfig
 from ..results import RunResult
 from ..sim.engine import OuroborosSystemConfig
-from ..workload.generator import Trace, generate_trace
+from ..workload.generator import TenantSpec, Trace, generate_trace
+from ..workload.requests import SLOTarget
 
 #: workloads of the main evaluation figures, in plotting order
 PAPER_WORKLOAD_ORDER = ("wikitext2", "lp128_ld2048", "lp2048_ld128", "lp2048_ld2048")
@@ -61,9 +62,19 @@ class ExperimentSettings:
     #: nonzero rates serve the trace open-loop and populate the TTFT /
     #: end-to-end latency fields of RunResult
     arrival_rate_per_s: float = 0.0
+    #: multi-tenant serving: per-tenant workloads and arrival processes
+    #: (empty = the single-tenant workload named by the figure driver)
+    tenants: tuple[TenantSpec, ...] = ()
+    #: per-request SLO the run's goodput is evaluated against (optional)
+    slo: SLOTarget | None = None
+    #: continuous-batching limit (None = bounded only by KV capacity)
+    max_active_sequences: int | None = None
 
     def pipeline_config(self) -> PipelineConfig:
-        return PipelineConfig(chunk_tokens=self.chunk_tokens)
+        return PipelineConfig(
+            chunk_tokens=self.chunk_tokens,
+            max_active_sequences=self.max_active_sequences,
+        )
 
     def system_config(self, **overrides) -> OuroborosSystemConfig:
         config = replace(
@@ -99,6 +110,8 @@ class ExperimentSettings:
             num_requests=self.num_requests,
             seed=self.seed,
             arrival_rate_per_s=self.arrival_rate_per_s,
+            tenants=self.tenants,
+            slo=self.slo,
         )
 
 

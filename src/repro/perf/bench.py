@@ -3,10 +3,12 @@
 ``repro bench`` (or ``scripts/bench.sh``) times the serving simulator stage by
 stage -- system build (mapping + KV setup) per model, trace serving per
 workload (closed batch plus one open-loop arrival-driven run at the measured
-saturation rate), the full headline comparison grid, and a mapping-annealer
-microbenchmark -- and writes the measurements to a JSON file
-(``BENCH_PR3.json`` by default).  Future PRs append their own reports, so the
-repository carries its performance trajectory alongside the code.
+saturation rate), a multi-tenant SLO-goodput serve (the fig23 shape: two
+tenants, sub-epoch admission, per-tenant goodput accounting), the full
+headline comparison grid, and a mapping-annealer microbenchmark -- and writes
+the measurements to a JSON file (``BENCH_PR4.json`` by default).  Future PRs
+append their own reports, so the repository carries its performance trajectory
+alongside the code.
 
 Runs are described as :class:`repro.api.DeploymentSpec` objects and built
 through the system registry.  The harness measures *cold* numbers: every
@@ -134,6 +136,41 @@ def run_bench(
     report.meta["open_loop_arrival_rate_per_s"] = rate
     report.headline["open_loop_ttft_p95_s"] = open_result.ttft.p95_s
     report.headline["open_loop_latency_p99_s"] = open_result.latency.p99_s
+
+    # Stage 2c: multi-tenant SLO serving (the fig23 shape) on the first
+    # model -- two tenants with independent arrival processes at the measured
+    # saturation rate, a TTFT/latency SLO, and sub-epoch admission splitting
+    # epochs at arrival boundaries.
+    from ..api import SLOTarget
+    from ..experiments.fig23_slo_goodput import default_tenants
+
+    tenants = default_tenants(num_requests)
+    total = sum(tenant.num_requests for tenant in tenants)
+    slo_settings = replace(
+        settings,
+        tenants=tuple(
+            replace(
+                tenant,
+                arrival_rate_per_s=rate * (tenant.num_requests / total),
+            )
+            for tenant in tenants
+        ),
+        slo=SLOTarget(
+            ttft_s=open_result.ttft.p95_s or 1.0,
+            latency_s=open_result.latency.p99_s or 10.0,
+            goodput_target=0.95,
+        ),
+    )
+    trace = api.trace_for(slo_settings.deployment(models[0], workload))
+    start = time.perf_counter()
+    slo_result = system.serve(trace, workload_name="multi-tenant-slo")
+    report.timings_s[f"serve_slo_multi_tenant.{models[0]}"] = (
+        time.perf_counter() - start
+    )
+    report.headline["slo_goodput"] = float(slo_result.goodput or 0.0)
+    for name, stats in slo_result.tenants.items():
+        report.headline[f"slo_goodput_{name}"] = float(stats.goodput or 0.0)
+    report.meta["slo_split_epochs"] = slo_result.extra.get("split_epochs", 0)
 
     # Stage 3: the full headline grid (models x workloads x all systems).
     start = time.perf_counter()

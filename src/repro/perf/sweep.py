@@ -38,8 +38,10 @@ from ..results import RunResult
 
 #: bump when RunResult semantics or serving behaviour changes incompatibly
 #: (2: RunResult grew ttft/latency stats; completion stamped at epoch end;
-#:  3: keys are canonical DeploymentSpec dicts)
-_CACHE_SCHEMA = "3"
+#:  3: keys are canonical DeploymentSpec dicts;
+#:  4: sub-epoch admission splits epochs at arrival boundaries and RunResult
+#:     grew per-tenant stats + SLO goodput)
+_CACHE_SCHEMA = "4"
 
 
 @dataclass(frozen=True)

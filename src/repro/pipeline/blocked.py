@@ -37,6 +37,30 @@ class BlockedTokenGrainedPipeline(PipelineEngine):
         prefill_segments: list[tuple[Sequence, int]],
         decode_sequences: int,
     ) -> float:
+        utilization, self._longest_seen = self._utilization_and_watermark(
+            prefill_segments, decode_sequences
+        )
+        return utilization
+
+    def planned_utilization(
+        self,
+        prefill_segments: list[tuple[Sequence, int]],
+        decode_sequences: int,
+    ) -> float:
+        # Planning must not advance the longest-sequence watermark: a plan
+        # may be truncated and the epoch re-evaluated at close time, which is
+        # when the watermark commits (via epoch_utilization above).
+        utilization, _ = self._utilization_and_watermark(
+            prefill_segments, decode_sequences
+        )
+        return utilization
+
+    def _utilization_and_watermark(
+        self,
+        prefill_segments: list[tuple[Sequence, int]],
+        decode_sequences: int,
+    ) -> tuple[float, int]:
+        longest_seen = self._longest_seen
         in_flight = 0.0
         bubble_tokens = 0.0
         epoch_tokens = float(decode_sequences)
@@ -44,14 +68,14 @@ class BlockedTokenGrainedPipeline(PipelineEngine):
             in_flight += min(self.depth, count + sequence.remaining_prefill)
             epoch_tokens += count
             total_length = sequence.request.prefill_length
-            if total_length > self._longest_seen:
+            if total_length > longest_seen:
                 # The attention stages stall for the length differential when a
                 # longer-than-ever sequence enters (Section 4.2.2).
-                bubble_tokens += total_length - self._longest_seen
-                self._longest_seen = total_length
+                bubble_tokens += total_length - longest_seen
+                longest_seen = total_length
         in_flight += decode_sequences
         if in_flight <= 0:
-            return 0.0
+            return 0.0, longest_seen
         occupancy = min(1.0, in_flight / self.depth)
         if epoch_tokens + bubble_tokens > 0:
             bubble_factor = epoch_tokens / (epoch_tokens + bubble_tokens)
@@ -62,4 +86,4 @@ class BlockedTokenGrainedPipeline(PipelineEngine):
             # Decoder-only models never actually need to wait for later tokens;
             # only the fixed blocking overhead applies.
             utilization = occupancy * (1.0 - BLOCKING_OVERHEAD)
-        return utilization
+        return utilization, longest_seen

@@ -21,6 +21,23 @@ stamped at the end of the epoch that produced them) feed the TTFT and
 end-to-end latency distributions on :class:`RunResult`.  Batch traces (every
 arrival at t=0) reduce to the original closed-loop behaviour bit for bit.
 
+Epochs additionally *split at arrival boundaries*: when the queue head's
+arrival would land inside the epoch about to run, the per-sequence token
+budgets are truncated so the epoch closes at (token granularity of) that
+arrival, and the untaken prefill/decode remainder simply carries into the next
+epoch.  Without splitting, a request landing just after an epoch starts waits
+up to a whole ``chunk_tokens`` epoch before admission — an unbounded TTFT
+error at high offered load; with it the admission delay is bounded by one
+token per active sequence.  The split decision (:meth:`_plan_epoch`) is shared
+verbatim by the fast and scalar paths so the boundary can never diverge
+between them, and a trace with every arrival at t=0 never splits, keeping the
+closed-batch results bit-for-bit unchanged.
+
+Latency accounting is tenant-aware: every request carries a ``tenant`` id and
+:meth:`_finish` folds the per-request samples into per-tenant
+:class:`TenantStats` (plus SLO goodput when the trace carries an
+:class:`~repro.workload.requests.SLOTarget`).
+
 Two implementations of the epoch loop exist:
 
 * :meth:`PipelineEngine.run` -- the fast path.  Every epoch it materialises
@@ -46,7 +63,7 @@ import numpy as np
 from ..errors import SimulationError
 from ..models.architectures import ModelArch
 from ..models.pipeline_stages import pipeline_depth
-from ..results import EnergyBreakdown, LatencyStats, RunResult
+from ..results import EnergyBreakdown, LatencyStats, RunResult, TenantStats
 from ..workload.generator import Trace
 from ..workload.requests import Sequence, SequencePhase
 from ..workload.scheduler import InterSequenceScheduler, KVCapacityProvider
@@ -66,6 +83,11 @@ class PipelineConfig:
     context_quantum: int = 256
     #: hard cap on epochs (guards against livelock in pathological configs)
     max_epochs: int = 2_000_000
+    #: continuous-batching limit: cap on concurrently resident sequences
+    #: (None = bounded only by KV capacity).  Real deployments cap the batch
+    #: to bound per-request latency; the SLO-goodput experiment relies on it
+    #: to make offered load saturate at a realistic operating point.
+    max_active_sequences: int | None = None
 
 
 @dataclass
@@ -77,6 +99,25 @@ class EpochRecord:
     utilization: float
     duration_s: float
     active_sequences: int
+
+
+@dataclass
+class EpochPlan:
+    """Per-sequence token takes for one epoch, shared by both engine paths.
+
+    ``budgets[i]`` caps sequence *i*'s tokens this epoch; the prefill/decode
+    split and average attended contexts are the vectorised derivation the fast
+    path commits directly.  ``split`` marks plans whose budgets were truncated
+    so the epoch closes at the next queue-head arrival instead of running a
+    full chunk past it.
+    """
+
+    budgets: list[int]
+    prefill_takes: list[int]
+    decode_takes: list[int]
+    prefill_avgs: list[float]
+    decode_avgs: list[float]
+    split: bool = False
 
 
 class PipelineEngine:
@@ -96,9 +137,16 @@ class PipelineEngine:
         self.cost_model = cost_model
         self.kv_manager = kv_manager
         self.config = config or PipelineConfig()
-        self.scheduler = scheduler or InterSequenceScheduler(kv_manager)
+        # A caller-supplied scheduler owns its own admission cap (the system
+        # builder combines the config knob with a KV-capacity estimate); the
+        # default scheduler takes the config's continuous-batching limit
+        # directly so the knob is never silently ignored.
+        self.scheduler = scheduler or InterSequenceScheduler(
+            kv_manager, max_active_sequences=self.config.max_active_sequences
+        )
         self.depth = pipeline_depth(arch)
         self.epochs: list[EpochRecord] = []
+        self._split_epochs = 0
         self._interval_cache: dict[int, float] = {}
         self._energy_cache: dict[int, EnergyBreakdown] = {}
 
@@ -134,6 +182,21 @@ class PipelineEngine:
         """Fraction of pipeline slots doing useful work this epoch."""
         raise NotImplementedError
 
+    def planned_utilization(
+        self,
+        prefill_segments: list[tuple[Sequence, int]],
+        decode_sequences: int,
+    ) -> float:
+        """Side-effect-free utilization estimate for sub-epoch planning.
+
+        Defaults to :meth:`epoch_utilization`, which is pure for the token-
+        and sequence-grained strategies; strategies that keep per-epoch state
+        (blocked TGP's longest-sequence watermark) must override this with a
+        non-committing variant, because the planner may evaluate an epoch that
+        is then truncated and re-evaluated at close time.
+        """
+        return self.epoch_utilization(prefill_segments, decode_sequences)
+
     # ------------------------------------------------------------------ running
 
     def run(self, trace: Trace, workload_name: str | None = None) -> RunResult:
@@ -145,12 +208,12 @@ class PipelineEngine:
         scheduler = self.scheduler
         scheduler.submit_all(list(trace.requests))
         self.epochs = []
+        self._split_epochs = 0
         time_s = 0.0
         energy = EnergyBreakdown()
         processed_tokens = 0
         utilization_time = 0.0
         stalled_epochs = 0
-        chunk = self.config.chunk_tokens
 
         for epoch_index in range(self.config.max_epochs):
             if scheduler.all_done:
@@ -161,30 +224,19 @@ class PipelineEngine:
 
             # Flat integer state of every active sequence, then the epoch's
             # advances in a few vectorised operations: every sequence takes
-            # min(chunk, remaining) tokens, split into a prefill take at its
-            # current position and a decode take right after it.
+            # min(chunk, remaining) tokens — truncated when the next arrival
+            # lands mid-epoch — split into a prefill take at its current
+            # position and a decode take right after it.
             snapshot = active  # `active` is already a defensive copy
             count = len(snapshot)
-            rem_prefill = np.fromiter(
-                (s.remaining_prefill for s in snapshot), dtype=np.int64, count=count
-            )
-            rem_decode = np.fromiter(
-                (s.remaining_decode for s in snapshot), dtype=np.int64, count=count
-            )
-            positions = np.fromiter(
-                (s.context_length for s in snapshot), dtype=np.int64, count=count
-            )
-            budgets = np.minimum(chunk, rem_prefill + rem_decode)
-            prefill_takes = np.minimum(budgets, rem_prefill)
-            decode_takes = np.minimum(budgets - prefill_takes, rem_decode)
-            prefill_avgs = positions + (prefill_takes - 1) / 2.0
-            decode_avgs = (positions + prefill_takes) + (decode_takes - 1) / 2.0
-
-            budget_list = budgets.tolist()
-            prefill_take_list = prefill_takes.tolist()
-            decode_take_list = decode_takes.tolist()
-            prefill_avg_list = prefill_avgs.tolist()
-            decode_avg_list = decode_avgs.tolist()
+            plan = self._plan_epoch(snapshot, time_s)
+            if plan.split:
+                self._split_epochs += 1
+            budget_list = plan.budgets
+            prefill_take_list = plan.prefill_takes
+            decode_take_list = plan.decode_takes
+            prefill_avg_list = plan.prefill_avgs
+            decode_avg_list = plan.decode_avgs
 
             epoch_tokens = 0
             context_weighted = 0.0
@@ -274,6 +326,7 @@ class PipelineEngine:
         scheduler = self.scheduler
         scheduler.submit_all(list(trace.requests))
         self.epochs = []
+        self._split_epochs = 0
         time_s = 0.0
         energy = EnergyBreakdown()
         processed_tokens = 0
@@ -287,6 +340,15 @@ class PipelineEngine:
             if not active:
                 break
 
+            # The scalar loop keeps its one-sequence-at-a-time advancing and
+            # energy accounting, but takes the per-sequence token caps from
+            # the shared plan so the sub-epoch split boundary is decided by
+            # the exact same arithmetic as the fast path (the untruncated cap
+            # is min(chunk, remaining tokens of the current phase chain)).
+            plan = self._plan_epoch(active, time_s)
+            if plan.split:
+                self._split_epochs += 1
+
             epoch_tokens = 0
             context_weighted = 0.0
             energy_bins: dict[int, int] = {}
@@ -297,10 +359,10 @@ class PipelineEngine:
             finished: list[Sequence] = []
             active_count = len(active)
 
-            for sequence in active:  # `active` is already a defensive copy
+            for index, sequence in enumerate(active):  # `active` is a copy
                 if not scheduler.is_active(sequence):
                     continue  # evicted by an earlier sequence's KV growth
-                budget = self._sequence_budget(sequence)
+                budget = plan.budgets[index]
                 if budget <= 0:
                     continue
                 if not scheduler.grow_sequence(sequence, budget):
@@ -361,6 +423,116 @@ class PipelineEngine:
 
     # ------------------------------------------------------------ epoch pieces
 
+    def _plan_epoch(self, snapshot: list[Sequence], time_s: float) -> EpochPlan:
+        """Derive every active sequence's takes, splitting at the next arrival.
+
+        The vectorised baseline take is ``min(chunk, remaining)`` per
+        sequence, split into a prefill take at its current position and a
+        decode take right after it.  When the FCFS queue head's arrival lands
+        strictly inside the epoch's planned duration, the budgets are scaled
+        down proportionally (``floor``, but at least one token per advancing
+        sequence so the epoch always makes progress) so the epoch closes at
+        the arrival; the remainder of each chunk carries into the next epoch.
+        Token granularity means the boundary can overshoot the arrival by at
+        most one token per active sequence — the bounded admission error the
+        split exists to provide.
+
+        Both engine paths call this exact code, so the split decision — the
+        only place planned (pre-KV-growth) floating-point arithmetic feeds
+        back into the simulation — can never diverge between them.  A trace
+        whose queue head has already arrived (closed batch, or a head blocked
+        on capacity) never splits.
+        """
+        count = len(snapshot)
+        chunk = self.config.chunk_tokens
+        rem_prefill = np.fromiter(
+            (s.remaining_prefill for s in snapshot), dtype=np.int64, count=count
+        )
+        rem_decode = np.fromiter(
+            (s.remaining_decode for s in snapshot), dtype=np.int64, count=count
+        )
+        positions = np.fromiter(
+            (s.context_length for s in snapshot), dtype=np.int64, count=count
+        )
+        budgets = np.minimum(chunk, rem_prefill + rem_decode)
+        prefill_takes = np.minimum(budgets, rem_prefill)
+        decode_takes = np.minimum(budgets - prefill_takes, rem_decode)
+        split = False
+        gap = self._gap_to_next_arrival(time_s)
+        if gap is not None:
+            planned = self._planned_duration(
+                snapshot, positions, prefill_takes, decode_takes
+            )
+            if 0.0 < gap < planned:
+                fraction = gap / planned
+                budgets = np.where(
+                    budgets > 0,
+                    np.maximum(1, np.floor(fraction * budgets).astype(np.int64)),
+                    budgets,
+                )
+                prefill_takes = np.minimum(budgets, rem_prefill)
+                decode_takes = np.minimum(budgets - prefill_takes, rem_decode)
+                split = True
+        prefill_avgs = positions + (prefill_takes - 1) / 2.0
+        decode_avgs = (positions + prefill_takes) + (decode_takes - 1) / 2.0
+        return EpochPlan(
+            budgets=budgets.tolist(),
+            prefill_takes=prefill_takes.tolist(),
+            decode_takes=decode_takes.tolist(),
+            prefill_avgs=prefill_avgs.tolist(),
+            decode_avgs=decode_avgs.tolist(),
+            split=split,
+        )
+
+    def _gap_to_next_arrival(self, time_s: float) -> float | None:
+        """Seconds until the FCFS queue head arrives (None when it cannot gate).
+
+        Returns None when nothing waits or the head has already arrived —
+        in both cases the epoch has no future arrival to split at.
+        """
+        arrival = self.scheduler.next_arrival_time()
+        if arrival is None or arrival <= time_s:
+            return None
+        return arrival - time_s
+
+    def _planned_duration(
+        self,
+        snapshot: list[Sequence],
+        positions: np.ndarray,
+        prefill_takes: np.ndarray,
+        decode_takes: np.ndarray,
+    ) -> float:
+        """Estimated duration of an epoch advancing the planned takes.
+
+        Mirrors :meth:`_close_epoch`'s duration arithmetic on the *planned*
+        state: KV-growth failures and mid-epoch evictions can still shrink the
+        epoch that actually runs, so this is a deterministic estimate for the
+        split decision, not the closing value.  Uses the side-effect-free
+        :meth:`planned_utilization` because a truncated plan is re-evaluated
+        at close time.
+        """
+        epoch_tokens = int(prefill_takes.sum()) + int(decode_takes.sum())
+        if epoch_tokens <= 0:
+            return 0.0
+        prefill_avgs = positions + (prefill_takes - 1) / 2.0
+        decode_avgs = (positions + prefill_takes) + (decode_takes - 1) / 2.0
+        context_weighted = float(
+            np.sum(prefill_avgs * prefill_takes) + np.sum(decode_avgs * decode_takes)
+        )
+        interval = self.stage_interval(context_weighted / epoch_tokens)
+        prefill_segments = [
+            (snapshot[i], take)
+            for i, take in enumerate(prefill_takes.tolist())
+            if take > 0
+        ]
+        decode_count = int(np.count_nonzero(decode_takes))
+        utilization = max(
+            1e-6, min(1.0, self.planned_utilization(prefill_segments, decode_count))
+        )
+        duration = epoch_tokens * interval / utilization
+        max_decode_chunk = int(decode_takes.max()) if len(decode_takes) else 0
+        return max(duration, max_decode_chunk * self.depth * interval)
+
     def _admit_or_skip_idle(self, time_s: float) -> tuple[list[Sequence], float]:
         """Fill at the current clock, jumping across idle gaps to the next arrival.
 
@@ -378,8 +550,17 @@ class PipelineEngine:
             return active, time_s
         if not scheduler.has_arrived_waiting(time_s):
             # Every waiting request is still in the future: idle gap, not a
-            # capacity stall.  Jump the clock to the earliest arrival.
-            time_s = scheduler.next_arrival_time()
+            # capacity stall.  Jump the clock to the earliest arrival.  The
+            # scheduler just reported waiting sequences, so a missing arrival
+            # time is a malformed trace/scheduler — raise a typed error
+            # instead of poisoning the clock with None.
+            arrival = scheduler.next_arrival_time()
+            if arrival is None:
+                raise SimulationError(
+                    "scheduler reports waiting sequences but no next arrival "
+                    "time; the trace or scheduler state is malformed"
+                )
+            time_s = arrival
             scheduler.fill(time_s)
             active = scheduler.active
         if not active:
@@ -428,6 +609,14 @@ class PipelineEngine:
         max_decode_chunk: int,
     ) -> tuple[float, float, EnergyBreakdown]:
         """Duration / utilization / energy of one epoch (shared by both paths)."""
+        if epoch_tokens <= 0:
+            # Both epoch loops skip empty epochs before closing them; getting
+            # here means an engine-invariant violation, which should surface
+            # as a typed error rather than a bare ZeroDivisionError.
+            raise SimulationError(
+                "internal error: _close_epoch called for an epoch that "
+                "processed no tokens"
+            )
         avg_context = context_weighted / epoch_tokens
         interval = self.stage_interval(avg_context)
         utilization = max(
@@ -475,6 +664,42 @@ class PipelineEngine:
         # which is a trace-level constant.
         ttft_samples = [s.ttft_s for s in completed if s.ttft_s is not None]
         latency_samples = [s.latency_s for s in completed if s.latency_s is not None]
+
+        # Per-tenant breakdown (single-tenant traces collapse to one entry)
+        # plus SLO goodput.  Every tenant is judged by its own SLO when one is
+        # set (interactive and batch tenants rarely share a deadline), falling
+        # back to the trace-wide target; tenants with no applicable SLO carry
+        # goodput None and stay out of the aggregate's denominator.
+        by_tenant: dict[str, list] = {}
+        for sequence in completed:
+            by_tenant.setdefault(sequence.request.tenant, []).append(sequence)
+        tenants: dict[str, TenantStats] = {}
+        met_total = 0
+        judged_total = 0
+        for tenant_name, sequences in by_tenant.items():
+            goodput = None
+            slo = trace.slo_for(tenant_name)
+            if slo is not None:
+                met = sum(
+                    1 for s in sequences if slo.met_by(s.ttft_s, s.latency_s)
+                )
+                met_total += met
+                judged_total += len(sequences)
+                goodput = met / len(sequences)
+            tenants[tenant_name] = TenantStats(
+                requests=len(sequences),
+                ttft=LatencyStats.from_samples(
+                    [s.ttft_s for s in sequences if s.ttft_s is not None]
+                ),
+                latency=LatencyStats.from_samples(
+                    [s.latency_s for s in sequences if s.latency_s is not None]
+                ),
+                goodput=goodput,
+            )
+        overall_goodput = None
+        if trace.slo is not None or trace.tenant_slos:
+            overall_goodput = (met_total / judged_total) if judged_total else 0.0
+
         return RunResult(
             system=self.name,
             model=self.arch.name,
@@ -488,14 +713,8 @@ class PipelineEngine:
             evictions=self.scheduler.stats.evictions,
             ttft=LatencyStats.from_samples(ttft_samples),
             latency=LatencyStats.from_samples(latency_samples),
-            extra={"epochs": len(self.epochs)},
+            goodput=overall_goodput,
+            tenants=tenants,
+            extra={"epochs": len(self.epochs), "split_epochs": self._split_epochs},
         )
 
-    # ------------------------------------------------------------------ helpers
-
-    def _sequence_budget(self, sequence: Sequence) -> int:
-        if sequence.phase is SequencePhase.PREFILL:
-            return min(self.config.chunk_tokens, sequence.remaining_tokens)
-        if sequence.phase is SequencePhase.DECODE:
-            return min(self.config.chunk_tokens, sequence.remaining_decode)
-        return 0

@@ -50,6 +50,30 @@ class LatencyStats:
 
 
 @dataclass
+class TenantStats:
+    """Per-tenant slice of a serving run's latency and SLO accounting.
+
+    ``goodput`` is the fraction of the tenant's completed requests meeting the
+    trace's :class:`~repro.workload.requests.SLOTarget`; it is ``None`` when
+    the run had no SLO to evaluate.  Counts sum to the aggregate across the
+    tenants of a run (every completed request belongs to exactly one tenant).
+    """
+
+    requests: int = 0
+    ttft: LatencyStats = field(default_factory=LatencyStats)
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    goodput: float | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ttft": self.ttft.as_dict(),
+            "latency": self.latency.as_dict(),
+            "goodput": self.goodput,
+        }
+
+
+@dataclass
 class EnergyBreakdown:
     """Energy split into the four categories the paper plots (Fig. 14/20).
 
@@ -131,6 +155,10 @@ class RunResult:
     ttft: LatencyStats = field(default_factory=LatencyStats)
     #: per-request end-to-end latency (arrival -> completion)
     latency: LatencyStats = field(default_factory=LatencyStats)
+    #: fraction of completed requests meeting the trace's SLO (None = no SLO)
+    goodput: float | None = None
+    #: per-tenant latency/goodput breakdown, keyed by tenant id
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
     @property
@@ -166,5 +194,7 @@ class RunResult:
             "evictions": self.evictions,
             "ttft": self.ttft.as_dict(),
             "latency": self.latency.as_dict(),
+            "goodput": self.goodput,
+            "tenants": {name: stats.as_dict() for name, stats in self.tenants.items()},
             "energy": self.energy.as_dict(),
         }

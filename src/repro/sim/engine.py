@@ -149,6 +149,10 @@ class BuiltOuroboros:
         planning_context = max(256, self.arch.max_context // 2)
         capacity_estimate = kv_manager.max_concurrent_sequences(planning_context)
         max_active = max(2, int(capacity_estimate * 1.25))
+        if self.config.pipeline.max_active_sequences is not None:
+            # Explicit continuous-batching limit: never loosens the
+            # KV-capacity-derived bound, only tightens it.
+            max_active = min(max_active, self.config.pipeline.max_active_sequences)
         scheduler = InterSequenceScheduler(kv_manager, max_active_sequences=max_active)
         mode = self.config.pipeline_mode
         if mode is PipelineMode.AUTO:

@@ -1,4 +1,12 @@
-"""Trace generation: turn a length distribution into a batch of requests."""
+"""Trace generation: turn length distributions into batches of requests.
+
+Single-tenant traces come from :class:`TraceGenerator` (one distribution, one
+Poisson arrival process).  Multi-tenant traces interleave several independent
+:class:`TenantSpec` streams — each with its own length distribution, request
+count and arrival process — into one arrival-ordered trace whose requests
+carry their tenant id, which is what the per-tenant latency/goodput accounting
+in the engines keys on.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +16,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .distributions import LengthDistribution, get_distribution
-from .requests import Request
+from .requests import Request, SLOTarget
 
 
 @dataclass(frozen=True)
@@ -27,12 +35,51 @@ class WorkloadSpec:
             raise ConfigurationError("num_requests must be positive")
 
 
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of a multi-tenant serving workload.
+
+    ``workload`` names a length distribution (any string
+    :func:`~repro.workload.distributions.get_distribution` accepts), and the
+    tenant's requests arrive as an independent Poisson process at
+    ``arrival_rate_per_s`` (0 = all at t=0).  The spec is frozen and
+    serializable so it can ride inside a
+    :class:`~repro.api.DeploymentSpec` and the sweep-cache keys.
+    """
+
+    name: str
+    workload: str
+    num_requests: int = 100
+    #: mean Poisson arrival rate in requests/s (0 = all requests at t=0)
+    arrival_rate_per_s: float = 0.0
+    #: tenant-specific SLO; overrides the deployment-wide target for this
+    #: tenant's requests (interactive and batch tenants rarely share one)
+    slo: SLOTarget | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name must be non-empty")
+        if self.num_requests <= 0:
+            raise ConfigurationError("tenant num_requests must be positive")
+        if self.arrival_rate_per_s < 0:
+            raise ConfigurationError("tenant arrival_rate_per_s cannot be negative")
+        get_distribution(self.workload)  # validate eagerly
+
+
 @dataclass
 class Trace:
     """A generated batch of requests."""
 
     spec: WorkloadSpec
     requests: list[Request] = field(default_factory=list)
+    #: per-request SLO the serving engines evaluate goodput against (optional)
+    slo: SLOTarget | None = None
+    #: tenant-specific SLO overrides, keyed by tenant id
+    tenant_slos: dict[str, SLOTarget] = field(default_factory=dict)
+
+    def slo_for(self, tenant: str) -> SLOTarget | None:
+        """The SLO a tenant's requests are judged by (override, else global)."""
+        return self.tenant_slos.get(tenant, self.slo)
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -101,6 +148,66 @@ class TraceGenerator:
                 )
             )
         return Trace(spec=self.spec, requests=requests)
+
+
+def generate_multi_tenant_trace(
+    tenants: tuple[TenantSpec, ...] | list[TenantSpec],
+    seed: int = 0,
+    slo: SLOTarget | None = None,
+) -> Trace:
+    """Interleave independent per-tenant request streams into one trace.
+
+    Every tenant samples lengths and arrival gaps from rng streams derived
+    from ``(seed, tenant index)``, so adding a tenant (or changing its rate)
+    never perturbs another tenant's requests.  The merged trace is sorted by
+    arrival time (ties broken by tenant order, then per-tenant order) and
+    request ids are assigned in that order, which makes the FCFS scheduler's
+    queue order equal arrival order.
+    """
+    if not tenants:
+        raise ConfigurationError("at least one tenant is required")
+    names = [tenant.name for tenant in tenants]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"tenant names must be unique, got {names}")
+    rows: list[tuple[float, int, int, int, int]] = []
+    for index, tenant in enumerate(tenants):
+        distribution = get_distribution(tenant.workload)
+        # Independent streams per tenant, lengths decoupled from arrivals for
+        # the same reason as TraceGenerator: changing a tenant's offered load
+        # must not change its sampled request mix.
+        length_rng = np.random.default_rng((seed, index))
+        arrival_rng = np.random.default_rng((seed, index, 1))
+        arrival = 0.0
+        for order in range(tenant.num_requests):
+            sample = distribution.sample(length_rng)
+            if tenant.arrival_rate_per_s > 0:
+                arrival += float(
+                    arrival_rng.exponential(1.0 / tenant.arrival_rate_per_s)
+                )
+            rows.append(
+                (arrival, index, order, sample.prefill_length, sample.decode_length)
+            )
+    rows.sort(key=lambda row: (row[0], row[1], row[2]))
+    requests = [
+        Request(
+            request_id=request_id,
+            prefill_length=prefill,
+            decode_length=decode,
+            arrival_time=arrival,
+            tenant=tenants[index].name,
+        )
+        for request_id, (arrival, index, _, prefill, decode) in enumerate(rows)
+    ]
+    spec = WorkloadSpec(
+        name="+".join(names),
+        distribution=get_distribution(tenants[0].workload),
+        num_requests=len(requests),
+        seed=seed,
+    )
+    tenant_slos = {
+        tenant.name: tenant.slo for tenant in tenants if tenant.slo is not None
+    }
+    return Trace(spec=spec, requests=requests, slo=slo, tenant_slos=tenant_slos)
 
 
 def make_workload(

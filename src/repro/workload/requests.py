@@ -11,7 +11,52 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..errors import SchedulingError
+from ..errors import ConfigurationError, SchedulingError
+
+
+#: tenant id of requests that do not belong to an explicit multi-tenant trace
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """Per-request service-level objective used for goodput accounting.
+
+    A request *meets* the SLO when every specified deadline holds for it:
+    ``ttft_s`` bounds arrival-to-first-output-token, ``latency_s`` bounds
+    arrival-to-completion.  A deadline left at ``None`` is not enforced, and a
+    metric a request never produces (TTFT of a prefill-only request) passes
+    vacuously.  *Goodput* is the fraction of completed requests meeting the
+    SLO; an operating point *attains* the SLO when goodput reaches
+    ``goodput_target`` (the "p99" in a TTFT-p99 SLO: 0.99 means at most 1 % of
+    requests may miss their deadline).
+    """
+
+    ttft_s: float | None = None
+    latency_s: float | None = None
+    goodput_target: float = 0.99
+
+    def __post_init__(self) -> None:
+        # SLOs are deployment configuration, so invalid targets surface as
+        # the spec layer's typed ConfigurationError, not a scheduling fault.
+        if self.ttft_s is not None and self.ttft_s <= 0:
+            raise ConfigurationError("SLO ttft_s must be positive")
+        if self.latency_s is not None and self.latency_s <= 0:
+            raise ConfigurationError("SLO latency_s must be positive")
+        if not 0.0 < self.goodput_target <= 1.0:
+            raise ConfigurationError("SLO goodput_target must lie in (0, 1]")
+
+    def met_by(self, ttft_s: float | None, latency_s: float | None) -> bool:
+        """Whether one request's observed latencies meet every deadline."""
+        if self.ttft_s is not None and ttft_s is not None and ttft_s > self.ttft_s:
+            return False
+        if (
+            self.latency_s is not None
+            and latency_s is not None
+            and latency_s > self.latency_s
+        ):
+            return False
+        return True
 
 
 @dataclass(frozen=True)
@@ -22,12 +67,16 @@ class Request:
     prefill_length: int
     decode_length: int
     arrival_time: float = 0.0
+    #: tenant the request belongs to (drives per-tenant serving stats)
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.prefill_length <= 0:
             raise SchedulingError("prefill_length must be positive")
         if self.decode_length < 0:
             raise SchedulingError("decode_length must be non-negative")
+        if not self.tenant:
+            raise SchedulingError("tenant must be a non-empty string")
 
     @property
     def total_tokens(self) -> int:
@@ -81,6 +130,10 @@ class Sequence:
     @property
     def sequence_id(self) -> int:
         return self.request.request_id
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
 
     @property
     def context_length(self) -> int:

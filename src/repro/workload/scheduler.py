@@ -199,6 +199,11 @@ class InterSequenceScheduler:
         self.stats.recomputed_tokens += discarded
         self._waiting.appendleft(victim)
         self._admission_suspended = True
+        # The victim keeps its sequence id in the waiting queue, so a
+        # post-eviction capacity rejection is a *new* rejection and must be
+        # countable again (the once-per-blocked-stint dedup in fill() would
+        # otherwise swallow it forever).
+        self._rejected_ids.discard(victim.sequence_id)
         return victim
 
     def evict_most_recent(self) -> Sequence | None:

@@ -171,4 +171,118 @@ class TestOpenLoopEquivalence:
         batch = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
         result_open = open_loop.run(mixed_trace(arrival_rate_per_s=0.0))
         result_batch = batch.run(mixed_trace())
+        assert result_open.extra["split_epochs"] == 0
         assert_bitwise_equal(result_open, result_batch)
+
+
+class TestSubEpochSplitEquivalence:
+    """Fast vs. scalar must stay bitwise-equal when epochs split at arrivals.
+
+    The split boundary is the one place *planned* floating-point arithmetic
+    feeds back into the simulation (truncated integer budgets), so these
+    traces are tuned to actually split — asserted via ``split_epochs`` — and
+    every RunResult field must still match bit for bit.
+    """
+
+    def _splitting_trace(self, arch, wafer_config):
+        """Explicit arrivals landing mid-epoch, measured off a probe run.
+
+        Request lengths stay within the tiny arch's max_context so the trace
+        also fits the static KV manager's fixed per-sequence reservation.
+        """
+        from repro.workload.distributions import FixedLengthDistribution
+
+        lengths = FixedLengthDistribution(180, 24)
+        probe = build_engine(TokenGrainedPipeline, arch, wafer_config, "dynamic")
+        probe.run(
+            TraceGenerator(
+                WorkloadSpec(name="probe", distribution=lengths, num_requests=1)
+            ).generate()
+        )
+        full_epoch = max(record.duration_s for record in probe.epochs)
+        arrivals = [0.0, 1.4 * full_epoch, 2.7 * full_epoch, 6.3 * full_epoch]
+        spec = WorkloadSpec(
+            name="mid-epoch",
+            distribution=lengths,
+            num_requests=len(arrivals),
+        )
+        trace = TraceGenerator(spec).generate()
+        trace.requests = [
+            type(request)(
+                request_id=request.request_id,
+                prefill_length=request.prefill_length,
+                decode_length=request.decode_length,
+                arrival_time=arrival,
+            )
+            for request, arrival in zip(trace.requests, arrivals)
+        ]
+        return trace
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("kv_policy", KV_POLICIES)
+    def test_mid_epoch_arrivals(self, engine_cls, kv_policy, tiny_arch, small_wafer_config):
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, kv_policy)
+        result_fast = fast.run(self._splitting_trace(tiny_arch, small_wafer_config))
+        result_scalar = scalar.run_scalar(self._splitting_trace(tiny_arch, small_wafer_config))
+        assert result_fast.extra["split_epochs"] > 0  # the scenario splits
+        assert result_fast.extra["split_epochs"] == result_scalar.extra["split_epochs"]
+        assert_bitwise_equal(result_fast, result_scalar)
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    def test_mid_epoch_arrivals_under_eviction_pressure(
+        self, engine_cls, tiny_arch, small_wafer_config
+    ):
+        kwargs = dict(blocks_per_core=2, kv_cores=24, chunk=64)
+
+        def pressure_spec(rate: float) -> WorkloadSpec:
+            return WorkloadSpec(
+                name="split-pressure",
+                distribution=UniformLengthDistribution(
+                    prefill_low=200, prefill_high=320, decode_low=32, decode_high=64
+                ),
+                num_requests=8,
+                seed=11,
+                arrival_rate_per_s=rate,
+            )
+
+        # Probe the closed-batch service time of the same mix on the same
+        # undersized cache, then offer the trace over half that window so
+        # arrivals land inside busy (thrashing) epochs rather than all at
+        # t=0 or in idle gaps.
+        probe = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        probe_result = probe.run(TraceGenerator(pressure_spec(0.0)).generate())
+        rate = 2 * 8 / probe_result.total_time_s
+
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        result_fast = fast.run(TraceGenerator(pressure_spec(rate)).generate())
+        result_scalar = scalar.run_scalar(TraceGenerator(pressure_spec(rate)).generate())
+        assert result_fast.evictions > 0  # the scenario actually thrashes
+        assert result_fast.extra["split_epochs"] > 0  # and actually splits
+        assert_bitwise_equal(result_fast, result_scalar)
+
+    def test_multi_tenant_trace_equivalence(self, tiny_arch, small_wafer_config):
+        """Per-tenant stats and goodput are part of the bitwise contract."""
+        from repro.workload.generator import TenantSpec, generate_multi_tenant_trace
+        from repro.workload.requests import SLOTarget
+
+        tenants = (
+            TenantSpec(name="a", workload="lp64_ld16", num_requests=6,
+                       arrival_rate_per_s=50.0),
+            TenantSpec(name="b", workload="lp96_ld8", num_requests=4,
+                       arrival_rate_per_s=20.0),
+        )
+        slo = SLOTarget(ttft_s=0.5, latency_s=2.0)
+        fast = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        scalar = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        result_fast = fast.run(generate_multi_tenant_trace(tenants, seed=3, slo=slo))
+        result_scalar = scalar.run_scalar(generate_multi_tenant_trace(tenants, seed=3, slo=slo))
+        assert_bitwise_equal(result_fast, result_scalar)
+        assert result_fast.goodput == result_scalar.goodput
+        assert set(result_fast.tenants) == {"a", "b"}
+        for name in result_fast.tenants:
+            assert (
+                result_fast.tenants[name].as_dict()
+                == result_scalar.tenants[name].as_dict()
+            )

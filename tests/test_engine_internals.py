@@ -46,12 +46,17 @@ class TestCaching:
         assert len(engine._energy_cache) == 2
 
 
-class TestSequenceBudget:
+class TestEpochPlanBudgets:
+    """Per-sequence budget derivation of the shared epoch planner."""
+
     def test_prefill_budget_caps_at_chunk(self, tiny_arch, small_wafer_config):
         engine = make_engine(tiny_arch, small_wafer_config, chunk=16)
         seq = Sequence(Request(request_id=0, prefill_length=100, decode_length=10))
         seq.start()
-        assert engine._sequence_budget(seq) == 16
+        plan = engine._plan_epoch([seq], 0.0)
+        assert plan.budgets == [16]
+        assert plan.prefill_takes == [16]
+        assert plan.decode_takes == [0]
 
     def test_decode_budget_caps_at_remaining(self, tiny_arch, small_wafer_config):
         engine = make_engine(tiny_arch, small_wafer_config, chunk=64)
@@ -59,14 +64,18 @@ class TestSequenceBudget:
         seq.start()
         seq.advance_tokens(4)
         assert seq.phase is SequencePhase.DECODE
-        assert engine._sequence_budget(seq) == 10
+        plan = engine._plan_epoch([seq], 0.0)
+        assert plan.budgets == [10]
+        assert plan.decode_takes == [10]
 
     def test_complete_sequence_budget_zero(self, tiny_arch, small_wafer_config):
         engine = make_engine(tiny_arch, small_wafer_config)
         seq = Sequence(Request(request_id=0, prefill_length=2, decode_length=0))
         seq.start()
         seq.advance_tokens(2)
-        assert engine._sequence_budget(seq) == 0
+        plan = engine._plan_epoch([seq], 0.0)
+        assert plan.budgets == [0]
+        assert plan.split is False
 
 
 class TestRunEdgeCases:

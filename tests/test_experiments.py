@@ -72,8 +72,9 @@ class TestCommonHelpers:
         assert first is second
 
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 12
+        assert len(ALL_EXPERIMENTS) == 13
         assert "fig22" in ALL_EXPERIMENTS
+        assert "fig23" in ALL_EXPERIMENTS
 
 
 class TestFig01:
@@ -217,6 +218,59 @@ class TestFig22:
         assert sweep.saturation_throughput_tok_s() == pytest.approx(
             high["throughput_tok_s"]
         )
+
+
+class TestFig23:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.experiments import fig23_slo_goodput
+        from repro.perf.sweep import SweepRunner
+
+        return fig23_slo_goodput.run(
+            FAST,
+            model="llama-13b",
+            load_fractions=(0.25, 8.0),
+            runner=SweepRunner(max_workers=1),
+        )
+
+    def test_rows_cover_tenants_and_loads(self, sweep):
+        rows = sweep.rows()
+        assert [(row["load"], row["tenant"]) for row in rows] == [
+            (0.25, "interactive"),
+            (0.25, "batch"),
+            (8.0, "interactive"),
+            (8.0, "batch"),
+        ]
+        assert sweep.base_rate_per_s > 0
+        assert "Fig. 23" in sweep.format_table()
+
+    def test_slos_derive_per_tenant(self, sweep):
+        assert set(sweep.tenant_slos) == {"interactive", "batch"}
+        for slo in sweep.tenant_slos.values():
+            assert slo.ttft_s > 0 and slo.latency_s > 0
+
+    def test_goodput_degrades_past_saturation(self, sweep):
+        by_key = {(row["load"], row["tenant"]): row for row in sweep.rows()}
+        for tenant in ("interactive", "batch"):
+            light = by_key[(0.25, tenant)]
+            heavy = by_key[(8.0, tenant)]
+            assert 0.0 <= heavy["goodput"] <= light["goodput"] <= 1.0
+        # With a 25-request trace only the long-request tenant reliably
+        # shows the overload signature; the full-size run is asserted by
+        # benchmarks/test_fig23_slo.py.
+        assert by_key[(8.0, "batch")]["goodput"] < by_key[(0.25, "batch")]["goodput"]
+        assert not by_key[(8.0, "batch")]["meets_slo"]
+        assert by_key[(8.0, "batch")]["ttft_p99_s"] > by_key[(0.25, "batch")]["ttft_p99_s"]
+
+    def test_light_load_meets_slo(self, sweep):
+        for row in sweep.rows():
+            if row["load"] == 0.25:
+                assert row["meets_slo"]
+
+    def test_max_load_reflects_the_crossing(self, sweep):
+        assert set(sweep.max_load) == {"interactive", "batch"}
+        assert sweep.max_load_meeting_slo() == min(sweep.max_load.values())
+        assert sweep.max_load_meeting_slo() >= 0.25
 
 
 class TestFig21:

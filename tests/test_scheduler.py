@@ -175,6 +175,27 @@ class TestEviction:
         scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2))
         assert scheduler.evict_most_recent() is None
 
+    def test_eviction_resets_rejection_dedup(self):
+        """Regression: an evicted-and-requeued sequence keeps its id, so a
+        post-eviction capacity rejection is a new blocked stint and must be
+        counted again (the once-per-request dedup used to swallow it)."""
+        provider = FakeKVProvider(capacity=0)
+        scheduler = InterSequenceScheduler(provider)
+        (sequence,) = scheduler.submit_all(requests(1))
+        scheduler.fill()
+        assert scheduler.stats.rejected_admissions == 1
+        # Capacity appears; the request admits and makes some progress.
+        provider.capacity = 1
+        scheduler.fill()
+        assert scheduler.is_active(sequence)
+        sequence.advance_tokens(2)
+        scheduler.evict_most_recent()
+        # Capacity vanishes again (e.g. a failed KV core): the re-queued
+        # victim's rejection is a fresh one and must show up in the stats.
+        provider.capacity = 0
+        scheduler.fill()
+        assert scheduler.stats.rejected_admissions == 2
+
 
 class TestGrowth:
     def test_growth_without_pressure(self):
