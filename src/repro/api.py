@@ -61,6 +61,7 @@ from .workload.generator import (
     generate_multi_tenant_trace,
     generate_trace,
 )
+from .workload.policies import POLICY_NAMES, validate_policy_name
 from .workload.requests import SLOTarget
 
 # Deferred import: repro.baselines.attacc imports nothing from here, but keep
@@ -494,6 +495,24 @@ class DeploymentBuilder:
         )
         return self._config(pipeline=pipeline)
 
+    def scheduler(
+        self, policy: str, aging_rate: float | None = None
+    ) -> "DeploymentBuilder":
+        """Select the admission-order policy (``fcfs`` / ``wfq`` / ``priority``).
+
+        ``aging_rate`` parameterises the ``priority`` policy (priority units a
+        waiting request gains per second; bounds starvation)::
+
+            deployment("llama-13b").scheduler("wfq") \\
+                .tenant("chat", "wikitext2", 200, 8.0, weight=2.0) \\
+                .tenant("batch", "lp2048_ld2048", 50, 1.0).build()
+        """
+        overrides: dict = {"scheduling_policy": validate_policy_name(policy)}
+        if aging_rate is not None:
+            overrides["priority_aging_rate"] = aging_rate
+        pipeline = replace(self._spec.config.pipeline, **overrides)
+        return self._config(pipeline=pipeline)
+
     def defects(self, enabled: bool = True, seed: int | None = 0) -> "DeploymentBuilder":
         return self._config(model_defects=enabled, defect_seed=seed)
 
@@ -552,6 +571,8 @@ class DeploymentBuilder:
         num_requests: int = 100,
         arrival_rate_per_s: float = 0.0,
         slo: SLOTarget | None = None,
+        weight: float = 1.0,
+        priority: int = 0,
     ) -> "DeploymentBuilder":
         """Append one tenant, so multi-tenant specs read as a fluent chain::
 
@@ -559,7 +580,9 @@ class DeploymentBuilder:
                 .tenant("batch", "lp2048_ld2048", 50).slo(ttft_s=0.5).build()
 
         A tenant-level ``slo`` overrides the deployment-wide :meth:`slo`
-        target for that tenant's requests.
+        target for that tenant's requests; ``weight`` and ``priority`` feed
+        the ``wfq`` / ``priority`` scheduling policies (see
+        :meth:`scheduler`) and are inert under the default ``fcfs``.
         """
         tenant = TenantSpec(
             name=name,
@@ -567,6 +590,8 @@ class DeploymentBuilder:
             num_requests=num_requests,
             arrival_rate_per_s=arrival_rate_per_s,
             slo=slo,
+            weight=weight,
+            priority=priority,
         )
         self._spec = replace(self._spec, tenants=self._spec.tenants + (tenant,))
         return self
@@ -732,6 +757,7 @@ __all__ = [
     "deployment",
     "TenantSpec",
     "SLOTarget",
+    "POLICY_NAMES",
     "PRESETS",
     "preset",
     "resolve_model",

@@ -14,10 +14,11 @@ Four sub-commands cover the workflows a downstream user needs:
     system (``python -m repro serve llama-13b --system tpu-v4``).
 
 ``experiment``
-    Regenerate one of the paper's figures (``fig01`` ... ``fig23``,
+    Regenerate one of the paper's figures (``fig01`` ... ``fig24``,
     ``headline`` or ``all``) and print the regenerated rows.  ``fig22``
-    (open-loop arrival-rate sweep) and ``fig23`` (multi-tenant SLO goodput
-    vs. offered load) go beyond the paper's own figures.
+    (open-loop arrival-rate sweep), ``fig23`` (multi-tenant SLO goodput
+    vs. offered load) and ``fig24`` (scheduling-policy comparison under the
+    fig23 sweep) go beyond the paper's own figures.
 
 ``bench``
     Time the headline experiments stage by stage (system build, serving,
@@ -36,7 +37,8 @@ Examples::
     python -m repro experiment fig13 --requests 100 --models llama-13b
     python -m repro experiment fig22 --requests 100
     python -m repro experiment fig23 --requests 100
-    python -m repro bench --output BENCH_PR4.json
+    python -m repro experiment fig24 --requests 100
+    python -m repro bench --output BENCH_PR5.json
 """
 
 from __future__ import annotations
@@ -88,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--arrival-rate", type=float, default=0.0,
                        help="open-loop Poisson arrival rate in requests/s "
                             "(0 = closed batch, all requests at t=0)")
+    serve.add_argument("--policy", choices=sorted(api.POLICY_NAMES),
+                       default="fcfs",
+                       help="scheduler admission-order policy")
     serve.add_argument("--baselines", action="store_true",
                        help="also run the DGX/TPU/AttAcc/Cerebras baselines")
 
@@ -108,8 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR4.json",
-                       help="path of the JSON report (default: BENCH_PR4.json)")
+    bench.add_argument("--output", default="BENCH_PR5.json",
+                       help="path of the JSON report (default: BENCH_PR5.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -154,6 +159,7 @@ def _serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         kv_threshold=args.kv_threshold,
         arrival_rate_per_s=args.arrival_rate,
+        scheduling_policy=args.policy,
     )
     try:
         if args.baselines:

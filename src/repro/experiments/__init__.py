@@ -15,6 +15,7 @@ fig19/20         Fig. 19/20 -- multi-wafer scaling (LLaMA-65B)
 fig21            Table 2 / Fig. 21 -- CIM-core circuit designs
 fig22            (beyond the paper) open-loop arrival-rate sweep
 fig23            (beyond the paper) multi-tenant SLO goodput vs. load
+fig24            (beyond the paper) scheduling-policy comparison (fcfs/wfq/priority)
 headline         abstract -- average/peak speedup and efficiency
 ===============  =====================================================
 
@@ -35,6 +36,7 @@ from . import (
     fig21_cim_cores,
     fig22_arrival_sweep,
     fig23_slo_goodput,
+    fig24_policy_comparison,
     headline,
 )
 from .common import (
@@ -66,6 +68,7 @@ ALL_EXPERIMENTS = {
     "fig21": fig21_cim_cores,
     "fig22": fig22_arrival_sweep,
     "fig23": fig23_slo_goodput,
+    "fig24": fig24_policy_comparison,
     "headline": headline,
 }
 
@@ -96,5 +99,6 @@ __all__ = [
     "fig21_cim_cores",
     "fig22_arrival_sweep",
     "fig23_slo_goodput",
+    "fig24_policy_comparison",
     "headline",
 ]

@@ -69,11 +69,17 @@ class ExperimentSettings:
     slo: SLOTarget | None = None
     #: continuous-batching limit (None = bounded only by KV capacity)
     max_active_sequences: int | None = None
+    #: admission-order policy of the scheduler (fcfs / wfq / priority)
+    scheduling_policy: str = "fcfs"
+    #: priority units gained per second of waiting (priority policy only)
+    priority_aging_rate: float = 1.0
 
     def pipeline_config(self) -> PipelineConfig:
         return PipelineConfig(
             chunk_tokens=self.chunk_tokens,
             max_active_sequences=self.max_active_sequences,
+            scheduling_policy=self.scheduling_policy,
+            priority_aging_rate=self.priority_aging_rate,
         )
 
     def system_config(self, **overrides) -> OuroborosSystemConfig:

@@ -103,8 +103,16 @@ def run(
     load_fractions: tuple[float, ...] = DEFAULT_LOAD_FRACTIONS,
     slo: SLOTarget | None = None,
     runner: SweepRunner | None = None,
+    base_rate_per_s: float | None = None,
 ) -> SLOGoodputResult:
-    """Sweep per-tenant offered load against a TTFT / end-to-end SLO."""
+    """Sweep per-tenant offered load against a TTFT / end-to-end SLO.
+
+    ``base_rate_per_s`` overrides the closed-batch anchor run that normally
+    defines the service rate the load fractions scale — the policy-comparison
+    figure (fig24) passes the FCFS anchor so every policy is swept at
+    *identical* offered loads rather than loads rescaled by each policy's own
+    closed-batch rate.
+    """
     runner = runner or SweepRunner()
     if settings.max_active_sequences is None:
         settings = replace(settings, max_active_sequences=DEFAULT_MAX_ACTIVE)
@@ -116,9 +124,14 @@ def run(
     # Anchor 1: the closed-batch run of the same mix defines the service rate
     # the load fractions are scaled by.  With every arrival at t=0 it also
     # regression-anchors the multi-tenant path to closed batch.
-    batch_settings = replace(settings, tenants=closed, slo=None, arrival_rate_per_s=0.0)
-    batch = runner.run_variants(cell, [batch_settings])[0][OUROBOROS_NAME]
-    base_rate = total_requests / batch.total_time_s
+    if base_rate_per_s is not None:
+        base_rate = base_rate_per_s
+    else:
+        batch_settings = replace(
+            settings, tenants=closed, slo=None, arrival_rate_per_s=0.0
+        )
+        batch = runner.run_variants(cell, [batch_settings])[0][OUROBOROS_NAME]
+        base_rate = total_requests / batch.total_time_s
 
     def tenants_at(fraction: float, tenants: tuple[TenantSpec, ...]):
         return tuple(
@@ -133,11 +146,16 @@ def run(
 
     # Anchor 2: the lightest swept load, served without an SLO, defines each
     # tenant's *unloaded* latency scale (at light load a request faces little
-    # queueing, so its latency is close to intrinsic service time).
-    light_fraction = min(load_fractions)
-    light = runner.run_variants(
-        cell, [replace(settings, tenants=tenants_at(light_fraction, closed))]
-    )[0][OUROBOROS_NAME]
+    # queueing, so its latency is close to intrinsic service time).  Skipped
+    # entirely when every tenant already carries an SLO (or the caller set a
+    # deployment-wide one), e.g. when fig24 re-sweeps under another policy
+    # against the SLOs derived from the FCFS anchor.
+    light = None
+    if slo is None and any(tenant.slo is None for tenant in closed):
+        light_fraction = min(load_fractions)
+        light = runner.run_variants(
+            cell, [replace(settings, tenants=tenants_at(light_fraction, closed))]
+        )[0][OUROBOROS_NAME]
 
     # Attach each tenant's SLO: the caller's deployment-wide target when
     # given, otherwise a deadline scaled from the tenant's own light-load

@@ -4,11 +4,13 @@
 stage -- system build (mapping + KV setup) per model, trace serving per
 workload (closed batch plus one open-loop arrival-driven run at the measured
 saturation rate), a multi-tenant SLO-goodput serve (the fig23 shape: two
-tenants, sub-epoch admission, per-tenant goodput accounting), the full
-headline comparison grid, and a mapping-annealer microbenchmark -- and writes
-the measurements to a JSON file (``BENCH_PR4.json`` by default).  Future PRs
-append their own reports, so the repository carries its performance trajectory
-alongside the code.
+tenants, sub-epoch admission, per-tenant goodput accounting) under both the
+FCFS and WFQ scheduling policies, the full headline comparison grid, and a
+mapping-annealer microbenchmark -- and writes the measurements to a JSON file
+(``BENCH_PR5.json`` by default).  Future PRs append their own reports, so the
+repository carries its performance trajectory alongside the code;
+``scripts/check_bench_regression.py`` gates CI on the deterministic headline
+metrics staying bit-for-bit on trajectory.
 
 Runs are described as :class:`repro.api.DeploymentSpec` objects and built
 through the system registry.  The harness measures *cold* numbers: every
@@ -170,7 +172,27 @@ def run_bench(
     report.headline["slo_goodput"] = float(slo_result.goodput or 0.0)
     for name, stats in slo_result.tenants.items():
         report.headline[f"slo_goodput_{name}"] = float(stats.goodput or 0.0)
+    report.headline["slo_interactive_ttft_p95_s"] = (
+        slo_result.tenants["interactive"].ttft.p95_s
+    )
     report.meta["slo_split_epochs"] = slo_result.extra.get("split_epochs", 0)
+
+    # Stage 2d: the same multi-tenant SLO trace under weighted fair queueing
+    # (the wfq scheduling policy lives in the pipeline config, so this builds
+    # its own system; the trace is identical to stage 2c's).
+    wfq_settings = replace(slo_settings, scheduling_policy="wfq")
+    wfq_system = api.build_deployment(
+        wfq_settings.deployment(models[0], workload), cache=False
+    )
+    wfq_system.built
+    trace = api.trace_for(wfq_settings.deployment(models[0], workload))
+    start = time.perf_counter()
+    wfq_result = wfq_system.serve(trace, workload_name="multi-tenant-slo-wfq")
+    report.timings_s[f"serve_slo_wfq.{models[0]}"] = time.perf_counter() - start
+    report.headline["slo_wfq_goodput"] = float(wfq_result.goodput or 0.0)
+    report.headline["slo_wfq_interactive_ttft_p95_s"] = (
+        wfq_result.tenants["interactive"].ttft.p95_s
+    )
 
     # Stage 3: the full headline grid (models x workloads x all systems).
     start = time.perf_counter()

@@ -40,8 +40,11 @@ from ..results import RunResult
 #: (2: RunResult grew ttft/latency stats; completion stamped at epoch end;
 #:  3: keys are canonical DeploymentSpec dicts;
 #:  4: sub-epoch admission splits epochs at arrival boundaries and RunResult
-#:     grew per-tenant stats + SLO goodput)
-_CACHE_SCHEMA = "4"
+#:     grew per-tenant stats + SLO goodput;
+#:  5: pluggable scheduling policies — PipelineConfig grew
+#:     scheduling_policy/priority_aging_rate, TenantSpec grew
+#:     weight/priority, and admission order is policy-defined)
+_CACHE_SCHEMA = "5"
 
 
 @dataclass(frozen=True)

@@ -11,6 +11,13 @@ difference.
 
 For decoder-only models the blocked variant costs about 5% relative to plain
 TGP (Section 6.4), which this model reproduces via a fixed blocking overhead.
+
+Admission order (fcfs / wfq / priority) and the sub-epoch split boundary are
+inherited unchanged from :class:`~repro.pipeline.engine.PipelineEngine` — the
+only strategy-specific state here is the longest-sequence watermark, which is
+why :meth:`planned_utilization` must stay side-effect-free: the shared
+``_plan_epoch`` may evaluate (and then truncate) an epoch at a policy-chosen
+arrival boundary before it commits.
 """
 
 from __future__ import annotations

@@ -21,11 +21,12 @@ stamped at the end of the epoch that produced them) feed the TTFT and
 end-to-end latency distributions on :class:`RunResult`.  Batch traces (every
 arrival at t=0) reduce to the original closed-loop behaviour bit for bit.
 
-Epochs additionally *split at arrival boundaries*: when the queue head's
-arrival would land inside the epoch about to run, the per-sequence token
-budgets are truncated so the epoch closes at (token granularity of) that
-arrival, and the untaken prefill/decode remainder simply carries into the next
-epoch.  Without splitting, a request landing just after an epoch starts waits
+Epochs additionally *split at arrival boundaries*: when the next admission
+candidate's arrival (the FCFS queue head's, or the earliest tenant head's
+under the wfq / priority scheduling policies) would land inside the epoch
+about to run, the per-sequence token budgets are truncated so the epoch closes
+at (token granularity of) that arrival, and the untaken prefill/decode
+remainder simply carries into the next epoch.  Without splitting, a request landing just after an epoch starts waits
 up to a whole ``chunk_tokens`` epoch before admission — an unbounded TTFT
 error at high offered load; with it the admission delay is bounded by one
 token per active sequence.  The split decision (:meth:`_plan_epoch`) is shared
@@ -65,6 +66,7 @@ from ..models.architectures import ModelArch
 from ..models.pipeline_stages import pipeline_depth
 from ..results import EnergyBreakdown, LatencyStats, RunResult, TenantStats
 from ..workload.generator import Trace
+from ..workload.policies import SchedulingPolicy, make_policy, validate_policy_name
 from ..workload.requests import Sequence, SequencePhase
 from ..workload.scheduler import InterSequenceScheduler, KVCapacityProvider
 from .stages import TokenCostModel
@@ -88,6 +90,27 @@ class PipelineConfig:
     #: to bound per-request latency; the SLO-goodput experiment relies on it
     #: to make offered load saturate at a realistic operating point.
     max_active_sequences: int | None = None
+    #: admission-order policy of the inter-sequence scheduler: ``fcfs`` (the
+    #: paper's queue, bit-for-bit the historical behaviour), ``wfq``
+    #: (weighted fair queueing over tenants) or ``priority`` (strict
+    #: priority with starvation-free aging)
+    scheduling_policy: str = "fcfs"
+    #: priority units a waiting request gains per second (the ``priority``
+    #: policy's starvation bound: a gap of d levels closes in d/rate seconds)
+    priority_aging_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Normalise as well as validate: "WFQ" and "wfq" must produce one
+        # canonical spec dict (sweep-cache keys) and compare equal.
+        object.__setattr__(
+            self, "scheduling_policy", validate_policy_name(self.scheduling_policy)
+        )
+
+    def make_scheduling_policy(self) -> "SchedulingPolicy":
+        """Instantiate the configured admission-order policy."""
+        return make_policy(
+            self.scheduling_policy, aging_rate=self.priority_aging_rate
+        )
 
 
 @dataclass
@@ -137,12 +160,15 @@ class PipelineEngine:
         self.cost_model = cost_model
         self.kv_manager = kv_manager
         self.config = config or PipelineConfig()
-        # A caller-supplied scheduler owns its own admission cap (the system
-        # builder combines the config knob with a KV-capacity estimate); the
-        # default scheduler takes the config's continuous-batching limit
-        # directly so the knob is never silently ignored.
+        # A caller-supplied scheduler owns its own admission cap and policy
+        # (the system builder combines the config knobs with a KV-capacity
+        # estimate); the default scheduler takes the config's
+        # continuous-batching limit and scheduling policy directly so the
+        # knobs are never silently ignored.
         self.scheduler = scheduler or InterSequenceScheduler(
-            kv_manager, max_active_sequences=self.config.max_active_sequences
+            kv_manager,
+            max_active_sequences=self.config.max_active_sequences,
+            policy=self.config.make_scheduling_policy(),
         )
         self.depth = pipeline_depth(arch)
         self.epochs: list[EpochRecord] = []
@@ -428,7 +454,8 @@ class PipelineEngine:
 
         The vectorised baseline take is ``min(chunk, remaining)`` per
         sequence, split into a prefill take at its current position and a
-        decode take right after it.  When the FCFS queue head's arrival lands
+        decode take right after it.  When the next admission candidate's
+        arrival (policy-defined, see :meth:`_gap_to_next_arrival`) lands
         strictly inside the epoch's planned duration, the budgets are scaled
         down proportionally (``floor``, but at least one token per advancing
         sequence so the epoch always makes progress) so the epoch closes at
@@ -485,13 +512,19 @@ class PipelineEngine:
         )
 
     def _gap_to_next_arrival(self, time_s: float) -> float | None:
-        """Seconds until the FCFS queue head arrives (None when it cannot gate).
+        """Seconds until admission can next progress (None when it cannot gate).
 
-        Returns None when nothing waits or the head has already arrived —
-        in both cases the epoch has no future arrival to split at.
+        The instant comes from the scheduler's policy — the FCFS queue head's
+        arrival (None once the head has arrived, even if blocked on
+        capacity), or the earliest *future* tenant-head arrival under wfq /
+        priority (an already-arrived capacity-blocked head does not hide a
+        later head there, because the policy may admit the newcomer
+        immediately) — so the split boundary respects the configured
+        admission order.  Returns None when there is no future arrival to
+        split at.
         """
-        arrival = self.scheduler.next_arrival_time()
-        if arrival is None or arrival <= time_s:
+        arrival = self.scheduler.next_future_arrival(time_s)
+        if arrival is None:
             return None
         return arrival - time_s
 

@@ -153,7 +153,11 @@ class BuiltOuroboros:
             # Explicit continuous-batching limit: never loosens the
             # KV-capacity-derived bound, only tightens it.
             max_active = min(max_active, self.config.pipeline.max_active_sequences)
-        scheduler = InterSequenceScheduler(kv_manager, max_active_sequences=max_active)
+        scheduler = InterSequenceScheduler(
+            kv_manager,
+            max_active_sequences=max_active,
+            policy=self.config.pipeline.make_scheduling_policy(),
+        )
         mode = self.config.pipeline_mode
         if mode is PipelineMode.AUTO:
             mode = (

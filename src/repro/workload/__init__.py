@@ -21,6 +21,15 @@ from .generator import (
     generate_trace,
     make_workload,
 )
+from .policies import (
+    POLICY_NAMES,
+    POLICY_REGISTRY,
+    FCFSPolicy,
+    PriorityAgingPolicy,
+    SchedulingPolicy,
+    WFQPolicy,
+    make_policy,
+)
 from .requests import Request, Sequence, SequencePhase
 from .scheduler import InterSequenceScheduler, KVCapacityProvider, SchedulerStats
 
@@ -48,4 +57,11 @@ __all__ = [
     "InterSequenceScheduler",
     "KVCapacityProvider",
     "SchedulerStats",
+    "SchedulingPolicy",
+    "FCFSPolicy",
+    "WFQPolicy",
+    "PriorityAgingPolicy",
+    "POLICY_REGISTRY",
+    "POLICY_NAMES",
+    "make_policy",
 ]

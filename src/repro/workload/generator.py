@@ -55,6 +55,12 @@ class TenantSpec:
     #: tenant-specific SLO; overrides the deployment-wide target for this
     #: tenant's requests (interactive and batch tenants rarely share one)
     slo: SLOTarget | None = None
+    #: weighted-fair-queueing share of the tenant (admission virtual time
+    #: advances by ``total_tokens / weight``; only the ``wfq`` policy reads it)
+    weight: float = 1.0
+    #: static admission priority (higher = admitted first; only the
+    #: ``priority`` policy reads it, with aging closing the gaps over time)
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -63,6 +69,8 @@ class TenantSpec:
             raise ConfigurationError("tenant num_requests must be positive")
         if self.arrival_rate_per_s < 0:
             raise ConfigurationError("tenant arrival_rate_per_s cannot be negative")
+        if self.weight <= 0:
+            raise ConfigurationError("tenant weight must be positive")
         get_distribution(self.workload)  # validate eagerly
 
 
@@ -195,6 +203,8 @@ def generate_multi_tenant_trace(
             decode_length=decode,
             arrival_time=arrival,
             tenant=tenants[index].name,
+            weight=tenants[index].weight,
+            priority=tenants[index].priority,
         )
         for request_id, (arrival, index, _, prefill, decode) in enumerate(rows)
     ]

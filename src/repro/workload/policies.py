@@ -1,0 +1,379 @@
+"""Pluggable admission-order policies for the inter-sequence scheduler.
+
+PR 4 made head-of-line blocking *measurable* (per-tenant ``TenantStats``);
+this module makes it *fixable*: the admission order of
+:class:`~repro.workload.scheduler.InterSequenceScheduler` is delegated to a
+:class:`SchedulingPolicy`, of which three implementations exist:
+
+``fcfs``
+    The paper's First-Come-First-Serve queue, bit-for-bit the historical
+    behaviour: the queue head gates everything behind it, whether it is
+    blocked on capacity or (open-loop serving) has not arrived yet.
+
+``wfq``
+    Weighted fair queueing over tenants (start-time fair queueing at the
+    admission granularity).  Each tenant keeps a FIFO queue; an admitted
+    request advances its tenant's virtual finish tag by
+    ``total_tokens / weight`` (weights ride on
+    :class:`~repro.workload.generator.TenantSpec` and thread onto every
+    :class:`~repro.workload.requests.Request`), and the arrived tenant head
+    with the smallest virtual start tag is admitted next.  The policy is
+    work-conserving: whenever *any* waiting request has arrived, one is
+    eligible — a long batch request that has not arrived, does not fit the
+    cache, or belongs to a tenant that recently consumed its share can no
+    longer head-of-line-block an interactive tenant.
+
+``priority``
+    Strict per-tenant priority admission with starvation-free aging: the
+    arrived tenant head with the highest *effective* priority — its static
+    ``priority`` plus ``aging_rate`` priority units per second of waiting —
+    is admitted next.  A request outranked by ``d`` priority levels overtakes
+    the higher class after at most ``d / aging_rate`` seconds in the queue,
+    which bounds starvation; ``aging_rate=0`` degenerates to (starvable)
+    strict priority.
+
+Every policy preserves FIFO order *within* a tenant, so per-tenant latency
+stays monotone in arrival order and an evicted victim re-enters at the front
+of its own tenant's queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (requests is light,
+    from .requests import Sequence  # but keep the runtime surface minimal)
+
+
+@runtime_checkable
+class SchedulingPolicy(Protocol):
+    """Admission-order policy driven by the inter-sequence scheduler.
+
+    The scheduler owns capacity, eviction and bookkeeping; the policy owns
+    *order*: which waiting sequence is the next admission candidate at a
+    given wall-clock instant.
+    """
+
+    #: registry key of the policy (``fcfs`` / ``wfq`` / ``priority``)
+    name: str
+
+    def push(self, sequence: "Sequence") -> None:
+        """Enqueue a newly submitted sequence."""
+        ...
+
+    def push_front(self, sequence: "Sequence") -> None:
+        """Re-queue an evicted sequence at the front of its (tenant) queue."""
+        ...
+
+    def select(
+        self, time: float, exclude: frozenset[int] = frozenset()
+    ) -> "Sequence | None":
+        """The admission candidate at ``time`` (None: nothing has arrived).
+
+        Selecting must be side-effect-free: the scheduler may select the same
+        candidate across many epochs while it is blocked on capacity.
+        ``exclude`` holds sequence ids already rejected on capacity this
+        admission round: FCFS returns None when its head is excluded (the
+        head gates everything, the historical behaviour), while the
+        tenant-aware policies skip excluded heads and propose another
+        tenant's — a capacity-blocked 4k-token batch request must not block
+        an interactive request that would fit.
+        """
+        ...
+
+    def pop(self, sequence: "Sequence", time: float) -> None:
+        """Commit the admission of a previously selected candidate."""
+        ...
+
+    def next_arrival_time(self) -> float | None:
+        """Earliest instant admission can next make progress (None: empty)."""
+        ...
+
+    def next_future_arrival(self, time: float) -> float | None:
+        """Earliest candidate arrival strictly after ``time`` (None: no such).
+
+        Drives the engines' sub-epoch split boundary: FCFS only ever splits
+        at its head's arrival, while the tenant-aware policies split at the
+        earliest future tenant-head arrival even when another head has
+        already arrived and is blocked on capacity (the newcomer may fit).
+        """
+        ...
+
+    def waiting(self) -> list["Sequence"]:
+        """Snapshot of the waiting sequences (policy-specific order)."""
+        ...
+
+    def __len__(self) -> int: ...
+
+
+class FCFSPolicy:
+    """First-Come-First-Serve: one global queue, the head gates everything.
+
+    Bit-for-bit the pre-policy scheduler behaviour, including the subtlety
+    that a later-submitted request arriving *earlier* than the head still
+    waits behind it (``next_arrival_time`` is the head's arrival, not the
+    minimum over the queue).
+    """
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._queue: deque[Sequence] = deque()
+
+    def push(self, sequence: "Sequence") -> None:
+        self._queue.append(sequence)
+
+    def push_front(self, sequence: "Sequence") -> None:
+        self._queue.appendleft(sequence)
+
+    def select(
+        self, time: float, exclude: frozenset[int] = frozenset()
+    ) -> "Sequence | None":
+        if not self._queue:
+            return None
+        head = self._queue[0]
+        if head.request.arrival_time > time:
+            return None
+        if head.sequence_id in exclude:
+            # The FCFS head gates everything behind it, even on capacity.
+            return None
+        return head
+
+    def pop(self, sequence: "Sequence", time: float) -> None:
+        if not self._queue or self._queue[0] is not sequence:
+            raise ConfigurationError(
+                "FCFS pop must remove the selected queue head"
+            )
+        self._queue.popleft()
+
+    def next_arrival_time(self) -> float | None:
+        if not self._queue:
+            return None
+        return self._queue[0].request.arrival_time
+
+    def next_future_arrival(self, time: float) -> float | None:
+        arrival = self.next_arrival_time()
+        if arrival is None or arrival <= time:
+            return None
+        return arrival
+
+    def waiting(self) -> list["Sequence"]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _TenantQueuedPolicy:
+    """Shared structure of the tenant-aware policies: FIFO per tenant.
+
+    Selection only ever considers tenant queue *heads*: within a tenant all
+    requests share the policy inputs (weight / static priority) and FIFO
+    order dominates every tie-break, so the head is always preferred over
+    anything behind it — scanning heads is globally optimal and O(#tenants).
+    """
+
+    def __init__(self) -> None:
+        #: per-tenant FIFO queues, in first-seen tenant order (deterministic)
+        self._queues: dict[str, deque[Sequence]] = {}
+        self._size = 0
+
+    def _queue_for(self, tenant: str) -> deque:
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+        return queue
+
+    def push(self, sequence: "Sequence") -> None:
+        self._queue_for(sequence.request.tenant).append(sequence)
+        self._size += 1
+
+    def push_front(self, sequence: "Sequence") -> None:
+        self._queue_for(sequence.request.tenant).appendleft(sequence)
+        self._size += 1
+
+    def pop(self, sequence: "Sequence", time: float) -> None:
+        queue = self._queues.get(sequence.request.tenant)
+        if not queue or queue[0] is not sequence:
+            raise ConfigurationError(
+                "policy pop must remove the selected tenant-queue head"
+            )
+        queue.popleft()
+        self._size -= 1
+
+    def _heads(self):
+        for tenant, queue in self._queues.items():
+            if queue:
+                yield tenant, queue[0]
+
+    def _select_best(self, time, exclude, key):
+        """Arrived, non-excluded tenant head minimising ``key(tenant, head)``.
+
+        The shared scan behind both tenant-aware ``select`` implementations;
+        only the sort key differs between wfq and priority.
+        """
+        best = None
+        best_key = None
+        for tenant, head in self._heads():
+            if head.request.arrival_time > time:
+                continue
+            if head.sequence_id in exclude:
+                continue  # capacity-blocked head: offer another tenant's
+            head_key = key(tenant, head)
+            if best_key is None or head_key < best_key:
+                best, best_key = head, head_key
+        return best
+
+    def next_arrival_time(self) -> float | None:
+        """Minimum arrival over the tenant heads (any arrived head is
+        eligible, unlike FCFS where only the global head can unblock)."""
+        arrivals = [head.request.arrival_time for _, head in self._heads()]
+        if not arrivals:
+            return None
+        return min(arrivals)
+
+    def next_future_arrival(self, time: float) -> float | None:
+        """Earliest tenant-head arrival strictly after ``time``.
+
+        Unlike FCFS, an already-arrived (possibly capacity-blocked) head
+        does not hide a later head: the engines still split epochs at the
+        newcomer's arrival, because the policy may admit it immediately.
+        """
+        arrivals = [
+            head.request.arrival_time
+            for _, head in self._heads()
+            if head.request.arrival_time > time
+        ]
+        if not arrivals:
+            return None
+        return min(arrivals)
+
+    def waiting(self) -> list["Sequence"]:
+        flat: list[Sequence] = []
+        for queue in self._queues.values():
+            flat.extend(queue)
+        return flat
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class WFQPolicy(_TenantQueuedPolicy):
+    """Weighted fair queueing over tenants (start-time fair queueing).
+
+    Each tenant ``t`` carries a virtual finish tag ``F_t``.  Admitting a
+    request of cost ``c = request.total_tokens`` and weight ``w`` sets
+
+        S = max(V, F_t);  F_t = S + c / w;  V = S
+
+    where ``V`` is the global virtual time (the start tag of the last
+    admitted request).  ``select`` returns the *arrived* tenant head with the
+    smallest start tag ``max(V, F_t)``; ties break deterministically on
+    (arrival time, request id).  Tenants that recently admitted expensive
+    requests therefore wait for the others' virtual time to catch up —
+    service (token) fairness, not request-count fairness.
+
+    An evicted-and-re-admitted request is charged again on re-admission.
+    That is deliberate: the re-admission really does consume the wafer a
+    second time (the entire discarded context is re-prefilled), so the
+    tenant's share accounts for the recompute work its eviction caused.
+    """
+
+    name = "wfq"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._finish: dict[str, float] = {}
+        self._vtime = 0.0
+
+    def _start_tag(self, tenant: str) -> float:
+        return max(self._vtime, self._finish.get(tenant, 0.0))
+
+    def select(
+        self, time: float, exclude: frozenset[int] = frozenset()
+    ) -> "Sequence | None":
+        return self._select_best(
+            time,
+            exclude,
+            lambda tenant, head: (
+                self._start_tag(tenant),
+                head.request.arrival_time,
+                head.request.request_id,
+            ),
+        )
+
+    def pop(self, sequence: "Sequence", time: float) -> None:
+        tenant = sequence.request.tenant
+        start = self._start_tag(tenant)
+        weight = max(sequence.request.weight, 1e-9)
+        self._finish[tenant] = start + sequence.request.total_tokens / weight
+        self._vtime = start
+        super().pop(sequence, time)
+
+
+class PriorityAgingPolicy(_TenantQueuedPolicy):
+    """Strict priority admission with starvation-free aging.
+
+    The arrived tenant head with the highest effective priority
+
+        effective = request.priority + aging_rate * (time - arrival_time)
+
+    is admitted next (ties break on arrival time, then request id).  With
+    ``aging_rate > 0`` a request outranked by ``d`` priority levels waits at
+    most ``d / aging_rate`` seconds longer than the higher class, which
+    bounds starvation; ``aging_rate = 0`` is pure strict priority.
+    """
+
+    name = "priority"
+
+    def __init__(self, aging_rate: float = 1.0) -> None:
+        super().__init__()
+        if aging_rate < 0:
+            raise ConfigurationError("priority aging_rate cannot be negative")
+        self.aging_rate = aging_rate
+
+    def select(
+        self, time: float, exclude: frozenset[int] = frozenset()
+    ) -> "Sequence | None":
+        def key(tenant, head):
+            arrival = head.request.arrival_time
+            effective = head.request.priority + self.aging_rate * (time - arrival)
+            return (-effective, arrival, head.request.request_id)
+
+        return self._select_best(time, exclude, key)
+
+
+#: registry key -> factory; the single source of valid policy names
+POLICY_REGISTRY = {
+    "fcfs": FCFSPolicy,
+    "wfq": WFQPolicy,
+    "priority": PriorityAgingPolicy,
+}
+
+POLICY_NAMES = tuple(sorted(POLICY_REGISTRY))
+
+
+def validate_policy_name(name: str) -> str:
+    """Normalise and validate a policy key (typed error on unknown names)."""
+    key = name.lower()
+    if key not in POLICY_REGISTRY:
+        raise ConfigurationError(
+            f"unknown scheduling policy '{name}'; known policies: "
+            f"{sorted(POLICY_REGISTRY)}"
+        )
+    return key
+
+
+def make_policy(name: str, *, aging_rate: float = 1.0) -> SchedulingPolicy:
+    """Instantiate a scheduling policy by registry key.
+
+    ``aging_rate`` parameterises the ``priority`` policy (priority units
+    gained per second of waiting) and is ignored by the others.
+    """
+    key = validate_policy_name(name)
+    if key == "priority":
+        return PriorityAgingPolicy(aging_rate=aging_rate)
+    return POLICY_REGISTRY[key]()

@@ -69,6 +69,12 @@ class Request:
     arrival_time: float = 0.0
     #: tenant the request belongs to (drives per-tenant serving stats)
     tenant: str = DEFAULT_TENANT
+    #: WFQ share of the owning tenant (admission virtual time advances by
+    #: ``total_tokens / weight`` per admitted request; ignored by fcfs)
+    weight: float = 1.0
+    #: static admission priority of the owning tenant (higher = admitted
+    #: first under the ``priority`` policy; ignored by fcfs / wfq)
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prefill_length <= 0:
@@ -77,6 +83,8 @@ class Request:
             raise SchedulingError("decode_length must be non-negative")
         if not self.tenant:
             raise SchedulingError("tenant must be a non-empty string")
+        if self.weight <= 0:
+            raise SchedulingError("weight must be positive")
 
     @property
     def total_tokens(self) -> int:

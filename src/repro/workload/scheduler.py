@@ -2,30 +2,37 @@
 
 Policy reproduced from the paper:
 
-* New requests are admitted First-Come-First-Serve so no request starves.
-  In open-loop (arrival-time-driven) serving a request additionally cannot be
-  admitted before its ``arrival_time``; with the default batch traces every
-  arrival is 0.0 and the gate is a no-op.
+* New requests are admitted in the order chosen by a pluggable
+  :class:`~repro.workload.policies.SchedulingPolicy` — First-Come-First-Serve
+  by default, exactly the paper's behaviour; ``wfq`` (weighted fair queueing
+  over tenants) and ``priority`` (strict priority with starvation-free aging)
+  reorder admission across tenants.  In open-loop (arrival-time-driven)
+  serving a request additionally cannot be admitted before its
+  ``arrival_time``; with the default batch traces every arrival is 0.0 and
+  the gate is a no-op.
 * Decode iterations of already-admitted requests may be scheduled as soon as
   the current input finishes (preemptive interleave of prefill and decode).
 * When the KV cache is full, the most recently *admitted* request is
   evicted, new-request admission is suspended until a prior request completes,
-  and the evicted request is placed at the *front* of the waiting queue.
+  and the evicted request is placed at the *front* of the waiting queue
+  (under the tenant-aware policies: the front of its own tenant's queue).
 * A per-core occupancy threshold reserves residual capacity for KV growth in
   the decode phase so freshly admitted sequences do not immediately thrash.
 
 The scheduler is deliberately decoupled from the concrete KV-cache manager: it
 drives any object that satisfies :class:`KVCapacityProvider`, which both the
-distributed dynamic manager and the static baseline implement.
+distributed dynamic manager and the static baseline implement.  It is equally
+decoupled from admission *order*: capacity, eviction and bookkeeping live
+here, while the policy object owns which waiting sequence goes next.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Protocol
 
 from ..errors import SchedulingError
+from .policies import SchedulingPolicy, make_policy
 from .requests import Request, Sequence, SequencePhase
 
 
@@ -58,15 +65,24 @@ class SchedulerStats:
 
 @dataclass
 class InterSequenceScheduler:
-    """FCFS scheduler with eviction of the most recently admitted sequence."""
+    """Policy-ordered scheduler with eviction of the most recent admission.
+
+    ``policy`` selects the admission order: a registry key (``fcfs`` —
+    the default, the paper's FCFS queue — ``wfq`` or ``priority``) or a
+    ready-built :class:`~repro.workload.policies.SchedulingPolicy` instance
+    when the caller needs to parameterise it (e.g. a priority aging rate).
+    """
 
     kv_provider: KVCapacityProvider
     #: maximum sequences resident at once (None = limited only by KV capacity)
     max_active_sequences: int | None = None
     stats: SchedulerStats = field(default_factory=SchedulerStats)
+    #: admission-order policy (registry key or instance)
+    policy: SchedulingPolicy | str = "fcfs"
 
     def __post_init__(self) -> None:
-        self._waiting: deque[Sequence] = deque()
+        if isinstance(self.policy, str):
+            self.policy = make_policy(self.policy)
         self._active: list[Sequence] = []  # in admission order (oldest first)
         self._active_ids: set[int] = set()  # O(1) membership mirror of _active
         self._completed: list[Sequence] = []
@@ -80,9 +96,9 @@ class InterSequenceScheduler:
     # ------------------------------------------------------------------ intake
 
     def submit(self, request: Request) -> Sequence:
-        """Queue a new request (FCFS)."""
+        """Queue a new request (admission order chosen by the policy)."""
         sequence = Sequence(request=request)
-        self._waiting.append(sequence)
+        self.policy.push(sequence)
         return sequence
 
     def submit_all(self, requests: list[Request]) -> list[Sequence]:
@@ -92,7 +108,7 @@ class InterSequenceScheduler:
 
     @property
     def waiting(self) -> list[Sequence]:
-        return list(self._waiting)
+        return self.policy.waiting()
 
     @property
     def active(self) -> list[Sequence]:
@@ -118,28 +134,39 @@ class InterSequenceScheduler:
 
     @property
     def all_done(self) -> bool:
-        return not self._waiting and not self._active
+        return len(self.policy) == 0 and not self._active
 
     def next_arrival_time(self) -> float | None:
         """Instant admission can next make progress (None when nothing waits).
 
-        Admission is strictly FCFS, so this is the *queue head's* arrival
-        time — a later-submitted request that happens to arrive earlier still
-        waits behind the head.  The engines use it to advance the clock
-        across idle gaps instead of stalling.
+        Policy-defined: under FCFS this is the *queue head's* arrival time —
+        a later-submitted request that happens to arrive earlier still waits
+        behind the head — while the tenant-aware policies report the earliest
+        arrival among the tenant queue heads, any of which can be admitted.
+        The engines use it to advance the clock across idle gaps instead of
+        stalling, and to split epochs at admission boundaries, so the split
+        boundary automatically respects the policy's order.
         """
-        if not self._waiting:
-            return None
-        return self._waiting[0].request.arrival_time
+        return self.policy.next_arrival_time()
+
+    def next_future_arrival(self, time: float) -> float | None:
+        """Earliest candidate arrival strictly after ``time`` (policy-defined).
+
+        The engines split epochs at this boundary.  FCFS reports its head's
+        arrival only; the tenant-aware policies report the earliest future
+        tenant-head arrival even while another (already arrived) head is
+        blocked on capacity, because the newcomer may be admitted instantly.
+        """
+        return self.policy.next_future_arrival(time)
 
     def has_arrived_waiting(self, time: float) -> bool:
-        """True when the FCFS queue head has arrived at ``time``.
+        """True when the policy has an admission candidate arrived at ``time``.
 
-        Distinguishes "the queue head is blocked because it has not arrived
-        yet" (engine should skip forward) from "it arrived but won't fit"
-        (a genuine capacity stall).
+        Distinguishes "every eligible request is blocked because it has not
+        arrived yet" (engine should skip forward) from "one arrived but won't
+        fit" (a genuine capacity stall).
         """
-        return bool(self._waiting) and self._waiting[0].request.arrival_time <= time
+        return self.policy.select(time) is not None
 
     def _remove_active(self, sequence: Sequence) -> None:
         """Drop a sequence from the active list by identity (no dataclass eq)."""
@@ -154,13 +181,17 @@ class InterSequenceScheduler:
     def fill(self, time: float = 0.0) -> list[Sequence]:
         """Admit arrived waiting sequences while capacity allows.
 
-        Admission stays FCFS: the queue head blocks everything behind it,
-        whether it is blocked on capacity or (open-loop serving) because its
-        ``arrival_time`` is still in the future.  Returns the admitted
-        sequences.
+        The policy picks each admission candidate.  A candidate blocked on
+        capacity is excluded and the policy asked again: under FCFS the
+        excluded head yields no further candidate (the classic head-of-line
+        block, bit-for-bit the historical behaviour), while the tenant-aware
+        policies offer another tenant's head — a 4k-token batch request that
+        does not fit must not block an interactive request that would.
+        Returns the admitted sequences.
         """
         admitted: list[Sequence] = []
-        while self._waiting:
+        blocked: set[int] = set()
+        while len(self.policy):
             if self._admission_suspended and self._active:
                 # Admission is suspended after an eviction until a prior
                 # request completes (Section 4.4.4); re-admitting immediately
@@ -172,15 +203,16 @@ class InterSequenceScheduler:
                 and len(self._active) >= self.max_active_sequences
             ):
                 break
-            candidate = self._waiting[0]
-            if candidate.request.arrival_time > time:
+            candidate = self.policy.select(time, exclude=frozenset(blocked))
+            if candidate is None:
                 break
             if not self.kv_provider.try_admit(candidate):
                 if candidate.sequence_id not in self._rejected_ids:
                     self._rejected_ids.add(candidate.sequence_id)
                     self.stats.rejected_admissions += 1
-                break
-            self._waiting.popleft()
+                blocked.add(candidate.sequence_id)
+                continue
+            self.policy.pop(candidate, time)
             candidate.start(time)
             self._active.append(candidate)
             self._active_ids.add(candidate.sequence_id)
@@ -197,7 +229,7 @@ class InterSequenceScheduler:
         discarded = victim.evict()
         self.stats.evictions += 1
         self.stats.recomputed_tokens += discarded
-        self._waiting.appendleft(victim)
+        self.policy.push_front(victim)
         self._admission_suspended = True
         # The victim keeps its sequence id in the waiting queue, so a
         # post-eviction capacity rejection is a *new* rejection and must be

@@ -31,7 +31,16 @@ class TestParser:
 
     def test_bench_default_output_tracks_pr(self):
         args = build_parser().parse_args(["bench"])
-        assert args.output == "BENCH_PR4.json"
+        assert args.output == "BENCH_PR5.json"
+
+    def test_serve_policy_choice(self):
+        args = build_parser().parse_args(["serve", "llama-13b", "--policy", "wfq"])
+        assert args.policy == "wfq"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "llama-13b", "--policy", "lifo"])
+
+    def test_experiment_fig24_registered(self):
+        assert build_parser().parse_args(["experiment", "fig24"]).figure == "fig24"
 
     def test_serve_system_choice(self):
         args = build_parser().parse_args(["serve", "llama-13b", "--system", "tpu-v4"])

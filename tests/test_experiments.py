@@ -72,9 +72,10 @@ class TestCommonHelpers:
         assert first is second
 
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 13
+        assert len(ALL_EXPERIMENTS) == 14
         assert "fig22" in ALL_EXPERIMENTS
         assert "fig23" in ALL_EXPERIMENTS
+        assert "fig24" in ALL_EXPERIMENTS
 
 
 class TestFig01:
@@ -290,3 +291,52 @@ class TestFig21:
         energy = result.normalized_energy("llama-13b", "lp128_ld2048")
         assert energy["This work + LUT"] < 1.0
         assert energy["VLSI'22"] > 1.0
+
+
+class TestFig24:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        from repro.experiments import fig24_policy_comparison
+        from repro.perf.sweep import SweepRunner
+
+        return fig24_policy_comparison.run(
+            FAST,
+            model="llama-13b",
+            load_fractions=(0.25, 4.0),
+            runner=SweepRunner(max_workers=1),
+        )
+
+    def test_rows_cover_policies_and_loads(self, comparison):
+        rows = comparison.rows()
+        assert [(row["policy"], row["load"]) for row in rows] == [
+            ("fcfs", 0.25), ("fcfs", 4.0),
+            ("wfq", 0.25), ("wfq", 4.0),
+            ("priority", 0.25), ("priority", 4.0),
+        ]
+        assert "Fig. 24" in comparison.format_table()
+
+    def test_anchors_shared_across_policies(self, comparison):
+        """Every policy is swept at identical loads against identical SLOs:
+        the base rate and per-tenant SLOs come from the FCFS anchor."""
+        assert comparison.base_rate_per_s == comparison.results["fcfs"].base_rate_per_s
+        for policy in ("wfq", "priority"):
+            sweep = comparison.results[policy]
+            assert sweep.base_rate_per_s == comparison.base_rate_per_s
+            assert sweep.tenant_slos == comparison.tenant_slos
+
+    def test_headline_read_at_heaviest_load(self, comparison):
+        assert comparison.headline_load == 4.0
+        for policy in ("fcfs", "wfq", "priority"):
+            headline = comparison.headline[policy]
+            assert 0.0 <= headline["goodput"] <= 1.0
+            assert headline["interactive_ttft_p95_s"] >= 0.0
+
+    def test_policies_never_hurt_interactive_ttft_at_light_load(self, comparison):
+        """At light load the queue is short and every policy degenerates to
+        (near-)FCFS order; the full-size overload contrast is asserted by
+        benchmarks/test_fig24_policy.py."""
+        by_key = {(row["policy"], row["load"]): row for row in comparison.rows()}
+        for policy in ("wfq", "priority"):
+            assert by_key[(policy, 0.25)]["interactive_ttft_p95_s"] == pytest.approx(
+                by_key[("fcfs", 0.25)]["interactive_ttft_p95_s"]
+            )

@@ -305,3 +305,378 @@ class TestArrivalGating:
         scheduler.submit_all(arriving_requests([1.0]))
         assert not scheduler.has_arrived_waiting(0.5)  # not yet arrived
         assert scheduler.has_arrived_waiting(1.0)  # arrived but won't fit
+
+
+# ---------------------------------------------------------------------------
+# Pluggable scheduling policies (fcfs / wfq / priority)
+# ---------------------------------------------------------------------------
+
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.workload.policies import (  # noqa: E402
+    FCFSPolicy,
+    PriorityAgingPolicy,
+    WFQPolicy,
+    make_policy,
+    validate_policy_name,
+)
+
+
+def tenant_requests(specs, prefill: int = 8, decode: int = 4) -> list[Request]:
+    """Requests from (tenant, arrival[, weight[, priority]]) tuples, in order."""
+    out = []
+    for i, spec in enumerate(specs):
+        tenant, arrival = spec[0], spec[1]
+        weight = spec[2] if len(spec) > 2 else 1.0
+        priority = spec[3] if len(spec) > 3 else 0
+        out.append(
+            Request(
+                request_id=i,
+                prefill_length=prefill,
+                decode_length=decode,
+                arrival_time=arrival,
+                tenant=tenant,
+                weight=weight,
+                priority=priority,
+            )
+        )
+    return out
+
+
+class TestPolicyRegistry:
+    def test_known_names(self):
+        assert isinstance(make_policy("fcfs"), FCFSPolicy)
+        assert isinstance(make_policy("wfq"), WFQPolicy)
+        assert isinstance(make_policy("priority"), PriorityAgingPolicy)
+        assert validate_policy_name("WFQ") == "wfq"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduling policy"):
+            make_policy("lifo")
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(ConfigurationError, match="aging"):
+            PriorityAgingPolicy(aging_rate=-1.0)
+
+
+class TestFCFSPolicyParity:
+    """The explicit fcfs policy is bit-for-bit the historical scheduler."""
+
+    def test_explicit_fcfs_matches_default(self):
+        default = InterSequenceScheduler(FakeKVProvider(capacity=3))
+        explicit = InterSequenceScheduler(FakeKVProvider(capacity=3), policy="fcfs")
+        default.submit_all(requests(5))
+        explicit.submit_all(requests(5))
+        assert [s.sequence_id for s in default.fill()] == [
+            s.sequence_id for s in explicit.fill()
+        ]
+        assert default.stats.rejected_admissions == explicit.stats.rejected_admissions
+
+    def test_fcfs_head_blocks_arrived_later_request(self):
+        """The defining FCFS behaviour the tenant-aware policies relax: an
+        unarrived head gates an arrived request behind it."""
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=4), policy="fcfs")
+        scheduler.submit_all(
+            tenant_requests([("a", 10.0), ("b", 0.0)])
+        )
+        assert scheduler.fill(time=0.0) == []
+        assert scheduler.next_arrival_time() == 10.0
+
+
+class TestWFQPolicy:
+    def test_work_conserving_across_tenants(self):
+        """WFQ admits any arrived tenant head: an unarrived head of one
+        tenant no longer head-of-line-blocks another tenant's arrived work."""
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=4), policy="wfq")
+        scheduler.submit_all(tenant_requests([("a", 10.0), ("b", 0.0)]))
+        admitted = scheduler.fill(time=0.0)
+        assert [seq.request.tenant for seq in admitted] == ["b"]
+        assert scheduler.next_arrival_time() == 10.0  # a's head remains
+
+    def test_select_never_idles_while_arrived_work_exists(self):
+        """Work conservation at the policy level: whenever any waiting
+        request has arrived, select() proposes one."""
+        policy = WFQPolicy()
+        sequences = [
+            Sequence(request)
+            for request in tenant_requests(
+                [("a", 0.0), ("a", 5.0), ("b", 1.0), ("c", 2.0)]
+            )
+        ]
+        for sequence in sequences:
+            policy.push(sequence)
+        for time in (0.0, 0.5, 1.0, 2.0, 5.0, 100.0):
+            arrived = [
+                s for s in policy.waiting() if s.request.arrival_time <= time
+            ]
+            assert (policy.select(time) is not None) == bool(arrived)
+
+    def test_token_cost_fairness_interleaves_tenants(self):
+        """A tenant of expensive requests is admitted less often: admission
+        virtual time advances by total_tokens / weight."""
+        cheap = [("a", 0.0)] * 5  # 12 tokens each
+        policy = WFQPolicy()
+        sequences = [
+            Sequence(request)
+            for request in tenant_requests(cheap, prefill=8, decode=4)
+        ] + [
+            Sequence(request)
+            for request in tenant_requests(
+                [("b", 0.0)] * 3, prefill=96, decode=24
+            )
+        ]
+        # Re-id so ids are unique across the two batches (submission order).
+        sequences = [
+            Sequence(
+                Request(
+                    request_id=i,
+                    prefill_length=s.request.prefill_length,
+                    decode_length=s.request.decode_length,
+                    tenant=s.request.tenant,
+                )
+            )
+            for i, s in enumerate(sequences)
+        ]
+        for sequence in sequences:
+            policy.push(sequence)
+        order = []
+        while len(policy):
+            candidate = policy.select(0.0)
+            policy.pop(candidate, 0.0)
+            order.append(candidate.request.tenant)
+        # a admits 12-token requests until its virtual finish catches b's
+        # single 120-token admission: one b early, the rest of a, then b.
+        assert order == ["a", "b", "a", "a", "a", "a", "b", "b"]
+
+    def test_weight_scales_share(self):
+        """Doubling a tenant's weight halves its virtual cost: with weight
+        2.0 the expensive tenant keeps pace with the cheap one."""
+        policy = WFQPolicy()
+        reqs = tenant_requests(
+            [("a", 0.0), ("a", 0.0), ("a", 0.0), ("b", 0.0, 10.0), ("b", 0.0, 10.0)],
+            prefill=8,
+            decode=4,
+        )
+        # b's requests cost 12 / 10 = 1.2 virtual units vs a's 12.
+        for request in reqs:
+            policy.push(Sequence(request))
+        order = []
+        while len(policy):
+            candidate = policy.select(0.0)
+            policy.pop(candidate, 0.0)
+            order.append(candidate.request.tenant)
+        assert order == ["a", "b", "b", "a", "a"]
+
+    def test_eviction_requeues_at_front_of_own_tenant(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=4), policy="wfq")
+        scheduler.submit_all(
+            tenant_requests([("a", 0.0), ("a", 0.0), ("b", 0.0)])
+        )
+        scheduler.fill(time=0.0)
+        victim = scheduler.active[-1]
+        for seq in scheduler.active:
+            seq.advance_tokens(2)
+        scheduler.evict_most_recent()
+        assert victim in scheduler.waiting
+        # The victim leads its own tenant's queue: once admission resumes it
+        # is that tenant's next candidate.
+        scheduler.complete(scheduler.active[0])
+        readmitted = scheduler.fill(time=0.0)
+        assert victim in readmitted
+
+    def test_single_tenant_degenerates_to_fcfs(self):
+        fcfs = InterSequenceScheduler(FakeKVProvider(capacity=3), policy="fcfs")
+        wfq = InterSequenceScheduler(FakeKVProvider(capacity=3), policy="wfq")
+        for scheduler in (fcfs, wfq):
+            scheduler.submit_all(requests(5))
+        assert [s.sequence_id for s in fcfs.fill()] == [
+            s.sequence_id for s in wfq.fill()
+        ]
+
+
+class TestPriorityAgingPolicy:
+    def test_higher_priority_admitted_first(self):
+        scheduler = InterSequenceScheduler(
+            FakeKVProvider(capacity=4), policy="priority"
+        )
+        scheduler.submit_all(
+            tenant_requests([("lo", 0.0, 1.0, 0), ("hi", 0.0, 1.0, 5)])
+        )
+        admitted = scheduler.fill(time=0.0)
+        assert [seq.request.tenant for seq in admitted] == ["hi", "lo"]
+
+    def test_aging_bounds_starvation(self):
+        """A low-priority request overtakes any higher-priority request that
+        arrives more than priority_gap / aging_rate seconds after it."""
+        policy = PriorityAgingPolicy(aging_rate=1.0)
+        lo, hi_early, hi_late = (
+            Sequence(request)
+            for request in tenant_requests(
+                [("lo", 0.0, 1.0, 0), ("hi", 2.0, 1.0, 5), ("hi", 6.0, 1.0, 5)]
+            )
+        )
+        policy.push(lo)
+        policy.push(hi_early)
+        # hi_early arrived only 2 s after lo (< the gap of 5): it wins at any
+        # time, because both age at the same rate afterwards.
+        assert policy.select(10.0) is hi_early
+        policy.pop(hi_early, 10.0)
+        policy.push(hi_late)
+        # hi_late arrived 6 s after lo (> the gap of 5): lo has aged past its
+        # effective priority and is served first -- bounded starvation.
+        assert policy.select(10.0) is lo
+
+    def test_zero_aging_is_strict_priority(self):
+        policy = PriorityAgingPolicy(aging_rate=0.0)
+        lo, hi = (
+            Sequence(request)
+            for request in tenant_requests(
+                [("lo", 0.0, 1.0, 0), ("hi", 1000.0, 1.0, 5)]
+            )
+        )
+        policy.push(lo)
+        policy.push(hi)
+        assert policy.select(2000.0) is hi  # lo starves, however long it waits
+
+    def test_fifo_within_tenant(self):
+        policy = PriorityAgingPolicy(aging_rate=1.0)
+        first, second = (
+            Sequence(request)
+            for request in tenant_requests([("t", 0.0, 1.0, 3), ("t", 0.0, 1.0, 3)])
+        )
+        policy.push(first)
+        policy.push(second)
+        assert policy.select(5.0) is first
+
+
+class TestPolicySchedulerIntegration:
+    """The scheduler invariants hold under every policy."""
+
+    @pytest.mark.parametrize("policy", ["fcfs", "wfq", "priority"])
+    def test_admission_suspension_applies(self, policy):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=3), policy=policy)
+        scheduler.submit_all(requests(4))
+        scheduler.fill()
+        for seq in scheduler.active:
+            seq.advance_tokens(2)
+        scheduler.evict_most_recent()
+        assert scheduler.fill() == []
+        scheduler.complete(scheduler.active[0])
+        assert scheduler.fill() != []
+
+    @pytest.mark.parametrize("policy", ["fcfs", "wfq", "priority"])
+    def test_max_active_cap_applies(self, policy):
+        scheduler = InterSequenceScheduler(
+            FakeKVProvider(capacity=10), max_active_sequences=2, policy=policy
+        )
+        scheduler.submit_all(requests(5))
+        scheduler.fill()
+        assert scheduler.num_active == 2
+
+    @pytest.mark.parametrize("policy", ["fcfs", "wfq", "priority"])
+    def test_rejection_counted_once_per_stint(self, policy):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=1), policy=policy)
+        scheduler.submit_all(requests(3))
+        for epoch in range(5):
+            scheduler.fill(time=float(epoch))
+        assert scheduler.stats.rejected_admissions == 1
+
+    @pytest.mark.parametrize("policy", ["fcfs", "wfq", "priority"])
+    def test_all_submitted_eventually_complete(self, policy):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=2), policy=policy)
+        scheduler.submit_all(
+            tenant_requests(
+                [("a", 0.0, 1.0, 1), ("b", 0.0, 2.0, 0), ("a", 0.0, 1.0, 1),
+                 ("b", 0.0, 2.0, 0), ("a", 0.0, 1.0, 1)]
+            )
+        )
+        completed = 0
+        for _ in range(20):
+            scheduler.fill(time=0.0)
+            for seq in scheduler.active:
+                scheduler.complete(seq)
+                completed += 1
+            if scheduler.all_done:
+                break
+        assert completed == 5 and scheduler.all_done
+
+
+class SelectiveKVProvider(FakeKVProvider):
+    """Rejects admission of requests longer than ``max_prefill`` (a stand-in
+    for 'this request does not fit the remaining KV space')."""
+
+    def __init__(self, capacity: int, max_prefill: int) -> None:
+        super().__init__(capacity)
+        self.max_prefill = max_prefill
+
+    def try_admit(self, sequence: Sequence) -> bool:
+        if sequence.request.prefill_length > self.max_prefill:
+            return False
+        return super().try_admit(sequence)
+
+
+class TestCapacityBlockedCandidates:
+    """A capacity-blocked candidate must not gate other tenants under the
+    tenant-aware policies (it still gates everything under FCFS)."""
+
+    def _two_tenant_scheduler(self, policy):
+        provider = SelectiveKVProvider(capacity=4, max_prefill=50)
+        scheduler = InterSequenceScheduler(provider, policy=policy)
+        # The batch tenant's 200-token head is submitted first and does not
+        # fit; the interactive tenant's 8-token request fits fine.
+        big, small = tenant_requests([("batch", 0.0), ("chat", 0.0)])
+        big = Request(request_id=0, prefill_length=200, decode_length=4,
+                      tenant="batch")
+        scheduler.submit(big)
+        scheduler.submit(small)
+        return scheduler
+
+    def test_fcfs_blocked_head_gates_everything(self):
+        scheduler = self._two_tenant_scheduler("fcfs")
+        assert scheduler.fill(time=0.0) == []
+        assert scheduler.stats.rejected_admissions == 1
+
+    @pytest.mark.parametrize("policy", ["wfq", "priority"])
+    def test_tenant_policies_skip_blocked_head(self, policy):
+        scheduler = self._two_tenant_scheduler(policy)
+        admitted = scheduler.fill(time=0.0)
+        assert [seq.request.tenant for seq in admitted] == ["chat"]
+        # The blocked batch head is still counted rejected (once).
+        assert scheduler.stats.rejected_admissions == 1
+        scheduler.fill(time=0.0)
+        assert scheduler.stats.rejected_admissions == 1  # same stint, no recount
+
+
+class TestNextFutureArrival:
+    def test_fcfs_head_gates_future_arrivals(self):
+        policy = FCFSPolicy()
+        for request in tenant_requests([("a", 5.0), ("a", 1.0)]):
+            policy.push(Sequence(request))
+        assert policy.next_future_arrival(0.0) == 5.0  # head's arrival only
+        assert policy.next_future_arrival(5.0) is None  # head arrived: no gate
+
+    def test_tenant_policies_see_future_heads_past_blocked_ones(self):
+        """An arrived (possibly capacity-blocked) head does not hide another
+        tenant's future arrival: the engines must still split there."""
+        for policy in (WFQPolicy(), PriorityAgingPolicy()):
+            for request in tenant_requests([("a", 0.0), ("b", 3.0)]):
+                policy.push(Sequence(request))
+            assert policy.next_future_arrival(1.0) == 3.0
+            assert policy.next_future_arrival(3.0) is None
+
+    def test_scheduler_delegates(self):
+        scheduler = InterSequenceScheduler(FakeKVProvider(capacity=4), policy="wfq")
+        scheduler.submit_all(tenant_requests([("a", 0.0), ("b", 2.0)]))
+        scheduler.fill(time=0.0)
+        assert scheduler.next_future_arrival(0.0) == 2.0
+
+
+class TestPolicyNameNormalisation:
+    def test_pipeline_config_normalises_case(self):
+        from repro.pipeline.engine import PipelineConfig
+
+        config = PipelineConfig(scheduling_policy="WFQ")
+        assert config.scheduling_policy == "wfq"
+        assert PipelineConfig(scheduling_policy="WFQ") == PipelineConfig(
+            scheduling_policy="wfq"
+        )

@@ -334,3 +334,132 @@ class TestDeploymentSpecTenants:
                 .tenant("chat", "lp128_ld128", 5)
                 .build()
             )
+
+
+# ---------------------------------------------------------------------------
+# Scheduling-policy invariants at the serving level
+# ---------------------------------------------------------------------------
+
+
+POLICY_TENANTS = (
+    TenantSpec(name="chat", workload="lp48_ld16", num_requests=8,
+               arrival_rate_per_s=60.0, weight=2.0, priority=1),
+    TenantSpec(name="batch", workload="lp96_ld32", num_requests=4,
+               arrival_rate_per_s=15.0),
+)
+
+ALL_POLICIES = ("fcfs", "wfq", "priority")
+
+
+class TestPolicyServingInvariants:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_tenant_stats_sum_to_aggregate(self, policy, tiny_arch, small_wafer_config):
+        """The per-tenant accounting contract of PR 4 holds under every
+        admission policy: tenant counts/samples recombine to the aggregate."""
+        engine = build_engine(
+            TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic",
+            scheduling_policy=policy,
+        )
+        slo = SLOTarget(ttft_s=0.05, latency_s=0.5)
+        result = engine.run(
+            generate_multi_tenant_trace(POLICY_TENANTS, seed=1, slo=slo)
+        )
+        completed = engine.scheduler.completed
+        assert len(completed) == sum(t.num_requests for t in POLICY_TENANTS)
+        assert sum(stats.requests for stats in result.tenants.values()) == len(completed)
+        assert sum(s.ttft.count for s in result.tenants.values()) == result.ttft.count
+        assert (
+            sum(s.latency.count for s in result.tenants.values())
+            == result.latency.count
+        )
+        weighted = sum(
+            stats.goodput * stats.requests for stats in result.tenants.values()
+        )
+        assert result.goodput == pytest.approx(
+            weighted / sum(stats.requests for stats in result.tenants.values())
+        )
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_every_request_completes(self, policy, tiny_arch, small_wafer_config):
+        """No policy drops or starves work to completion: the full trace is
+        served (for priority, the aging bound is what guarantees this)."""
+        engine = build_engine(
+            TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic",
+            scheduling_policy=policy,
+        )
+        trace = generate_multi_tenant_trace(POLICY_TENANTS, seed=2)
+        result = engine.run(trace)
+        assert len(engine.scheduler.completed) == len(trace)
+        assert result.output_tokens == trace.total_decode_tokens
+
+    def test_wfq_single_tenant_is_fcfs_bitwise(self, tiny_arch, small_wafer_config):
+        """With one tenant there is nothing to arbitrate: wfq must reproduce
+        fcfs bit for bit (regression anchor for the degenerate case)."""
+        from .test_engine_equivalence import assert_bitwise_equal
+
+        fcfs = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic")
+        wfq = build_engine(
+            TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic",
+            scheduling_policy="wfq",
+        )
+        arrivals = [0.0, 0.002, 0.004, 0.008, 0.016]
+        assert_bitwise_equal(
+            fcfs.run(staggered_trace(arrivals, prefill=400, decode=32)),
+            wfq.run(staggered_trace(arrivals, prefill=400, decode=32)),
+        )
+
+    def test_wfq_is_work_conserving_in_serving(self, tiny_arch, small_wafer_config):
+        """No idle epoch while any tenant has arrived work: every recorded
+        epoch advances tokens, and the clock only jumps across gaps where
+        *nothing* had arrived."""
+        engine = build_engine(
+            TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic",
+            scheduling_policy="wfq",
+        )
+        trace = generate_multi_tenant_trace(POLICY_TENANTS, seed=3)
+        engine.run(trace)
+        assert all(record.tokens > 0 for record in engine.epochs)
+        # Completions never stall past the last arrival plus total service.
+        last_completion = max(s.completion_time for s in engine.scheduler.completed)
+        busy_bound = sum(r.duration_s for r in engine.epochs)
+        last_arrival = max(r.arrival_time for r in trace)
+        assert last_completion <= last_arrival + busy_bound + 1e-9
+
+
+class TestPolicySpec:
+    def test_scheduler_builder_round_trips(self):
+        spec = (
+            deployment("llama-13b")
+            .scheduler("wfq")
+            .tenant("chat", "wikitext2", 20, 4.0, weight=3.0, priority=2)
+            .tenant("batch", "lp2048_ld2048", 10, 1.0)
+            .concurrency(8)
+            .build()
+        )
+        data = spec.to_dict()
+        assert data["config"]["pipeline"]["scheduling_policy"] == "wfq"
+        assert data["tenants"][0]["weight"] == 3.0
+        assert data["tenants"][0]["priority"] == 2
+        assert DeploymentSpec.from_dict(data) == spec
+
+    def test_scheduler_builder_aging_rate(self):
+        spec = (
+            deployment("llama-13b").scheduler("priority", aging_rate=0.5).build()
+        )
+        assert spec.config.pipeline.scheduling_policy == "priority"
+        assert spec.config.pipeline.priority_aging_rate == 0.5
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_policy_rejected_in_builder(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduling policy"):
+            deployment("llama-13b").scheduler("lifo")
+
+    def test_unknown_policy_rejected_in_config(self):
+        from repro.pipeline.engine import PipelineConfig
+
+        with pytest.raises(ConfigurationError, match="unknown scheduling policy"):
+            PipelineConfig(scheduling_policy="lifo")
+
+    def test_default_policy_is_fcfs(self):
+        spec = deployment("llama-13b").build()
+        assert spec.config.pipeline.scheduling_policy == "fcfs"
