@@ -49,6 +49,7 @@ DETERMINISTIC_PREFIXES = (
     "peak_efficiency_gain",
     "open_loop_",
     "slo_",
+    "fault_",
 )
 
 
@@ -119,6 +120,18 @@ def compare(fresh: dict, baseline: dict, wallclock_tolerance: float) -> list[str
     shared = sorted(set(fresh_headline) & set(baseline_headline))
     if not shared:
         failures.append("no shared headline metrics between the reports")
+    # Metrics the fresh run emits that the committed trajectory has never
+    # recorded cannot be gated bitwise — warn instead of silently ignoring
+    # them, so a PR that adds a deterministic metric without committing a new
+    # BENCH_PR<n>.json is visible in the CI log.
+    for key in sorted(set(fresh_headline) - set(baseline_headline)):
+        if is_deterministic(key):
+            print(
+                f"warning: headline.{key} = {fresh_headline[key]!r} is "
+                "deterministic but absent from the committed baseline; "
+                "skipping it (commit a new BENCH_PR<n>.json to start gating "
+                "on it)"
+            )
     for key in shared:
         if not is_deterministic(key):
             continue

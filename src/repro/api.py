@@ -46,6 +46,7 @@ from .baselines.tpu import TPUv4System
 from .core.system import OuroborosSystem
 from .errors import ConfigurationError
 from .models.architectures import MODEL_REGISTRY, ModelArch, generic_llm, get_model
+from .pipeline.checkpoint import EngineCheckpoint
 from .results import RunResult
 from .sim.engine import (
     KVPolicy,
@@ -54,6 +55,7 @@ from .sim.engine import (
     PipelineMode,
     default_system_config,
 )
+from .sim.faults import FaultPlan, make_fault_plan
 from .workload.distributions import get_distribution
 from .workload.generator import (
     TenantSpec,
@@ -339,6 +341,9 @@ class DeploymentSpec:
     tenants: tuple[TenantSpec, ...] = ()
     #: per-request SLO the run's goodput is evaluated against (optional)
     slo: SLOTarget | None = None
+    #: deterministic runtime fault plan injected while serving (Ouroboros
+    #: only; the analytical baselines have no runtime to break)
+    faults: FaultPlan | None = None
     #: grow ``config.num_wafers`` to fit the model's weights (Ouroboros only)
     auto_scale_wafers: bool = True
 
@@ -380,6 +385,15 @@ class DeploymentSpec:
                 "model and ignores request arrival times; an open-loop "
                 "'speedup' would be a load artifact. Drop the arrival rate or "
                 "pick a system that supports open-loop serving."
+            )
+        if self.faults is not None and len(self.faults) and not (
+            entry.system_cls is not None
+            and issubclass(entry.system_cls, OuroborosSystem)
+        ):
+            raise ConfigurationError(
+                f"{entry.display_name} is an analytical comparison model with "
+                "no simulated runtime to inject faults into; fault plans "
+                "require an Ouroboros-family system."
             )
         return self
 
@@ -596,6 +610,46 @@ class DeploymentBuilder:
         self._spec = replace(self._spec, tenants=self._spec.tenants + (tenant,))
         return self
 
+    def faults(self, plan: FaultPlan | str | None) -> "DeploymentBuilder":
+        """Attach a deterministic runtime fault plan (Ouroboros only).
+
+        Accepts a ready :class:`~repro.sim.faults.FaultPlan` or the compact
+        CLI syntax ``kind@time[:target[:duration]],...``::
+
+            deployment("llama-13b").faults("kv_core@0.5,stall@1.0:0:0.25").build()
+        """
+        if isinstance(plan, str):
+            plan = FaultPlan.parse(plan)
+        self._spec = replace(self._spec, faults=plan)
+        return self
+
+    def shedding(
+        self,
+        max_queue_depth: int | None = None,
+        deadline: bool = False,
+        headroom_s: float = 0.0,
+        retries: int = 0,
+        backoff_s: float = 0.0,
+    ) -> "DeploymentBuilder":
+        """Configure graceful overload shedding of the admission queue.
+
+        ``max_queue_depth`` bounds the arrived waiting queue (overflow is
+        shed, with ``retries`` × exponential ``backoff_s`` before the drop
+        becomes permanent); ``deadline`` drops requests whose remaining TTFT
+        budget is below ``headroom_s`` — they could no longer meet their SLO
+        even if admitted immediately.  All off by default (the historical
+        unbounded queue, bit for bit).
+        """
+        pipeline = replace(
+            self._spec.config.pipeline,
+            max_queue_depth=max_queue_depth,
+            shed_deadline=deadline,
+            shed_headroom_s=headroom_s,
+            shed_retries=retries,
+            shed_backoff_s=backoff_s,
+        )
+        return self._config(pipeline=pipeline)
+
     def slo(
         self,
         ttft_s: float | None = None,
@@ -690,7 +744,7 @@ _SYSTEM_CACHE_MAX = 16
 def _system_cache_key(spec: DeploymentSpec) -> str:
     payload = spec.to_dict()
     for workload_field in ("workload", "workload_label", "num_requests", "seed",
-                           "arrival_rate_per_s"):
+                           "arrival_rate_per_s", "faults"):
         payload.pop(workload_field, None)
     return json.dumps(payload, sort_keys=True)
 
@@ -730,17 +784,42 @@ def trace_for(spec: DeploymentSpec) -> Trace:
     return trace
 
 
-def serve(spec: DeploymentSpec) -> RunResult:
+def serve(
+    spec: DeploymentSpec,
+    *,
+    suspend_at_epoch: int | None = None,
+    resume_from: EngineCheckpoint | None = None,
+) -> RunResult | EngineCheckpoint:
     """Serve the deployment described by ``spec`` and return its result.
 
     The one entry point behind the CLI, the experiment drivers, the sweep
     runner and the benchmark harness.  Building is memoised per (model,
     system, config); every serve generates a fresh trace and pipeline, so
     results are deterministic and independent of call order.
+
+    ``spec.faults`` injects runtime faults during the run (Ouroboros only).
+    ``suspend_at_epoch`` returns an :class:`EngineCheckpoint` once that epoch
+    is reached instead of a result; ``resume_from`` continues a suspended run
+    — the combined suspended+resumed run is bitwise identical to an
+    uninterrupted ``serve(spec)``.
     """
     spec.validate()
     system = build_deployment(spec)
-    result = system.serve(trace_for(spec), workload_name=spec.label())
+    kwargs: dict = {}
+    if spec.faults is not None and len(spec.faults):
+        kwargs["fault_plan"] = spec.faults
+    if suspend_at_epoch is not None:
+        kwargs["suspend_at_epoch"] = suspend_at_epoch
+    if resume_from is not None:
+        kwargs["resume_from"] = resume_from
+    if kwargs and not isinstance(system, OuroborosSystem):
+        raise ConfigurationError(
+            f"{get_system(spec.system).display_name} does not support fault "
+            "injection or checkpoint/resume; use an Ouroboros-family system."
+        )
+    result = system.serve(trace_for(spec), workload_name=spec.label(), **kwargs)
+    if isinstance(result, EngineCheckpoint):
+        return result
     result.system = get_system(spec.system).display_name
     return result
 
@@ -757,6 +836,9 @@ __all__ = [
     "deployment",
     "TenantSpec",
     "SLOTarget",
+    "FaultPlan",
+    "make_fault_plan",
+    "EngineCheckpoint",
     "POLICY_NAMES",
     "PRESETS",
     "preset",

@@ -38,18 +38,24 @@ Examples::
     python -m repro experiment fig22 --requests 100
     python -m repro experiment fig23 --requests 100
     python -m repro experiment fig24 --requests 100
-    python -m repro bench --output BENCH_PR5.json
+    python -m repro experiment fig25 --requests 100
+    python -m repro serve llama-13b --fault-plan kv_core@0.5,stall@1.0:0:0.25
+    python -m repro serve llama-13b --suspend-epoch 50 --checkpoint ckpt.json
+    python -m repro serve llama-13b --resume ckpt.json
+    python -m repro bench --output BENCH_PR6.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 from dataclasses import replace
+from pathlib import Path
 
 from . import api
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ReproError
 from .experiments import ALL_EXPERIMENTS, ExperimentSettings
 from .experiments.common import (
     OUROBOROS_NAME,
@@ -95,6 +101,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scheduler admission-order policy")
     serve.add_argument("--baselines", action="store_true",
                        help="also run the DGX/TPU/AttAcc/Cerebras baselines")
+    serve.add_argument("--fault-plan", default=None, metavar="PLAN",
+                       help="inject runtime faults: 'kind@time[:target[:dur]],...' "
+                            "(kinds: kv_core, weight_core, kv_block, stall) or "
+                            "@file.json with a saved plan")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       help="bound the admission queue; overflow is shed")
+    serve.add_argument("--shed-deadline", action="store_true",
+                       help="drop waiting requests whose TTFT SLO is unmeetable")
+    serve.add_argument("--shed-headroom", type=float, default=0.0,
+                       help="service-time slack (s) for deadline shedding")
+    serve.add_argument("--shed-retries", type=int, default=0,
+                       help="retries with backoff before a depth shed is permanent")
+    serve.add_argument("--shed-backoff", type=float, default=0.0,
+                       help="base retry backoff (s); doubles per further shed")
+    serve.add_argument("--suspend-epoch", type=int, default=None, metavar="N",
+                       help="suspend at epoch N and write a checkpoint "
+                            "instead of finishing the run")
+    serve.add_argument("--checkpoint", default="checkpoint.json", metavar="PATH",
+                       help="path the suspended checkpoint is written to "
+                            "(with --suspend-epoch)")
+    serve.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume a run from a checkpoint written by "
+                            "--suspend-epoch (the spec stored in the file "
+                            "is used; the run finishes bit-for-bit equal to "
+                            "an uninterrupted one)")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -113,8 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR5.json",
-                       help="path of the JSON report (default: BENCH_PR5.json)")
+    bench.add_argument("--output", default="BENCH_PR6.json",
+                       help="path of the JSON report (default: BENCH_PR6.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -153,7 +184,88 @@ def _print_result_row(name: str, result, reference=None) -> None:
     )
 
 
+def _parse_fault_plan(text: str) -> api.FaultPlan:
+    """Parse ``--fault-plan``: compact event syntax, or ``@file.json``."""
+    if text.startswith("@"):
+        path = Path(text[1:])
+        if not path.exists():
+            raise ConfigurationError(f"fault-plan file '{path}' does not exist")
+        return api.FaultPlan.from_dict(json.loads(path.read_text()))
+    return api.FaultPlan.parse(text)
+
+
+def _apply_serve_overrides(spec, args: argparse.Namespace):
+    """Fold the fault/shedding flags into a serve spec."""
+    if args.fault_plan:
+        spec = replace(spec, faults=_parse_fault_plan(args.fault_plan))
+    shedding = (
+        args.max_queue_depth is not None
+        or args.shed_deadline
+        or args.shed_retries
+        or args.shed_backoff
+        or args.shed_headroom
+    )
+    if shedding:
+        pipeline = replace(
+            spec.config.pipeline,
+            max_queue_depth=args.max_queue_depth,
+            shed_deadline=args.shed_deadline,
+            shed_headroom_s=args.shed_headroom,
+            shed_retries=args.shed_retries,
+            shed_backoff_s=args.shed_backoff,
+        )
+        spec = replace(spec, config=replace(spec.config, pipeline=pipeline))
+    return spec
+
+
+def _resume_serve(args: argparse.Namespace) -> int:
+    """Finish a run suspended by ``--suspend-epoch``."""
+    path = Path(args.resume)
+    if not path.exists():
+        raise ConfigurationError(f"checkpoint file '{path}' does not exist")
+    data = json.loads(path.read_text())
+    spec = api.DeploymentSpec.from_dict(data["spec"])
+    if spec.model != args.model:
+        raise ConfigurationError(
+            f"checkpoint '{path}' was taken serving {spec.model}, not "
+            f"{args.model}; pass the matching model"
+        )
+    checkpoint = api.EngineCheckpoint.from_dict(data["checkpoint"])
+    result = api.serve(spec, resume_from=checkpoint)
+    print(f"Resumed {spec.model} from '{path}' "
+          f"(epoch {checkpoint.next_epoch_index})")
+    _print_result_row(result.system, result)
+    _print_robustness(result)
+    return 0
+
+
+def _print_robustness(result) -> None:
+    """One line each for shed/fault accounting, when the run had any."""
+    if result.shed_requests:
+        print(f"  shed requests: {result.shed_requests}")
+    if result.faults is not None:
+        stats = result.faults
+        print(
+            f"  faults injected: {stats.injected} "
+            f"(recovered {stats.recovered_sequences} seqs, "
+            f"{stats.recompute_tokens} recompute tokens, "
+            f"{stats.recovery_latency_s * 1e3:.3f} ms recovery, "
+            f"{stats.stall_time_s * 1e3:.3f} ms stalled)"
+        )
+
+
 def _serve(args: argparse.Namespace) -> int:
+    robustness_flags = (
+        args.fault_plan or args.suspend_epoch is not None or args.resume
+    )
+    if args.baselines and robustness_flags:
+        raise ConfigurationError(
+            "--baselines cannot combine with --fault-plan/--suspend-epoch/"
+            "--resume: the analytical baselines have no runtime to fault or "
+            "checkpoint"
+        )
+    if args.resume:
+        return _resume_serve(args)
     settings = ExperimentSettings(
         num_requests=args.requests,
         seed=args.seed,
@@ -166,11 +278,29 @@ def _serve(args: argparse.Namespace) -> int:
             specs = cell_deployments(args.model, args.workload, settings)
         else:
             specs = [settings.deployment(args.model, args.workload, system=args.system)]
+        specs = [_apply_serve_overrides(spec, args) for spec in specs]
         for spec in specs:
             spec.validate()
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.suspend_epoch is not None:
+        outcome = api.serve(specs[0], suspend_at_epoch=args.suspend_epoch)
+        if isinstance(outcome, api.EngineCheckpoint):
+            payload = {"spec": specs[0].to_dict(), "checkpoint": outcome.as_dict()}
+            Path(args.checkpoint).write_text(json.dumps(payload))
+            print(
+                f"Suspended at epoch {outcome.next_epoch_index} "
+                f"(t={outcome.time_s * 1e3:.3f} ms); checkpoint written to "
+                f"'{args.checkpoint}'. Resume with: repro serve "
+                f"{args.model} --resume {args.checkpoint}"
+            )
+            return 0
+        # The trace drained before the suspend epoch: report normally.
+        print(f"Run finished before epoch {args.suspend_epoch}; no checkpoint written")
+        _print_result_row(outcome.system, outcome)
+        _print_robustness(outcome)
+        return 0
     arch = api.resolve_model(args.model)
     mode = (
         f"open-loop at {args.arrival_rate:g} req/s" if args.arrival_rate > 0 else "batch"
@@ -201,6 +331,7 @@ def _serve(args: argparse.Namespace) -> int:
             k: f"{v:.1%}" for k, v in result.energy.fractions().items()
         })
         print(f"  utilization: {result.utilization:.1%}  evictions: {result.evictions}")
+        _print_robustness(result)
         if args.arrival_rate > 0:
             print(
                 f"  TTFT p50/p95: {result.ttft.p50_s * 1e3:.1f}/"
@@ -249,14 +380,21 @@ def _bench(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "summary":
-        return _print_summary(args)
-    if args.command == "serve":
-        return _serve(args)
-    if args.command == "experiment":
-        return _experiment(args)
-    if args.command == "bench":
-        return _bench(args)
+    try:
+        if args.command == "summary":
+            return _print_summary(args)
+        if args.command == "serve":
+            return _serve(args)
+        if args.command == "experiment":
+            return _experiment(args)
+        if args.command == "bench":
+            return _bench(args)
+    except ReproError as error:
+        # Library errors are user-facing configuration/usage problems: report
+        # them as one clean line on stderr, not a traceback (exit code 2,
+        # matching argparse's own usage-error convention).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

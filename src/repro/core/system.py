@@ -74,9 +74,28 @@ class OuroborosSystem:
 
     # ---------------------------------------------------------------- serving
 
-    def serve(self, trace: Trace, workload_name: str | None = None) -> RunResult:
-        """Serve a request trace and return throughput / energy results."""
-        return self.built.serve(trace, workload_name)
+    def serve(
+        self,
+        trace: Trace,
+        workload_name: str | None = None,
+        *,
+        fault_plan=None,
+        suspend_at_epoch: int | None = None,
+        resume_from=None,
+    ) -> RunResult:
+        """Serve a request trace and return throughput / energy results.
+
+        ``fault_plan`` injects runtime faults; ``suspend_at_epoch`` /
+        ``resume_from`` checkpoint and resume the run (see
+        :meth:`repro.sim.engine.BuiltOuroboros.serve`).
+        """
+        return self.built.serve(
+            trace,
+            workload_name,
+            fault_plan=fault_plan,
+            suspend_at_epoch=suspend_at_epoch,
+            resume_from=resume_from,
+        )
 
     def serve_workload(
         self, workload: str, num_requests: int = 1000, seed: int = 0

@@ -16,6 +16,7 @@ fig21            Table 2 / Fig. 21 -- CIM-core circuit designs
 fig22            (beyond the paper) open-loop arrival-rate sweep
 fig23            (beyond the paper) multi-tenant SLO goodput vs. load
 fig24            (beyond the paper) scheduling-policy comparison (fcfs/wfq/priority)
+fig25            (beyond the paper) fault recovery + overload shedding vs. load
 headline         abstract -- average/peak speedup and efficiency
 ===============  =====================================================
 
@@ -37,6 +38,7 @@ from . import (
     fig22_arrival_sweep,
     fig23_slo_goodput,
     fig24_policy_comparison,
+    fig25_fault_recovery,
     headline,
 )
 from .common import (
@@ -69,6 +71,7 @@ ALL_EXPERIMENTS = {
     "fig22": fig22_arrival_sweep,
     "fig23": fig23_slo_goodput,
     "fig24": fig24_policy_comparison,
+    "fig25": fig25_fault_recovery,
     "headline": headline,
 }
 
@@ -100,5 +103,6 @@ __all__ = [
     "fig22_arrival_sweep",
     "fig23_slo_goodput",
     "fig24_policy_comparison",
+    "fig25_fault_recovery",
     "headline",
 ]

@@ -22,6 +22,7 @@ from ..models.architectures import ModelArch, get_model
 from ..pipeline.engine import PipelineConfig
 from ..results import RunResult
 from ..sim.engine import OuroborosSystemConfig
+from ..sim.faults import FaultPlan
 from ..workload.generator import TenantSpec, Trace, generate_trace
 from ..workload.requests import SLOTarget
 
@@ -73,6 +74,19 @@ class ExperimentSettings:
     scheduling_policy: str = "fcfs"
     #: priority units gained per second of waiting (priority policy only)
     priority_aging_rate: float = 1.0
+    #: deterministic runtime fault plan injected while serving (None = no
+    #: faults; Ouroboros only)
+    faults: FaultPlan | None = None
+    #: admission-queue bound for overload shedding (None = unbounded)
+    max_queue_depth: int | None = None
+    #: shed waiting requests whose TTFT deadline can no longer be met
+    shed_deadline: bool = False
+    #: service-time slack reserved by deadline shedding (see PipelineConfig)
+    shed_headroom_s: float = 0.0
+    #: retry-with-backoff budget before a shed becomes permanent
+    shed_retries: int = 0
+    #: base backoff delay for shed retries (doubles per retry)
+    shed_backoff_s: float = 0.0
 
     def pipeline_config(self) -> PipelineConfig:
         return PipelineConfig(
@@ -80,6 +94,11 @@ class ExperimentSettings:
             max_active_sequences=self.max_active_sequences,
             scheduling_policy=self.scheduling_policy,
             priority_aging_rate=self.priority_aging_rate,
+            max_queue_depth=self.max_queue_depth,
+            shed_deadline=self.shed_deadline,
+            shed_headroom_s=self.shed_headroom_s,
+            shed_retries=self.shed_retries,
+            shed_backoff_s=self.shed_backoff_s,
         )
 
     def system_config(self, **overrides) -> OuroborosSystemConfig:
@@ -118,6 +137,7 @@ class ExperimentSettings:
             arrival_rate_per_s=self.arrival_rate_per_s,
             tenants=self.tenants,
             slo=self.slo,
+            faults=self.faults,
         )
 
 

@@ -428,6 +428,73 @@ class DistributedKVCacheManager:
     def failed_cores(self) -> set[int]:
         return set(self._failed_cores)
 
+    def sequences_on_core(self, core_id: int) -> list[int]:
+        """Ids of resident sequences with at least one slot on ``core_id``.
+
+        The blast radius of a transient block loss on one core: unlike
+        :meth:`fail_core` the core stays healthy, but the listed sequences'
+        cached context is gone and must be recomputed.
+        """
+        if core_id not in self._core_index:
+            raise KVCacheError(f"core {core_id} is not a KV core")
+        local = self._core_index[core_id]
+        return [
+            allocation.sequence_id
+            for allocation in self._allocations.values()
+            if bool((allocation.unique_cores == local).any())
+        ]
+
+    # -------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """JSON-able occupancy state for a bit-for-bit checkpoint.
+
+        Derived vectorised state (group arrays/matrices, running caches) is
+        rebuilt by ``__init__`` deterministically from the configuration and
+        is deliberately not part of the snapshot.
+        """
+        return {
+            "free_blocks": self._free_blocks.tolist(),
+            "allocations": [
+                [
+                    allocation.sequence_id,
+                    {
+                        "cores": allocation.unique_cores.tolist(),
+                        "counts": allocation.unique_counts.tolist(),
+                        "blocks_per_slot": allocation.blocks_per_slot,
+                        "tokens": allocation.tokens,
+                    },
+                ]
+                for allocation in self._allocations.values()
+            ],
+            "ring_pointers": list(self._ring_pointers),
+            "page_tables": [table.snapshot_state() for table in self.page_tables],
+            "failed_cores": sorted(self._failed_cores),
+            "free_total": self._free_total,
+            "free_on_failed": self._free_on_failed,
+            "stats": dict(self.stats.__dict__),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._free_blocks = np.asarray(state["free_blocks"], dtype=np.int64)
+        self._allocations = {
+            sequence_id: _SequenceAllocation(
+                sequence_id=sequence_id,
+                unique_cores=np.asarray(data["cores"], dtype=np.int64),
+                unique_counts=np.asarray(data["counts"], dtype=np.int64),
+                blocks_per_slot=data["blocks_per_slot"],
+                tokens=data["tokens"],
+            )
+            for sequence_id, data in state["allocations"]
+        }
+        self._ring_pointers = list(state["ring_pointers"])
+        for table, table_state in zip(self.page_tables, state["page_tables"]):
+            table.restore_state(table_state)
+        self._failed_cores = set(state["failed_cores"])
+        self._free_total = state["free_total"]
+        self._free_on_failed = state["free_on_failed"]
+        self.stats = KVCacheStats(**state["stats"])
+
     # ------------------------------------------------------------------ private
 
     def _update_peak(self) -> None:

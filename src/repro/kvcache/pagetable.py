@@ -90,5 +90,18 @@ class PageTable:
     def resident_sequences(self) -> list[int]:
         return sorted(self._entries)
 
+    def snapshot_state(self) -> list:
+        """JSON-able entry list, preserving insertion order."""
+        return [
+            [sequence_id, list(k_cores), list(v_cores)]
+            for sequence_id, (k_cores, v_cores) in self._entries.items()
+        ]
+
+    def restore_state(self, state: list) -> None:
+        self._entries = {
+            sequence_id: (tuple(k_cores), tuple(v_cores))
+            for sequence_id, k_cores, v_cores in state
+        }
+
     def __len__(self) -> int:
         return len(self._entries)

@@ -129,3 +129,18 @@ class StaticKVCacheManager:
             return
         self._free_blocks += reserved
         self.stats.released_sequences += 1
+
+    # -------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """JSON-able occupancy state for a bit-for-bit checkpoint."""
+        return {
+            "resident": [list(item) for item in self._resident.items()],
+            "free_blocks": self._free_blocks,
+            "stats": dict(self.stats.__dict__),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._resident = {seq_id: blocks for seq_id, blocks in state["resident"]}
+        self._free_blocks = state["free_blocks"]
+        self.stats = StaticKVCacheStats(**state["stats"])

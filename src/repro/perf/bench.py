@@ -5,9 +5,11 @@ stage -- system build (mapping + KV setup) per model, trace serving per
 workload (closed batch plus one open-loop arrival-driven run at the measured
 saturation rate), a multi-tenant SLO-goodput serve (the fig23 shape: two
 tenants, sub-epoch admission, per-tenant goodput accounting) under both the
-FCFS and WFQ scheduling policies, the full headline comparison grid, and a
-mapping-annealer microbenchmark -- and writes the measurements to a JSON file
-(``BENCH_PR5.json`` by default).  Future PRs append their own reports, so the
+FCFS and WFQ scheduling policies, a fault-recovery serve (the fig25 shape:
+overloaded arrivals under a deterministic fault plan, with and without
+overload shedding), the full headline comparison grid, and a mapping-annealer
+microbenchmark -- and writes the measurements to a JSON file
+(``BENCH_PR6.json`` by default).  Future PRs append their own reports, so the
 repository carries its performance trajectory alongside the code;
 ``scripts/check_bench_regression.py`` gates CI on the deterministic headline
 metrics staying bit-for-bit on trajectory.
@@ -193,6 +195,67 @@ def run_bench(
     report.headline["slo_wfq_interactive_ttft_p95_s"] = (
         wfq_result.tenants["interactive"].ttft.p95_s
     )
+
+    # Stage 2e: fault-tolerant serving under overload -- the fig25 shape.  The
+    # stage-2c tenant mix is offered at 4x the measured saturation rate while
+    # a deterministic fault plan fails cores, destroys KV blocks and stalls
+    # admission; the trace is served twice, without shedding and with
+    # deadline-aware early rejection, so the report carries both sides of the
+    # graceful-degradation comparison.
+    from ..sim.faults import make_fault_plan
+
+    fault_slo = slo_settings.slo
+    overload = 4.0
+    fault_settings = replace(
+        slo_settings,
+        tenants=tuple(
+            replace(
+                tenant,
+                arrival_rate_per_s=overload * rate * (tenant.num_requests / total),
+            )
+            for tenant in tenants
+        ),
+    )
+    horizon_s = total / (overload * rate)
+    fault_plan = make_fault_plan(
+        4.0 / horizon_s,
+        horizon_s,
+        kinds=("kv_block", "stall", "kv_core", "weight_core"),
+        stall_duration_s=0.5 * fault_slo.ttft_s,
+    )
+    trace = api.trace_for(fault_settings.deployment(models[0], workload))
+    start = time.perf_counter()
+    no_shed_result = system.serve(
+        trace, workload_name="fault-recovery", fault_plan=fault_plan
+    )
+    report.timings_s[f"serve_faults.{models[0]}"] = time.perf_counter() - start
+
+    shed_settings = replace(
+        fault_settings,
+        shed_deadline=True,
+        shed_headroom_s=0.4 * fault_slo.ttft_s,
+    )
+    shed_system = api.build_deployment(
+        shed_settings.deployment(models[0], workload), cache=False
+    )
+    shed_system.built
+    trace = api.trace_for(shed_settings.deployment(models[0], workload))
+    start = time.perf_counter()
+    shed_result = shed_system.serve(
+        trace, workload_name="fault-recovery-shed", fault_plan=fault_plan
+    )
+    report.timings_s[f"serve_faults_shed.{models[0]}"] = time.perf_counter() - start
+    fault_stats = shed_result.faults
+    report.headline["fault_goodput_no_shed"] = float(no_shed_result.goodput or 0.0)
+    report.headline["fault_goodput_shed"] = float(shed_result.goodput or 0.0)
+    report.headline["fault_ttft_p95_no_shed_s"] = no_shed_result.ttft.p95_s
+    report.headline["fault_ttft_p95_shed_s"] = shed_result.ttft.p95_s
+    report.headline["fault_shed_requests"] = float(shed_result.shed_requests)
+    report.headline["fault_injected"] = float(fault_stats.injected)
+    report.headline["fault_recovered_sequences"] = float(
+        fault_stats.recovered_sequences
+    )
+    report.headline["fault_recompute_tokens"] = float(fault_stats.recompute_tokens)
 
     # Stage 3: the full headline grid (models x workloads x all systems).
     start = time.perf_counter()

@@ -43,8 +43,11 @@ from ..results import RunResult
 #:     grew per-tenant stats + SLO goodput;
 #:  5: pluggable scheduling policies — PipelineConfig grew
 #:     scheduling_policy/priority_aging_rate, TenantSpec grew
-#:     weight/priority, and admission order is policy-defined)
-_CACHE_SCHEMA = "5"
+#:     weight/priority, and admission order is policy-defined;
+#:  6: fault-tolerant serving — DeploymentSpec grew a fault plan,
+#:     PipelineConfig grew overload-shedding knobs, and RunResult grew
+#:     fault/shed accounting)
+_CACHE_SCHEMA = "6"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,79 @@
+"""Versioned engine checkpoints: suspend a serving run, resume it bit for bit.
+
+A checkpoint captures the *complete* mutable state of a pipeline engine at an
+epoch boundary: the epoch clock and accumulators, every sequence's progress
+and timestamps, the scheduler (active/completed order, policy queues including
+WFQ virtual time, shed/stall bookkeeping) and the KV-cache occupancy (free
+blocks, allocations, ring pointers, page tables).  Restoring it into a freshly
+built engine and finishing the run produces a :class:`~repro.results.RunResult`
+bitwise-identical to the uninterrupted run — the equivalence suite asserts
+exactly that across every engine path, KV policy and scheduling policy.
+
+Nothing derived is stored: cost-model memo caches are pure functions of the
+configuration, and the trace is regenerated from its spec (trace generation
+consumes its RNG entirely before the run starts, so there is no live RNG
+state to capture).  The snapshot is plain JSON; floats survive the round trip
+exactly because ``json`` serialises them via ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+#: bump when the snapshot layout changes incompatibly
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class EngineCheckpoint:
+    """Full engine state at the boundary of ``next_epoch_index``.
+
+    Produced by ``PipelineEngine.run(..., suspend_at_epoch=N)`` and consumed
+    by ``run(..., resume_from=checkpoint)``; ``save``/``load`` move it through
+    a JSON file for the CLI's suspend/resume round trip.
+    """
+
+    #: epoch index the resumed run executes first
+    next_epoch_index: int
+    time_s: float
+    #: the four EnergyBreakdown component fields (no derived total)
+    energy: dict
+    processed_tokens: int
+    utilization_time: float
+    stalled_epochs: int
+    split_epochs: int
+    #: closed EpochRecord rows (dicts of the dataclass fields)
+    epochs: list
+    #: ``[request_id, {mutable sequence fields}]`` pairs, sorted by id
+    sequences: list
+    #: scheduler snapshot incl. policy queues / virtual time / shed state
+    scheduler: dict
+    #: KV-cache manager occupancy snapshot
+    kv: dict
+    #: fault-injector cursor + counters (None = run has no fault plan)
+    faults: dict | None = None
+    version: int = CHECKPOINT_VERSION
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineCheckpoint":
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return cls(**data)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.as_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EngineCheckpoint":
+        return cls.from_dict(json.loads(Path(path).read_text()))

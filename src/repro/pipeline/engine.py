@@ -57,18 +57,19 @@ Two implementations of the epoch loop exist:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import ConfigurationError, SimulationError
 from ..models.architectures import ModelArch
 from ..models.pipeline_stages import pipeline_depth
-from ..results import EnergyBreakdown, LatencyStats, RunResult, TenantStats
+from ..results import EnergyBreakdown, FaultStats, LatencyStats, RunResult, TenantStats
 from ..workload.generator import Trace
 from ..workload.policies import SchedulingPolicy, make_policy, validate_policy_name
 from ..workload.requests import Sequence, SequencePhase
 from ..workload.scheduler import InterSequenceScheduler, KVCapacityProvider
+from .checkpoint import EngineCheckpoint
 from .stages import TokenCostModel
 
 #: epochs without forward progress tolerated before declaring a livelock
@@ -98,6 +99,22 @@ class PipelineConfig:
     #: priority units a waiting request gains per second (the ``priority``
     #: policy's starvation bound: a gap of d levels closes in d/rate seconds)
     priority_aging_rate: float = 1.0
+    #: bounded admission queue: arrived waiting requests beyond this depth
+    #: are shed (None = unbounded, overload shedding off — the historical
+    #: behaviour, bit for bit)
+    max_queue_depth: int | None = None
+    #: drop waiting requests whose TTFT SLO is already unmeetable given how
+    #: long they have queued (needs a trace with per-tenant or trace SLOs)
+    shed_deadline: bool = False
+    #: service-time slack reserved by deadline shedding: a request is dropped
+    #: once its remaining TTFT budget falls below this headroom, i.e. it
+    #: could no longer meet the deadline even if admitted immediately.  0.0
+    #: sheds only requests already past the deadline.
+    shed_headroom_s: float = 0.0
+    #: times a depth-shed request retries with backoff before a permanent drop
+    shed_retries: int = 0
+    #: base retry backoff in seconds; doubles on every further shed
+    shed_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         # Normalise as well as validate: "WFQ" and "wfq" must produce one
@@ -169,7 +186,16 @@ class PipelineEngine:
             kv_manager,
             max_active_sequences=self.config.max_active_sequences,
             policy=self.config.make_scheduling_policy(),
+            max_queue_depth=self.config.max_queue_depth,
+            shed_deadline=self.config.shed_deadline,
+            shed_headroom_s=self.config.shed_headroom_s,
+            shed_retries=self.config.shed_retries,
+            shed_backoff_s=self.config.shed_backoff_s,
         )
+        #: optional weight-core recovery hook wired by the system builder:
+        #: ``hook(target: int) -> RemappingResult | None``; consumed by the
+        #: fault injector for ``weight_core`` events
+        self.fault_recovery = None
         self.depth = pipeline_depth(arch)
         self.epochs: list[EpochRecord] = []
         self._split_epochs = 0
@@ -225,26 +251,48 @@ class PipelineEngine:
 
     # ------------------------------------------------------------------ running
 
-    def run(self, trace: Trace, workload_name: str | None = None) -> RunResult:
+    def run(
+        self,
+        trace: Trace,
+        workload_name: str | None = None,
+        *,
+        fault_plan=None,
+        suspend_at_epoch: int | None = None,
+        resume_from: EngineCheckpoint | None = None,
+    ) -> RunResult | EngineCheckpoint:
         """Serve ``trace`` to completion and return aggregate results.
 
         This is the array-based fast path; see the module docstring.  The
         retained reference implementation is :meth:`run_scalar`.
+
+        ``fault_plan`` deterministically injects faults at epoch boundaries.
+        ``suspend_at_epoch=N`` returns an :class:`EngineCheckpoint` instead of
+        running epoch N (or a normal :class:`RunResult` when the trace drains
+        first); ``resume_from`` restores such a checkpoint into this freshly
+        built engine and continues — the combined run is bitwise identical to
+        an uninterrupted one.
         """
         scheduler = self.scheduler
-        scheduler.submit_all(list(trace.requests))
-        self.epochs = []
-        self._split_epochs = 0
-        time_s = 0.0
-        energy = EnergyBreakdown()
-        processed_tokens = 0
-        utilization_time = 0.0
-        stalled_epochs = 0
+        injector, state = self._prepare_run(trace, fault_plan, resume_from)
+        start_epoch, time_s, energy, processed_tokens, utilization_time, stalled_epochs = state
 
-        for epoch_index in range(self.config.max_epochs):
+        for epoch_index in range(start_epoch, self.config.max_epochs):
+            if suspend_at_epoch is not None and epoch_index >= suspend_at_epoch:
+                return self._capture_checkpoint(
+                    epoch_index, time_s, energy, processed_tokens,
+                    utilization_time, stalled_epochs, injector,
+                )
             if scheduler.all_done:
                 break
             active, time_s = self._admit_or_skip_idle(time_s)
+            if injector is not None:
+                applied, delay = injector.poll(time_s)
+                if applied:
+                    # Recovery consumed wall-clock, and the fault may have
+                    # re-queued (even all of) the active set; re-admit so the
+                    # epoch below runs against the post-fault state.
+                    time_s += delay
+                    active, time_s = self._admit_or_skip_idle(time_s)
             if not active:
                 break
 
@@ -339,30 +387,49 @@ class PipelineEngine:
         else:
             raise SimulationError("epoch limit reached before the trace completed")
 
-        return self._finish(trace, workload_name, time_s, energy, processed_tokens, utilization_time)
+        return self._finish(
+            trace, workload_name, time_s, energy, processed_tokens,
+            utilization_time, injector.stats if injector is not None else None,
+        )
 
-    def run_scalar(self, trace: Trace, workload_name: str | None = None) -> RunResult:
+    def run_scalar(
+        self,
+        trace: Trace,
+        workload_name: str | None = None,
+        *,
+        fault_plan=None,
+        suspend_at_epoch: int | None = None,
+        resume_from: EngineCheckpoint | None = None,
+    ) -> RunResult | EngineCheckpoint:
         """Retained scalar reference: advance one sequence at a time.
 
         Kept as the validation oracle for the array-based :meth:`run`; both
         paths share the epoch-closing arithmetic, so their results must match
         bit for bit.  Prefer :meth:`run` everywhere else -- this loop is an
-        order of magnitude slower on large traces.
+        order of magnitude slower on large traces.  Fault injection and
+        suspend/resume behave exactly as on :meth:`run`.
         """
         scheduler = self.scheduler
-        scheduler.submit_all(list(trace.requests))
-        self.epochs = []
-        self._split_epochs = 0
-        time_s = 0.0
-        energy = EnergyBreakdown()
-        processed_tokens = 0
-        utilization_time = 0.0
-        stalled_epochs = 0
+        injector, state = self._prepare_run(trace, fault_plan, resume_from)
+        start_epoch, time_s, energy, processed_tokens, utilization_time, stalled_epochs = state
 
-        for epoch_index in range(self.config.max_epochs):
+        for epoch_index in range(start_epoch, self.config.max_epochs):
+            if suspend_at_epoch is not None and epoch_index >= suspend_at_epoch:
+                return self._capture_checkpoint(
+                    epoch_index, time_s, energy, processed_tokens,
+                    utilization_time, stalled_epochs, injector,
+                )
             if scheduler.all_done:
                 break
             active, time_s = self._admit_or_skip_idle(time_s)
+            if injector is not None:
+                applied, delay = injector.poll(time_s)
+                if applied:
+                    # Recovery consumed wall-clock, and the fault may have
+                    # re-queued (even all of) the active set; re-admit so the
+                    # epoch below runs against the post-fault state.
+                    time_s += delay
+                    active, time_s = self._admit_or_skip_idle(time_s)
             if not active:
                 break
 
@@ -445,7 +512,128 @@ class PipelineEngine:
         else:
             raise SimulationError("epoch limit reached before the trace completed")
 
-        return self._finish(trace, workload_name, time_s, energy, processed_tokens, utilization_time)
+        return self._finish(
+            trace, workload_name, time_s, energy, processed_tokens,
+            utilization_time, injector.stats if injector is not None else None,
+        )
+
+    # ----------------------------------------------------------- run lifecycle
+
+    def _prepare_run(self, trace: Trace, fault_plan, resume_from):
+        """Shared run prologue: submit or restore, build the fault injector.
+
+        Returns ``(injector, (start_epoch, time_s, energy, processed_tokens,
+        utilization_time, stalled_epochs))``.
+        """
+        scheduler = self.scheduler
+        # Deadline-aware shedding judges waiting requests against their
+        # tenant's SLO; harmless otherwise (only consulted when enabled).
+        scheduler.slo_lookup = trace.slo_for
+        injector = None
+        if fault_plan is not None and len(fault_plan):
+            from ..sim.faults import FaultInjector  # runtime-only: no cycle
+
+            injector = FaultInjector(plan=fault_plan, engine=self)
+        if resume_from is not None:
+            return injector, self._restore_checkpoint(trace, resume_from, injector)
+        scheduler.submit_all(list(trace.requests))
+        self.epochs = []
+        self._split_epochs = 0
+        return injector, (0, 0.0, EnergyBreakdown(), 0, 0.0, 0)
+
+    def _capture_checkpoint(
+        self,
+        next_epoch_index: int,
+        time_s: float,
+        energy: EnergyBreakdown,
+        processed_tokens: int,
+        utilization_time: float,
+        stalled_epochs: int,
+        injector,
+    ) -> EngineCheckpoint:
+        """Snapshot the complete engine state at an epoch boundary."""
+        scheduler = self.scheduler
+        sequences: dict[int, dict] = {}
+        for sequence in (
+            scheduler.waiting
+            + scheduler.active
+            + scheduler.completed
+            + scheduler.shed
+        ):
+            sequences[sequence.sequence_id] = {
+                "phase": sequence.phase.value,
+                "prefill_progress": sequence.prefill_progress,
+                "decode_progress": sequence.decode_progress,
+                "eviction_count": sequence.eviction_count,
+                "recomputed_tokens": sequence.recomputed_tokens,
+                "extra_prefill": sequence.extra_prefill,
+                "decode_offset": sequence.decode_offset,
+                "admission_time": sequence.admission_time,
+                "first_token_time": sequence.first_token_time,
+                "completion_time": sequence.completion_time,
+                "retry_at": sequence.retry_at,
+                "retries": sequence.retries,
+                "metadata": dict(sequence.metadata),
+            }
+        return EngineCheckpoint(
+            next_epoch_index=next_epoch_index,
+            time_s=time_s,
+            energy=asdict(energy),
+            processed_tokens=processed_tokens,
+            utilization_time=utilization_time,
+            stalled_epochs=stalled_epochs,
+            split_epochs=self._split_epochs,
+            epochs=[asdict(record) for record in self.epochs],
+            sequences=[[seq_id, sequences[seq_id]] for seq_id in sorted(sequences)],
+            scheduler=scheduler.snapshot_state(),
+            kv=self.kv_manager.snapshot_state(),
+            faults=injector.snapshot_state() if injector is not None else None,
+        )
+
+    def _restore_checkpoint(self, trace: Trace, checkpoint: EngineCheckpoint, injector):
+        """Load a checkpoint into this (freshly built) engine.
+
+        Returns the epoch-loop state tuple ``_prepare_run`` hands back.
+        """
+        scheduler = self.scheduler
+        by_id = {
+            request.request_id: Sequence(request=request)
+            for request in trace.requests
+        }
+        for seq_id, data in checkpoint.sequences:
+            sequence = by_id.get(seq_id)
+            if sequence is None:
+                raise ConfigurationError(
+                    f"checkpoint does not match the trace: request {seq_id} "
+                    "is not part of the regenerated trace"
+                )
+            sequence.phase = SequencePhase(data["phase"])
+            sequence.prefill_progress = data["prefill_progress"]
+            sequence.decode_progress = data["decode_progress"]
+            sequence.eviction_count = data["eviction_count"]
+            sequence.recomputed_tokens = data["recomputed_tokens"]
+            sequence.extra_prefill = data["extra_prefill"]
+            sequence.decode_offset = data["decode_offset"]
+            sequence.admission_time = data["admission_time"]
+            sequence.first_token_time = data["first_token_time"]
+            sequence.completion_time = data["completion_time"]
+            sequence.retry_at = data["retry_at"]
+            sequence.retries = data["retries"]
+            sequence.metadata = dict(data["metadata"])
+        scheduler.restore_state(checkpoint.scheduler, by_id)
+        self.kv_manager.restore_state(checkpoint.kv)
+        self.epochs = [EpochRecord(**record) for record in checkpoint.epochs]
+        self._split_epochs = checkpoint.split_epochs
+        if injector is not None and checkpoint.faults is not None:
+            injector.restore_state(checkpoint.faults)
+        return (
+            checkpoint.next_epoch_index,
+            checkpoint.time_s,
+            EnergyBreakdown(**checkpoint.energy),
+            checkpoint.processed_tokens,
+            checkpoint.utilization_time,
+            checkpoint.stalled_epochs,
+        )
 
     # ------------------------------------------------------------ epoch pieces
 
@@ -579,28 +767,47 @@ class PipelineEngine:
         scheduler = self.scheduler
         scheduler.fill(time_s)
         active = scheduler.active
-        if active or not scheduler.waiting:
-            return active, time_s
-        if not scheduler.has_arrived_waiting(time_s):
-            # Every waiting request is still in the future: idle gap, not a
-            # capacity stall.  Jump the clock to the earliest arrival.  The
-            # scheduler just reported waiting sequences, so a missing arrival
-            # time is a malformed trace/scheduler — raise a typed error
-            # instead of poisoning the clock with None.
-            arrival = scheduler.next_arrival_time()
-            if arrival is None:
+        # The loop handles cascades the single jump cannot: a shed-with-backoff
+        # queue where the jumped-to request is immediately deadline-shed on
+        # arrival, leaving only later-eligible requests behind it.  Each pass
+        # either admits something, drains the queue, or strictly advances the
+        # clock, so it terminates.
+        while not active and scheduler.waiting:
+            arrived = scheduler.has_arrived_waiting(time_s)
+            if arrived and time_s >= scheduler.admission_stall_until:
                 raise SimulationError(
-                    "scheduler reports waiting sequences but no next arrival "
-                    "time; the trace or scheduler state is malformed"
+                    "KV cache cannot hold even a single waiting sequence; "
+                    "reduce sequence lengths or enlarge the wafer"
                 )
-            time_s = arrival
+            target = time_s
+            if not arrived:
+                # Every waiting request is still in the future (an idle gap,
+                # or every candidate backing off after an overload shed), not
+                # a capacity stall.  Jump the clock to the earliest admission
+                # instant.  The scheduler just reported waiting sequences, so
+                # a missing arrival time is a malformed trace/scheduler —
+                # raise a typed error instead of poisoning the clock with None.
+                arrival = scheduler.next_arrival_time()
+                if arrival is None:
+                    raise SimulationError(
+                        "scheduler reports waiting sequences but no next "
+                        "arrival time; the trace or scheduler state is "
+                        "malformed"
+                    )
+                target = max(target, arrival)
+            # An injected admission stall freezes intake: with nothing active
+            # the wafer simply waits the stall out (no other work to do).
+            if scheduler.admission_stall_until > target:
+                target = scheduler.admission_stall_until
+            if target <= time_s:
+                raise SimulationError(
+                    "admission cannot make progress: the scheduler reports a "
+                    "future candidate that is not in the future; the trace "
+                    "or scheduler state is malformed"
+                )
+            time_s = target
             scheduler.fill(time_s)
             active = scheduler.active
-        if not active:
-            raise SimulationError(
-                "KV cache cannot hold even a single waiting sequence; "
-                "reduce sequence lengths or enlarge the wafer"
-            )
         return active, time_s
 
     @staticmethod
@@ -681,6 +888,7 @@ class PipelineEngine:
         energy: EnergyBreakdown,
         processed_tokens: int,
         utilization_time: float,
+        fault_stats: FaultStats | None = None,
     ) -> RunResult:
         # Pipeline fill/drain: one full traversal at the final context length.
         if processed_tokens > 0:
@@ -702,23 +910,34 @@ class PipelineEngine:
         # plus SLO goodput.  Every tenant is judged by its own SLO when one is
         # set (interactive and batch tenants rarely share a deadline), falling
         # back to the trace-wide target; tenants with no applicable SLO carry
-        # goodput None and stay out of the aggregate's denominator.
+        # goodput None and stay out of the aggregate's denominator.  Shed
+        # requests count against goodput (a dropped request never met its
+        # SLO): shedding improves goodput only honestly, by freeing capacity
+        # so the *surviving* requests meet their deadlines.
+        shed = self.scheduler.shed
         by_tenant: dict[str, list] = {}
         for sequence in completed:
             by_tenant.setdefault(sequence.request.tenant, []).append(sequence)
+        shed_by_tenant: dict[str, int] = {}
+        for sequence in shed:
+            tenant = sequence.request.tenant
+            shed_by_tenant[tenant] = shed_by_tenant.get(tenant, 0) + 1
+            by_tenant.setdefault(tenant, [])
         tenants: dict[str, TenantStats] = {}
         met_total = 0
         judged_total = 0
         for tenant_name, sequences in by_tenant.items():
+            shed_count = shed_by_tenant.get(tenant_name, 0)
             goodput = None
             slo = trace.slo_for(tenant_name)
             if slo is not None:
                 met = sum(
                     1 for s in sequences if slo.met_by(s.ttft_s, s.latency_s)
                 )
+                judged = len(sequences) + shed_count
                 met_total += met
-                judged_total += len(sequences)
-                goodput = met / len(sequences)
+                judged_total += judged
+                goodput = (met / judged) if judged else 0.0
             tenants[tenant_name] = TenantStats(
                 requests=len(sequences),
                 ttft=LatencyStats.from_samples(
@@ -728,6 +947,7 @@ class PipelineEngine:
                     [s.latency_s for s in sequences if s.latency_s is not None]
                 ),
                 goodput=goodput,
+                shed=shed_count,
             )
         overall_goodput = None
         if trace.slo is not None or trace.tenant_slos:
@@ -748,6 +968,8 @@ class PipelineEngine:
             latency=LatencyStats.from_samples(latency_samples),
             goodput=overall_goodput,
             tenants=tenants,
+            faults=fault_stats,
+            shed_requests=len(shed),
             extra={"epochs": len(self.epochs), "split_epochs": self._split_epochs},
         )
 

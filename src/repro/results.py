@@ -63,6 +63,9 @@ class TenantStats:
     ttft: LatencyStats = field(default_factory=LatencyStats)
     latency: LatencyStats = field(default_factory=LatencyStats)
     goodput: float | None = None
+    #: requests of this tenant permanently dropped by the overload shedder
+    #: (they count against goodput: a shed request never met its SLO)
+    shed: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -70,6 +73,7 @@ class TenantStats:
             "ttft": self.ttft.as_dict(),
             "latency": self.latency.as_dict(),
             "goodput": self.goodput,
+            "shed": self.shed,
         }
 
 
@@ -132,6 +136,44 @@ class EnergyBreakdown:
 
 
 @dataclass
+class FaultStats:
+    """Counters describing injected faults and their recovery cost.
+
+    Produced by the fault injector (``repro.sim.faults``) and surfaced on
+    :class:`RunResult.faults`; lives here so the workload/pipeline layers can
+    reference it without importing the simulator.
+    """
+
+    #: fault events applied during the run
+    injected: int = 0
+    kv_core_failures: int = 0
+    weight_core_failures: int = 0
+    kv_block_losses: int = 0
+    admission_stalls: int = 0
+    #: resident sequences whose KV a fault destroyed and that were re-queued
+    recovered_sequences: int = 0
+    #: tokens re-prefilled because a fault discarded their KV entries
+    recompute_tokens: int = 0
+    #: wall-clock spent in the recovery model (weight remapping transfers)
+    recovery_latency_s: float = 0.0
+    #: wall-clock admission was frozen by injected stalls
+    stall_time_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected,
+            "kv_core_failures": self.kv_core_failures,
+            "weight_core_failures": self.weight_core_failures,
+            "kv_block_losses": self.kv_block_losses,
+            "admission_stalls": self.admission_stalls,
+            "recovered_sequences": self.recovered_sequences,
+            "recompute_tokens": self.recompute_tokens,
+            "recovery_latency_s": self.recovery_latency_s,
+            "stall_time_s": self.stall_time_s,
+        }
+
+
+@dataclass
 class RunResult:
     """Outcome of serving one request trace on one system."""
 
@@ -159,6 +201,10 @@ class RunResult:
     goodput: float | None = None
     #: per-tenant latency/goodput breakdown, keyed by tenant id
     tenants: dict[str, TenantStats] = field(default_factory=dict)
+    #: injected-fault accounting (None = the run had no fault plan)
+    faults: FaultStats | None = None
+    #: requests permanently dropped by the overload shedder
+    shed_requests: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -196,5 +242,7 @@ class RunResult:
             "latency": self.latency.as_dict(),
             "goodput": self.goodput,
             "tenants": {name: stats.as_dict() for name, stats in self.tenants.items()},
+            "faults": self.faults.as_dict() if self.faults is not None else None,
+            "shed_requests": self.shed_requests,
             "energy": self.energy.as_dict(),
         }

@@ -10,6 +10,7 @@ from .engine import (
     build_system,
     required_wafers,
 )
+from .faults import FaultEvent, FaultInjector, FaultPlan, make_fault_plan
 from .results import EnergyBreakdown, RunResult
 
 __all__ = [
@@ -23,4 +24,8 @@ __all__ = [
     "required_wafers",
     "EnergyBreakdown",
     "RunResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "make_fault_plan",
 ]

@@ -27,9 +27,11 @@ from ..hardware.wafer import Wafer
 from ..hardware.yieldmodel import DefectMap, sample_defect_map
 from ..kvcache.manager import DistributedKVCacheManager
 from ..kvcache.static import StaticKVCacheManager
+from ..mapping.fault_tolerance import FaultToleranceManager, RemappingResult
 from ..mapping.intercore import WaferMapping, map_model
 from ..models.architectures import ModelArch
 from ..pipeline.blocked import BlockedTokenGrainedPipeline
+from ..pipeline.checkpoint import EngineCheckpoint
 from ..pipeline.engine import PipelineConfig, PipelineEngine
 from ..pipeline.sequence_grained import SequenceGrainedPipeline
 from ..pipeline.stages import TokenCostModel
@@ -153,10 +155,16 @@ class BuiltOuroboros:
             # Explicit continuous-batching limit: never loosens the
             # KV-capacity-derived bound, only tightens it.
             max_active = min(max_active, self.config.pipeline.max_active_sequences)
+        pipeline_config = self.config.pipeline
         scheduler = InterSequenceScheduler(
             kv_manager,
             max_active_sequences=max_active,
-            policy=self.config.pipeline.make_scheduling_policy(),
+            policy=pipeline_config.make_scheduling_policy(),
+            max_queue_depth=pipeline_config.max_queue_depth,
+            shed_deadline=pipeline_config.shed_deadline,
+            shed_headroom_s=pipeline_config.shed_headroom_s,
+            shed_retries=pipeline_config.shed_retries,
+            shed_backoff_s=pipeline_config.shed_backoff_s,
         )
         mode = self.config.pipeline_mode
         if mode is PipelineMode.AUTO:
@@ -172,19 +180,71 @@ class BuiltOuroboros:
             engine_cls = SequenceGrainedPipeline
         else:
             engine_cls = BlockedTokenGrainedPipeline
-        return engine_cls(
+        engine = engine_cls(
             self.arch,
             self.cost_model,
             kv_manager,
             config=self.config.pipeline,
             scheduler=scheduler,
         )
+        engine.fault_recovery = self._make_fault_recovery(kv_manager)
+        return engine
 
-    def serve(self, trace: Trace, workload_name: str | None = None) -> RunResult:
-        """Serve a trace and return throughput/energy results."""
+    def _make_fault_recovery(self, kv_manager):
+        """Weight-core recovery hook for the fault injector.
+
+        Bound to wafer 0's mapping and the *per-run* KV manager (wafer 0's
+        core-id offset is zero, so local and global KV core ids coincide):
+        each call fails one still-healthy weight core — resolved modulo their
+        count so abstract fault targets stay valid after earlier failures —
+        and routes the replacement chain through
+        :class:`~repro.mapping.fault_tolerance.FaultToleranceManager`.
+        Returns ``None`` once no healthy weight core remains.  The hook is
+        only available with the dynamic KV policy: the replacement chain
+        reclaims a KV core, which the static baseline cannot model.
+        """
+        if not isinstance(kv_manager, DistributedKVCacheManager):
+            return None
+        manager = FaultToleranceManager(
+            self.wafers[0], self.mappings[0], kv_manager=kv_manager
+        )
+
+        def recover(target: int) -> RemappingResult | None:
+            healthy = sorted(manager.weight_cores - manager.failed_cores)
+            if not healthy:
+                return None
+            return manager.fail_core(healthy[target % len(healthy)])
+
+        return recover
+
+    def serve(
+        self,
+        trace: Trace,
+        workload_name: str | None = None,
+        *,
+        fault_plan=None,
+        suspend_at_epoch: int | None = None,
+        resume_from: EngineCheckpoint | None = None,
+    ) -> RunResult | EngineCheckpoint:
+        """Serve a trace and return throughput/energy results.
+
+        ``fault_plan`` injects runtime faults during the run;
+        ``suspend_at_epoch`` returns an :class:`EngineCheckpoint` instead of a
+        result once that epoch is reached (the wafer-level cost adjustments
+        and summary are applied when the resumed run finishes, not twice), and
+        ``resume_from`` continues a suspended run bit for bit.
+        """
         engine = self.make_pipeline()
-        result = engine.run(trace, workload_name)
-        result = self._add_inter_wafer_costs(result, trace)
+        outcome = engine.run(
+            trace,
+            workload_name,
+            fault_plan=fault_plan,
+            suspend_at_epoch=suspend_at_epoch,
+            resume_from=resume_from,
+        )
+        if isinstance(outcome, EngineCheckpoint):
+            return outcome
+        result = self._add_inter_wafer_costs(outcome, trace)
         result.extra.update(self.summary())
         return result
 

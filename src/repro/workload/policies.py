@@ -106,6 +106,22 @@ class SchedulingPolicy(Protocol):
         """Snapshot of the waiting sequences (policy-specific order)."""
         ...
 
+    def remove(self, sequence: "Sequence") -> bool:
+        """Drop a waiting sequence (overload shed); True when it was queued."""
+        ...
+
+    def snapshot_state(self) -> dict:
+        """JSON-able queue/virtual-time state for checkpointing."""
+        ...
+
+    def restore_state(self, state: dict, by_id: dict) -> None:
+        """Rebuild queues from :meth:`snapshot_state` output.
+
+        ``by_id`` maps request ids to the (freshly rebuilt) sequence objects
+        of the run being resumed.
+        """
+        ...
+
     def __len__(self) -> int: ...
 
 
@@ -135,7 +151,7 @@ class FCFSPolicy:
         if not self._queue:
             return None
         head = self._queue[0]
-        if head.request.arrival_time > time:
+        if head.eligible_time > time:
             return None
         if head.sequence_id in exclude:
             # The FCFS head gates everything behind it, even on capacity.
@@ -152,7 +168,7 @@ class FCFSPolicy:
     def next_arrival_time(self) -> float | None:
         if not self._queue:
             return None
-        return self._queue[0].request.arrival_time
+        return self._queue[0].eligible_time
 
     def next_future_arrival(self, time: float) -> float | None:
         arrival = self.next_arrival_time()
@@ -162,6 +178,21 @@ class FCFSPolicy:
 
     def waiting(self) -> list["Sequence"]:
         return list(self._queue)
+
+    def remove(self, sequence: "Sequence") -> bool:
+        # Identity scan: Sequence is a plain dataclass whose generated
+        # equality compares fields, which is the wrong notion here.
+        for index, queued in enumerate(self._queue):
+            if queued is sequence:
+                del self._queue[index]
+                return True
+        return False
+
+    def snapshot_state(self) -> dict:
+        return {"queue": [seq.sequence_id for seq in self._queue]}
+
+    def restore_state(self, state: dict, by_id: dict) -> None:
+        self._queue = deque(by_id[seq_id] for seq_id in state["queue"])
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -218,7 +249,7 @@ class _TenantQueuedPolicy:
         best = None
         best_key = None
         for tenant, head in self._heads():
-            if head.request.arrival_time > time:
+            if head.eligible_time > time:
                 continue
             if head.sequence_id in exclude:
                 continue  # capacity-blocked head: offer another tenant's
@@ -230,7 +261,7 @@ class _TenantQueuedPolicy:
     def next_arrival_time(self) -> float | None:
         """Minimum arrival over the tenant heads (any arrived head is
         eligible, unlike FCFS where only the global head can unblock)."""
-        arrivals = [head.request.arrival_time for _, head in self._heads()]
+        arrivals = [head.eligible_time for _, head in self._heads()]
         if not arrivals:
             return None
         return min(arrivals)
@@ -243,9 +274,9 @@ class _TenantQueuedPolicy:
         newcomer's arrival, because the policy may admit it immediately.
         """
         arrivals = [
-            head.request.arrival_time
+            head.eligible_time
             for _, head in self._heads()
-            if head.request.arrival_time > time
+            if head.eligible_time > time
         ]
         if not arrivals:
             return None
@@ -256,6 +287,34 @@ class _TenantQueuedPolicy:
         for queue in self._queues.values():
             flat.extend(queue)
         return flat
+
+    def remove(self, sequence: "Sequence") -> bool:
+        queue = self._queues.get(sequence.request.tenant)
+        if not queue:
+            return False
+        for index, queued in enumerate(queue):
+            if queued is sequence:
+                del queue[index]
+                self._size -= 1
+                return True
+        return False
+
+    def snapshot_state(self) -> dict:
+        # Empty queues are kept: the dict's first-seen tenant order is part
+        # of the deterministic selection order and must survive a resume.
+        return {
+            "queues": [
+                [tenant, [seq.sequence_id for seq in queue]]
+                for tenant, queue in self._queues.items()
+            ]
+        }
+
+    def restore_state(self, state: dict, by_id: dict) -> None:
+        self._queues = {
+            tenant: deque(by_id[seq_id] for seq_id in ids)
+            for tenant, ids in state["queues"]
+        }
+        self._size = sum(len(queue) for queue in self._queues.values())
 
     def __len__(self) -> int:
         return self._size
@@ -312,6 +371,17 @@ class WFQPolicy(_TenantQueuedPolicy):
         self._finish[tenant] = start + sequence.request.total_tokens / weight
         self._vtime = start
         super().pop(sequence, time)
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["finish"] = [[tenant, tag] for tenant, tag in self._finish.items()]
+        state["vtime"] = self._vtime
+        return state
+
+    def restore_state(self, state: dict, by_id: dict) -> None:
+        super().restore_state(state, by_id)
+        self._finish = {tenant: tag for tenant, tag in state["finish"]}
+        self._vtime = state["vtime"]
 
 
 class PriorityAgingPolicy(_TenantQueuedPolicy):

@@ -133,6 +133,11 @@ class Sequence:
     #: generated tokens are never produced twice)
     first_token_time: float | None = None
     completion_time: float | None = None
+    #: earliest instant a shed-with-retry request may be admitted again
+    #: (0.0 = immediately; the overload shedder pushes this out with backoff)
+    retry_at: float = 0.0
+    #: times this request was shed from the admission queue and retried
+    retries: int = 0
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -142,6 +147,11 @@ class Sequence:
     @property
     def tenant(self) -> str:
         return self.request.tenant
+
+    @property
+    def eligible_time(self) -> float:
+        """Instant this sequence may be admitted: arrival, or a retry backoff."""
+        return max(self.request.arrival_time, self.retry_at)
 
     @property
     def context_length(self) -> int:

@@ -28,8 +28,8 @@ here, while the policy object owns which waiting sequence goes next.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Protocol
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Protocol
 
 from ..errors import SchedulingError
 from .policies import SchedulingPolicy, make_policy
@@ -61,6 +61,10 @@ class SchedulerStats:
     evictions: int = 0
     recomputed_tokens: int = 0
     rejected_admissions: int = 0
+    #: requests permanently dropped by the overload shedder
+    shed_requests: int = 0
+    #: shed-with-backoff events (the request re-enters the queue later)
+    shed_retries: int = 0
 
 
 @dataclass
@@ -79,6 +83,21 @@ class InterSequenceScheduler:
     stats: SchedulerStats = field(default_factory=SchedulerStats)
     #: admission-order policy (registry key or instance)
     policy: SchedulingPolicy | str = "fcfs"
+    #: bounded admission queue: waiting arrived requests beyond this depth are
+    #: shed (None = unbounded, shedding off — the historical behaviour)
+    max_queue_depth: int | None = None
+    #: drop waiting requests whose TTFT SLO is already unmeetable (the time
+    #: since arrival alone exceeds the deadline, so admission cannot save it)
+    shed_deadline: bool = False
+    #: service-time slack for deadline shedding: drop once the remaining TTFT
+    #: budget falls below this, because even an immediate admission would
+    #: still need roughly this long to produce the first token
+    shed_headroom_s: float = 0.0
+    #: times a depth-shed request is re-queued with backoff before the drop
+    #: becomes permanent (0 = depth overflow drops immediately)
+    shed_retries: int = 0
+    #: base retry backoff in seconds; doubles on every further shed
+    shed_backoff_s: float = 0.0
 
     def __post_init__(self) -> None:
         if isinstance(self.policy, str):
@@ -92,6 +111,13 @@ class InterSequenceScheduler:
         #: blocked at the head of the queue is rejected once, not once per
         #: epoch it stays blocked)
         self._rejected_ids: set[int] = set()
+        #: requests permanently dropped by the overload shedder
+        self._shed: list[Sequence] = []
+        #: tenant -> SLOTarget lookup for deadline shedding (set by the
+        #: engine from the trace; None disables deadline shedding)
+        self.slo_lookup: Callable[[str], object] | None = None
+        #: admission frozen until this instant (transient fault injection)
+        self.admission_stall_until = 0.0
 
     # ------------------------------------------------------------------ intake
 
@@ -123,6 +149,11 @@ class InterSequenceScheduler:
     @property
     def completed(self) -> list[Sequence]:
         return list(self._completed)
+
+    @property
+    def shed(self) -> list[Sequence]:
+        """Requests permanently dropped by the overload shedder."""
+        return list(self._shed)
 
     @property
     def num_active(self) -> int:
@@ -189,6 +220,11 @@ class InterSequenceScheduler:
         does not fit must not block an interactive request that would.
         Returns the admitted sequences.
         """
+        if time < self.admission_stall_until:
+            # A transient fault froze admission; already-active sequences
+            # keep decoding, but nothing new enters until the stall lifts.
+            return []
+        self._shed_overload(time)
         admitted: list[Sequence] = []
         blocked: set[int] = set()
         while len(self.policy):
@@ -220,6 +256,60 @@ class InterSequenceScheduler:
             admitted.append(candidate)
         return admitted
 
+    # --------------------------------------------------------------- shedding
+
+    def _shed_overload(self, time: float) -> None:
+        """Apply deadline-aware and depth-bound shedding to the waiting queue.
+
+        Only never-admitted (``WAITING``-phase) requests are shed: an evicted
+        sequence re-queued at the front represents in-flight work whose KV
+        must be rebuilt, not a fresh admission the system may refuse.
+        """
+        if not (self.shed_deadline or self.max_queue_depth is not None):
+            return
+        if self.shed_deadline and self.slo_lookup is not None:
+            for sequence in self.policy.waiting():
+                if sequence.phase is not SequencePhase.WAITING:
+                    continue
+                if sequence.eligible_time > time:
+                    continue
+                slo = self.slo_lookup(sequence.tenant)
+                ttft_s = getattr(slo, "ttft_s", None)
+                if ttft_s is None:
+                    continue
+                if time - sequence.request.arrival_time > ttft_s - self.shed_headroom_s:
+                    # The remaining TTFT budget is below the service headroom:
+                    # even an immediate admission would miss the deadline, so
+                    # drop the request now instead of burning wafer time on a
+                    # guaranteed SLO miss.
+                    self._shed_permanently(sequence)
+        if self.max_queue_depth is not None:
+            eligible = [
+                sequence
+                for sequence in self.policy.waiting()
+                if sequence.phase is SequencePhase.WAITING
+                and sequence.eligible_time <= time
+            ]
+            if len(eligible) > self.max_queue_depth:
+                eligible.sort(key=lambda s: (s.request.arrival_time, s.sequence_id))
+                for sequence in eligible[self.max_queue_depth :]:
+                    self._shed_or_backoff(sequence, time)
+
+    def _shed_permanently(self, sequence: Sequence) -> None:
+        if self.policy.remove(sequence):
+            self._shed.append(sequence)
+            self.stats.shed_requests += 1
+            self._rejected_ids.discard(sequence.sequence_id)
+
+    def _shed_or_backoff(self, sequence: Sequence, time: float) -> None:
+        """Depth overflow: back the request off, or drop it once retries run out."""
+        if sequence.retries >= self.shed_retries:
+            self._shed_permanently(sequence)
+            return
+        sequence.retries += 1
+        sequence.retry_at = time + self.shed_backoff_s * (2 ** (sequence.retries - 1))
+        self.stats.shed_retries += 1
+
     # --------------------------------------------------------------- eviction
 
     def _evict(self, victim: Sequence) -> Sequence:
@@ -243,6 +333,27 @@ class InterSequenceScheduler:
         if not self._active:
             return None
         return self._evict(self._active[-1])
+
+    def recompute_sequence(self, sequence: Sequence) -> int:
+        """Requeue an active sequence whose KV blocks a fault destroyed.
+
+        Like an eviction — the cached context is gone and must be
+        re-prefilled, with tenant/priority preserved by re-entering at the
+        front of the owning queue — but attributed to the *fault*, not the
+        scheduler: the capacity-pressure counters and the post-eviction
+        admission freeze stay untouched.  Returns the discarded token count.
+        """
+        if sequence.sequence_id not in self._active_ids:
+            raise SchedulingError(
+                f"sequence {sequence.sequence_id} is not active and cannot "
+                "be recomputed"
+            )
+        self._remove_active(sequence)
+        self.kv_provider.release(sequence)
+        discarded = sequence.evict()
+        self.policy.push_front(sequence)
+        self._rejected_ids.discard(sequence.sequence_id)
+        return discarded
 
     # -------------------------------------------------------------- completion
 
@@ -280,3 +391,34 @@ class InterSequenceScheduler:
                 victim = self._active[-2]
             self._evict(victim)
         return True
+
+    # ------------------------------------------------------------- checkpoint
+
+    def snapshot_state(self) -> dict:
+        """JSON-able scheduler state for a bit-for-bit checkpoint."""
+        return {
+            "active": [sequence.sequence_id for sequence in self._active],
+            "completed": [sequence.sequence_id for sequence in self._completed],
+            "shed": [sequence.sequence_id for sequence in self._shed],
+            "admission_suspended": self._admission_suspended,
+            "rejected_ids": sorted(self._rejected_ids),
+            "admission_stall_until": self.admission_stall_until,
+            "stats": asdict(self.stats),
+            "policy": self.policy.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict, by_id: dict) -> None:
+        """Rebuild scheduler state from :meth:`snapshot_state` output.
+
+        ``by_id`` maps request ids to the freshly rebuilt sequences of the
+        resumed run; order inside every restored list is the snapshot's.
+        """
+        self._active = [by_id[seq_id] for seq_id in state["active"]]
+        self._active_ids = {sequence.sequence_id for sequence in self._active}
+        self._completed = [by_id[seq_id] for seq_id in state["completed"]]
+        self._shed = [by_id[seq_id] for seq_id in state["shed"]]
+        self._admission_suspended = state["admission_suspended"]
+        self._rejected_ids = set(state["rejected_ids"])
+        self.admission_stall_until = state["admission_stall_until"]
+        self.stats = SchedulerStats(**state["stats"])
+        self.policy.restore_state(state["policy"], by_id)

@@ -366,3 +366,107 @@ class TestPolicyEquivalence:
         assert_bitwise_equal(
             default.run(self._policy_trace()), explicit.run(self._policy_trace())
         )
+
+
+class TestCheckpointResume:
+    """Suspend-at-epoch + resume reproduces the uninterrupted run bit for bit.
+
+    The checkpoint snapshots the full engine state (clock, energy, scheduler
+    queues, KV residency); a resumed run must therefore be indistinguishable
+    from one that never stopped -- across both engine paths, every scheduling
+    policy, and under eviction pressure.  Checkpoints also survive a JSON
+    round trip, which is what the CLI writes to disk.
+    """
+
+    POLICIES = ["fcfs", "wfq", "priority"]
+
+    def _policy_trace(self, seed=3):
+        from repro.workload.generator import TenantSpec, generate_multi_tenant_trace
+        from repro.workload.requests import SLOTarget
+
+        tenants = (
+            TenantSpec(name="chat", workload="lp64_ld16", num_requests=6,
+                       arrival_rate_per_s=50.0, weight=2.0, priority=1),
+            TenantSpec(name="batch", workload="lp96_ld8", num_requests=4,
+                       arrival_rate_per_s=20.0),
+        )
+        return generate_multi_tenant_trace(
+            tenants, seed=seed, slo=SLOTarget(ttft_s=0.5, latency_s=2.0)
+        )
+
+    def _suspend_resume(self, build, method, trace_fn, suspend_at):
+        import json
+
+        from repro.pipeline.checkpoint import EngineCheckpoint
+
+        baseline = getattr(build(), method)(trace_fn())
+        checkpoint = getattr(build(), method)(
+            trace_fn(), suspend_at_epoch=suspend_at
+        )
+        assert isinstance(checkpoint, EngineCheckpoint), (
+            "run finished before the suspend epoch; the scenario is too short "
+            "to exercise resume"
+        )
+        # The CLI persists checkpoints as JSON: the round trip must be exact.
+        restored = EngineCheckpoint.from_dict(
+            json.loads(json.dumps(checkpoint.as_dict()))
+        )
+        resumed = getattr(build(), method)(trace_fn(), resume_from=restored)
+        assert_bitwise_equal(baseline, resumed)
+        return baseline, resumed
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("method", ["run", "run_scalar"])
+    def test_engine_paths_bitwise(self, engine_cls, method, tiny_arch, small_wafer_config):
+        def build():
+            return build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic")
+
+        self._suspend_resume(build, method, mixed_trace, suspend_at=2)
+
+    @pytest.mark.parametrize("method", ["run", "run_scalar"])
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_scheduling_policies_bitwise(self, method, policy, tiny_arch, small_wafer_config):
+        def build():
+            return build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                                "dynamic", scheduling_policy=policy)
+
+        baseline, resumed = self._suspend_resume(
+            build, method, self._policy_trace, suspend_at=2
+        )
+        assert baseline.goodput == resumed.goodput
+        for name in baseline.tenants:
+            assert (
+                baseline.tenants[name].as_dict() == resumed.tenants[name].as_dict()
+            )
+
+    @pytest.mark.parametrize("method", ["run", "run_scalar"])
+    def test_under_eviction_pressure(self, method, tiny_arch, small_wafer_config):
+        """Resume restores KV residency exactly even while the cache thrashes."""
+        kwargs = dict(blocks_per_core=2, kv_cores=24, chunk=64)
+
+        def build():
+            return build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                                "dynamic", **kwargs)
+
+        def trace_fn():
+            return make_trace(num_requests=6, prefill=300, decode=64)
+
+        baseline, _ = self._suspend_resume(build, method, trace_fn, suspend_at=3)
+        assert baseline.evictions > 0  # the scenario actually thrashes
+
+    def test_static_kv_policy_bitwise(self, tiny_arch, small_wafer_config):
+        def build():
+            return build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                                "static")
+
+        self._suspend_resume(build, "run", mixed_trace, suspend_at=2)
+
+    def test_suspend_past_end_returns_result(self, tiny_arch, small_wafer_config):
+        """A suspend epoch the run never reaches degrades to a normal run."""
+        build = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                             "dynamic")
+        baseline = build_engine(
+            TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic"
+        ).run(mixed_trace())
+        result = build.run(mixed_trace(), suspend_at_epoch=10_000)
+        assert_bitwise_equal(baseline, result)

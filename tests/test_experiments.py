@@ -72,10 +72,11 @@ class TestCommonHelpers:
         assert first is second
 
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 14
+        assert len(ALL_EXPERIMENTS) == 15
         assert "fig22" in ALL_EXPERIMENTS
         assert "fig23" in ALL_EXPERIMENTS
         assert "fig24" in ALL_EXPERIMENTS
+        assert "fig25" in ALL_EXPERIMENTS
 
 
 class TestFig01:

@@ -101,3 +101,85 @@ class TestRunResult:
         result = self.make()
         assert result.ttft.count == 0
         assert result.latency.count == 0
+
+    def test_fault_and_shed_accounting_in_dict(self):
+        from repro.results import FaultStats
+
+        result = self.make()
+        result.faults = FaultStats(injected=3, kv_block_losses=2, admission_stalls=1)
+        result.shed_requests = 4
+        data = result.as_dict()
+        assert data["faults"]["injected"] == 3
+        assert data["faults"]["kv_block_losses"] == 2
+        assert data["shed_requests"] == 4
+        # No fault plan -> the field stays None, not an all-zero dict.
+        assert self.make().as_dict()["faults"] is None
+
+
+class TestFaultStats:
+    def test_dict_round_trip(self):
+        import json
+
+        from repro.results import FaultStats
+
+        stats = FaultStats(
+            injected=5,
+            kv_core_failures=1,
+            weight_core_failures=1,
+            kv_block_losses=2,
+            admission_stalls=1,
+            recovered_sequences=4,
+            recompute_tokens=128,
+            recovery_latency_s=0.25,
+            stall_time_s=0.05,
+        )
+        data = json.loads(json.dumps(stats.as_dict()))
+        assert FaultStats(**data) == stats
+
+
+class TestEngineCheckpointSnapshot:
+    def make(self):
+        from repro.pipeline.checkpoint import EngineCheckpoint
+
+        return EngineCheckpoint(
+            next_epoch_index=7,
+            time_s=1.25,
+            energy={"compute_j": 3.5, "communication_j": 0.125},
+            processed_tokens=4096,
+            utilization_time=1.0,
+            stalled_epochs=1,
+            split_epochs=2,
+            epochs=[{"index": 0, "time_s": 0.5}],
+            sequences={"0": {"phase": "decode"}},
+            scheduler={"queue": [1, 2]},
+            kv={"blocks": {"0": [1, 2, 3]}},
+        )
+
+    def test_dict_round_trip(self):
+        from repro.pipeline.checkpoint import EngineCheckpoint
+
+        checkpoint = self.make()
+        assert EngineCheckpoint.from_dict(checkpoint.as_dict()) == checkpoint
+
+    def test_json_round_trip_is_exact(self):
+        """Floats survive the on-disk JSON encoding bit for bit."""
+        import json
+
+        from repro.pipeline.checkpoint import EngineCheckpoint
+
+        checkpoint = self.make()
+        restored = EngineCheckpoint.from_dict(
+            json.loads(json.dumps(checkpoint.as_dict()))
+        )
+        assert restored == checkpoint
+        assert restored.time_s == checkpoint.time_s
+        assert restored.energy == checkpoint.energy
+
+    def test_version_mismatch_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.pipeline.checkpoint import EngineCheckpoint
+
+        data = self.make().as_dict()
+        data["version"] = 999
+        with pytest.raises(ConfigurationError):
+            EngineCheckpoint.from_dict(data)
