@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Static checks gate: the repo's own AST invariant checkers (`repro lint`)
+# plus mypy over the typed island (see mypy.ini).  CI runs this before the
+# test matrix; run it locally before pushing.
+#
+# Usage: scripts/lint.sh [extra `repro lint` args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro lint "$@"
+
+# mypy is a dev dependency (requirements.txt); environments without it —
+# e.g. a minimal runtime install — still get the invariant checkers above.
+if python -c "import mypy" >/dev/null 2>&1; then
+    python -m mypy --config-file mypy.ini
+else
+    echo "mypy not installed; skipping type check (pip install -r requirements.txt)"
+fi

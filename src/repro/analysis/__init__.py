@@ -1,0 +1,41 @@
+"""Static invariant checkers behind ``repro lint``.
+
+An AST-walking framework (:mod:`.core`) plus five repo-specific checkers
+that prove the repository's load-bearing guarantees at lint time instead of
+runtime: determinism of the serving path, serialization completeness of the
+spec/result dataclasses, fast-vs-scalar engine parity, knob plumbing from
+config fields to the builder and CLI, and float-accumulation stability in
+the stats code.  See each checker module's docstring for its rule ids.
+"""
+
+from .core import (
+    Checker,
+    Finding,
+    LintReport,
+    ParsedModule,
+    Project,
+    default_checkers,
+    load_baseline,
+    run_lint,
+)
+from .determinism import DeterminismChecker
+from .floats import FloatStabilityChecker
+from .knobs import KnobPlumbingChecker
+from .parity import EngineParityChecker
+from .serialization import SerializationChecker
+
+__all__ = [
+    "Checker",
+    "DeterminismChecker",
+    "EngineParityChecker",
+    "Finding",
+    "FloatStabilityChecker",
+    "KnobPlumbingChecker",
+    "LintReport",
+    "ParsedModule",
+    "Project",
+    "SerializationChecker",
+    "default_checkers",
+    "load_baseline",
+    "run_lint",
+]

@@ -1,0 +1,412 @@
+"""AST-walking checker framework behind ``repro lint``.
+
+The repository's load-bearing guarantees — bitwise fast-vs-scalar engine
+equality, deterministic benchmark headline metrics, exact checkpoint/resume,
+full spec dict round-trips — are enforced at runtime by the test suite, which
+means a violation surfaces only after a bench run or a checkpoint has already
+been burned.  This package proves the same invariants *statically*: each
+:class:`Checker` walks the parsed ASTs of the source tree and emits structured
+:class:`Finding`\\ s (file, line, rule id, message) for constructs that could
+break a guarantee.
+
+Framework pieces in this module:
+
+:class:`ParsedModule`
+    One parsed source file: path, source, AST, and the per-line suppression
+    comments (``# repro-lint: allow=RULE1,RULE2`` grandfathers a finding on
+    that line; a bare ``# repro-lint: allow`` suppresses every rule there).
+
+:class:`Project`
+    The set of parsed modules under one scan root, with relpath lookup — the
+    unit checkers run against, so cross-file rules (builder plumbing, engine
+    parity) see everything at once.
+
+:class:`Checker`
+    Protocol every rule module implements: ``run(project) -> list[Finding]``.
+
+:func:`run_lint`
+    Load a project, run the registered checkers, apply the optional committed
+    baseline file, and return a :class:`LintReport`.
+
+Baselines grandfather pre-existing findings without turning the gate off for
+new ones: the baseline JSON maps line-independent finding keys to a one-line
+justification, and only *non-baselined* findings fail the lint.  Stale
+baseline entries (nothing matches them any more) are reported so the file
+shrinks instead of rotting.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Protocol
+
+from ..errors import ConfigurationError
+
+#: marker that starts a suppression comment
+ALLOW_TAG = "# repro-lint: allow"
+
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding.
+
+    ``key`` is the line-independent identity used by baseline files: rule id
+    plus file plus a checker-chosen stable token (usually the offending
+    symbol), so a baselined finding survives unrelated edits that shift line
+    numbers.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: stable token identifying the construct (symbol / field / flag name)
+    symbol: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule}:{self.path}:{self.symbol}"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "symbol": self.symbol,
+            "key": self.key,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Parsed source
+# ---------------------------------------------------------------------------
+
+
+def _parse_allows(source: str) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressions: line -> allowed rule ids (None = every rule)."""
+    allows: dict[int, frozenset[str] | None] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        index = text.find(ALLOW_TAG)
+        if index < 0:
+            continue
+        rest = text[index + len(ALLOW_TAG):].strip()
+        if rest.startswith("="):
+            rules = frozenset(
+                rule.strip() for rule in rest[1:].split(",") if rule.strip()
+            )
+            allows[lineno] = rules if rules else None
+        else:
+            allows[lineno] = None
+    return allows
+
+
+@dataclass
+class ParsedModule:
+    """One source file of a :class:`Project`, parsed once and shared."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    allows: dict[int, frozenset[str] | None] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ParsedModule":
+        source = path.read_text()
+        return cls(
+            path=path,
+            relpath=path.relative_to(root).as_posix(),
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            allows=_parse_allows(source),
+        )
+
+    def allowed(self, line: int, rule: str) -> bool:
+        """Whether a suppression comment on ``line`` covers ``rule``."""
+        if line not in self.allows:
+            return False
+        rules = self.allows[line]
+        return rules is None or rule in rules
+
+    def finding(self, rule: str, node: ast.AST, message: str,
+                symbol: str = "") -> "Finding":
+        """Build a finding anchored at ``node`` in this module."""
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=getattr(node, "lineno", 0),
+            message=message,
+            symbol=symbol,
+        )
+
+
+@dataclass
+class Project:
+    """All parsed modules under one scan root."""
+
+    root: Path
+    modules: list[ParsedModule]
+
+    @classmethod
+    def load(cls, root: Path) -> "Project":
+        root = Path(root).resolve()
+        if root.is_file():
+            return cls(root=root.parent, modules=[
+                ParsedModule.parse(root, root.parent)
+            ])
+        if not root.is_dir():
+            raise ConfigurationError(f"lint root '{root}' does not exist")
+        modules = [
+            ParsedModule.parse(path, root)
+            for path in sorted(root.rglob("*.py"))
+            if "__pycache__" not in path.parts
+        ]
+        return cls(root=root, modules=modules)
+
+    def module(self, relpath: str) -> ParsedModule | None:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+    def __iter__(self) -> Iterator[ParsedModule]:
+        return iter(self.modules)
+
+
+class Checker(Protocol):
+    """One lint rule family: walk a project, emit findings."""
+
+    #: short identifier shown in reports (e.g. ``determinism``)
+    name: str
+
+    def run(self, project: Project) -> list[Finding]: ...
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers (used by several checkers)
+# ---------------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, None for anything dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """Whether a class definition carries a ``@dataclass`` decorator."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def dataclass_field_names(node: ast.ClassDef) -> list[str]:
+    """Field names of a dataclass body (annotated assignments, no ClassVar)."""
+    names: list[str] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        annotation = dotted_name(statement.annotation)
+        if annotation in ("ClassVar", "typing.ClassVar"):
+            continue
+        if isinstance(statement.annotation, ast.Subscript):
+            base = dotted_name(statement.annotation.value)
+            if base in ("ClassVar", "typing.ClassVar"):
+                continue
+        names.append(statement.target.id)
+    return names
+
+
+def property_names(node: ast.ClassDef) -> set[str]:
+    """Names of ``@property`` methods defined directly on a class."""
+    names: set[str] = set()
+    for statement in node.body:
+        if not isinstance(statement, ast.FunctionDef):
+            continue
+        for decorator in statement.decorator_list:
+            if dotted_name(decorator) == "property":
+                names.add(statement.name)
+    return names
+
+
+def iter_class_defs(module: ParsedModule) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def iteration_sites(tree: ast.AST) -> Iterator[tuple[ast.expr, ast.AST]]:
+    """Every ``(iterable expression, anchor node)`` a construct loops over.
+
+    Covers ``for`` statements and every comprehension generator.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter, node
+
+
+# ---------------------------------------------------------------------------
+# Baseline files
+# ---------------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> dict[str, str]:
+    """Load a committed baseline: finding key -> one-line justification.
+
+    Every entry *must* carry a non-empty reason — a grandfathered finding
+    without a recorded justification is indistinguishable from a silenced
+    bug, so that is a configuration error, not a convenience.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"baseline file '{path}' does not exist")
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline file '{path}' is not JSON: {exc}")
+    entries = data.get("findings", data) if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise ConfigurationError(
+            f"baseline file '{path}' must hold a list of "
+            '{"key": ..., "reason": ...} entries'
+        )
+    baseline: dict[str, str] = {}
+    for entry in entries:
+        if (
+            not isinstance(entry, dict)
+            or not entry.get("key")
+            or not str(entry.get("reason", "")).strip()
+        ):
+            raise ConfigurationError(
+                f"baseline entry {entry!r} needs a 'key' and a non-empty "
+                "'reason' (one-line justification)"
+            )
+        baseline[str(entry["key"])] = str(entry["reason"])
+    return baseline
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    root: str
+    #: non-suppressed, non-baselined findings (what fails the gate)
+    findings: list[Finding] = field(default_factory=list)
+    #: findings grandfathered by the baseline file, with their justification
+    baselined: list[tuple[Finding, str]] = field(default_factory=list)
+    #: baseline keys that matched nothing (entries to delete)
+    stale_baseline_keys: list[str] = field(default_factory=list)
+    #: checker names that ran
+    checkers: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "root": self.root,
+            "ok": self.ok,
+            "checkers": self.checkers,
+            "findings": [finding.as_dict() for finding in self.findings],
+            "baselined": [
+                {**finding.as_dict(), "reason": reason}
+                for finding, reason in self.baselined
+            ],
+            "stale_baseline_keys": self.stale_baseline_keys,
+        }
+
+    def format(self) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            lines.append(finding.format())
+        for finding, reason in self.baselined:
+            lines.append(f"{finding.format()} [baselined: {reason}]")
+        for key in self.stale_baseline_keys:
+            lines.append(f"stale baseline entry (delete it): {key}")
+        count = len(self.findings)
+        lines.append(
+            f"repro lint: {count} finding{'s' if count != 1 else ''} "
+            f"({len(self.baselined)} baselined) across "
+            f"{len(self.checkers)} checkers"
+        )
+        return "\n".join(lines)
+
+
+def default_checkers() -> "list[Checker]":
+    """The five repo-specific checkers, in report order."""
+    from .determinism import DeterminismChecker
+    from .floats import FloatStabilityChecker
+    from .knobs import KnobPlumbingChecker
+    from .parity import EngineParityChecker
+    from .serialization import SerializationChecker
+
+    return [
+        DeterminismChecker(),
+        SerializationChecker(),
+        EngineParityChecker(),
+        KnobPlumbingChecker(),
+        FloatStabilityChecker(),
+    ]
+
+
+def run_lint(
+    root: str | Path,
+    checkers: Iterable[Checker] | None = None,
+    baseline_path: str | Path | None = None,
+) -> LintReport:
+    """Lint the source tree under ``root`` and return the structured report."""
+    project = Project.load(Path(root))
+    active = list(checkers) if checkers is not None else default_checkers()
+    baseline = load_baseline(Path(baseline_path)) if baseline_path else {}
+
+    raw: list[Finding] = []
+    for checker in active:
+        raw.extend(checker.run(project))
+    raw.sort(key=lambda f: (f.path, f.line, f.rule, f.symbol))
+
+    report = LintReport(root=str(project.root), checkers=[c.name for c in active])
+    matched_keys: set[str] = set()
+    for finding in raw:
+        module = project.module(finding.path)
+        if module is not None and module.allowed(finding.line, finding.rule):
+            continue
+        reason = baseline.get(finding.key)
+        if reason is not None:
+            matched_keys.add(finding.key)
+            report.baselined.append((finding, reason))
+        else:
+            report.findings.append(finding)
+    report.stale_baseline_keys = sorted(set(baseline) - matched_keys)
+    return report

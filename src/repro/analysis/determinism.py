@@ -1,0 +1,198 @@
+"""Determinism checker: flag nondeterminism sources in the simulation core.
+
+The bitwise gates (``test_engine_equivalence.py``, the ``BENCH_PR<n>.json``
+trajectory, checkpoint/resume) only hold if the modules on the serving path
+are pure functions of the spec and seed.  Four construct families break that
+silently, so they are banned inside ``sim/``, ``pipeline/``, ``workload/``
+and ``kvcache/``:
+
+``DET001``
+    Unseeded RNG: module-level ``random.*`` / ``np.random.*`` draws, and RNG
+    constructors (``default_rng``, ``Random``, ``RandomState``,
+    ``SeedSequence``) called without an explicit seed.
+
+``DET002``
+    Wall-clock reads (``time.time``/``monotonic``/``perf_counter``,
+    ``datetime.now`` and friends) — simulation time must come from the
+    engine's own clock.
+
+``DET003``
+    Iteration over a ``set``/``frozenset`` without ``sorted()``: set order
+    hashes by memory layout, so any arithmetic or scheduling decision fed by
+    it varies run to run.  Plain ``dict`` iteration is insertion-ordered and
+    therefore allowed.
+
+``DET004``
+    ``os.environ`` reads: environment variables must only steer the harness
+    (``perf/``), never the simulated results.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ParsedModule, Project, dotted_name, iteration_sites
+
+#: path segments that put a module on the deterministic serving path
+SCOPED_DIRS = frozenset({"sim", "pipeline", "workload", "kvcache"})
+
+#: RNG constructors that are fine *when given a seed argument*
+SEEDED_CONSTRUCTORS = frozenset(
+    {"default_rng", "Random", "RandomState", "SeedSequence", "Generator",
+     "Philox", "PCG64"}
+)
+
+#: dotted call suffixes that read the wall clock
+WALL_CLOCK_SUFFIXES = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+
+SET_TYPE_NAMES = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+     "typing.Set", "typing.FrozenSet", "typing.AbstractSet"}
+)
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    return dotted_name(annotation) in SET_TYPE_NAMES
+
+
+def _value_is_set(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return dotted_name(value.func) in ("set", "frozenset")
+    return False
+
+
+def set_typed_symbols(tree: ast.AST) -> set[str]:
+    """Dotted paths (``x``, ``self._failed``) bound to set values anywhere."""
+    symbols: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            target = dotted_name(node.target)
+            if target and (_annotation_is_set(node.annotation)
+                           or _value_is_set(node.value)):
+                symbols.add(target)
+        elif isinstance(node, ast.Assign):
+            if _value_is_set(node.value):
+                for target in node.targets:
+                    path = dotted_name(target)
+                    if path:
+                        symbols.add(path)
+    return symbols
+
+
+def _is_set_expr(expr: ast.expr, symbols: set[str]) -> str | None:
+    """A display token when ``expr`` is an unordered set, else None."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "<set literal>"
+    if isinstance(expr, ast.Call):
+        name = dotted_name(expr.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+        return None
+    path = dotted_name(expr)
+    if path is not None and path in symbols:
+        return path
+    return None
+
+
+class DeterminismChecker:
+    name = "determinism"
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project:
+            parts = module.relpath.split("/")
+            if not SCOPED_DIRS & set(parts[:-1]):
+                continue
+            findings.extend(self._check_module(module))
+        return findings
+
+    def _check_module(self, module: ParsedModule) -> list[Finding]:
+        findings: list[Finding] = []
+        symbols = set_typed_symbols(module.tree)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+            elif isinstance(node, ast.Subscript):
+                if dotted_name(node.value) == "os.environ":
+                    findings.append(module.finding(
+                        "DET004", node,
+                        "os.environ read on the deterministic serving path; "
+                        "environment knobs belong in the harness (perf/), "
+                        "not the simulation",
+                        symbol="os.environ",
+                    ))
+
+        for iter_expr, anchor in iteration_sites(module.tree):
+            token = _is_set_expr(iter_expr, symbols)
+            if token is not None:
+                findings.append(module.finding(
+                    "DET003", anchor,
+                    f"iteration over unordered set {token}; wrap it in "
+                    "sorted() so the order (and any float accumulation fed "
+                    "by it) is reproducible",
+                    symbol=token,
+                ))
+        return findings
+
+    def _check_call(self, module: ParsedModule,
+                    node: ast.Call) -> list[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return []
+
+        if name == "os.getenv" or name == "os.environ.get":
+            return [module.finding(
+                "DET004", node,
+                f"{name}() read on the deterministic serving path; "
+                "environment knobs belong in the harness (perf/), not the "
+                "simulation",
+                symbol=name,
+            )]
+
+        for suffix in WALL_CLOCK_SUFFIXES:
+            if name == suffix or name.endswith("." + suffix):
+                return [module.finding(
+                    "DET002", node,
+                    f"wall-clock read {name}(); simulated time must come "
+                    "from the engine clock so runs reproduce bitwise",
+                    symbol=name,
+                )]
+
+        parts = name.split(".")
+        if "random" in parts[:-1]:  # random.x, np.random.x, numpy.random.x
+            tail = parts[-1]
+            if tail in SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    return [module.finding(
+                        "DET001", node,
+                        f"{name}() constructed without a seed; pass an "
+                        "explicit seed derived from the spec",
+                        symbol=name,
+                    )]
+                return []
+            return [module.finding(
+                "DET001", node,
+                f"unseeded global RNG call {name}(); draw from a seeded "
+                "np.random.default_rng(seed) instead",
+                symbol=name,
+            )]
+        if parts[-1] in SEEDED_CONSTRUCTORS and parts[0] in (
+            "random", "np", "numpy"
+        ):
+            if not node.args and not node.keywords:
+                return [module.finding(
+                    "DET001", node,
+                    f"{name}() constructed without a seed; pass an explicit "
+                    "seed derived from the spec",
+                    symbol=name,
+                )]
+        return []

@@ -1,0 +1,70 @@
+"""Float-stability checker for stats and accounting code.
+
+Float addition is not associative, so ``sum()`` over an *unordered*
+iterable (a ``set`` / ``frozenset``) produces run-dependent low bits —
+exactly the kind of drift the bitwise bench gate exists to catch, except
+it only fires after the damage is committed.  Scoped to the modules that
+aggregate metrics (``results.py``, ``accounting.py``, ``stats*``, and
+``perf/``):
+
+``FLT001``
+    ``sum()`` whose argument is a set expression, a set-typed name, or a
+    generator draining one — iterate a ``sorted()`` sequence (or
+    ``math.fsum`` over one) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import Finding, ParsedModule, Project, dotted_name
+from .determinism import _is_set_expr, set_typed_symbols
+
+SCOPED_FILENAMES = frozenset({"results.py", "accounting.py"})
+
+
+def _in_scope(relpath: str) -> bool:
+    parts = relpath.split("/")
+    filename = parts[-1]
+    return (
+        filename in SCOPED_FILENAMES
+        or filename.startswith("stats")
+        or "perf" in parts[:-1]
+    )
+
+
+class FloatStabilityChecker:
+    name = "floats"
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project:
+            if not _in_scope(module.relpath):
+                continue
+            symbols = set_typed_symbols(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if dotted_name(node.func) not in ("sum", "math.fsum", "fsum"):
+                    continue
+                if not node.args:
+                    continue
+                token = self._unordered_token(node.args[0], symbols)
+                if token is not None:
+                    findings.append(module.finding(
+                        "FLT001", node,
+                        f"sum() over unordered {token}: float addition is "
+                        "not associative, so the result depends on set "
+                        "order — sum a sorted() sequence instead",
+                        symbol=token,
+                    ))
+        return findings
+
+    def _unordered_token(self, arg: ast.expr,
+                         symbols: set[str]) -> str | None:
+        token = _is_set_expr(arg, symbols)
+        if token is not None:
+            return token
+        if isinstance(arg, ast.GeneratorExp) and len(arg.generators) == 1:
+            return _is_set_expr(arg.generators[0].iter, symbols)
+        return None

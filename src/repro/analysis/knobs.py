@@ -1,0 +1,233 @@
+"""Knob-plumbing checker: every config field must be reachable by users.
+
+A field added to :class:`PipelineConfig` or :class:`DeploymentSpec` is only
+a knob if someone can actually turn it.  History shows the plumbing lags:
+a field lands for one experiment, the fluent builder and the CLI never grow
+a path to it, and the next user hand-edits frozen dataclasses instead.
+This checker closes the loop statically:
+
+``KNOB001``
+    A ``PipelineConfig``/``DeploymentSpec`` field with no reachable path
+    from any fluent builder class (``*Builder``): no ``replace``/ctor
+    keyword, no override-dict key mentions it.
+
+``KNOB002``
+    A field with no reachable path from the CLI (any module calling
+    ``add_argument``): no flag dest, call keyword or string key matches it,
+    and no generic escape hatch — a ``<Class>.from_dict`` reference or a
+    ``dataclasses.fields(<Class>)``-driven override loop — covers the whole
+    class.
+
+``KNOB003``
+    A dead CLI flag: ``add_argument`` defines a dest that no ``args.<dest>``
+    read ever consumes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import (
+    Finding,
+    ParsedModule,
+    Project,
+    dataclass_field_names,
+    dotted_name,
+    is_dataclass_def,
+    iter_class_defs,
+)
+
+#: the spec dataclasses whose fields are user-facing knobs
+KNOB_CLASSES = ("PipelineConfig", "DeploymentSpec")
+
+
+def _string_keys_and_keywords(tree: ast.AST) -> set[str]:
+    """Every token a code region could plumb a field through by name:
+    call keyword names, dict-literal string keys, subscript-store keys,
+    and ``with_<field>`` fluent-wither calls."""
+    tokens: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            tokens.update(kw.arg for kw in node.keywords if kw.arg)
+            if isinstance(node.func, ast.Attribute) and node.func.attr.startswith(
+                "with_"
+            ):
+                tokens.add(node.func.attr[len("with_"):])
+        elif isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    tokens.add(key.value)
+        elif isinstance(node, ast.Subscript):
+            if (
+                isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                tokens.add(node.slice.value)
+    return tokens
+
+
+def _flag_dest(call: ast.Call) -> str | None:
+    """The argparse dest an ``add_argument`` call binds, or None."""
+    for keyword in call.keywords:
+        if keyword.arg == "dest" and isinstance(keyword.value, ast.Constant):
+            return str(keyword.value.value)
+    for arg in call.args:
+        if not isinstance(arg, ast.Constant) or not isinstance(arg.value, str):
+            continue
+        text = arg.value
+        if text.startswith("--"):
+            return text[2:].replace("-", "_")
+        if not text.startswith("-"):
+            return text  # positional
+    return None
+
+
+def _fields_aliases(tree: ast.AST) -> set[str]:
+    """Names ``dataclasses.fields`` is callable under in this module
+    (handles ``from dataclasses import fields as dataclass_fields``)."""
+    aliases = {"fields", "dataclasses.fields"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "dataclasses":
+            for alias in node.names:
+                if alias.name == "fields":
+                    aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "dataclasses":
+                    aliases.add(f"{alias.asname or alias.name}.fields")
+    return aliases
+
+
+def _generic_classes(tree: ast.AST) -> set[str]:
+    """Classes fully reachable via a generic path in this module:
+    ``<Class>.from_dict`` references or ``fields(<Class>)`` calls."""
+    classes: set[str] = set()
+    fields_aliases = _fields_aliases(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "from_dict":
+            path = dotted_name(node)
+            if path:
+                parts = path.split(".")
+                if len(parts) >= 2:
+                    classes.add(parts[-2])
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in fields_aliases:
+                for arg in node.args:
+                    arg_name = dotted_name(arg)
+                    if arg_name:
+                        classes.add(arg_name.split(".")[-1])
+    return classes
+
+
+class KnobPlumbingChecker:
+    name = "knobs"
+
+    def run(self, project: Project) -> list[Finding]:
+        # knob classes: name -> (module, classdef, fields)
+        knob_defs: dict[str, tuple[ParsedModule, ast.ClassDef, list[str]]] = {}
+        builder_tokens: set[str] = set()
+        builders_found = False
+        cli_modules: list[ParsedModule] = []
+
+        for module in project:
+            for class_def in iter_class_defs(module):
+                if class_def.name in KNOB_CLASSES and is_dataclass_def(class_def):
+                    knob_defs[class_def.name] = (
+                        module, class_def, dataclass_field_names(class_def)
+                    )
+                if class_def.name.endswith("Builder"):
+                    builders_found = True
+                    builder_tokens |= _string_keys_and_keywords(class_def)
+            if any(
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+                for node in ast.walk(module.tree)
+            ):
+                cli_modules.append(module)
+
+        findings: list[Finding] = []
+        for class_name, (module, class_def, fields) in sorted(knob_defs.items()):
+            field_lines = {
+                stmt.target.id: stmt
+                for stmt in class_def.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+            if builders_found:
+                for field in fields:
+                    if field not in builder_tokens:
+                        findings.append(module.finding(
+                            "KNOB001", field_lines.get(field, class_def),
+                            f"{class_name}.{field} is not reachable from "
+                            "any fluent builder — add a builder method (or "
+                            "keyword) that plumbs it",
+                            symbol=f"{class_name}.{field}",
+                        ))
+            if cli_modules:
+                findings.extend(self._check_cli(
+                    cli_modules, module, class_name, fields, field_lines,
+                    class_def,
+                ))
+
+        for module in cli_modules:
+            findings.extend(self._check_dead_flags(module))
+        return findings
+
+    def _check_cli(self, cli_modules: list[ParsedModule],
+                   module: ParsedModule, class_name: str,
+                   fields: list[str],
+                   field_lines: dict[str, ast.AnnAssign],
+                   class_def: ast.ClassDef) -> list[Finding]:
+        cli_tokens: set[str] = set()
+        generic: set[str] = set()
+        for cli_module in cli_modules:
+            cli_tokens |= _string_keys_and_keywords(cli_module.tree)
+            generic |= _generic_classes(cli_module.tree)
+            for node in ast.walk(cli_module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"
+                ):
+                    dest = _flag_dest(node)
+                    if dest:
+                        cli_tokens.add(dest)
+        if class_name in generic:
+            return []
+        findings: list[Finding] = []
+        for field in fields:
+            if field not in cli_tokens:
+                findings.append(module.finding(
+                    "KNOB002", field_lines.get(field, class_def),
+                    f"{class_name}.{field} is not reachable from the CLI — "
+                    "add a flag, or a generic spec/override path "
+                    f"(<Class>.from_dict / fields({class_name}) loop)",
+                    symbol=f"cli.{class_name}.{field}",
+                ))
+        return findings
+
+    def _check_dead_flags(self, module: ParsedModule) -> list[Finding]:
+        reads = {
+            node.attr
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.Attribute)
+        }
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            dest = _flag_dest(node)
+            if dest and dest not in reads:
+                findings.append(module.finding(
+                    "KNOB003", node,
+                    f"CLI flag binds dest '{dest}' but args.{dest} is "
+                    "never read — dead flag",
+                    symbol=f"flag.{dest}",
+                ))
+        return findings

@@ -1,0 +1,208 @@
+"""Serialization-completeness checker for spec/result dataclasses.
+
+Checkpoints, fault plans and deployment specs round-trip through
+``to_dict``/``as_dict`` and ``from_dict``/``_from_jsonable``.  A field added
+to the dataclass but not to its hand-written serializer silently drops state
+— the checkpoint still loads, the spec still validates, and the corruption
+only surfaces as a bitwise mismatch several PRs later.  This checker
+cross-references every dataclass's field list against the keys its
+serializer methods actually touch:
+
+``SER001``
+    A dataclass field the ``as_dict``/``to_dict`` literal never emits.
+
+``SER002``
+    An emitted key that is neither a field nor a ``@property`` — usually a
+    typo, or a rename that silently forked the schema.
+
+``SER003``
+    A dataclass field the ``from_dict``/``_from_jsonable`` never reads
+    (neither ``data["field"]``/``data.get("field")`` nor a ``field=``
+    keyword in the constructor call).
+
+Serializers that are *generic* — built on ``dataclasses.asdict``,
+``dataclasses.fields``, ``self.__dict__`` or ``cls(**data)`` — are complete
+by construction and skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import (
+    Finding,
+    ParsedModule,
+    Project,
+    dataclass_field_names,
+    dotted_name,
+    is_dataclass_def,
+    iter_class_defs,
+    property_names,
+)
+
+TO_DICT_NAMES = frozenset({"as_dict", "to_dict"})
+FROM_DICT_NAMES = frozenset({"from_dict", "_from_jsonable", "from_jsonable"})
+
+
+def _is_generic(func: ast.FunctionDef) -> bool:
+    """Whether a serializer derives its keys from the dataclass machinery."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("asdict", "dataclasses.asdict", "astuple",
+                        "fields", "dataclasses.fields", "replace",
+                        "dataclasses.replace", "vars"):
+                return True
+            # cls(**data) / SomeClass(**data): a double-star splat forwards
+            # every key, so the constructor signature is the schema.
+            if any(kw.arg is None for kw in node.keywords):
+                return True
+        elif isinstance(node, ast.Attribute) and node.attr == "__dict__":
+            return True
+    return False
+
+
+def _emitted_keys(func: ast.FunctionDef) -> dict[str, ast.AST]:
+    """String keys an ``as_dict`` body emits at the *top level*, with the
+    node each one anchors to for line reporting.
+
+    Dict literals nested inside another dict literal's values are
+    sub-objects with their own schema, not keys of this dataclass — only
+    the outermost literals (plus ``d["k"] = ...`` stores and ``dict(k=...)``
+    keywords outside any literal) count.
+    """
+    keys: dict[str, ast.AST] = {}
+
+    def collect(node: ast.AST, inside_dict: bool) -> None:
+        if isinstance(node, ast.Dict):
+            if not inside_dict:
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.setdefault(key.value, key)
+            inside_dict = True
+        elif not inside_dict:
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.setdefault(target.slice.value, target)
+            elif isinstance(node, ast.Call) and dotted_name(node.func) == "dict":
+                for keyword in node.keywords:
+                    if keyword.arg:
+                        keys.setdefault(keyword.arg, keyword.value)
+        for child in ast.iter_child_nodes(node):
+            collect(child, inside_dict)
+
+    collect(func, False)
+    return keys
+
+
+def _consumed_keys(func: ast.FunctionDef) -> set[str]:
+    """Keys a ``from_dict`` body reads: subscripts, ``.get``, ctor kwargs."""
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Subscript):
+            if (
+                isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                keys.add(node.slice.value)
+        elif isinstance(node, ast.Call):
+            func_name = dotted_name(node.func) or ""
+            if func_name.endswith(".get") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    keys.add(first.value)
+            keys.update(kw.arg for kw in node.keywords if kw.arg)
+    return keys
+
+
+class SerializationChecker:
+    name = "serialization"
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project:
+            for class_def in iter_class_defs(module):
+                if not is_dataclass_def(class_def):
+                    continue
+                findings.extend(self._check_class(module, class_def))
+        return findings
+
+    def _check_class(self, module: ParsedModule,
+                     class_def: ast.ClassDef) -> list[Finding]:
+        fields = dataclass_field_names(class_def)
+        if not fields:
+            return []
+        properties = property_names(class_def)
+        findings: list[Finding] = []
+        for statement in class_def.body:
+            if not isinstance(statement, ast.FunctionDef):
+                continue
+            if statement.name in TO_DICT_NAMES:
+                findings.extend(self._check_to_dict(
+                    module, class_def, statement, fields, properties
+                ))
+            elif statement.name in FROM_DICT_NAMES:
+                findings.extend(self._check_from_dict(
+                    module, class_def, statement, fields
+                ))
+        return findings
+
+    def _check_to_dict(self, module: ParsedModule, class_def: ast.ClassDef,
+                       func: ast.FunctionDef, fields: list[str],
+                       properties: set[str]) -> list[Finding]:
+        if _is_generic(func):
+            return []
+        emitted = _emitted_keys(func)
+        if not emitted:
+            # Nothing statically visible (fully dynamic construction): the
+            # checker cannot prove anything either way, so stay silent
+            # rather than flag every field.
+            return []
+        findings: list[Finding] = []
+        for field in fields:
+            if field not in emitted:
+                findings.append(module.finding(
+                    "SER001", func,
+                    f"{class_def.name}.{func.name} never emits field "
+                    f"'{field}'; the round-trip silently drops it",
+                    symbol=f"{class_def.name}.{field}",
+                ))
+        known = set(fields) | properties
+        for key in sorted(emitted):
+            if key not in known:
+                findings.append(module.finding(
+                    "SER002", emitted[key],
+                    f"{class_def.name}.{func.name} emits key '{key}' that "
+                    "is neither a field nor a property — typo or schema "
+                    "fork?",
+                    symbol=f"{class_def.name}.{key}",
+                ))
+        return findings
+
+    def _check_from_dict(self, module: ParsedModule, class_def: ast.ClassDef,
+                         func: ast.FunctionDef,
+                         fields: list[str]) -> list[Finding]:
+        if _is_generic(func):
+            return []
+        consumed = _consumed_keys(func)
+        if not consumed:
+            return []
+        findings: list[Finding] = []
+        for field in fields:
+            if field not in consumed:
+                findings.append(module.finding(
+                    "SER003", func,
+                    f"{class_def.name}.{func.name} never reads field "
+                    f"'{field}'; a serialized value would be dropped on "
+                    "load",
+                    symbol=f"{class_def.name}.{field}",
+                ))
+        return findings

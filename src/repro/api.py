@@ -498,8 +498,20 @@ class DeploymentBuilder:
     def anneal(self, iterations: int) -> "DeploymentBuilder":
         return self._config(anneal_iterations=iterations)
 
-    def chunk(self, tokens: int) -> "DeploymentBuilder":
-        pipeline = replace(self._spec.config.pipeline, chunk_tokens=tokens)
+    def chunk(self, tokens: int | None = None, *,
+              context_quantum: int | None = None) -> "DeploymentBuilder":
+        """Set the epoch chunk size and/or the context-quantisation step."""
+        overrides: dict = {}
+        if tokens is not None:
+            overrides["chunk_tokens"] = tokens
+        if context_quantum is not None:
+            overrides["context_quantum"] = context_quantum
+        pipeline = replace(self._spec.config.pipeline, **overrides)
+        return self._config(pipeline=pipeline)
+
+    def epoch_limit(self, max_epochs: int) -> "DeploymentBuilder":
+        """Bound the engine's epoch loop (the runaway-simulation guard)."""
+        pipeline = replace(self._spec.config.pipeline, max_epochs=max_epochs)
         return self._config(pipeline=pipeline)
 
     def concurrency(self, max_sequences: int | None) -> "DeploymentBuilder":

@@ -25,6 +25,14 @@ Four sub-commands cover the workflows a downstream user needs:
     the comparison grid, the mapping annealer) and write a machine-readable
     JSON report so the repository keeps a perf trajectory across PRs.
 
+``lint``
+    Run the repo's static invariant checkers (:mod:`repro.analysis`):
+    determinism of the serving path, serialization completeness of the
+    spec/result dataclasses, fast-vs-scalar engine parity, knob plumbing
+    and float-accumulation stability.  Exits nonzero on any finding not
+    grandfathered by ``--baseline``; ``--json`` emits the structured
+    report for tooling.
+
 Every command describes its run as a :class:`repro.api.DeploymentSpec` and
 executes it through the single :func:`repro.api.serve` entry point.
 
@@ -42,7 +50,10 @@ Examples::
     python -m repro serve llama-13b --fault-plan kv_core@0.5,stall@1.0:0:0.25
     python -m repro serve llama-13b --suspend-epoch 50 --checkpoint ckpt.json
     python -m repro serve llama-13b --resume ckpt.json
-    python -m repro bench --output BENCH_PR6.json
+    python -m repro serve llama-13b --tune chunk_tokens=256 --tune context_quantum=128
+    python -m repro serve llama-13b --spec saved_spec.json
+    python -m repro bench --output BENCH_PR7.json
+    python -m repro lint --json
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ from pathlib import Path
 
 from . import api
 from .errors import ConfigurationError, ReproError
+from .pipeline.engine import PipelineConfig
 from .experiments import ALL_EXPERIMENTS, ExperimentSettings
 from .experiments.common import (
     OUROBOROS_NAME,
@@ -85,7 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="force a wafer count (default: smallest that fits)")
 
     serve = subparsers.add_parser("serve", help="serve a workload and report results")
-    serve.add_argument("model", choices=sorted(MODEL_REGISTRY))
+    serve.add_argument("model", nargs="?", default=None,
+                       choices=sorted(MODEL_REGISTRY),
+                       help="model to serve (optional with --spec)")
+    serve.add_argument("--spec", default=None, metavar="FILE",
+                       help="serve a full DeploymentSpec JSON (as written by "
+                            "spec.to_dict()); flag overrides still apply on top")
+    serve.add_argument("--tune", action="append", default=[],
+                       metavar="FIELD=VALUE",
+                       help="override any PipelineConfig field by name, e.g. "
+                            "--tune chunk_tokens=256 --tune max_epochs=500000 "
+                            "(repeatable; values parse as JSON literals)")
     serve.add_argument("--workload", choices=PAPER_WORKLOADS, default="wikitext2")
     serve.add_argument("--system", choices=sorted(api.SYSTEM_REGISTRY),
                        default="ouroboros",
@@ -144,14 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR6.json",
-                       help="path of the JSON report (default: BENCH_PR6.json)")
+    bench.add_argument("--output", default="BENCH_PR7.json",
+                       help="path of the JSON report (default: BENCH_PR7.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
                        help="label recorded in the report")
     bench.add_argument("--anneal-micro", type=int, default=500,
                        help="iterations for the annealer microbenchmark")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the static invariant checkers over the source tree"
+    )
+    lint.add_argument("root", nargs="?", default=None,
+                      help="directory (or single file) to lint "
+                           "(default: the repro package itself)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the structured finding report as JSON")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline file grandfathering known findings "
+                           "(each entry needs a one-line justification)")
     return parser
 
 
@@ -194,8 +228,50 @@ def _parse_fault_plan(text: str) -> api.FaultPlan:
     return api.FaultPlan.parse(text)
 
 
+def _parse_literal(raw: str):
+    """Parse a ``--tune`` value: JSON literal, bare string, none/true/false."""
+    lowered = raw.lower()
+    if lowered in ("none", "null"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _tune_overrides(entries: Sequence[str]) -> dict:
+    """Parse repeated ``--tune FIELD=VALUE`` flags against PipelineConfig.
+
+    Driven by ``dataclasses.fields(PipelineConfig)`` so every engine knob —
+    present and future — is reachable from the CLI without growing a
+    dedicated flag (the ``repro lint`` knob checker relies on this).
+    """
+    from dataclasses import fields as dataclass_fields
+
+    valid = {f.name for f in dataclass_fields(PipelineConfig)}
+    overrides: dict = {}
+    for entry in entries:
+        name, sep, raw = entry.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ConfigurationError(
+                f"--tune expects FIELD=VALUE, got '{entry}'"
+            )
+        if name not in valid:
+            raise ConfigurationError(
+                f"--tune: PipelineConfig has no field '{name}' "
+                f"(valid: {', '.join(sorted(valid))})"
+            )
+        overrides[name] = _parse_literal(raw.strip())
+    return overrides
+
+
 def _apply_serve_overrides(spec, args: argparse.Namespace):
-    """Fold the fault/shedding flags into a serve spec."""
+    """Fold the fault/shedding/tuning flags into a serve spec."""
     if args.fault_plan:
         spec = replace(spec, faults=_parse_fault_plan(args.fault_plan))
     shedding = (
@@ -215,6 +291,10 @@ def _apply_serve_overrides(spec, args: argparse.Namespace):
             shed_backoff_s=args.shed_backoff,
         )
         spec = replace(spec, config=replace(spec.config, pipeline=pipeline))
+    tuned = _tune_overrides(args.tune)
+    if tuned:
+        pipeline = replace(spec.config.pipeline, **tuned)
+        spec = replace(spec, config=replace(spec.config, pipeline=pipeline))
     return spec
 
 
@@ -225,7 +305,7 @@ def _resume_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(f"checkpoint file '{path}' does not exist")
     data = json.loads(path.read_text())
     spec = api.DeploymentSpec.from_dict(data["spec"])
-    if spec.model != args.model:
+    if args.model is not None and spec.model != args.model:
         raise ConfigurationError(
             f"checkpoint '{path}' was taken serving {spec.model}, not "
             f"{args.model}; pass the matching model"
@@ -264,8 +344,15 @@ def _serve(args: argparse.Namespace) -> int:
             "--resume: the analytical baselines have no runtime to fault or "
             "checkpoint"
         )
+    if args.baselines and args.spec:
+        raise ConfigurationError(
+            "--spec cannot combine with --baselines: the spec file already "
+            "names its system"
+        )
     if args.resume:
         return _resume_serve(args)
+    if args.model is None and not args.spec:
+        raise ConfigurationError("serve needs a model (or --spec FILE)")
     settings = ExperimentSettings(
         num_requests=args.requests,
         seed=args.seed,
@@ -274,7 +361,23 @@ def _serve(args: argparse.Namespace) -> int:
         scheduling_policy=args.policy,
     )
     try:
-        if args.baselines:
+        if args.spec:
+            spec_path = Path(args.spec)
+            if not spec_path.exists():
+                raise ConfigurationError(
+                    f"spec file '{spec_path}' does not exist"
+                )
+            spec = api.DeploymentSpec.from_dict(
+                json.loads(spec_path.read_text())
+            )
+            if args.model is not None and spec.model != args.model:
+                raise ConfigurationError(
+                    f"spec file '{spec_path}' describes {spec.model}, not "
+                    f"{args.model}; drop the model argument or pass the "
+                    "matching one"
+                )
+            specs = [spec]
+        elif args.baselines:
             specs = cell_deployments(args.model, args.workload, settings)
         else:
             specs = [settings.deployment(args.model, args.workload, system=args.system)]
@@ -301,11 +404,14 @@ def _serve(args: argparse.Namespace) -> int:
         _print_result_row(outcome.system, outcome)
         _print_robustness(outcome)
         return 0
-    arch = api.resolve_model(args.model)
-    mode = (
-        f"open-loop at {args.arrival_rate:g} req/s" if args.arrival_rate > 0 else "batch"
+    primary = specs[0]
+    arch = api.resolve_model(primary.model)
+    rate = primary.arrival_rate_per_s
+    mode = f"open-loop at {rate:g} req/s" if rate > 0 else "batch"
+    print(
+        f"Serving {primary.num_requests} '{primary.workload}' requests of "
+        f"{arch.name} ({mode})"
     )
-    print(f"Serving {args.requests} '{args.workload}' requests of {arch.name} ({mode})")
     if args.baselines:
         results = {}
         for spec in specs:
@@ -332,7 +438,7 @@ def _serve(args: argparse.Namespace) -> int:
         })
         print(f"  utilization: {result.utilization:.1%}  evictions: {result.evictions}")
         _print_robustness(result)
-        if args.arrival_rate > 0:
+        if rate > 0:
             print(
                 f"  TTFT p50/p95: {result.ttft.p50_s * 1e3:.1f}/"
                 f"{result.ttft.p95_s * 1e3:.1f} ms  "
@@ -378,6 +484,18 @@ def _bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint(args: argparse.Namespace) -> int:
+    from . import analysis
+
+    root = Path(args.root) if args.root else Path(__file__).resolve().parent
+    report = analysis.run_lint(root, baseline_path=args.baseline)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -389,6 +507,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _experiment(args)
         if args.command == "bench":
             return _bench(args)
+        if args.command == "lint":
+            return _lint(args)
     except ReproError as error:
         # Library errors are user-facing configuration/usage problems: report
         # them as one clean line on stderr, not a traceback (exit code 2,

@@ -396,7 +396,7 @@ class DistributedKVCacheManager:
         """Blocks of an allocation delta that land on failed cores."""
         failed_locals = [
             self._core_index[core_id]
-            for core_id in self._failed_cores
+            for core_id in sorted(self._failed_cores)
         ]
         mask = np.isin(allocation.unique_cores, failed_locals)
         if not mask.any():

@@ -294,7 +294,10 @@ class CommunicationCost:
             "inter_layer": self.inter_layer,
             "reduction": self.reduction,
             "gather": self.gather,
-            "total_byte_hops": self.total,
+            # Emitted under a unit-qualified name on purpose: the ``total``
+            # property is in byte-hops, and renaming the key would silently
+            # fork downstream readers of saved reports.
+            "total_byte_hops": self.total,  # repro-lint: allow=SER002
             "total_bytes": self.total_bytes,
         }
 

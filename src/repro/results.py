@@ -245,4 +245,5 @@ class RunResult:
             "faults": self.faults.as_dict() if self.faults is not None else None,
             "shed_requests": self.shed_requests,
             "energy": self.energy.as_dict(),
+            "extra": dict(self.extra),
         }

@@ -40,7 +40,8 @@ of its own tenant's queue.
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from collections.abc import Callable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 from ..errors import ConfigurationError
 
@@ -110,11 +111,13 @@ class SchedulingPolicy(Protocol):
         """Drop a waiting sequence (overload shed); True when it was queued."""
         ...
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         """JSON-able queue/virtual-time state for checkpointing."""
         ...
 
-    def restore_state(self, state: dict, by_id: dict) -> None:
+    def restore_state(
+        self, state: dict[str, Any], by_id: Mapping[int, "Sequence"]
+    ) -> None:
         """Rebuild queues from :meth:`snapshot_state` output.
 
         ``by_id`` maps request ids to the (freshly rebuilt) sequence objects
@@ -188,10 +191,12 @@ class FCFSPolicy:
                 return True
         return False
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         return {"queue": [seq.sequence_id for seq in self._queue]}
 
-    def restore_state(self, state: dict, by_id: dict) -> None:
+    def restore_state(
+        self, state: dict[str, Any], by_id: Mapping[int, "Sequence"]
+    ) -> None:
         self._queue = deque(by_id[seq_id] for seq_id in state["queue"])
 
     def __len__(self) -> int:
@@ -212,7 +217,7 @@ class _TenantQueuedPolicy:
         self._queues: dict[str, deque[Sequence]] = {}
         self._size = 0
 
-    def _queue_for(self, tenant: str) -> deque:
+    def _queue_for(self, tenant: str) -> "deque[Sequence]":
         queue = self._queues.get(tenant)
         if queue is None:
             queue = self._queues[tenant] = deque()
@@ -235,19 +240,24 @@ class _TenantQueuedPolicy:
         queue.popleft()
         self._size -= 1
 
-    def _heads(self):
+    def _heads(self) -> Iterator[tuple[str, "Sequence"]]:
         for tenant, queue in self._queues.items():
             if queue:
                 yield tenant, queue[0]
 
-    def _select_best(self, time, exclude, key):
+    def _select_best(
+        self,
+        time: float,
+        exclude: frozenset[int],
+        key: Callable[[str, "Sequence"], Any],
+    ) -> "Sequence | None":
         """Arrived, non-excluded tenant head minimising ``key(tenant, head)``.
 
         The shared scan behind both tenant-aware ``select`` implementations;
         only the sort key differs between wfq and priority.
         """
-        best = None
-        best_key = None
+        best: Sequence | None = None
+        best_key: Any = None
         for tenant, head in self._heads():
             if head.eligible_time > time:
                 continue
@@ -299,7 +309,7 @@ class _TenantQueuedPolicy:
                 return True
         return False
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         # Empty queues are kept: the dict's first-seen tenant order is part
         # of the deterministic selection order and must survive a resume.
         return {
@@ -309,7 +319,9 @@ class _TenantQueuedPolicy:
             ]
         }
 
-    def restore_state(self, state: dict, by_id: dict) -> None:
+    def restore_state(
+        self, state: dict[str, Any], by_id: Mapping[int, "Sequence"]
+    ) -> None:
         self._queues = {
             tenant: deque(by_id[seq_id] for seq_id in ids)
             for tenant, ids in state["queues"]
@@ -372,13 +384,15 @@ class WFQPolicy(_TenantQueuedPolicy):
         self._vtime = start
         super().pop(sequence, time)
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         state = super().snapshot_state()
         state["finish"] = [[tenant, tag] for tenant, tag in self._finish.items()]
         state["vtime"] = self._vtime
         return state
 
-    def restore_state(self, state: dict, by_id: dict) -> None:
+    def restore_state(
+        self, state: dict[str, Any], by_id: Mapping[int, "Sequence"]
+    ) -> None:
         super().restore_state(state, by_id)
         self._finish = {tenant: tag for tenant, tag in state["finish"]}
         self._vtime = state["vtime"]
@@ -408,7 +422,7 @@ class PriorityAgingPolicy(_TenantQueuedPolicy):
     def select(
         self, time: float, exclude: frozenset[int] = frozenset()
     ) -> "Sequence | None":
-        def key(tenant, head):
+        def key(tenant: str, head: "Sequence") -> tuple[float, float, int]:
             arrival = head.request.arrival_time
             effective = head.request.priority + self.aging_rate * (time - arrival)
             return (-effective, arrival, head.request.request_id)
@@ -417,7 +431,7 @@ class PriorityAgingPolicy(_TenantQueuedPolicy):
 
 
 #: registry key -> factory; the single source of valid policy names
-POLICY_REGISTRY = {
+POLICY_REGISTRY: dict[str, Callable[[], SchedulingPolicy]] = {
     "fcfs": FCFSPolicy,
     "wfq": WFQPolicy,
     "priority": PriorityAgingPolicy,

@@ -1,0 +1,157 @@
+"""Tests for ``scripts/check_bench_regression.py`` — the CI bench gate.
+
+The script is not a package module, so it is loaded straight from its file
+path.  Covered: bitwise drift detection on deterministic headline metrics,
+the wall-clock tolerance gate, the warning for deterministic fresh-only
+keys, the ``num_requests`` mismatch error, and ``main()``'s exit codes with
+explicit ``--fresh``/``--baseline`` files.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = (
+    Path(__file__).resolve().parent.parent
+    / "scripts"
+    / "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def report(headline=None, num_requests=150, total_s=10.0):
+    return {
+        "num_requests": num_requests,
+        "total_s": total_s,
+        "headline": headline or {},
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, gate):
+        baseline = report({"average_speedup": 1.2345, "open_loop_ttft_p95": 0.6})
+        assert gate.compare(baseline, baseline, 0.10) == []
+
+    def test_deterministic_drift_fails_bitwise(self, gate):
+        fresh = report({"average_speedup": 1.2345000000000001})
+        baseline = report({"average_speedup": 1.2345})
+        failures = gate.compare(fresh, baseline, 0.10)
+        assert len(failures) == 1
+        assert "average_speedup" in failures[0]
+        assert "bitwise" in failures[0]
+
+    def test_nondeterministic_keys_not_gated(self, gate):
+        fresh = report({"build_s": 3.0})
+        baseline = report({"build_s": 1.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
+
+    def test_wallclock_regression_fails_past_tolerance(self, gate):
+        fresh = report({"average_speedup": 1.0}, total_s=12.0)
+        baseline = report({"average_speedup": 1.0}, total_s=10.0)
+        failures = gate.compare(fresh, baseline, 0.10)
+        assert len(failures) == 1
+        assert "wall-clock" in failures[0]
+
+    def test_wallclock_within_tolerance_passes(self, gate):
+        fresh = report({"average_speedup": 1.0}, total_s=10.9)
+        baseline = report({"average_speedup": 1.0}, total_s=10.0)
+        assert gate.compare(fresh, baseline, 0.10) == []
+        # A wider tolerance admits the 20% regression that 10% rejects.
+        fresh = report({"average_speedup": 1.0}, total_s=12.0)
+        assert gate.compare(fresh, baseline, 0.25) == []
+
+    def test_missing_deterministic_fresh_key_warns(self, gate, capsys):
+        fresh = report({"average_speedup": 1.0, "fault_goodput": 0.5})
+        baseline = report({"average_speedup": 1.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
+        out = capsys.readouterr().out
+        assert "fault_goodput" in out
+        assert "absent from the committed baseline" in out
+
+    def test_missing_nondeterministic_fresh_key_silent(self, gate, capsys):
+        fresh = report({"average_speedup": 1.0, "anneal_micro_s": 0.5})
+        baseline = report({"average_speedup": 1.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
+        assert "anneal_micro_s" not in capsys.readouterr().out
+
+    def test_num_requests_mismatch_is_an_error(self, gate):
+        fresh = report({"average_speedup": 1.0}, num_requests=50)
+        baseline = report({"average_speedup": 1.0}, num_requests=150)
+        failures = gate.compare(fresh, baseline, 0.10)
+        assert len(failures) == 1
+        assert "request-count mismatch" in failures[0]
+        assert "REPRO_BENCH_REQUESTS=150" in failures[0]
+
+    def test_no_shared_headline_fails(self, gate):
+        failures = gate.compare(report({"a": 1}), report({"b": 2}), 0.10)
+        assert any("no shared headline" in failure for failure in failures)
+
+
+class TestDeterministicPrefixes:
+    def test_prefix_classification(self, gate):
+        assert gate.is_deterministic("average_speedup")
+        assert gate.is_deterministic("slo_goodput_interactive")
+        assert gate.is_deterministic("open_loop_ttft_p95_s")
+        assert gate.is_deterministic("fault_recovered_sequences")
+        assert not gate.is_deterministic("build_s")
+        assert not gate.is_deterministic("total_s")
+
+    def test_pick_latest_selects_highest_pr(self, gate):
+        names = ["BENCH_PR2.json", "BENCH_PR10.json", "BENCH_LATEST.json",
+                 "notes.txt"]
+        assert gate._pick_latest(names) == "BENCH_PR10.json"
+        assert gate._pick_latest(["README.md"]) is None
+
+
+class TestMain:
+    def write(self, path, data):
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_passing_gate_exits_zero(self, gate, tmp_path, capsys):
+        fresh = self.write(tmp_path / "fresh.json",
+                           report({"average_speedup": 1.5}))
+        baseline = self.write(tmp_path / "base.json",
+                              report({"average_speedup": 1.5}))
+        code = gate.main(["--fresh", fresh, "--baseline", baseline])
+        assert code == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_drift_exits_one(self, gate, tmp_path, capsys):
+        fresh = self.write(tmp_path / "fresh.json",
+                           report({"average_speedup": 1.5}))
+        baseline = self.write(tmp_path / "base.json",
+                              report({"average_speedup": 1.6}))
+        code = gate.main(["--fresh", fresh, "--baseline", baseline])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_missing_fresh_report_exits_two(self, gate, tmp_path):
+        baseline = self.write(tmp_path / "base.json", report())
+        code = gate.main(["--fresh", str(tmp_path / "nope.json"),
+                          "--baseline", baseline])
+        assert code == 2
+
+    def test_missing_baseline_report_exits_two(self, gate, tmp_path):
+        fresh = self.write(tmp_path / "fresh.json", report())
+        code = gate.main(["--fresh", fresh,
+                          "--baseline", str(tmp_path / "nope.json")])
+        assert code == 2
+
+    def test_wallclock_tolerance_flag_respected(self, gate, tmp_path):
+        fresh = self.write(tmp_path / "fresh.json",
+                           report({"average_speedup": 1.0}, total_s=14.0))
+        baseline = self.write(tmp_path / "base.json",
+                              report({"average_speedup": 1.0}, total_s=10.0))
+        assert gate.main(["--fresh", fresh, "--baseline", baseline]) == 1
+        assert gate.main(["--fresh", fresh, "--baseline", baseline,
+                          "--wallclock-tolerance", "0.5"]) == 0
