@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Live serving walkthrough: boot a daemon, stream requests, watch telemetry.
+
+Starts a :class:`repro.serving.ServingDaemon` on a background thread (the
+same daemon ``repro serve --daemon`` runs in the foreground), subscribes a
+connection to its completion-event stream, replays the deployment's trace
+over the socket protocol from a second connection, polls the rolling-window
+metrics mid-flight, then drains and verifies the headline property of the
+live serving path: the drained result is **bit-for-bit identical** to the
+batch ``api.serve(spec)`` result.
+
+Run:  python examples/daemon_client.py
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import api, deployment
+from repro.serving import start_daemon
+
+NUM_REQUESTS = 24
+
+
+def main() -> None:
+    spec = (
+        deployment("llama-13b")
+        .workload("lp128_ld2048", num_requests=NUM_REQUESTS)
+        .arrival_rate(20.0)
+        .build()
+    )
+    print(f"Batch reference: serving {NUM_REQUESTS} requests offline...")
+    batch = api.serve(spec)
+    print(f"  {batch.throughput_tokens_per_s:,.0f} tok/s, "
+          f"TTFT p95 {batch.ttft.p95_s * 1e3:.1f} ms\n")
+
+    with start_daemon(spec) as handle:
+        print(f"Daemon listening on {handle.host}:{handle.port}")
+
+        # One connection subscribes to the pushed per-request event stream.
+        subscriber = handle.client()
+        subscriber.subscribe()
+        events: list[dict] = []
+        collector = threading.Thread(
+            target=lambda: events.extend(subscriber.events()), daemon=True
+        )
+        collector.start()
+
+        # A second connection replays the spec's trace in arrival order.
+        trace = api.trace_for(spec)
+        with handle.client() as client:
+            print(f"Streaming {len(trace.requests)} requests over the socket...")
+            for request in sorted(trace.requests,
+                                  key=lambda r: (r.arrival_time, r.request_id)):
+                client.submit(request)
+
+            status = client.status()
+            print(f"  mid-flight: state={status['state']} "
+                  f"completed={status['completed']} waiting={status['waiting']}")
+            window = client.metrics()
+            print(f"  rolling window: {window['aggregate']['requests']} done, "
+                  f"queue depth {window['aggregate']['queue_depth']}")
+
+            client.end_stream()
+            live = client.drain()
+
+        collector.join(timeout=60.0)
+        subscriber.close()
+
+    completions = [e for e in events if e["event"] == "completion"]
+    print(f"\nReceived {len(completions)} completion events; "
+          f"final event: {events[-1]['event']}")
+    print(f"Live result:  {live['throughput_tokens_per_s']:,.0f} tok/s, "
+          f"TTFT p95 {live['ttft']['p95_s'] * 1e3:.1f} ms")
+
+    matches = live == batch.as_dict()
+    print(f"Live drain equals batch serve bit-for-bit: {matches}")
+    if not matches:
+        raise SystemExit("parity violation: live and batch results differ")
+
+
+if __name__ == "__main__":
+    main()

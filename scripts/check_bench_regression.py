@@ -50,6 +50,7 @@ DETERMINISTIC_PREFIXES = (
     "open_loop_",
     "slo_",
     "fault_",
+    "daemon_",
 )
 
 

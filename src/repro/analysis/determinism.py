@@ -3,8 +3,11 @@
 The bitwise gates (``test_engine_equivalence.py``, the ``BENCH_PR<n>.json``
 trajectory, checkpoint/resume) only hold if the modules on the serving path
 are pure functions of the spec and seed.  Four construct families break that
-silently, so they are banned inside ``sim/``, ``pipeline/``, ``workload/``
-and ``kvcache/``:
+silently, so they are banned inside ``sim/``, ``pipeline/``, ``workload/``,
+``kvcache/`` and ``serving/`` (live serving promises the same bitwise
+parity: a drained daemon replay must equal the batch run, so its modules
+obey the same rules; genuine wall-clock needs there carry an explicit
+``repro-lint: allow`` justification):
 
 ``DET001``
     Unseeded RNG: module-level ``random.*`` / ``np.random.*`` draws, and RNG
@@ -34,7 +37,7 @@ import ast
 from .core import Finding, ParsedModule, Project, dotted_name, iteration_sites
 
 #: path segments that put a module on the deterministic serving path
-SCOPED_DIRS = frozenset({"sim", "pipeline", "workload", "kvcache"})
+SCOPED_DIRS = frozenset({"sim", "pipeline", "workload", "kvcache", "serving"})
 
 #: RNG constructors that are fine *when given a seed argument*
 SEEDED_CONSTRUCTORS = frozenset(

@@ -33,6 +33,7 @@ import dataclasses
 import enum
 import json
 import re
+import threading
 import types
 import typing
 from dataclasses import dataclass, field, replace
@@ -751,6 +752,9 @@ def preset(name: str) -> DeploymentSpec:
 #: long multi-config sweeps must not accumulate them without limit.
 _SYSTEM_CACHE: dict[str, ServingSystem] = {}
 _SYSTEM_CACHE_MAX = 16
+#: guards the memo dict: daemon fleets and threaded sweeps build concurrently,
+#: and the pop/re-insert LRU dance is not atomic on its own
+_SYSTEM_CACHE_LOCK = threading.Lock()
 
 
 def _system_cache_key(spec: DeploymentSpec) -> str:
@@ -763,22 +767,38 @@ def _system_cache_key(spec: DeploymentSpec) -> str:
 
 def clear_system_cache() -> None:
     """Drop all memoised built systems (tests, memory-sensitive callers)."""
-    _SYSTEM_CACHE.clear()
+    with _SYSTEM_CACHE_LOCK:
+        _SYSTEM_CACHE.clear()
 
 
 def build_deployment(spec: DeploymentSpec, *, cache: bool = True) -> ServingSystem:
-    """Construct (or fetch the memoised) :class:`ServingSystem` for a spec."""
+    """Construct (or fetch the memoised) :class:`ServingSystem` for a spec.
+
+    Thread-safe: the memo is lock-guarded so concurrent daemons/sweep workers
+    can build at once.  Two threads missing on the same key may both run the
+    factory (builds stay parallel instead of serialising behind the lock);
+    one of the two builds wins the memo slot, and both are valid systems —
+    every serve creates a fresh pipeline, so sharing or not sharing the
+    built system never changes results.
+    """
     entry = get_system(spec.system)
     arch = resolve_model(spec.model)
     if not cache:
         return entry.factory(arch, spec)
     key = _system_cache_key(spec)
-    system = _SYSTEM_CACHE.pop(key, None)
-    if system is None:
-        system = entry.factory(arch, spec)
-    _SYSTEM_CACHE[key] = system  # re-insert = most recently used
-    while len(_SYSTEM_CACHE) > _SYSTEM_CACHE_MAX:
-        _SYSTEM_CACHE.pop(next(iter(_SYSTEM_CACHE)))
+    with _SYSTEM_CACHE_LOCK:
+        system = _SYSTEM_CACHE.pop(key, None)
+        if system is not None:
+            _SYSTEM_CACHE[key] = system  # re-insert = most recently used
+            return system
+    system = entry.factory(arch, spec)
+    with _SYSTEM_CACHE_LOCK:
+        existing = _SYSTEM_CACHE.pop(key, None)
+        if existing is not None:
+            system = existing  # a concurrent builder won; keep one canonical
+        _SYSTEM_CACHE[key] = system
+        while len(_SYSTEM_CACHE) > _SYSTEM_CACHE_MAX:
+            _SYSTEM_CACHE.pop(next(iter(_SYSTEM_CACHE)))
     return system
 
 

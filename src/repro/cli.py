@@ -13,6 +13,22 @@ Four sub-commands cover the workflows a downstream user needs:
     end-to-end latency percentiles.  ``--system`` serves on any registered
     system (``python -m repro serve llama-13b --system tpu-v4``).
 
+``serve --daemon``
+    Run the deployment as a live serving daemon instead of a batch run: an
+    asyncio loop listening on a local TCP socket (``--listen HOST:PORT``,
+    port 0 picks a free one) for the newline-delimited JSON protocol in
+    :mod:`repro.serving.protocol`.  Requests feed the engine's admission
+    queue as they land; draining a replayed spec trace reproduces the batch
+    result bit for bit.  ``--checkpoint-on SIGTERM`` captures an engine
+    checkpoint and exits cleanly on the signal; ``--daemon --resume FILE``
+    continues from the written file.
+
+``client``
+    Talk to a running daemon: ``replay`` streams a spec's trace and drains
+    (``--spawn`` boots a daemon subprocess first and shuts it down after),
+    ``status`` / ``metrics`` query it, ``checkpoint`` / ``drain`` /
+    ``shutdown`` control it.
+
 ``experiment``
     Regenerate one of the paper's figures (``fig01`` ... ``fig24``,
     ``headline`` or ``all``) and print the regenerated rows.  ``fig22``
@@ -52,7 +68,11 @@ Examples::
     python -m repro serve llama-13b --resume ckpt.json
     python -m repro serve llama-13b --tune chunk_tokens=256 --tune context_quantum=128
     python -m repro serve llama-13b --spec saved_spec.json
-    python -m repro bench --output BENCH_PR7.json
+    python -m repro serve llama-13b --daemon --listen 127.0.0.1:7431
+    python -m repro serve llama-13b --daemon --checkpoint-on SIGTERM
+    python -m repro client replay llama-13b --workload lp128_ld2048 --spawn
+    python -m repro client status --connect 127.0.0.1:7431
+    python -m repro bench --output BENCH_PR8.json
     python -m repro lint --json
 """
 
@@ -147,7 +167,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume a run from a checkpoint written by "
                             "--suspend-epoch (the spec stored in the file "
                             "is used; the run finishes bit-for-bit equal to "
-                            "an uninterrupted one)")
+                            "an uninterrupted one); with --daemon, resume a "
+                            "daemon checkpoint written by --checkpoint-on or "
+                            "the protocol's checkpoint operation")
+    serve.add_argument("--daemon", action="store_true",
+                       help="run as a live serving daemon on a local socket "
+                            "instead of a batch run")
+    serve.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="daemon listen address (port 0 picks a free port; "
+                            "default: %(default)s)")
+    serve.add_argument("--checkpoint-on", action="append", default=[],
+                       metavar="SIGNAME", dest="checkpoint_on",
+                       help="checkpoint-and-exit gracefully on this signal "
+                            "(e.g. SIGTERM; repeatable; daemon mode only)")
+    serve.add_argument("--window", type=float, default=60.0,
+                       help="rolling telemetry window in simulated seconds "
+                            "(daemon mode; default: %(default)s)")
+
+    client = subparsers.add_parser(
+        "client", help="talk to a live serving daemon"
+    )
+    client.add_argument("action",
+                        choices=["replay", "status", "metrics", "checkpoint",
+                                 "drain", "shutdown"],
+                        help="operation to perform against the daemon")
+    client.add_argument("model", nargs="?", default=None,
+                        choices=sorted(MODEL_REGISTRY),
+                        help="model whose trace to replay (replay action)")
+    client.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="address of a running daemon")
+    client.add_argument("--spawn", action="store_true",
+                        help="boot a daemon subprocess for this replay and "
+                             "shut it down afterwards (replay action only)")
+    client.add_argument("--spec", default=None, metavar="FILE",
+                        help="replay a full DeploymentSpec JSON instead of "
+                             "model/--workload flags")
+    client.add_argument("--workload", choices=PAPER_WORKLOADS,
+                        default="wikitext2")
+    client.add_argument("--requests", type=int, default=200)
+    client.add_argument("--seed", type=int, default=0)
+    client.add_argument("--arrival-rate", type=float, default=0.0)
+    client.add_argument("--policy", choices=sorted(api.POLICY_NAMES),
+                        default="fcfs")
+    client.add_argument("--path", default=None, metavar="FILE",
+                        help="checkpoint file path (checkpoint action)")
+    client.add_argument("--stop", action="store_true",
+                        help="stop the engine after checkpointing")
+    client.add_argument("--json", action="store_true",
+                        help="print the raw reply as JSON")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -166,8 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR7.json",
-                       help="path of the JSON report (default: BENCH_PR7.json)")
+    bench.add_argument("--output", default="BENCH_PR8.json",
+                       help="path of the JSON report (default: BENCH_PR8.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -319,6 +386,173 @@ def _resume_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` flag value."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"expected HOST:PORT, got '{text}' (e.g. 127.0.0.1:7431)"
+        )
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ConfigurationError(f"invalid port in '{text}'") from exc
+
+
+def _serve_daemon(args: argparse.Namespace, spec=None) -> int:
+    """Run the live serving daemon (``serve --daemon``) to completion."""
+    from .serving import ServingDaemon, load_daemon_checkpoint
+
+    host, port = _parse_address(args.listen)
+    resume_payload = None
+    if args.resume:
+        path = Path(args.resume)
+        if not path.exists():
+            raise ConfigurationError(f"checkpoint file '{path}' does not exist")
+        resume_payload = load_daemon_checkpoint(path)
+        spec = api.DeploymentSpec.from_dict(resume_payload["spec"])
+        print(f"Resuming daemon from '{path}'")
+    assert spec is not None
+    daemon = ServingDaemon(
+        spec,
+        host=host,
+        port=port,
+        window_s=args.window,
+        checkpoint_path=args.checkpoint,
+        checkpoint_signals=tuple(args.checkpoint_on),
+        resume_payload=resume_payload,
+        announce=print,
+    )
+    daemon.run()
+    if daemon.result is not None:
+        print("Drained; final results:")
+        _print_result_row(daemon.result.system, daemon.result)
+        _print_robustness(daemon.result)
+        return 0
+    if daemon.stop_checkpoint is not None:
+        return 0  # the checkpoint-and-stop path already announced the file
+    if daemon.error is not None:
+        print(f"error: {daemon.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _client_spec(args: argparse.Namespace):
+    """The deployment spec a ``client replay`` streams into the daemon."""
+    if args.spec:
+        spec_path = Path(args.spec)
+        if not spec_path.exists():
+            raise ConfigurationError(f"spec file '{spec_path}' does not exist")
+        return api.DeploymentSpec.from_dict(json.loads(spec_path.read_text()))
+    if args.model is None:
+        raise ConfigurationError("client replay needs a model (or --spec FILE)")
+    settings = ExperimentSettings(
+        num_requests=args.requests,
+        seed=args.seed,
+        arrival_rate_per_s=args.arrival_rate,
+        scheduling_policy=args.policy,
+    )
+    return settings.deployment(args.model, args.workload)
+
+
+def _print_replay_result(result: dict, args: argparse.Namespace) -> None:
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return
+    print(
+        f"  {result['system']:<16} {result['throughput_tokens_per_s']:>14,.0f} "
+        f"tok/s {result['energy_per_output_token_j'] * 1e3:>10.3f} mJ/tok"
+    )
+    if result.get("shed_requests"):
+        print(f"  shed requests: {result['shed_requests']}")
+
+
+def _spawn_daemon(spec):
+    """Boot a ``repro serve --daemon`` subprocess and wait for its address.
+
+    Returns ``(process, host, port)`` once the child announces where it
+    listens.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    spec_file = tempfile.NamedTemporaryFile(
+        mode="w", suffix=".json", prefix="repro-spec-", delete=False
+    )
+    with spec_file:
+        json.dump(spec.to_dict(), spec_file)
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--spec", spec_file.name,
+         "--daemon", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            raise ConfigurationError(
+                f"spawned daemon exited (code {process.returncode}) before "
+                "announcing its address"
+            )
+        if "listening on " in line:
+            host, port = _parse_address(line.rsplit("listening on ", 1)[1].strip())
+            return process, host, port
+
+
+def _client(args: argparse.Namespace) -> int:
+    from .serving import DaemonClient, replay_spec
+
+    if args.spawn and args.action != "replay":
+        raise ConfigurationError("--spawn only applies to the replay action")
+    if args.action == "replay":
+        spec = _client_spec(args)
+        spec.validate()
+        if args.spawn:
+            process, host, port = _spawn_daemon(spec)
+            try:
+                result = replay_spec(spec, host, port, shutdown=True)
+            finally:
+                process.stdout.read()  # drain so the child can exit cleanly
+                process.wait()
+            _print_replay_result(result, args)
+            return 0
+        if not args.connect:
+            raise ConfigurationError("client replay needs --connect (or --spawn)")
+        host, port = _parse_address(args.connect)
+        result = replay_spec(spec, host, port)
+        _print_replay_result(result, args)
+        return 0
+    if not args.connect:
+        raise ConfigurationError(f"client {args.action} needs --connect HOST:PORT")
+    host, port = _parse_address(args.connect)
+    with DaemonClient(host, port) as client:
+        if args.action == "status":
+            payload = client.status()
+        elif args.action == "metrics":
+            payload = client.metrics()
+        elif args.action == "checkpoint":
+            payload = client.checkpoint(args.path, stop=args.stop)
+        elif args.action == "drain":
+            result = client.drain()
+            _print_replay_result(result, args)
+            return 0
+        else:
+            client.shutdown()
+            payload = {"shutdown": True}
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def _print_robustness(result) -> None:
     """One line each for shed/fault accounting, when the run had any."""
     if result.shed_requests:
@@ -349,8 +583,13 @@ def _serve(args: argparse.Namespace) -> int:
             "--spec cannot combine with --baselines: the spec file already "
             "names its system"
         )
+    if args.daemon and (args.baselines or args.suspend_epoch is not None):
+        raise ConfigurationError(
+            "--daemon cannot combine with --baselines or --suspend-epoch "
+            "(use the protocol's checkpoint operation or --checkpoint-on)"
+        )
     if args.resume:
-        return _resume_serve(args)
+        return _serve_daemon(args) if args.daemon else _resume_serve(args)
     if args.model is None and not args.spec:
         raise ConfigurationError("serve needs a model (or --spec FILE)")
     settings = ExperimentSettings(
@@ -387,6 +626,8 @@ def _serve(args: argparse.Namespace) -> int:
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.daemon:
+        return _serve_daemon(args, specs[0])
     if args.suspend_epoch is not None:
         outcome = api.serve(specs[0], suspend_at_epoch=args.suspend_epoch)
         if isinstance(outcome, api.EngineCheckpoint):
@@ -503,6 +744,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _print_summary(args)
         if args.command == "serve":
             return _serve(args)
+        if args.command == "client":
+            return _client(args)
         if args.command == "experiment":
             return _experiment(args)
         if args.command == "bench":

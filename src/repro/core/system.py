@@ -97,6 +97,30 @@ class OuroborosSystem:
             resume_from=resume_from,
         )
 
+    def serve_live(
+        self,
+        trace: Trace,
+        workload_name: str | None = None,
+        *,
+        arrival_feed,
+        fault_plan=None,
+        resume_from=None,
+        scalar: bool = False,
+    ) -> RunResult:
+        """Serve with live ingestion through an arrival feed (the daemon path).
+
+        ``trace`` starts empty and accumulates requests as the feed releases
+        them; see :meth:`repro.sim.engine.BuiltOuroboros.serve_live`.
+        """
+        return self.built.serve_live(
+            trace,
+            workload_name,
+            arrival_feed=arrival_feed,
+            fault_plan=fault_plan,
+            resume_from=resume_from,
+            scalar=scalar,
+        )
+
     def serve_workload(
         self, workload: str, num_requests: int = 1000, seed: int = 0
     ) -> RunResult:

@@ -29,3 +29,7 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The end-to-end simulator reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A live-serving daemon message or reply violated the wire protocol."""

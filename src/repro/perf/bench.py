@@ -7,9 +7,11 @@ saturation rate), a multi-tenant SLO-goodput serve (the fig23 shape: two
 tenants, sub-epoch admission, per-tenant goodput accounting) under both the
 FCFS and WFQ scheduling policies, a fault-recovery serve (the fig25 shape:
 overloaded arrivals under a deterministic fault plan, with and without
-overload shedding), the full headline comparison grid, and a mapping-annealer
-microbenchmark -- and writes the measurements to a JSON file
-(``BENCH_PR6.json`` by default).  Future PRs append their own reports, so the
+overload shedding), a live daemon replay of the open-loop run (booting a real
+``ServingDaemon`` and streaming the trace over its socket protocol, with a
+bitwise batch-parity headline), the full headline comparison grid, and a
+mapping-annealer microbenchmark -- and writes the measurements to a JSON file
+(``BENCH_PR8.json`` by default).  Future PRs append their own reports, so the
 repository carries its performance trajectory alongside the code;
 ``scripts/check_bench_regression.py`` gates CI on the deterministic headline
 metrics staying bit-for-bit on trajectory.
@@ -256,6 +258,35 @@ def run_bench(
         fault_stats.recovered_sequences
     )
     report.headline["fault_recompute_tokens"] = float(fault_stats.recompute_tokens)
+
+    # Stage 2f: live daemon replay of the stage-2b open-loop deployment.  A
+    # real ServingDaemon is booted on a background thread, the spec's trace is
+    # streamed in over the socket protocol and drained; the timing covers the
+    # whole round trip (build + ingestion + serving + protocol).  The headline
+    # records the replayed tail latencies plus a bitwise batch-parity
+    # indicator -- the daemon must reproduce the stage-2b numbers exactly.
+    from ..serving import serve_via_daemon
+
+    daemon_spec = open_loop_settings.deployment(models[0], workload)
+    start = time.perf_counter()
+    daemon_result = serve_via_daemon(daemon_spec)
+    report.timings_s[f"serve_daemon_replay.{models[0]}.{workload}"] = (
+        time.perf_counter() - start
+    )
+    daemon_matches = (
+        daemon_result["total_time_s"] == open_result.total_time_s
+        and daemon_result["total_tokens"] == open_result.total_tokens
+        and daemon_result["output_tokens"] == open_result.output_tokens
+        and daemon_result["ttft"] == open_result.ttft.as_dict()
+        and daemon_result["latency"] == open_result.latency.as_dict()
+        and daemon_result["energy"] == open_result.energy.as_dict()
+    )
+    report.headline["daemon_replay_ttft_p95_s"] = daemon_result["ttft"]["p95_s"]
+    report.headline["daemon_replay_latency_p99_s"] = (
+        daemon_result["latency"]["p99_s"]
+    )
+    report.headline["daemon_replay_total_time_s"] = daemon_result["total_time_s"]
+    report.headline["daemon_replay_matches_batch"] = 1.0 if daemon_matches else 0.0
 
     # Stage 3: the full headline grid (models x workloads x all systems).
     start = time.perf_counter()

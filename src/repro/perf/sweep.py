@@ -46,8 +46,10 @@ from ..results import RunResult
 #:     weight/priority, and admission order is policy-defined;
 #:  6: fault-tolerant serving — DeploymentSpec grew a fault plan,
 #:     PipelineConfig grew overload-shedding knobs, and RunResult grew
-#:     fault/shed accounting)
-_CACHE_SCHEMA = "6"
+#:     fault/shed accounting;
+#:  7: live serving — TenantStats grew queue_depth/admission_wait, so the
+#:     pickled per-tenant payload changed shape)
+_CACHE_SCHEMA = "7"
 
 
 @dataclass(frozen=True)
@@ -205,6 +207,22 @@ class SweepRunner:
         the settings, so each variant caches independently.
         """
         return self._run_pairs([(cell, settings) for settings in settings_list])
+
+    def run_specs_daemon(self, specs: list) -> list[dict]:
+        """Serve each deployment spec through its own live daemon (fleet mode).
+
+        One :class:`~repro.serving.daemon.ServingDaemon` per spec on
+        background threads, each replayed by a protocol client and drained;
+        results are result dicts in spec order, bit-for-bit the batch
+        ``serve(spec)`` results.  Runs on threads rather than the process
+        pool — daemons are I/O-multiplexed around one engine thread each,
+        and concurrent starts share ``api.build_deployment``'s memo under
+        its lock.
+        """
+        from ..serving import DaemonFleet
+
+        fleet = DaemonFleet(specs, max_workers=self.max_workers)
+        return fleet.run()
 
     def run_grid(
         self,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Any
 
 from ..errors import ConfigurationError
 
@@ -41,28 +42,28 @@ class EngineCheckpoint:
     next_epoch_index: int
     time_s: float
     #: the four EnergyBreakdown component fields (no derived total)
-    energy: dict
+    energy: dict[str, float]
     processed_tokens: int
     utilization_time: float
     stalled_epochs: int
     split_epochs: int
     #: closed EpochRecord rows (dicts of the dataclass fields)
-    epochs: list
+    epochs: list[dict[str, Any]]
     #: ``[request_id, {mutable sequence fields}]`` pairs, sorted by id
-    sequences: list
+    sequences: list[list[Any]]
     #: scheduler snapshot incl. policy queues / virtual time / shed state
-    scheduler: dict
+    scheduler: dict[str, Any]
     #: KV-cache manager occupancy snapshot
-    kv: dict
+    kv: dict[str, Any]
     #: fault-injector cursor + counters (None = run has no fault plan)
-    faults: dict | None = None
+    faults: dict[str, Any] | None = None
     version: int = CHECKPOINT_VERSION
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "EngineCheckpoint":
+    def from_dict(cls, data: dict[str, Any]) -> "EngineCheckpoint":
         version = data.get("version")
         if version != CHECKPOINT_VERSION:
             raise ConfigurationError(

@@ -39,7 +39,8 @@ Latency accounting is tenant-aware: every request carries a ``tenant`` id and
 :class:`TenantStats` (plus SLO goodput when the trace carries an
 :class:`~repro.workload.requests.SLOTarget`).
 
-Two implementations of the epoch loop exist:
+Two implementations of the epoch loop exist, as two per-epoch *advance
+strategies* driven by one shared loop (:meth:`PipelineEngine._drive`):
 
 * :meth:`PipelineEngine.run` -- the fast path.  Every epoch it materialises
   the active sequences' integer state (remaining prefill/decode, positions,
@@ -50,14 +51,29 @@ Two implementations of the epoch loop exist:
   allocated and the scheduler is queried through its O(1) membership set.
 * :meth:`PipelineEngine.run_scalar` -- the retained scalar reference: the
   original one-sequence-at-a-time loop, kept for validation.  It shares the
-  epoch-closing arithmetic (duration, utilization, per-bin energy scaling)
-  with the fast path, so the two produce bitwise-identical
-  :class:`RunResult` fields; the equivalence suite asserts exactly that.
+  epoch loop and the epoch-closing arithmetic (duration, utilization,
+  per-bin energy scaling) with the fast path, so the two produce
+  bitwise-identical :class:`RunResult` fields; the equivalence suite asserts
+  exactly that.
+
+Both entry points accept an optional ``arrival_feed`` — the live-serving hook
+used by ``repro serve --daemon`` (see :mod:`repro.serving`).  A feed delivers
+requests *while the run executes* instead of up front, under a watermark
+contract: the feed's watermark is a simulated-time bound below which no
+further arrivals will ever be submitted.  The engine never plans an epoch,
+jumps an idle gap, or fills the scheduler past the watermark; it blocks until
+the watermark covers the step (or the feed is drained), ingests everything
+the feed released, and re-plans.  Because batch planning only consults
+arrivals strictly inside the step about to run, a request ingested before the
+first fill that could admit it is indistinguishable from one submitted up
+front — which is what makes the daemon replay bit-for-bit equal to
+``run(trace)`` with the same requests.  With ``arrival_feed=None`` every hook
+is skipped and the loop is the exact batch control flow.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -160,6 +176,39 @@ class EpochPlan:
     split: bool = False
 
 
+@dataclass
+class _EpochTally:
+    """What one epoch's advance produced, handed to the shared epoch closer.
+
+    Both advance strategies (vectorised and scalar) fill the same tally, so
+    the loop around them — stall handling, epoch closing, timestamp stamping,
+    accumulator updates — is written once in :meth:`PipelineEngine._drive`.
+    """
+
+    tokens: int = 0
+    context_weighted: float = 0.0
+    energy_bins: dict[int, int] = field(default_factory=dict)
+    prefill_segments: list[tuple[Sequence, int]] = field(default_factory=list)
+    decode_sequences: int = 0
+    max_decode_chunk: int = 0
+    first_decoders: list[Sequence] = field(default_factory=list)
+    finished: list[Sequence] = field(default_factory=list)
+
+
+class _LiveSuspend(Exception):
+    """Control-flow signal: a live feed requested checkpoint-and-stop.
+
+    Raised from deep inside the epoch loop (possibly while blocked waiting
+    for arrivals) and caught by :meth:`PipelineEngine._drive`, which returns
+    the captured :class:`EngineCheckpoint` exactly as ``suspend_at_epoch``
+    would.
+    """
+
+    def __init__(self, checkpoint: EngineCheckpoint) -> None:
+        super().__init__("live checkpoint-and-stop requested")
+        self.checkpoint = checkpoint
+
+
 class PipelineEngine:
     """Base class for the three pipeline strategies."""
 
@@ -259,6 +308,7 @@ class PipelineEngine:
         fault_plan=None,
         suspend_at_epoch: int | None = None,
         resume_from: EngineCheckpoint | None = None,
+        arrival_feed=None,
     ) -> RunResult | EngineCheckpoint:
         """Serve ``trace`` to completion and return aggregate results.
 
@@ -270,126 +320,14 @@ class PipelineEngine:
         running epoch N (or a normal :class:`RunResult` when the trace drains
         first); ``resume_from`` restores such a checkpoint into this freshly
         built engine and continues — the combined run is bitwise identical to
-        an uninterrupted one.
+        an uninterrupted one.  ``arrival_feed`` is the live-serving hook (see
+        the module docstring); ``trace`` then starts empty and accumulates the
+        ingested requests.
         """
-        scheduler = self.scheduler
-        injector, state = self._prepare_run(trace, fault_plan, resume_from)
-        start_epoch, time_s, energy, processed_tokens, utilization_time, stalled_epochs = state
-
-        for epoch_index in range(start_epoch, self.config.max_epochs):
-            if suspend_at_epoch is not None and epoch_index >= suspend_at_epoch:
-                return self._capture_checkpoint(
-                    epoch_index, time_s, energy, processed_tokens,
-                    utilization_time, stalled_epochs, injector,
-                )
-            if scheduler.all_done:
-                break
-            active, time_s = self._admit_or_skip_idle(time_s)
-            if injector is not None:
-                applied, delay = injector.poll(time_s)
-                if applied:
-                    # Recovery consumed wall-clock, and the fault may have
-                    # re-queued (even all of) the active set; re-admit so the
-                    # epoch below runs against the post-fault state.
-                    time_s += delay
-                    active, time_s = self._admit_or_skip_idle(time_s)
-            if not active:
-                break
-
-            # Flat integer state of every active sequence, then the epoch's
-            # advances in a few vectorised operations: every sequence takes
-            # min(chunk, remaining) tokens — truncated when the next arrival
-            # lands mid-epoch — split into a prefill take at its current
-            # position and a decode take right after it.
-            snapshot = active  # `active` is already a defensive copy
-            count = len(snapshot)
-            plan = self._plan_epoch(snapshot, time_s)
-            if plan.split:
-                self._split_epochs += 1
-            budget_list = plan.budgets
-            prefill_take_list = plan.prefill_takes
-            decode_take_list = plan.decode_takes
-            prefill_avg_list = plan.prefill_avgs
-            decode_avg_list = plan.decode_avgs
-
-            epoch_tokens = 0
-            context_weighted = 0.0
-            energy_bins: dict[int, int] = {}
-            prefill_segments: list[tuple[Sequence, int]] = []
-            decode_sequences = 0
-            max_decode_chunk = 0
-            first_decoders: list[Sequence] = []
-            finished: list[Sequence] = []
-
-            for i, sequence in enumerate(snapshot):
-                if not scheduler.is_active(sequence):
-                    continue  # evicted by an earlier sequence's KV growth
-                budget = budget_list[i]
-                if budget <= 0:
-                    continue
-                if not scheduler.grow_sequence(sequence, budget):
-                    continue
-                prefill_take = prefill_take_list[i]
-                decode_take = decode_take_list[i]
-                if prefill_take > 0:
-                    avg_context = prefill_avg_list[i]
-                    epoch_tokens += prefill_take
-                    context_weighted += avg_context * prefill_take
-                    key = self._quantize(avg_context)
-                    energy_bins[key] = energy_bins.get(key, 0) + prefill_take
-                    prefill_segments.append((sequence, prefill_take))
-                if decode_take > 0:
-                    avg_context = decode_avg_list[i]
-                    epoch_tokens += decode_take
-                    context_weighted += avg_context * decode_take
-                    key = self._quantize(avg_context)
-                    energy_bins[key] = energy_bins.get(key, 0) + decode_take
-                    decode_sequences += 1
-                    if decode_take > max_decode_chunk:
-                        max_decode_chunk = decode_take
-                    if sequence.generated_tokens == 0:
-                        first_decoders.append(sequence)
-                sequence.apply_advance(prefill_take, decode_take)
-                if sequence.is_complete:
-                    # Scheduler bookkeeping (KV release, admission resume)
-                    # happens mid-epoch; the wall-clock stamp is corrected to
-                    # the epoch end below, once the duration is known.
-                    scheduler.complete(sequence, time_s)
-                    finished.append(sequence)
-
-            if epoch_tokens == 0:
-                stalled_epochs = self._handle_stall(stalled_epochs)
-                continue
-            stalled_epochs = 0
-
-            duration, utilization, epoch_energy = self._close_epoch(
-                epoch_tokens,
-                context_weighted,
-                energy_bins,
-                prefill_segments,
-                decode_sequences,
-                max_decode_chunk,
-            )
-            time_s += duration
-            self._stamp_epoch_end(time_s, first_decoders, finished)
-            energy = energy + epoch_energy
-            processed_tokens += epoch_tokens
-            utilization_time += utilization * duration
-            self.epochs.append(
-                EpochRecord(
-                    epoch=epoch_index,
-                    tokens=epoch_tokens,
-                    utilization=utilization,
-                    duration_s=duration,
-                    active_sequences=count,
-                )
-            )
-        else:
-            raise SimulationError("epoch limit reached before the trace completed")
-
-        return self._finish(
-            trace, workload_name, time_s, energy, processed_tokens,
-            utilization_time, injector.stats if injector is not None else None,
+        return self._drive(
+            self._advance_epoch_fast, trace, workload_name,
+            fault_plan=fault_plan, suspend_at_epoch=suspend_at_epoch,
+            resume_from=resume_from, arrival_feed=arrival_feed,
         )
 
     def run_scalar(
@@ -400,122 +338,304 @@ class PipelineEngine:
         fault_plan=None,
         suspend_at_epoch: int | None = None,
         resume_from: EngineCheckpoint | None = None,
+        arrival_feed=None,
     ) -> RunResult | EngineCheckpoint:
         """Retained scalar reference: advance one sequence at a time.
 
         Kept as the validation oracle for the array-based :meth:`run`; both
-        paths share the epoch-closing arithmetic, so their results must match
-        bit for bit.  Prefer :meth:`run` everywhere else -- this loop is an
-        order of magnitude slower on large traces.  Fault injection and
-        suspend/resume behave exactly as on :meth:`run`.
+        paths share the epoch loop and the epoch-closing arithmetic, so their
+        results must match bit for bit.  Prefer :meth:`run` everywhere else --
+        this advance strategy is an order of magnitude slower on large traces.
+        Fault injection, suspend/resume and live arrival feeds behave exactly
+        as on :meth:`run`.
+        """
+        return self._drive(
+            self._advance_epoch_scalar, trace, workload_name,
+            fault_plan=fault_plan, suspend_at_epoch=suspend_at_epoch,
+            resume_from=resume_from, arrival_feed=arrival_feed,
+        )
+
+    def _advance_epoch_fast(
+        self, snapshot: list[Sequence], plan: EpochPlan, time_s: float
+    ) -> _EpochTally:
+        """Vectorised advance: commit the plan's takes directly.
+
+        Flat integer state of every active sequence was derived by the plan
+        in a few vectorised operations: every sequence takes min(chunk,
+        remaining) tokens — truncated when the next arrival lands mid-epoch —
+        split into a prefill take at its current position and a decode take
+        right after it.
+        """
+        scheduler = self.scheduler
+        tally = _EpochTally()
+        budget_list = plan.budgets
+        prefill_take_list = plan.prefill_takes
+        decode_take_list = plan.decode_takes
+        prefill_avg_list = plan.prefill_avgs
+        decode_avg_list = plan.decode_avgs
+        energy_bins = tally.energy_bins
+
+        for i, sequence in enumerate(snapshot):
+            if not scheduler.is_active(sequence):
+                continue  # evicted by an earlier sequence's KV growth
+            budget = budget_list[i]
+            if budget <= 0:
+                continue
+            if not scheduler.grow_sequence(sequence, budget):
+                continue
+            prefill_take = prefill_take_list[i]
+            decode_take = decode_take_list[i]
+            if prefill_take > 0:
+                avg_context = prefill_avg_list[i]
+                tally.tokens += prefill_take
+                tally.context_weighted += avg_context * prefill_take
+                key = self._quantize(avg_context)
+                energy_bins[key] = energy_bins.get(key, 0) + prefill_take
+                tally.prefill_segments.append((sequence, prefill_take))
+            if decode_take > 0:
+                avg_context = decode_avg_list[i]
+                tally.tokens += decode_take
+                tally.context_weighted += avg_context * decode_take
+                key = self._quantize(avg_context)
+                energy_bins[key] = energy_bins.get(key, 0) + decode_take
+                tally.decode_sequences += 1
+                if decode_take > tally.max_decode_chunk:
+                    tally.max_decode_chunk = decode_take
+                if sequence.generated_tokens == 0:
+                    tally.first_decoders.append(sequence)
+            sequence.apply_advance(prefill_take, decode_take)
+            if sequence.is_complete:
+                # Scheduler bookkeeping (KV release, admission resume)
+                # happens mid-epoch; the wall-clock stamp is corrected to
+                # the epoch end by the driver, once the duration is known.
+                scheduler.complete(sequence, time_s)
+                tally.finished.append(sequence)
+        return tally
+
+    def _advance_epoch_scalar(
+        self, snapshot: list[Sequence], plan: EpochPlan, time_s: float
+    ) -> _EpochTally:
+        """Scalar advance: one sequence at a time, the validation oracle.
+
+        Keeps its one-sequence-at-a-time advancing and energy accounting, but
+        takes the per-sequence token caps from the shared plan so the
+        sub-epoch split boundary is decided by the exact same arithmetic as
+        the fast path (the untruncated cap is min(chunk, remaining tokens of
+        the current phase chain)).
+        """
+        scheduler = self.scheduler
+        tally = _EpochTally()
+        energy_bins = tally.energy_bins
+
+        for index, sequence in enumerate(snapshot):  # `snapshot` is a copy
+            if not scheduler.is_active(sequence):
+                continue  # evicted by an earlier sequence's KV growth
+            budget = plan.budgets[index]
+            if budget <= 0:
+                continue
+            if not scheduler.grow_sequence(sequence, budget):
+                continue
+            had_output = sequence.generated_tokens > 0
+            segments = sequence.advance_tokens(budget)
+            for phase, count, start_position in segments:
+                avg_context = start_position + (count - 1) / 2.0
+                tally.tokens += count
+                tally.context_weighted += avg_context * count
+                key = self._quantize(avg_context)
+                energy_bins[key] = energy_bins.get(key, 0) + count
+                if phase is SequencePhase.PREFILL:
+                    tally.prefill_segments.append((sequence, count))
+                else:
+                    tally.decode_sequences += 1
+                    tally.max_decode_chunk = max(tally.max_decode_chunk, count)
+            if not had_output and sequence.generated_tokens > 0:
+                tally.first_decoders.append(sequence)
+            if sequence.is_complete:
+                # Scheduler bookkeeping (KV release, admission resume)
+                # happens mid-epoch; the wall-clock stamp is corrected to
+                # the epoch end by the driver, once the duration is known.
+                scheduler.complete(sequence, time_s)
+                tally.finished.append(sequence)
+        return tally
+
+    def _drive(
+        self,
+        advance,
+        trace: Trace,
+        workload_name: str | None,
+        *,
+        fault_plan,
+        suspend_at_epoch: int | None,
+        resume_from: EngineCheckpoint | None,
+        arrival_feed,
+    ) -> RunResult | EngineCheckpoint:
+        """The shared epoch loop behind :meth:`run` and :meth:`run_scalar`.
+
+        ``advance`` is the per-epoch strategy (vectorised or scalar).  With
+        ``arrival_feed=None`` this is the exact batch control flow; a live
+        feed adds the watermark gates described in the module docstring, and
+        a feed-requested checkpoint-and-stop surfaces as :class:`_LiveSuspend`
+        from the gates and returns the checkpoint like ``suspend_at_epoch``.
         """
         scheduler = self.scheduler
         injector, state = self._prepare_run(trace, fault_plan, resume_from)
         start_epoch, time_s, energy, processed_tokens, utilization_time, stalled_epochs = state
 
-        for epoch_index in range(start_epoch, self.config.max_epochs):
-            if suspend_at_epoch is not None and epoch_index >= suspend_at_epoch:
-                return self._capture_checkpoint(
-                    epoch_index, time_s, energy, processed_tokens,
-                    utilization_time, stalled_epochs, injector,
-                )
-            if scheduler.all_done:
-                break
-            active, time_s = self._admit_or_skip_idle(time_s)
-            if injector is not None:
-                applied, delay = injector.poll(time_s)
-                if applied:
-                    # Recovery consumed wall-clock, and the fault may have
-                    # re-queued (even all of) the active set; re-admit so the
-                    # epoch below runs against the post-fault state.
-                    time_s += delay
-                    active, time_s = self._admit_or_skip_idle(time_s)
-            if not active:
-                break
+        def live_sync(horizon: float | None, *, wait: bool) -> None:
+            """Service the live feed at an epoch boundary.
 
-            # The scalar loop keeps its one-sequence-at-a-time advancing and
-            # energy accounting, but takes the per-sequence token caps from
-            # the shared plan so the sub-epoch split boundary is decided by
-            # the exact same arithmetic as the fast path (the untruncated cap
-            # is min(chunk, remaining tokens of the current phase chain)).
-            plan = self._plan_epoch(active, time_s)
-            if plan.split:
-                self._split_epochs += 1
-
-            epoch_tokens = 0
-            context_weighted = 0.0
-            energy_bins: dict[int, int] = {}
-            prefill_segments: list[tuple[Sequence, int]] = []
-            decode_sequences = 0
-            max_decode_chunk = 0
-            first_decoders: list[Sequence] = []
-            finished: list[Sequence] = []
-            active_count = len(active)
-
-            for index, sequence in enumerate(active):  # `active` is a copy
-                if not scheduler.is_active(sequence):
-                    continue  # evicted by an earlier sequence's KV growth
-                budget = plan.budgets[index]
-                if budget <= 0:
+            Delivers pending checkpoint requests (raising :class:`_LiveSuspend`
+            for a stop request), then ingests every released arrival.  With
+            ``wait=True`` it first blocks until the feed covers ``horizon``
+            (any new input when ``horizon`` is None) or is drained.
+            """
+            while True:
+                request = arrival_feed.take_checkpoint_request()
+                if request is not None:
+                    snapshot = self._capture_checkpoint(
+                        epoch_index, time_s, energy, processed_tokens,
+                        utilization_time, stalled_epochs, injector,
+                    )
+                    arrival_feed.deliver_checkpoint(request, snapshot)
+                    if request.stop:
+                        raise _LiveSuspend(snapshot)
                     continue
-                if not scheduler.grow_sequence(sequence, budget):
+                if not wait or arrival_feed.wait_ready(horizon):
+                    break
+            self._ingest_live(arrival_feed, trace)
+
+        live_args = (arrival_feed, live_sync) if arrival_feed is not None else (None, None)
+
+        epoch_index = start_epoch
+        try:
+            while True:
+                if epoch_index >= self.config.max_epochs:
+                    raise SimulationError(
+                        "epoch limit reached before the trace completed"
+                    )
+                if suspend_at_epoch is not None and epoch_index >= suspend_at_epoch:
+                    return self._capture_checkpoint(
+                        epoch_index, time_s, energy, processed_tokens,
+                        utilization_time, stalled_epochs, injector,
+                    )
+                if arrival_feed is not None:
+                    live_sync(None, wait=False)
+                    # Never fill at a clock the watermark has not covered: an
+                    # epoch whose actual duration overshot its plan may have
+                    # advanced past arrivals a client has yet to submit.
+                    if (not arrival_feed.is_drained()
+                            and arrival_feed.watermark() < time_s):
+                        live_sync(time_s, wait=True)
+                if scheduler.all_done:
+                    if arrival_feed is None or arrival_feed.is_finished():
+                        break
+                    # Everything ingested so far is served; block for input.
+                    live_sync(None, wait=True)
                     continue
-                had_output = sequence.generated_tokens > 0
-                segments = sequence.advance_tokens(budget)
-                for phase, count, start_position in segments:
-                    avg_context = start_position + (count - 1) / 2.0
-                    epoch_tokens += count
-                    context_weighted += avg_context * count
-                    key = self._quantize(avg_context)
-                    energy_bins[key] = energy_bins.get(key, 0) + count
-                    if phase is SequencePhase.PREFILL:
-                        prefill_segments.append((sequence, count))
-                    else:
-                        decode_sequences += 1
-                        max_decode_chunk = max(max_decode_chunk, count)
-                if not had_output and sequence.generated_tokens > 0:
-                    first_decoders.append(sequence)
-                if sequence.is_complete:
-                    # Scheduler bookkeeping (KV release, admission resume)
-                    # happens mid-epoch; the wall-clock stamp is corrected to
-                    # the epoch end below, once the duration is known.
-                    scheduler.complete(sequence, time_s)
-                    finished.append(sequence)
+                active, time_s = self._admit_or_skip_idle(time_s, *live_args)
+                if injector is not None:
+                    applied, delay = injector.poll(time_s)
+                    if applied:
+                        # Recovery consumed wall-clock, and the fault may have
+                        # re-queued (even all of) the active set; re-admit so
+                        # the epoch below runs against the post-fault state.
+                        time_s += delay
+                        if (arrival_feed is not None
+                                and not arrival_feed.is_drained()
+                                and arrival_feed.watermark() < time_s):
+                            live_sync(time_s, wait=True)
+                        active, time_s = self._admit_or_skip_idle(time_s, *live_args)
+                if not active:
+                    if arrival_feed is None or arrival_feed.is_finished():
+                        break
+                    live_sync(None, wait=True)
+                    continue
 
-            if epoch_tokens == 0:
-                stalled_epochs = self._handle_stall(stalled_epochs)
-                continue
-            stalled_epochs = 0
+                # `active` is already a defensive copy.
+                plan = self._plan_epoch(active, time_s)
+                if arrival_feed is not None and not arrival_feed.is_drained():
+                    # The planner only saw ingested arrivals; make sure no
+                    # future client submission could land inside this epoch
+                    # (which would have split it), then re-plan with whatever
+                    # the wait released.  No epoch index is consumed: batch
+                    # never ran these aborted plans.
+                    horizon = time_s + self._plan_horizon(active, plan)
+                    if arrival_feed.watermark() < horizon:
+                        live_sync(horizon, wait=True)
+                        continue
+                if plan.split:
+                    self._split_epochs += 1
 
-            duration, utilization, epoch_energy = self._close_epoch(
-                epoch_tokens,
-                context_weighted,
-                energy_bins,
-                prefill_segments,
-                decode_sequences,
-                max_decode_chunk,
-            )
-            time_s += duration
-            self._stamp_epoch_end(time_s, first_decoders, finished)
-            energy = energy + epoch_energy
-            processed_tokens += epoch_tokens
-            utilization_time += utilization * duration
-            self.epochs.append(
-                EpochRecord(
-                    epoch=epoch_index,
-                    tokens=epoch_tokens,
-                    utilization=utilization,
-                    duration_s=duration,
-                    active_sequences=active_count,
+                tally = advance(active, plan, time_s)
+
+                if tally.tokens == 0:
+                    stalled_epochs = self._handle_stall(stalled_epochs)
+                    epoch_index += 1
+                    continue
+                stalled_epochs = 0
+
+                duration, utilization, epoch_energy = self._close_epoch(
+                    tally.tokens,
+                    tally.context_weighted,
+                    tally.energy_bins,
+                    tally.prefill_segments,
+                    tally.decode_sequences,
+                    tally.max_decode_chunk,
                 )
-            )
-        else:
-            raise SimulationError("epoch limit reached before the trace completed")
+                time_s += duration
+                self._stamp_epoch_end(time_s, tally.first_decoders, tally.finished)
+                if arrival_feed is not None:
+                    arrival_feed.notify_epoch(time_s, tally.finished, scheduler)
+                energy = energy + epoch_energy
+                processed_tokens += tally.tokens
+                utilization_time += utilization * duration
+                self.epochs.append(
+                    EpochRecord(
+                        epoch=epoch_index,
+                        tokens=tally.tokens,
+                        utilization=utilization,
+                        duration_s=duration,
+                        active_sequences=len(active),
+                    )
+                )
+                epoch_index += 1
+        except _LiveSuspend as suspend:
+            return suspend.checkpoint
 
         return self._finish(
             trace, workload_name, time_s, energy, processed_tokens,
             utilization_time, injector.stats if injector is not None else None,
         )
+
+    def _plan_horizon(self, snapshot: list[Sequence], plan: EpochPlan) -> float:
+        """Planned duration of ``plan`` — the live feed's watermark gate.
+
+        Rebuilds the planner's arrays from the committed plan (a split plan's
+        takes already end at the in-queue arrival, so its horizon never
+        reaches past the watermark that released that arrival).
+        """
+        positions = np.fromiter(
+            (s.context_length for s in snapshot), dtype=np.int64,
+            count=len(snapshot),
+        )
+        return self._planned_duration(
+            snapshot,
+            positions,
+            np.asarray(plan.prefill_takes, dtype=np.int64),
+            np.asarray(plan.decode_takes, dtype=np.int64),
+        )
+
+    def _ingest_live(self, arrival_feed, trace: Trace) -> None:
+        """Move feed-released arrivals into the trace and the admission queue.
+
+        Release order is (arrival_time, request_id) — the order a batch trace
+        generator emits — so FCFS queue order matches the equivalent batch
+        submission exactly.
+        """
+        released = arrival_feed.take_released()
+        if released:
+            trace.requests.extend(released)
+            self.scheduler.ingest(released)
 
     # ----------------------------------------------------------- run lifecycle
 
@@ -754,7 +874,9 @@ class PipelineEngine:
         max_decode_chunk = int(decode_takes.max()) if len(decode_takes) else 0
         return max(duration, max_decode_chunk * self.depth * interval)
 
-    def _admit_or_skip_idle(self, time_s: float) -> tuple[list[Sequence], float]:
+    def _admit_or_skip_idle(
+        self, time_s: float, arrival_feed=None, live_sync=None
+    ) -> tuple[list[Sequence], float]:
         """Fill at the current clock, jumping across idle gaps to the next arrival.
 
         Open-loop serving can leave the wafer idle: nothing active and every
@@ -763,6 +885,11 @@ class PipelineEngine:
         snapshot and the (possibly advanced) clock; an empty snapshot means the
         trace is drained.  Raises only for a genuine capacity stall — a waiting
         sequence that *has* arrived but cannot be held even with the cache empty.
+
+        With a live ``arrival_feed``, an idle jump past the feed's watermark
+        first blocks (via ``live_sync``) until clients have promised the gap
+        really is empty — a request they submit meanwhile may land earlier
+        than the jump target.
         """
         scheduler = self.scheduler
         scheduler.fill(time_s)
@@ -799,6 +926,12 @@ class PipelineEngine:
             # the wafer simply waits the stall out (no other work to do).
             if scheduler.admission_stall_until > target:
                 target = scheduler.admission_stall_until
+            if (arrival_feed is not None and not arrival_feed.is_drained()
+                    and target > arrival_feed.watermark()):
+                live_sync(target, wait=True)
+                scheduler.fill(time_s)
+                active = scheduler.active
+                continue
             if target <= time_s:
                 raise SimulationError(
                     "admission cannot make progress: the scheduler reports a "
@@ -923,6 +1056,10 @@ class PipelineEngine:
             tenant = sequence.request.tenant
             shed_by_tenant[tenant] = shed_by_tenant.get(tenant, 0) + 1
             by_tenant.setdefault(tenant, [])
+        # Queue depth at capture time: always 0 for a drained batch run, but
+        # the same field carries the live depth in the daemon's rolling
+        # metrics, so batch results and live telemetry share one shape.
+        queue_depths = self.scheduler.queue_depths()
         tenants: dict[str, TenantStats] = {}
         met_total = 0
         judged_total = 0
@@ -948,6 +1085,14 @@ class PipelineEngine:
                 ),
                 goodput=goodput,
                 shed=shed_count,
+                queue_depth=queue_depths.get(tenant_name, 0),
+                admission_wait=LatencyStats.from_samples(
+                    [
+                        s.admission_time - s.request.arrival_time
+                        for s in sequences
+                        if s.admission_time is not None
+                    ]
+                ),
             )
         overall_goodput = None
         if trace.slo is not None or trace.tenant_slos:

@@ -66,6 +66,12 @@ class TenantStats:
     #: requests of this tenant permanently dropped by the overload shedder
     #: (they count against goodput: a shed request never met its SLO)
     shed: int = 0
+    #: requests of this tenant still waiting for admission when the stats
+    #: were captured — always 0 for a drained batch run; the daemon's live
+    #: metrics report the current depth through the same field
+    queue_depth: int = 0
+    #: arrival-to-admission wait of the tenant's completed requests
+    admission_wait: LatencyStats = field(default_factory=LatencyStats)
 
     def as_dict(self) -> dict:
         return {
@@ -74,6 +80,8 @@ class TenantStats:
             "latency": self.latency.as_dict(),
             "goodput": self.goodput,
             "shed": self.shed,
+            "queue_depth": self.queue_depth,
+            "admission_wait": self.admission_wait.as_dict(),
         }
 
 

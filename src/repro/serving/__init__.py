@@ -1,0 +1,44 @@
+"""Live serving: asyncio daemon, watermark-gated ingestion, fleet client.
+
+The subsystem behind ``repro serve --daemon`` and ``repro client``.  A
+:class:`ServingDaemon` owns a built deployment and feeds socket-submitted
+requests into the engine's admission queue live; the watermark contract in
+:class:`LiveArrivalFeed` guarantees that draining a replayed spec trace
+reproduces the batch ``serve(spec)`` metrics bit for bit.
+"""
+
+from .client import DaemonClient, replay_spec
+from .daemon import ServingDaemon, load_daemon_checkpoint
+from .feed import CheckpointRequest, LiveArrivalFeed
+from .fleet import DaemonFleet, DaemonHandle, serve_via_daemon, start_daemon
+from .protocol import (
+    CHECKPOINT_FILE_VERSION,
+    CHECKPOINT_KIND,
+    PROTOCOL_VERSION,
+    decode_message,
+    encode_message,
+    request_from_dict,
+    request_to_dict,
+)
+from .telemetry import TelemetryHub
+
+__all__ = [
+    "CHECKPOINT_FILE_VERSION",
+    "CHECKPOINT_KIND",
+    "PROTOCOL_VERSION",
+    "CheckpointRequest",
+    "DaemonClient",
+    "DaemonFleet",
+    "DaemonHandle",
+    "LiveArrivalFeed",
+    "ServingDaemon",
+    "TelemetryHub",
+    "decode_message",
+    "encode_message",
+    "load_daemon_checkpoint",
+    "replay_spec",
+    "request_from_dict",
+    "request_to_dict",
+    "serve_via_daemon",
+    "start_daemon",
+]

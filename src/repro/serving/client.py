@@ -1,0 +1,174 @@
+"""Client library for the live serving daemon.
+
+:class:`DaemonClient` speaks the newline-delimited JSON protocol over a
+plain blocking socket (clients have no reason to be async — the daemon
+multiplexes).  :func:`replay_spec` is the workhorse used by the CLI, the
+fleet runner and the parity tests: it regenerates a spec's deterministic
+trace, streams every request into a daemon in arrival order, drains, and
+returns the final result dict — which is bit-for-bit the batch
+``serve(spec)`` result.
+"""
+
+from __future__ import annotations
+
+import socket
+from types import TracebackType
+from typing import Any, Iterator, Mapping
+
+from .. import api
+from ..errors import ProtocolError
+from ..workload.requests import Request
+from .protocol import decode_message, encode_message, request_to_dict
+
+
+class DaemonClient:
+    """One protocol connection to a serving daemon."""
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float | None = 60.0
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot connect to daemon at {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    # ----------------------------------------------------------------- plumbing
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def call(
+        self, op: str, timeout: float | None = None, **fields: Any
+    ) -> dict[str, Any]:
+        """Send one operation and return its reply object.
+
+        Raises :class:`ProtocolError` when the daemon reports ``ok`` false.
+        ``timeout`` overrides the socket timeout for this call only (drain
+        can legitimately take much longer than a status poll).
+        """
+        if timeout is not None:
+            previous = self._sock.gettimeout()
+            self._sock.settimeout(timeout)
+        try:
+            self._file.write(encode_message({"op": op, **fields}))
+            self._file.flush()
+            line = self._file.readline()
+        finally:
+            if timeout is not None:
+                self._sock.settimeout(previous)
+        if not line:
+            raise ProtocolError("the daemon closed the connection mid-call")
+        reply = decode_message(line)
+        if not reply.get("ok", False):
+            raise ProtocolError(
+                reply.get("error") or f"daemon refused operation '{op}'"
+            )
+        return reply
+
+    # --------------------------------------------------------------- operations
+
+    def hello(self) -> dict[str, Any]:
+        return self.call("hello")
+
+    def begin_stream(self) -> dict[str, Any]:
+        """Open this connection's stream now (instead of on first submit).
+
+        Required before other clients may advance the watermark past the
+        arrivals this connection intends to submit — e.g. a multi-client
+        replay begins every stream before anyone submits.
+        """
+        return self.call("begin_stream")
+
+    def submit(self, request: Request | Mapping[str, Any]) -> dict[str, Any]:
+        payload = (request_to_dict(request)
+                   if isinstance(request, Request) else dict(request))
+        return self.call("submit", request=payload)
+
+    def end_stream(self) -> None:
+        self.call("end_stream")
+
+    def status(self) -> dict[str, Any]:
+        return self.call("status")["status"]
+
+    def metrics(self) -> dict[str, Any]:
+        return self.call("metrics")["metrics"]
+
+    def checkpoint(
+        self, path: str | None = None, *, stop: bool = False,
+        timeout: float | None = 600.0,
+    ) -> dict[str, Any]:
+        fields: dict[str, Any] = {"stop": stop}
+        if path is not None:
+            fields["path"] = path
+        return self.call("checkpoint", timeout=timeout, **fields)
+
+    def drain(self, timeout: float | None = 600.0) -> dict[str, Any]:
+        """Declare end of input, wait for the run, return the result dict."""
+        return self.call("drain", timeout=timeout)["result"]
+
+    def shutdown(self) -> None:
+        self.call("shutdown")
+
+    def subscribe(self) -> None:
+        """Turn this connection into an event stream (see :meth:`events`)."""
+        self.call("subscribe")
+
+    def events(self, timeout: float | None = 600.0) -> Iterator[dict[str, Any]]:
+        """Yield pushed events until the ``finished`` event or disconnect.
+
+        Only valid after :meth:`subscribe`; issuing other operations on this
+        connection while iterating would interleave replies with events.
+        """
+        self._sock.settimeout(timeout)
+        while True:
+            line = self._file.readline()
+            if not line:
+                return
+            event = decode_message(line)
+            yield event
+            if event.get("event") == "finished":
+                return
+
+
+def replay_spec(
+    spec: api.DeploymentSpec,
+    host: str,
+    port: int,
+    *,
+    shutdown: bool = False,
+    timeout: float | None = 600.0,
+) -> dict[str, Any]:
+    """Replay a spec's trace into a daemon and drain: the batch result, live.
+
+    Submits the spec's deterministic trace in arrival order over one stream,
+    then drains.  The returned result dict is bit-for-bit equal to
+    ``api.serve(spec).as_dict()`` — the load-bearing property of the live
+    serving path.  With ``shutdown`` the daemon is stopped after draining.
+    """
+    trace = api.trace_for(spec.validate())
+    with DaemonClient(host, port, timeout=timeout) as client:
+        for request in sorted(trace.requests,
+                              key=lambda r: (r.arrival_time, r.request_id)):
+            client.submit(request)
+        client.end_stream()
+        result = client.drain(timeout=timeout)
+        if shutdown:
+            client.shutdown()
+    return result

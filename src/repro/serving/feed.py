@@ -1,0 +1,263 @@
+"""Live arrival feed: the thread-safe bridge between ingestion and the engine.
+
+The daemon's asyncio loop accepts requests on sockets; the engine runs the
+epoch loop in a worker thread.  :class:`LiveArrivalFeed` sits between them
+and enforces the *watermark contract* that makes live ingestion bit-for-bit
+equal to batch serving:
+
+* Every connection is a **stream**.  A stream's watermark is the highest
+  ``arrival_time`` it has submitted — its promise that it will never submit
+  an earlier arrival.  The feed's global watermark is the minimum over the
+  open streams' watermarks (monotone non-decreasing: a stream that ends
+  simply stops holding the minimum down).
+* A submitted request is **buffered** until its arrival time is covered by
+  the global watermark, then **released** to the engine in
+  ``(arrival_time, request_id)`` order — the order a batch trace generator
+  emits — so admission-queue order matches the equivalent batch submission.
+* The engine (see ``PipelineEngine._drive``) never simulates past the global
+  watermark: it blocks in :meth:`wait_ready` until clients have promised the
+  step it wants to take is free of unseen arrivals, or the feed is
+  **drained** (no further submissions ever; everything buffered is released).
+
+Submission is idempotent per ``request_id`` — a re-submitted id is
+acknowledged but not queued again — which makes client retry loops safe.
+
+The feed also carries two control channels into the engine thread: pending
+:class:`CheckpointRequest` objects (served at the next epoch boundary, even
+while the engine is blocked waiting for input) and, outward, per-epoch
+telemetry via an attached :class:`~repro.serving.telemetry.TelemetryHub`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Iterable
+
+from ..pipeline.checkpoint import EngineCheckpoint
+from ..workload.requests import Request, Sequence
+from ..workload.scheduler import InterSequenceScheduler
+from .telemetry import TelemetryHub
+
+
+class CheckpointRequest:
+    """One checkpoint order travelling from the daemon into the engine thread.
+
+    The engine fills ``checkpoint`` (or the feed fills ``error`` if the
+    engine exits first) and sets ``done``; with ``stop`` the engine halts
+    after capturing — the graceful-restart (``SIGTERM``) path.
+    """
+
+    def __init__(self, *, stop: bool = False) -> None:
+        self.stop = stop
+        self.done = threading.Event()
+        self.checkpoint: EngineCheckpoint | None = None
+        self.error: str | None = None
+
+
+class LiveArrivalFeed:
+    """Watermark-gated request queue between ingestion and the engine."""
+
+    def __init__(
+        self,
+        *,
+        watermark: float = 0.0,
+        known: Iterable[Request] = (),
+        pending: Iterable[Request] = (),
+        telemetry: TelemetryHub | None = None,
+        notifier: Callable[[], None] | None = None,
+    ) -> None:
+        """``known``/``pending``/``watermark`` preload a resumed daemon:
+        ``known`` is every request ever accepted (the dedupe record written to
+        the checkpoint file), ``pending`` the subset the engine had not yet
+        ingested when the checkpoint was captured.  ``notifier`` is called
+        (possibly from the engine thread) whenever telemetry events or a
+        finished state may be waiting — the daemon wires it to wake its
+        asyncio loop.
+        """
+        self._cond = threading.Condition()
+        self._watermark = watermark
+        self._streams: dict[int, float] = {}
+        self._next_stream_id = 0
+        self._buffered: list[Request] = []
+        self._released: list[Request] = []
+        self._accepted: list[Request] = []
+        self._known_ids: set[int] = set()
+        self._drained = False
+        self._checkpoints: deque[CheckpointRequest] = deque()
+        self.telemetry = telemetry
+        self._notifier = notifier
+        for request in known:
+            self._accepted.append(request)
+            self._known_ids.add(request.request_id)
+        for request in pending:
+            self._buffered.append(request)
+        self._release_covered_locked()
+
+    # ---------------------------------------------------------- client side
+
+    def open_stream(self) -> int:
+        """Register a new submission stream (one per client connection).
+
+        The stream's initial watermark is the current global watermark: it
+        promises nothing earlier than what every client already promised.
+        """
+        with self._cond:
+            stream_id = self._next_stream_id
+            self._next_stream_id += 1
+            self._streams[stream_id] = self._watermark
+            return stream_id
+
+    def submit(self, stream_id: int, request: Request) -> bool:
+        """Queue one request; False when ``request_id`` was already ingested.
+
+        Raises :class:`ValueError` after :meth:`drain` — a drained feed has
+        promised the engine no further input ever arrives.
+        """
+        with self._cond:
+            if self._drained:
+                raise ValueError("the feed is drained; no further submissions")
+            if request.request_id in self._known_ids:
+                return False
+            self._known_ids.add(request.request_id)
+            self._accepted.append(request)
+            if request.arrival_time <= self._watermark:
+                # Already covered (batch traces arrive at t=0, and a stream
+                # may submit behind other streams' promises): release
+                # immediately, in submission order.
+                self._released.append(request)
+            else:
+                self._buffered.append(request)
+            watermark = self._streams.get(stream_id, self._watermark)
+            if request.arrival_time > watermark:
+                self._streams[stream_id] = request.arrival_time
+                self._advance_watermark_locked()
+            self._cond.notify_all()
+            return True
+
+    def end_stream(self, stream_id: int) -> None:
+        """Drop a stream's watermark promise (its connection closed)."""
+        with self._cond:
+            if self._streams.pop(stream_id, None) is not None:
+                self._advance_watermark_locked()
+                self._cond.notify_all()
+
+    def drain(self) -> None:
+        """No client will ever submit again: release everything buffered."""
+        with self._cond:
+            self._drained = True
+            self._release_covered_locked()
+            self._cond.notify_all()
+
+    def request_checkpoint(self, *, stop: bool = False) -> CheckpointRequest:
+        """Ask the engine for a checkpoint at its next epoch boundary."""
+        request = CheckpointRequest(stop=stop)
+        with self._cond:
+            self._checkpoints.append(request)
+            self._cond.notify_all()
+        return request
+
+    def fail_pending_checkpoints(self, reason: str) -> None:
+        """Resolve outstanding checkpoint requests the engine will never see."""
+        with self._cond:
+            while self._checkpoints:
+                request = self._checkpoints.popleft()
+                request.error = reason
+                request.done.set()
+
+    def known_requests(self) -> list[Request]:
+        """Every request ever accepted (the checkpoint file's replay record)."""
+        with self._cond:
+            return list(self._accepted)
+
+    # ---------------------------------------------------------- engine side
+
+    def watermark(self) -> float:
+        with self._cond:
+            return self._watermark
+
+    def is_drained(self) -> bool:
+        with self._cond:
+            return self._drained
+
+    def is_finished(self) -> bool:
+        """Drained and every accepted request handed to the engine."""
+        with self._cond:
+            return self._drained and not self._buffered and not self._released
+
+    def take_released(self) -> list[Request]:
+        """Claim the requests released since the last call (engine thread)."""
+        with self._cond:
+            released = self._released
+            self._released = []
+            return released
+
+    def take_checkpoint_request(self) -> CheckpointRequest | None:
+        with self._cond:
+            return self._checkpoints.popleft() if self._checkpoints else None
+
+    def deliver_checkpoint(
+        self, request: CheckpointRequest, checkpoint: EngineCheckpoint
+    ) -> None:
+        request.checkpoint = checkpoint
+        request.done.set()
+
+    def wait_ready(self, horizon: float | None) -> bool:
+        """Block until the engine may proceed; False = a checkpoint is pending.
+
+        With a ``horizon``, proceed once the watermark covers it (no unseen
+        arrival can land inside the step) or the feed is drained.  With
+        ``horizon=None``, proceed once *any* new input is released or the
+        feed is drained.  A pending checkpoint request interrupts the wait so
+        the engine can serve it at this (blocked = epoch) boundary.
+        """
+        with self._cond:
+            while True:
+                if self._checkpoints:
+                    return False
+                if self._drained:
+                    return True
+                if horizon is None:
+                    if self._released:
+                        return True
+                elif self._watermark >= horizon:
+                    return True
+                self._cond.wait()
+
+    def notify_epoch(
+        self,
+        time_s: float,
+        finished: list[Sequence],
+        scheduler: InterSequenceScheduler,
+    ) -> None:
+        """Engine hook after each committed epoch: telemetry + daemon wakeup."""
+        if self.telemetry is not None:
+            self.telemetry.record_epoch(time_s, finished, scheduler)
+        if self._notifier is not None:
+            self._notifier()
+
+    # ------------------------------------------------------------- internals
+
+    def _advance_watermark_locked(self) -> None:
+        """Recompute the global watermark (min over open streams, monotone)."""
+        if not self._streams:
+            return  # no open promises: the watermark holds where it is
+        candidate = min(self._streams.values())
+        if candidate > self._watermark:
+            self._watermark = candidate
+            self._release_covered_locked()
+
+    def _release_covered_locked(self) -> None:
+        """Move buffered requests covered by the watermark to the release
+        queue, in the batch generator's (arrival_time, request_id) order."""
+        if self._drained:
+            ready, keep = self._buffered, []
+        else:
+            ready = [r for r in self._buffered
+                     if r.arrival_time <= self._watermark]
+            keep = [r for r in self._buffered
+                    if r.arrival_time > self._watermark]
+        if ready:
+            ready.sort(key=lambda r: (r.arrival_time, r.request_id))
+            self._released.extend(ready)
+        self._buffered = keep

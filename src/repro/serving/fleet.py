@@ -1,0 +1,134 @@
+"""Run daemons programmatically: in-process handles and fleet sweeps.
+
+:func:`start_daemon` boots a :class:`~repro.serving.daemon.ServingDaemon`
+on a background thread and hands back a :class:`DaemonHandle` once it is
+listening.  :func:`serve_via_daemon` is the one-call round trip used by the
+parity tests — start a daemon, replay the spec's trace into it, drain, stop —
+whose result dict is bit-for-bit the batch ``serve(spec)`` result.
+
+:class:`DaemonFleet` drives one daemon per spec concurrently — the
+daemon-backed sweep mode.  Starting many daemons at once also exercises the
+thread-safety of ``api.build_deployment``'s memo.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Mapping
+
+from .. import api
+from ..errors import ConfigurationError, ProtocolError
+from .client import DaemonClient, replay_spec
+from .daemon import ServingDaemon
+
+
+class DaemonHandle:
+    """A daemon running on a background thread, plus its address."""
+
+    def __init__(self, daemon: ServingDaemon, thread: threading.Thread) -> None:
+        self.daemon = daemon
+        self.thread = thread
+        assert daemon.address is not None
+        self.host, self.port = daemon.address
+
+    def client(self, *, timeout: float | None = 60.0) -> DaemonClient:
+        return DaemonClient(self.host, self.port, timeout=timeout)
+
+    def replay(self, *, timeout: float | None = 600.0) -> dict[str, Any]:
+        """Replay the daemon's own spec trace and drain (daemon keeps running)."""
+        return replay_spec(self.daemon.spec, self.host, self.port,
+                           timeout=timeout)
+
+    def stop(self, *, timeout: float | None = 60.0) -> None:
+        """Shut the daemon down and join its thread."""
+        if not self.daemon.finished.is_set():
+            try:
+                with self.client(timeout=timeout) as client:
+                    client.shutdown()
+            except (OSError, ProtocolError):
+                pass  # already gone (or went away mid-call)
+        self.thread.join(timeout=timeout)
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_daemon(
+    spec: api.DeploymentSpec,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    scalar: bool = False,
+    window_s: float = 60.0,
+    checkpoint_path: str = "daemon-checkpoint.json",
+    resume_payload: Mapping[str, Any] | None = None,
+    start_timeout: float = 120.0,
+) -> DaemonHandle:
+    """Boot a daemon on a background thread; returns once it is listening.
+
+    Background daemons never install signal handlers (signals belong to the
+    main thread); use the protocol's ``checkpoint`` operation instead.
+    """
+    daemon = ServingDaemon(
+        spec,
+        host=host,
+        port=port,
+        scalar=scalar,
+        window_s=window_s,
+        checkpoint_path=checkpoint_path,
+        resume_payload=resume_payload,
+    )
+    thread = threading.Thread(
+        target=daemon.run, name=f"repro-daemon-{spec.label()}", daemon=True
+    )
+    thread.start()
+    if not daemon.ready.wait(timeout=start_timeout):
+        raise ConfigurationError(
+            f"daemon for {spec.label()} did not start within {start_timeout}s"
+        )
+    if daemon.error is not None:
+        thread.join(timeout=5.0)
+        raise ConfigurationError(
+            f"daemon for {spec.label()} failed to start: {daemon.error}"
+        ) from daemon.error
+    return DaemonHandle(daemon, thread)
+
+
+def serve_via_daemon(
+    spec: api.DeploymentSpec, *, scalar: bool = False,
+    timeout: float = 600.0,
+) -> dict[str, Any]:
+    """Serve a spec through a live daemon round trip; the batch result dict."""
+    with start_daemon(spec, scalar=scalar) as handle:
+        return handle.replay(timeout=timeout)
+
+
+class DaemonFleet:
+    """One daemon per spec, replayed concurrently — the fleet sweep client."""
+
+    def __init__(
+        self, specs: list[api.DeploymentSpec], *, max_workers: int | None = None
+    ) -> None:
+        self.specs = specs
+        self.max_workers = max_workers or min(4, max(1, len(specs)))
+
+    def run(self) -> list[dict[str, Any]]:
+        """Start all daemons, replay each spec into its own, stop everything.
+
+        Results come back in spec order.  All daemons build concurrently —
+        a live stress of the deployment-memo lock.
+        """
+        handles: list[DaemonHandle] = []
+        try:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                handles = list(pool.map(start_daemon, self.specs))
+                return list(pool.map(
+                    lambda handle: handle.replay(), handles
+                ))
+        finally:
+            for handle in handles:
+                handle.stop()

@@ -1,0 +1,118 @@
+"""Wire protocol of the live serving daemon.
+
+Newline-delimited JSON over a local TCP socket: every message is one JSON
+object on one line.  Client -> daemon messages carry an ``op`` field; the
+daemon answers each with exactly one reply object carrying ``ok`` (plus
+``error`` when ``ok`` is false).  A connection that issued ``subscribe``
+additionally receives pushed event objects (carrying ``event`` instead of
+``ok``) interleaved after the subscribe reply.
+
+Operations
+----------
+
+``hello``
+    Identify the daemon: protocol version, spec model/system/policy.
+``begin_stream``
+    Open this connection's submission stream *now* instead of lazily on the
+    first ``submit``.  A stream opens at the current global watermark, so a
+    client that will submit historical arrivals must register its stream
+    before other clients advance the watermark past them — multi-client
+    replays issue ``begin_stream`` on every connection first, then submit.
+``submit``
+    ``{"op": "submit", "request": {...}}`` — queue one request (the dict is a
+    :class:`~repro.workload.requests.Request` as produced by
+    :func:`request_to_dict`).  Replies with ``request_id`` and ``duplicate``
+    (idempotent: re-submitting an already-ingested id is acknowledged but not
+    queued again).  Submissions on one connection must be ordered by
+    ``arrival_time``; each connection is one *stream* whose highest submitted
+    arrival is its watermark promise (see :class:`~repro.serving.feed.
+    LiveArrivalFeed`).
+``end_stream``
+    Close this connection's stream promise without closing the connection
+    (closing the connection implies it): the daemon may then simulate past
+    this client's last submitted arrival time.
+``status``
+    Engine state snapshot: counts, simulated clock, watermark, lifecycle
+    state (``serving`` / ``draining`` / ``finished`` / ``failed``).
+``metrics``
+    Rolling-window live metrics, per tenant and aggregate, in the exact
+    per-tenant shape of :class:`~repro.results.TenantStats` ``as_dict``.
+``subscribe``
+    Start receiving pushed per-request ``completion`` / ``shed`` events and a
+    final ``finished`` event on this connection.
+``checkpoint``
+    ``{"op": "checkpoint", "path": ..., "stop": false}`` — capture a full
+    :class:`~repro.pipeline.checkpoint.EngineCheckpoint` at the next epoch
+    boundary and write the daemon checkpoint file; with ``stop`` true the
+    engine halts and the daemon exits after replying (the protocol twin of
+    the ``--checkpoint-on SIGTERM`` path).
+``drain``
+    Declare that no client will submit further requests, wait for the engine
+    to finish everything ingested, and reply with the final
+    :class:`~repro.results.RunResult` dict — bit-for-bit the batch
+    ``serve(spec)`` result when the submitted requests replay a spec's trace.
+``shutdown``
+    Stop the daemon loop (drain first for a clean result).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from ..errors import ProtocolError, SchedulingError
+from ..workload.requests import DEFAULT_TENANT, Request
+
+#: bump when the wire format changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: marker and layout version of the daemon checkpoint file (which embeds an
+#: engine checkpoint plus the ingestion state needed to resume serving)
+CHECKPOINT_KIND = "repro-daemon-checkpoint"
+CHECKPOINT_FILE_VERSION = 1
+
+
+def encode_message(payload: Mapping[str, Any]) -> bytes:
+    """One protocol message: compact JSON object plus the line terminator."""
+    return json.dumps(dict(payload), separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a message object."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed protocol line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"protocol messages must be JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def request_to_dict(request: Request) -> dict[str, Any]:
+    """Serialise a request for the ``submit`` operation (full round trip)."""
+    return asdict(request)
+
+
+def request_from_dict(data: Mapping[str, Any]) -> Request:
+    """Rebuild a :class:`Request` from a ``submit`` payload.
+
+    Only ``request_id``, ``prefill_length`` and ``decode_length`` are
+    required; the rest default exactly as on :class:`Request`, so hand-written
+    clients can stay minimal.  Validation errors surface as
+    :class:`ProtocolError` (the daemon replies, it must not crash).
+    """
+    try:
+        return Request(
+            request_id=int(data["request_id"]),
+            prefill_length=int(data["prefill_length"]),
+            decode_length=int(data["decode_length"]),
+            arrival_time=float(data.get("arrival_time", 0.0)),
+            tenant=str(data.get("tenant", DEFAULT_TENANT)),
+            weight=float(data.get("weight", 1.0)),
+            priority=int(data.get("priority", 0)),
+        )
+    except (KeyError, TypeError, ValueError, SchedulingError) as exc:
+        raise ProtocolError(f"invalid request payload: {exc}") from exc

@@ -1,0 +1,215 @@
+"""Streaming telemetry for the live serving daemon.
+
+The engine thread calls :meth:`TelemetryHub.record_epoch` after every
+committed epoch (via the arrival feed's ``notify_epoch`` hook); the daemon's
+asyncio loop drains per-request events with :meth:`pop_events` and pushes
+them to subscribed clients, and answers ``metrics`` queries from
+:meth:`metrics` while the run is live.
+
+Rolling-window metrics are computed over *simulated* time — the engine's
+clock, not the wall clock — so they are as deterministic as the run itself.
+The per-tenant payload is built through :class:`~repro.results.TenantStats`
+itself, so live metrics and batch results report exactly the same fields
+(``requests`` / ``ttft`` / ``latency`` / ``goodput`` / ``shed`` /
+``queue_depth`` / ``admission_wait``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..results import LatencyStats, TenantStats
+from ..workload.requests import SLOTarget, Sequence
+from ..workload.scheduler import InterSequenceScheduler
+
+
+@dataclass(frozen=True)
+class _Completion:
+    """One finished request, as the rolling window keeps it."""
+
+    time_s: float
+    tenant: str
+    ttft_s: float | None
+    latency_s: float | None
+    admission_wait_s: float | None
+    #: SLO met (None = no SLO applies to this tenant)
+    met: bool | None
+
+
+@dataclass(frozen=True)
+class _Shed:
+    time_s: float
+    tenant: str
+
+
+class TelemetryHub:
+    """Thread-safe rolling-window metrics + completion event stream."""
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 60.0,
+        slo_for: Callable[[str], SLOTarget | None] | None = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self.window_s = window_s
+        self._slo_for = slo_for
+        self._events: list[dict[str, Any]] = []
+        self._completions: deque[_Completion] = deque()
+        self._sheds: deque[_Shed] = deque()
+        self._time_s = 0.0
+        self._completed_total = 0
+        self._shed_total = 0
+        self._seen_shed = 0
+        self._active = 0
+        self._queue_depths: dict[str, int] = {}
+
+    # ------------------------------------------------------------ engine side
+
+    def record_epoch(
+        self,
+        time_s: float,
+        finished: list[Sequence],
+        scheduler: InterSequenceScheduler,
+    ) -> None:
+        """Fold one committed epoch into the window (engine thread)."""
+        with self._lock:
+            self._time_s = time_s
+            self._active = scheduler.num_active
+            self._queue_depths = scheduler.queue_depths()
+            for sequence in finished:
+                request = sequence.request
+                wait = (
+                    sequence.admission_time - request.arrival_time
+                    if sequence.admission_time is not None
+                    else None
+                )
+                met: bool | None = None
+                if self._slo_for is not None:
+                    slo = self._slo_for(request.tenant)
+                    if slo is not None:
+                        met = slo.met_by(sequence.ttft_s, sequence.latency_s)
+                self._completions.append(_Completion(
+                    time_s=time_s,
+                    tenant=request.tenant,
+                    ttft_s=sequence.ttft_s,
+                    latency_s=sequence.latency_s,
+                    admission_wait_s=wait,
+                    met=met,
+                ))
+                self._completed_total += 1
+                self._events.append({
+                    "event": "completion",
+                    "request_id": request.request_id,
+                    "tenant": request.tenant,
+                    "completion_time_s": time_s,
+                    "ttft_s": sequence.ttft_s,
+                    "latency_s": sequence.latency_s,
+                    "admission_wait_s": wait,
+                })
+            shed = scheduler.shed
+            for sequence in shed[self._seen_shed:]:
+                request = sequence.request
+                self._sheds.append(_Shed(time_s=time_s, tenant=request.tenant))
+                self._shed_total += 1
+                self._events.append({
+                    "event": "shed",
+                    "request_id": request.request_id,
+                    "tenant": request.tenant,
+                    "time_s": time_s,
+                })
+            self._seen_shed = len(shed)
+            self._evict_locked()
+
+    # ------------------------------------------------------------ daemon side
+
+    def pop_events(self) -> list[dict[str, Any]]:
+        """Claim the per-request events recorded since the last call."""
+        with self._lock:
+            events = self._events
+            self._events = []
+            return events
+
+    def counters(self) -> dict[str, Any]:
+        """Cheap cumulative state for the ``status`` operation."""
+        with self._lock:
+            return {
+                "time_s": self._time_s,
+                "completed": self._completed_total,
+                "shed": self._shed_total,
+                "active": self._active,
+                "waiting": sum(self._queue_depths.values()),
+            }
+
+    def metrics(self) -> dict[str, Any]:
+        """Rolling-window metrics, per tenant and aggregate."""
+        with self._lock:
+            self._evict_locked()
+            completions = list(self._completions)
+            sheds = list(self._sheds)
+            depths = dict(self._queue_depths)
+            tenants = sorted(
+                {c.tenant for c in completions}
+                | {s.tenant for s in sheds}
+                | set(depths)
+            )
+            payload: dict[str, Any] = {
+                "time_s": self._time_s,
+                "window_s": self.window_s,
+                "completed": self._completed_total,
+                "shed": self._shed_total,
+                "active": self._active,
+                "aggregate": self._stats_dict(completions, sheds,
+                                              sum(depths.values())),
+                "tenants": {
+                    tenant: self._stats_dict(
+                        [c for c in completions if c.tenant == tenant],
+                        [s for s in sheds if s.tenant == tenant],
+                        depths.get(tenant, 0),
+                    )
+                    for tenant in tenants
+                },
+            }
+            return payload
+
+    # ------------------------------------------------------------- internals
+
+    def _evict_locked(self) -> None:
+        floor = self._time_s - self.window_s
+        while self._completions and self._completions[0].time_s < floor:
+            self._completions.popleft()
+        while self._sheds and self._sheds[0].time_s < floor:
+            self._sheds.popleft()
+
+    @staticmethod
+    def _stats_dict(
+        completions: list[_Completion],
+        sheds: list[_Shed],
+        queue_depth: int,
+    ) -> dict[str, Any]:
+        # Mirrors the batch rule: shed requests count against goodput, and
+        # goodput is None when no SLO applied to anything in the window.
+        judged = [c for c in completions if c.met is not None]
+        goodput: float | None = None
+        if judged or sheds:
+            goodput = sum(1 for c in judged if c.met) / (len(judged) + len(sheds))
+        stats = TenantStats(
+            requests=len(completions),
+            ttft=LatencyStats.from_samples(
+                [c.ttft_s for c in completions if c.ttft_s is not None]
+            ),
+            latency=LatencyStats.from_samples(
+                [c.latency_s for c in completions if c.latency_s is not None]
+            ),
+            goodput=goodput,
+            shed=len(sheds),
+            queue_depth=queue_depth,
+            admission_wait=LatencyStats.from_samples(
+                [c.admission_wait_s for c in completions
+                 if c.admission_wait_s is not None]
+            ),
+        )
+        return stats.as_dict()

@@ -248,6 +248,41 @@ class BuiltOuroboros:
         result.extra.update(self.summary())
         return result
 
+    def serve_live(
+        self,
+        trace: Trace,
+        workload_name: str | None = None,
+        *,
+        arrival_feed,
+        fault_plan=None,
+        resume_from: EngineCheckpoint | None = None,
+        scalar: bool = False,
+    ) -> RunResult | EngineCheckpoint:
+        """Serve requests delivered live by ``arrival_feed`` (the daemon path).
+
+        Same engine, same epoch arithmetic as :meth:`serve`: the feed only
+        controls *when* requests enter the admission queue, never how they
+        are served, so draining a replayed trace reproduces the batch result
+        bit for bit.  ``trace`` starts empty and accumulates the ingested
+        requests; a feed-requested checkpoint-and-stop returns the
+        :class:`EngineCheckpoint` like a suspended batch run.  ``scalar``
+        selects the scalar reference engine path (parity tests).
+        """
+        engine = self.make_pipeline()
+        runner = engine.run_scalar if scalar else engine.run
+        outcome = runner(
+            trace,
+            workload_name,
+            fault_plan=fault_plan,
+            resume_from=resume_from,
+            arrival_feed=arrival_feed,
+        )
+        if isinstance(outcome, EngineCheckpoint):
+            return outcome
+        result = self._add_inter_wafer_costs(outcome, trace)
+        result.extra.update(self.summary())
+        return result
+
     def _add_inter_wafer_costs(self, result: RunResult, trace: Trace) -> RunResult:
         crossings = len(self.wafers) - 1
         if crossings <= 0:

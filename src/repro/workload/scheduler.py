@@ -130,6 +130,17 @@ class InterSequenceScheduler:
     def submit_all(self, requests: list[Request]) -> list[Sequence]:
         return [self.submit(request) for request in requests]
 
+    def ingest(self, requests: list[Request]) -> list[Sequence]:
+        """Live arrival feed hook: queue requests that landed mid-run.
+
+        The daemon's ingestion path (``repro serve --daemon``).  Queue order
+        among equals is submission order, exactly as if the requests had been
+        in the trace from the start — the engine's watermark gates guarantee
+        every request is ingested before the first fill that could admit it,
+        which is what keeps daemon replays bit-for-bit equal to batch runs.
+        """
+        return self.submit_all(requests)
+
     # ------------------------------------------------------------------- state
 
     @property
@@ -158,6 +169,19 @@ class InterSequenceScheduler:
     @property
     def num_active(self) -> int:
         return len(self._active)
+
+    def queue_depths(self) -> dict[str, int]:
+        """Waiting-queue depth per tenant.
+
+        Feeds both the daemon's rolling metrics and the ``queue_depth`` field
+        of the final per-tenant :class:`~repro.results.TenantStats` (0 after
+        a drained run).
+        """
+        depths: dict[str, int] = {}
+        for sequence in self.policy.waiting():
+            tenant = sequence.request.tenant
+            depths[tenant] = depths.get(tenant, 0) + 1
+        return depths
 
     def is_active(self, sequence: Sequence) -> bool:
         """O(1) membership test (the hot check of the epoch loop)."""
