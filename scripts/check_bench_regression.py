@@ -13,7 +13,10 @@ fresh bench run overwrites it) — and fails when:
   intentionally changes serving results must commit a matching
   ``BENCH_PR<n>.json``, which then becomes the baseline this gate verifies;
 * total wall-clock regresses by more than ``--wallclock-tolerance``
-  (default 10%) against the committed report.
+  (default 10%) against the committed report;
+* the streaming-scale stage regresses directionally beyond the same
+  tolerance: ``stream_requests_per_s`` below the committed floor, or
+  ``stream_peak_rss_mb`` above the committed ceiling.
 
 The reports must have been generated with the same ``num_requests`` —
 comparing a 50-request CI run against a committed 150-request report would
@@ -51,6 +54,17 @@ DETERMINISTIC_PREFIXES = (
     "slo_",
     "fault_",
     "daemon_",
+    "stream_sim_",
+)
+
+#: wall-clock-dependent streaming headline keys gated *directionally* with
+#: the wall-clock tolerance instead of bitwise: throughput may only drop so
+#: far, peak RSS may only grow so far.  (key, direction) where direction
+#: "min" = fresh must stay above baseline*(1-tol), "max" = below
+#: baseline*(1+tol).
+DIRECTIONAL_KEYS = (
+    ("stream_requests_per_s", "min"),
+    ("stream_peak_rss_mb", "max"),
 )
 
 
@@ -116,6 +130,15 @@ def compare(fresh: dict, baseline: dict, wallclock_tolerance: float) -> list[str
             f"REPRO_BENCH_REQUESTS={baseline.get('num_requests')}"
         ]
 
+    fresh_stream = fresh.get("meta", {}).get("stream_requests")
+    baseline_stream = baseline.get("meta", {}).get("stream_requests")
+    if baseline_stream is not None and fresh_stream != baseline_stream:
+        return [
+            f"stream-request-count mismatch: fresh ran {fresh_stream} "
+            f"streaming requests, baseline {baseline_stream} — rerun with "
+            f"REPRO_BENCH_STREAM_REQUESTS={baseline_stream}"
+        ]
+
     fresh_headline = fresh.get("headline", {})
     baseline_headline = baseline.get("headline", {})
     shared = sorted(set(fresh_headline) & set(baseline_headline))
@@ -143,6 +166,28 @@ def compare(fresh: dict, baseline: dict, wallclock_tolerance: float) -> list[str
                 "reproduce bitwise; commit a new BENCH_PR<n>.json if the "
                 "change is intentional)"
             )
+
+    for key, direction in DIRECTIONAL_KEYS:
+        if key not in fresh_headline or key not in baseline_headline:
+            continue
+        fresh_value = float(fresh_headline[key])
+        baseline_value = float(baseline_headline[key])
+        if direction == "min":
+            floor = baseline_value * (1.0 - wallclock_tolerance)
+            if fresh_value < floor:
+                failures.append(
+                    f"headline.{key}: {fresh_value:.3f} fell below "
+                    f"{floor:.3f} (committed {baseline_value:.3f} - "
+                    f"{wallclock_tolerance:.0%})"
+                )
+        else:
+            ceiling = baseline_value * (1.0 + wallclock_tolerance)
+            if fresh_value > ceiling:
+                failures.append(
+                    f"headline.{key}: {fresh_value:.3f} exceeded "
+                    f"{ceiling:.3f} (committed {baseline_value:.3f} + "
+                    f"{wallclock_tolerance:.0%})"
+                )
 
     fresh_total = float(fresh.get("total_s", 0.0))
     baseline_total = float(baseline.get("total_s", 0.0))

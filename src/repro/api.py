@@ -64,6 +64,7 @@ from .workload.generator import (
     generate_multi_tenant_trace,
     generate_trace,
 )
+from .workload.streams import StreamingTrace, multi_tenant_stream, workload_stream
 from .workload.policies import POLICY_NAMES, validate_policy_name
 from .workload.requests import SLOTarget
 
@@ -816,11 +817,47 @@ def trace_for(spec: DeploymentSpec) -> Trace:
     return trace
 
 
+def stream_for(spec: DeploymentSpec) -> StreamingTrace:
+    """Lazy equivalent of :func:`trace_for` (identical requests, on demand).
+
+    The stream emits exactly the requests :func:`trace_for` would materialise,
+    in the same order with the same ids — ``stream_for(spec).materialize()``
+    is bitwise equal to ``trace_for(spec)`` — while holding one pending
+    request per tenant, which is what lets ``serve`` handle million-request
+    specs in O(active sequences) memory.
+    """
+    if spec.tenants:
+        return multi_tenant_stream(spec.tenants, seed=spec.seed, slo=spec.slo)
+    stream = workload_stream(
+        spec.workload,
+        num_requests=spec.num_requests,
+        seed=spec.seed,
+        arrival_rate_per_s=spec.arrival_rate_per_s,
+    )
+    stream.slo = spec.slo
+    return stream
+
+
+#: request count at which :func:`serve` switches to the streaming trace path
+#: automatically.  Purely an execution knob: the accumulator's exact/P²
+#: switchover is by *sample count*, so results are identical either way —
+#: streaming just bounds memory.
+STREAMING_AUTO_THRESHOLD = 100_000
+
+
+def total_spec_requests(spec: DeploymentSpec) -> int:
+    """Total requests a spec's trace will contain (all tenants)."""
+    if spec.tenants:
+        return sum(tenant.num_requests for tenant in spec.tenants)
+    return spec.num_requests
+
+
 def serve(
     spec: DeploymentSpec,
     *,
     suspend_at_epoch: int | None = None,
     resume_from: EngineCheckpoint | None = None,
+    streaming: bool | None = None,
 ) -> RunResult | EngineCheckpoint:
     """Serve the deployment described by ``spec`` and return its result.
 
@@ -834,9 +871,28 @@ def serve(
     is reached instead of a result; ``resume_from`` continues a suspended run
     — the combined suspended+resumed run is bitwise identical to an
     uninterrupted ``serve(spec)``.
+
+    ``streaming`` selects the lazy trace path (arrivals pulled from a
+    heap-merged per-tenant stream as simulated time advances; O(active)
+    resident memory instead of O(trace)).  ``None`` — the default — streams
+    automatically once the spec's total request count reaches
+    :data:`STREAMING_AUTO_THRESHOLD` on an Ouroboros-family system.  The
+    result is identical either way; streaming only changes how the trace is
+    held in memory.
     """
     spec.validate()
     system = build_deployment(spec)
+    is_ouroboros = isinstance(system, OuroborosSystem)
+    if streaming is None:
+        streaming = (
+            is_ouroboros and total_spec_requests(spec) >= STREAMING_AUTO_THRESHOLD
+        )
+    elif streaming and not is_ouroboros:
+        raise ConfigurationError(
+            f"{get_system(spec.system).display_name} is an analytical model "
+            "that consumes the whole trace at once; streaming traces require "
+            "an Ouroboros-family system."
+        )
     kwargs: dict = {}
     if spec.faults is not None and len(spec.faults):
         kwargs["fault_plan"] = spec.faults
@@ -844,12 +900,13 @@ def serve(
         kwargs["suspend_at_epoch"] = suspend_at_epoch
     if resume_from is not None:
         kwargs["resume_from"] = resume_from
-    if kwargs and not isinstance(system, OuroborosSystem):
+    if kwargs and not is_ouroboros:
         raise ConfigurationError(
             f"{get_system(spec.system).display_name} does not support fault "
             "injection or checkpoint/resume; use an Ouroboros-family system."
         )
-    result = system.serve(trace_for(spec), workload_name=spec.label(), **kwargs)
+    trace = stream_for(spec) if streaming else trace_for(spec)
+    result = system.serve(trace, workload_name=spec.label(), **kwargs)
     if isinstance(result, EngineCheckpoint):
         return result
     result.system = get_system(spec.system).display_name
@@ -878,6 +935,9 @@ __all__ = [
     "resolve_model_name",
     "build_deployment",
     "trace_for",
+    "stream_for",
+    "total_spec_requests",
+    "STREAMING_AUTO_THRESHOLD",
     "serve",
     "clear_system_cache",
 ]

@@ -72,7 +72,8 @@ Examples::
     python -m repro serve llama-13b --daemon --checkpoint-on SIGTERM
     python -m repro client replay llama-13b --workload lp128_ld2048 --spawn
     python -m repro client status --connect 127.0.0.1:7431
-    python -m repro bench --output BENCH_PR8.json
+    python -m repro serve llama-13b --requests 1000000 --arrival-rate 90 --stream
+    python -m repro bench --output BENCH_PR9.json
     python -m repro lint --json
 """
 
@@ -183,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window", type=float, default=60.0,
                        help="rolling telemetry window in simulated seconds "
                             "(daemon mode; default: %(default)s)")
+    serve.add_argument("--stream", action="store_true",
+                       help="pull requests from a lazy arrival stream instead "
+                            "of materialising the trace (identical results, "
+                            "O(active) memory; engaged automatically at "
+                            f"{api.STREAMING_AUTO_THRESHOLD:,}+ requests)")
 
     client = subparsers.add_parser(
         "client", help="talk to a live serving daemon"
@@ -233,8 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--requests", type=int, default=150,
                        help="requests per workload (the paper uses 1000)")
-    bench.add_argument("--output", default="BENCH_PR8.json",
-                       help="path of the JSON report (default: BENCH_PR8.json)")
+    bench.add_argument("--stream-requests", type=int, default=None,
+                       help="requests for the streaming-scale stage (default: "
+                            "$REPRO_BENCH_STREAM_REQUESTS or 20000; the "
+                            "headline run uses 1000000)")
+    bench.add_argument("--output", default="BENCH_PR9.json",
+                       help="path of the JSON report (default: BENCH_PR9.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -378,7 +388,11 @@ def _resume_serve(args: argparse.Namespace) -> int:
             f"{args.model}; pass the matching model"
         )
     checkpoint = api.EngineCheckpoint.from_dict(data["checkpoint"])
-    result = api.serve(spec, resume_from=checkpoint)
+    result = api.serve(
+        spec,
+        resume_from=checkpoint,
+        streaming=True if args.stream else None,
+    )
     print(f"Resumed {spec.model} from '{path}' "
           f"(epoch {checkpoint.next_epoch_index})")
     _print_result_row(result.system, result)
@@ -588,6 +602,12 @@ def _serve(args: argparse.Namespace) -> int:
             "--daemon cannot combine with --baselines or --suspend-epoch "
             "(use the protocol's checkpoint operation or --checkpoint-on)"
         )
+    if args.stream and (args.baselines or args.daemon):
+        raise ConfigurationError(
+            "--stream cannot combine with --baselines or --daemon: the "
+            "analytical baselines consume the whole trace at once, and the "
+            "daemon already ingests requests lazily"
+        )
     if args.resume:
         return _serve_daemon(args) if args.daemon else _resume_serve(args)
     if args.model is None and not args.spec:
@@ -629,7 +649,11 @@ def _serve(args: argparse.Namespace) -> int:
     if args.daemon:
         return _serve_daemon(args, specs[0])
     if args.suspend_epoch is not None:
-        outcome = api.serve(specs[0], suspend_at_epoch=args.suspend_epoch)
+        outcome = api.serve(
+            specs[0],
+            suspend_at_epoch=args.suspend_epoch,
+            streaming=True if args.stream else None,
+        )
         if isinstance(outcome, api.EngineCheckpoint):
             payload = {"spec": specs[0].to_dict(), "checkpoint": outcome.as_dict()}
             Path(args.checkpoint).write_text(json.dumps(payload))
@@ -672,7 +696,7 @@ def _serve(args: argparse.Namespace) -> int:
             k: round(v, 2) for k, v in normalized_energy(results).items()
         })
     else:
-        result = api.serve(specs[0])
+        result = api.serve(specs[0], streaming=True if args.stream else None)
         _print_result_row(result.system, result)
         print("  energy breakdown:", {
             k: f"{v:.1%}" for k, v in result.energy.fractions().items()
@@ -718,6 +742,7 @@ def _bench(args: argparse.Namespace) -> int:
         models=tuple(args.models) if args.models else None,
         label=args.label,
         anneal_iterations=args.anneal_micro,
+        stream_requests=args.stream_requests,
     )
     path = report.write(args.output)
     print(report.format_table())

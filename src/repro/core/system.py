@@ -33,6 +33,7 @@ from ..sim.engine import (
     required_wafers,
 )
 from ..workload.generator import Trace, generate_trace
+from ..workload.streams import StreamingTrace
 
 
 class OuroborosSystem:
@@ -76,7 +77,7 @@ class OuroborosSystem:
 
     def serve(
         self,
-        trace: Trace,
+        trace: Trace | StreamingTrace,
         workload_name: str | None = None,
         *,
         fault_plan=None,
@@ -99,7 +100,7 @@ class OuroborosSystem:
 
     def serve_live(
         self,
-        trace: Trace,
+        trace: Trace | StreamingTrace,
         workload_name: str | None = None,
         *,
         arrival_feed,

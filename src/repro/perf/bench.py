@@ -9,9 +9,11 @@ FCFS and WFQ scheduling policies, a fault-recovery serve (the fig25 shape:
 overloaded arrivals under a deterministic fault plan, with and without
 overload shedding), a live daemon replay of the open-loop run (booting a real
 ``ServingDaemon`` and streaming the trace over its socket protocol, with a
-bitwise batch-parity headline), the full headline comparison grid, and a
-mapping-annealer microbenchmark -- and writes the measurements to a JSON file
-(``BENCH_PR8.json`` by default).  Future PRs append their own reports, so the
+bitwise batch-parity headline), the full headline comparison grid, a
+mapping-annealer microbenchmark, and a streaming-scale serve (the trace pulled
+lazily from a request stream, with a simulated-requests-per-wall-clock-second
+headline and a peak-RSS bound) -- and writes the measurements to a JSON file
+(``BENCH_PR9.json`` by default).  Future PRs append their own reports, so the
 repository carries its performance trajectory alongside the code;
 ``scripts/check_bench_regression.py`` gates CI on the deterministic headline
 metrics staying bit-for-bit on trajectory.
@@ -76,8 +78,14 @@ def run_bench(
     models: tuple[str, ...] | None = None,
     label: str = "headline",
     anneal_iterations: int = 500,
+    stream_requests: int | None = None,
 ) -> BenchReport:
-    """Time the headline experiment pipeline stage by stage."""
+    """Time the headline experiment pipeline stage by stage.
+
+    ``stream_requests`` sizes the streaming-scale stage (stage 5); ``None``
+    falls back to ``$REPRO_BENCH_STREAM_REQUESTS``, then 20000.  The headline
+    1M-request run sets it to 1000000.
+    """
     import os
 
     from .. import api
@@ -305,5 +313,33 @@ def run_bench(
     start = time.perf_counter()
     map_model(arch, wafer, anneal_iterations=anneal_iterations)
     report.timings_s[f"mapping_anneal_{anneal_iterations}"] = time.perf_counter() - start
+
+    # Stage 5: streaming-scale serving -- the requests-per-second headline.
+    # An open-loop single-tenant run at the stage-2b saturation rate, but with
+    # the trace pulled lazily from a request stream (O(active) memory), sized
+    # by `stream_requests` (20k in CI, 1M for the headline run).  The figure
+    # of merit is *simulated requests per wall-clock second*; peak RSS is the
+    # process-wide `ru_maxrss` high-water mark -- a bound, not a per-stage
+    # measurement, but one an O(trace) regression at 1M requests would blow
+    # through immediately.
+    import resource
+
+    if stream_requests is None:
+        stream_requests = int(os.environ.get("REPRO_BENCH_STREAM_REQUESTS", "20000"))
+    stream_settings = replace(open_loop_settings, num_requests=stream_requests)
+    stream_trace = api.stream_for(stream_settings.deployment(models[0], workload))
+    start = time.perf_counter()
+    stream_result = system.serve(stream_trace, workload_name="stream-scale")
+    stream_elapsed = time.perf_counter() - start
+    report.timings_s[f"serve_stream.{models[0]}.{workload}"] = stream_elapsed
+    report.meta["stream_requests"] = stream_requests
+    report.meta["stream_arrival_rate_per_s"] = rate
+    report.headline["stream_requests_per_s"] = stream_requests / stream_elapsed
+    report.headline["stream_peak_rss_mb"] = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    )
+    report.headline["stream_sim_total_time_s"] = stream_result.total_time_s
+    report.headline["stream_sim_output_tokens"] = float(stream_result.output_tokens)
+    report.headline["stream_sim_latency_p99_s"] = stream_result.latency.p99_s
 
     return report

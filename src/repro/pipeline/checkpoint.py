@@ -57,6 +57,16 @@ class EngineCheckpoint:
     kv: dict[str, Any]
     #: fault-injector cursor + counters (None = run has no fault plan)
     faults: dict[str, Any] | None = None
+    #: total epochs closed (the ``epochs`` list is a bounded ring of the most
+    #: recent ones; -1 = pre-streaming checkpoint, fall back to ``len(epochs)``)
+    epoch_count: int = -1
+    #: requests emitted by the lazy arrival stream so far — the stream
+    #: regenerates deterministically from the spec, so the cursor alone
+    #: restores it (-1 = the run was not streaming)
+    stream_cursor: int = -1
+    #: streaming stats accumulator state (None = pre-streaming checkpoint;
+    #: the retained scheduler history lists are replayed instead)
+    accumulator: dict[str, Any] | None = None
     version: int = CHECKPOINT_VERSION
 
     def as_dict(self) -> dict[str, Any]:

@@ -73,6 +73,7 @@ is skipped and the loop is the exact batch control flow.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -80,7 +81,7 @@ import numpy as np
 from ..errors import ConfigurationError, SimulationError
 from ..models.architectures import ModelArch
 from ..models.pipeline_stages import pipeline_depth
-from ..results import EnergyBreakdown, FaultStats, LatencyStats, RunResult, TenantStats
+from ..results import EnergyBreakdown, FaultStats, RunResult, ServeAccumulator
 from ..workload.generator import Trace
 from ..workload.policies import SchedulingPolicy, make_policy, validate_policy_name
 from ..workload.requests import Sequence, SequencePhase
@@ -90,6 +91,12 @@ from .stages import TokenCostModel
 
 #: epochs without forward progress tolerated before declaring a livelock
 _MAX_STALLED_EPOCHS = 2000
+
+#: most recent :class:`EpochRecord` entries retained for inspection.  The
+#: epoch history is a ring so a million-request run does not accumulate one
+#: record per epoch; every CI-sized run fits inside the ring, and the total
+#: count always lives in ``engine.epoch_count`` / ``extra["epochs"]``.
+_EPOCH_RING = 4096
 
 
 @dataclass(frozen=True)
@@ -246,8 +253,13 @@ class PipelineEngine:
         #: fault injector for ``weight_core`` events
         self.fault_recovery = None
         self.depth = pipeline_depth(arch)
-        self.epochs: list[EpochRecord] = []
+        #: ring of the most recent epoch records (full count: ``epoch_count``)
+        self.epochs: deque[EpochRecord] = deque(maxlen=_EPOCH_RING)
+        #: total epochs closed over the run, including ones the ring dropped
+        self.epoch_count = 0
         self._split_epochs = 0
+        #: streaming per-request stats, folded as completion epochs close
+        self._accumulator: ServeAccumulator | None = None
         self._interval_cache: dict[int, float] = {}
         self._energy_cache: dict[int, EnergyBreakdown] = {}
 
@@ -584,6 +596,13 @@ class PipelineEngine:
                 )
                 time_s += duration
                 self._stamp_epoch_end(time_s, tally.first_decoders, tally.finished)
+                # Fold finished sequences into the streaming stats now — the
+                # epoch-end stamps above are their final timestamps, and in
+                # streaming mode the scheduler retains no completed list to
+                # fold from later.
+                if self._accumulator is not None:
+                    for sequence in tally.finished:
+                        self._accumulator.note_completed(sequence)
                 if arrival_feed is not None:
                     arrival_feed.notify_epoch(time_s, tally.finished, scheduler)
                 energy = energy + epoch_energy
@@ -598,6 +617,7 @@ class PipelineEngine:
                         active_sequences=len(active),
                     )
                 )
+                self.epoch_count += 1
                 epoch_index += 1
         except _LiveSuspend as suspend:
             return suspend.checkpoint
@@ -644,11 +664,28 @@ class PipelineEngine:
 
         Returns ``(injector, (start_epoch, time_s, energy, processed_tokens,
         utilization_time, stalled_epochs))``.
+
+        A trace carrying a lazy ``stream``
+        (:class:`~repro.workload.streams.StreamingTrace`) is served in
+        streaming mode: the scheduler pulls arrivals as simulated time
+        advances and drops its completed/shed history lists (the accumulator
+        below captures the stats instead), bounding resident memory by the
+        active set rather than the trace length.
         """
         scheduler = self.scheduler
         # Deadline-aware shedding judges waiting requests against their
         # tenant's SLO; harmless otherwise (only consulted when enabled).
         scheduler.slo_lookup = trace.slo_for
+        # Per-request stats fold incrementally in *both* modes: the exact
+        # small-N path is bitwise identical to the historical list-based
+        # `_finish`, so streaming stays a pure execution knob.
+        accumulator = ServeAccumulator(trace.slo_for)
+        self._accumulator = accumulator
+        scheduler.on_shed = accumulator.note_shed
+        stream = getattr(trace, "stream", None)
+        if stream is not None:
+            scheduler.attach_stream(stream)
+            scheduler.retain_history = False
         injector = None
         if fault_plan is not None and len(fault_plan):
             from ..sim.faults import FaultInjector  # runtime-only: no cycle
@@ -656,8 +693,10 @@ class PipelineEngine:
             injector = FaultInjector(plan=fault_plan, engine=self)
         if resume_from is not None:
             return injector, self._restore_checkpoint(trace, resume_from, injector)
-        scheduler.submit_all(list(trace.requests))
-        self.epochs = []
+        if stream is None:
+            scheduler.submit_all(list(trace.requests))
+        self.epochs = deque(maxlen=_EPOCH_RING)
+        self.epoch_count = 0
         self._split_epochs = 0
         return injector, (0, 0.0, EnergyBreakdown(), 0, 0.0, 0)
 
@@ -708,6 +747,13 @@ class PipelineEngine:
             scheduler=scheduler.snapshot_state(),
             kv=self.kv_manager.snapshot_state(),
             faults=injector.snapshot_state() if injector is not None else None,
+            epoch_count=self.epoch_count,
+            stream_cursor=(
+                scheduler.stream.emitted if scheduler.stream is not None else -1
+            ),
+            accumulator=(
+                self._accumulator.state() if self._accumulator is not None else None
+            ),
         )
 
     def _restore_checkpoint(self, trace: Trace, checkpoint: EngineCheckpoint, injector):
@@ -716,10 +762,34 @@ class PipelineEngine:
         Returns the epoch-loop state tuple ``_prepare_run`` hands back.
         """
         scheduler = self.scheduler
-        by_id = {
-            request.request_id: Sequence(request=request)
-            for request in trace.requests
-        }
+        if checkpoint.stream_cursor >= 0:
+            # Streaming run: the arrival stream (attached by `_prepare_run`,
+            # regenerated from the spec) replays deterministically, so rather
+            # than persisting every emitted request the checkpoint stores the
+            # emission cursor.  Fast-forward to it, keeping only the sequences
+            # the checkpoint still tracks (waiting + active; completed and
+            # shed history lives in the accumulator state).
+            stream = scheduler.stream
+            if stream is None:
+                raise ConfigurationError(
+                    "checkpoint was taken from a streaming run but the "
+                    "resumed trace has no attached stream"
+                )
+            if stream.emitted:
+                raise ConfigurationError(
+                    "streaming resume requires a freshly regenerated stream"
+                )
+            needed = {seq_id for seq_id, _ in checkpoint.sequences}
+            by_id = {}
+            while stream.emitted < checkpoint.stream_cursor:
+                request = stream.pop()
+                if request.request_id in needed:
+                    by_id[request.request_id] = Sequence(request=request)
+        else:
+            by_id = {
+                request.request_id: Sequence(request=request)
+                for request in trace.requests
+            }
         for seq_id, data in checkpoint.sequences:
             sequence = by_id.get(seq_id)
             if sequence is None:
@@ -742,8 +812,27 @@ class PipelineEngine:
             sequence.metadata = dict(data["metadata"])
         scheduler.restore_state(checkpoint.scheduler, by_id)
         self.kv_manager.restore_state(checkpoint.kv)
-        self.epochs = [EpochRecord(**record) for record in checkpoint.epochs]
+        self.epochs = deque(
+            (EpochRecord(**record) for record in checkpoint.epochs),
+            maxlen=_EPOCH_RING,
+        )
+        self.epoch_count = (
+            checkpoint.epoch_count
+            if checkpoint.epoch_count >= 0
+            else len(self.epochs)
+        )
         self._split_epochs = checkpoint.split_epochs
+        if self._accumulator is not None:
+            if checkpoint.accumulator is not None:
+                self._accumulator.restore_state(checkpoint.accumulator)
+            else:
+                # Pre-streaming checkpoint: the per-request history survived
+                # in the scheduler's retained lists with final timestamps, so
+                # replaying them in list order reproduces the fold exactly.
+                for sequence in scheduler.completed:
+                    self._accumulator.note_completed(sequence)
+                for sequence in scheduler.shed:
+                    self._accumulator.note_shed(sequence)
         if injector is not None and checkpoint.faults is not None:
             injector.restore_state(checkpoint.faults)
         return (
@@ -898,8 +987,9 @@ class PipelineEngine:
         # queue where the jumped-to request is immediately deadline-shed on
         # arrival, leaving only later-eligible requests behind it.  Each pass
         # either admits something, drains the queue, or strictly advances the
-        # clock, so it terminates.
-        while not active and scheduler.waiting:
+        # clock, so it terminates.  `has_pending` also covers arrivals still
+        # inside an attached stream (and is O(1), unlike `waiting`).
+        while not active and scheduler.has_pending:
             arrived = scheduler.has_arrived_waiting(time_s)
             if arrived and time_s >= scheduler.admission_stall_until:
                 raise SimulationError(
@@ -1028,17 +1118,15 @@ class PipelineEngine:
             time_s += self.cost_model.token_pipeline_latency(
                 int(trace.mean_prefill_length) or 1
             )
-        completed = self.scheduler.completed
-        output_tokens = sum(
-            sequence.request.decode_length for sequence in completed
-        )
-        # Per-request latency metrics from the epoch-end timestamps.  TTFT
-        # excludes prefill-only requests (they never emit an output token);
-        # neither metric includes the final pipeline fill/drain correction,
-        # which is a trace-level constant.
-        ttft_samples = [s.ttft_s for s in completed if s.ttft_s is not None]
-        latency_samples = [s.latency_s for s in completed if s.latency_s is not None]
-
+        # Per-request latency metrics come from the streaming accumulator,
+        # which folded every finished sequence as its completion epoch closed
+        # (epoch-end timestamps) and every permanent shed as it happened.
+        # TTFT excludes prefill-only requests (they never emit an output
+        # token); neither metric includes the final pipeline fill/drain
+        # correction, which is a trace-level constant.  At small N the
+        # accumulator's exact mode reproduces the historical sample-list
+        # arithmetic bit for bit.
+        #
         # Per-tenant breakdown (single-tenant traces collapse to one entry)
         # plus SLO goodput.  Every tenant is judged by its own SLO when one is
         # set (interactive and batch tenants rarely share a deadline), falling
@@ -1047,53 +1135,16 @@ class PipelineEngine:
         # requests count against goodput (a dropped request never met its
         # SLO): shedding improves goodput only honestly, by freeing capacity
         # so the *surviving* requests meet their deadlines.
-        shed = self.scheduler.shed
-        by_tenant: dict[str, list] = {}
-        for sequence in completed:
-            by_tenant.setdefault(sequence.request.tenant, []).append(sequence)
-        shed_by_tenant: dict[str, int] = {}
-        for sequence in shed:
-            tenant = sequence.request.tenant
-            shed_by_tenant[tenant] = shed_by_tenant.get(tenant, 0) + 1
-            by_tenant.setdefault(tenant, [])
+        accumulator = self._accumulator
+        if accumulator is None:
+            raise SimulationError(
+                "internal error: _finish called before _prepare_run"
+            )
         # Queue depth at capture time: always 0 for a drained batch run, but
         # the same field carries the live depth in the daemon's rolling
         # metrics, so batch results and live telemetry share one shape.
         queue_depths = self.scheduler.queue_depths()
-        tenants: dict[str, TenantStats] = {}
-        met_total = 0
-        judged_total = 0
-        for tenant_name, sequences in by_tenant.items():
-            shed_count = shed_by_tenant.get(tenant_name, 0)
-            goodput = None
-            slo = trace.slo_for(tenant_name)
-            if slo is not None:
-                met = sum(
-                    1 for s in sequences if slo.met_by(s.ttft_s, s.latency_s)
-                )
-                judged = len(sequences) + shed_count
-                met_total += met
-                judged_total += judged
-                goodput = (met / judged) if judged else 0.0
-            tenants[tenant_name] = TenantStats(
-                requests=len(sequences),
-                ttft=LatencyStats.from_samples(
-                    [s.ttft_s for s in sequences if s.ttft_s is not None]
-                ),
-                latency=LatencyStats.from_samples(
-                    [s.latency_s for s in sequences if s.latency_s is not None]
-                ),
-                goodput=goodput,
-                shed=shed_count,
-                queue_depth=queue_depths.get(tenant_name, 0),
-                admission_wait=LatencyStats.from_samples(
-                    [
-                        s.admission_time - s.request.arrival_time
-                        for s in sequences
-                        if s.admission_time is not None
-                    ]
-                ),
-            )
+        tenants, met_total, judged_total = accumulator.tenant_results(queue_depths)
         overall_goodput = None
         if trace.slo is not None or trace.tenant_slos:
             overall_goodput = (met_total / judged_total) if judged_total else 0.0
@@ -1104,17 +1155,17 @@ class PipelineEngine:
             workload=workload_name or trace.spec.name,
             total_time_s=time_s,
             total_tokens=processed_tokens,
-            output_tokens=output_tokens,
+            output_tokens=accumulator.output_tokens,
             energy=energy,
             utilization=(utilization_time / time_s) if time_s > 0 else 0.0,
             recomputed_tokens=self.scheduler.stats.recomputed_tokens,
             evictions=self.scheduler.stats.evictions,
-            ttft=LatencyStats.from_samples(ttft_samples),
-            latency=LatencyStats.from_samples(latency_samples),
+            ttft=accumulator.ttft.finalize(),
+            latency=accumulator.latency.finalize(),
             goodput=overall_goodput,
             tenants=tenants,
             faults=fault_stats,
-            shed_requests=len(shed),
-            extra={"epochs": len(self.epochs), "split_epochs": self._split_epochs},
+            shed_requests=accumulator.shed_total,
+            extra={"epochs": self.epoch_count, "split_epochs": self._split_epochs},
         )
 

@@ -160,12 +160,15 @@ def replay_spec(
     Submits the spec's deterministic trace in arrival order over one stream,
     then drains.  The returned result dict is bit-for-bit equal to
     ``api.serve(spec).as_dict()`` — the load-bearing property of the live
-    serving path.  With ``shutdown`` the daemon is stopped after draining.
+    serving path.  The trace is pulled lazily from :func:`api.stream_for`
+    (which emits the exact requests ``trace_for`` would materialise, already
+    in ``(arrival_time, request_id)`` order), so replaying a million-request
+    spec holds O(1) requests client-side.  With ``shutdown`` the daemon is
+    stopped after draining.
     """
-    trace = api.trace_for(spec.validate())
+    stream = api.stream_for(spec.validate())
     with DaemonClient(host, port, timeout=timeout) as client:
-        for request in sorted(trace.requests,
-                              key=lambda r: (r.arrival_time, r.request_id)):
+        for request in stream:
             client.submit(request)
         client.end_stream()
         result = client.drain(timeout=timeout)

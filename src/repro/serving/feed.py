@@ -80,7 +80,7 @@ class LiveArrivalFeed:
         self._streams: dict[int, float] = {}
         self._next_stream_id = 0
         self._buffered: list[Request] = []
-        self._released: list[Request] = []
+        self._released: deque[Request] = deque()
         self._accepted: list[Request] = []
         self._known_ids: set[int] = set()
         self._drained = False
@@ -188,9 +188,34 @@ class LiveArrivalFeed:
     def take_released(self) -> list[Request]:
         """Claim the requests released since the last call (engine thread)."""
         with self._cond:
-            released = self._released
-            self._released = []
+            released = list(self._released)
+            self._released.clear()
             return released
+
+    # The feed also speaks the pull side of the lazy
+    # :class:`~repro.workload.streams.RequestStream` interface, over the
+    # released queue: a consumer that pulls traces from a stream can pull
+    # live arrivals from a feed the same way.  ``peek_arrival`` only sees
+    # watermark-covered requests, so the contract (never emit an arrival
+    # earlier than one already peeked) holds by construction.
+
+    def peek_arrival(self) -> float | None:
+        """Arrival time of the next released request (None = none released)."""
+        with self._cond:
+            return self._released[0].arrival_time if self._released else None
+
+    def pop(self) -> Request:
+        """Claim the next released request, in batch-trace order."""
+        with self._cond:
+            if not self._released:
+                raise IndexError("no released request to pop")
+            return self._released.popleft()
+
+    @property
+    def exhausted(self) -> bool:
+        """True once drained with every accepted request claimed."""
+        with self._cond:
+            return self._drained and not self._buffered and not self._released
 
     def take_checkpoint_request(self) -> CheckpointRequest | None:
         with self._cond:

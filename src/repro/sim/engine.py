@@ -38,6 +38,7 @@ from ..pipeline.stages import TokenCostModel
 from ..pipeline.tgp import TokenGrainedPipeline
 from ..results import RunResult
 from ..workload.generator import Trace
+from ..workload.streams import StreamingTrace
 from ..workload.scheduler import InterSequenceScheduler
 
 
@@ -219,7 +220,7 @@ class BuiltOuroboros:
 
     def serve(
         self,
-        trace: Trace,
+        trace: Trace | StreamingTrace,
         workload_name: str | None = None,
         *,
         fault_plan=None,
@@ -250,7 +251,7 @@ class BuiltOuroboros:
 
     def serve_live(
         self,
-        trace: Trace,
+        trace: Trace | StreamingTrace,
         workload_name: str | None = None,
         *,
         arrival_feed,
@@ -283,7 +284,9 @@ class BuiltOuroboros:
         result.extra.update(self.summary())
         return result
 
-    def _add_inter_wafer_costs(self, result: RunResult, trace: Trace) -> RunResult:
+    def _add_inter_wafer_costs(
+        self, result: RunResult, trace: Trace | StreamingTrace
+    ) -> RunResult:
         crossings = len(self.wafers) - 1
         if crossings <= 0:
             return result

@@ -10,6 +10,7 @@ in the engines keys on.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -92,7 +93,7 @@ class Trace:
     def __len__(self) -> int:
         return len(self.requests)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Request]:
         return iter(self.requests)
 
     @property
@@ -171,53 +172,15 @@ def generate_multi_tenant_trace(
     arrival time (ties broken by tenant order, then per-tenant order) and
     request ids are assigned in that order, which makes the FCFS scheduler's
     queue order equal arrival order.
+
+    Since the streaming refactor this is a shim that drains the lazy
+    heap-merged stream (:func:`~repro.workload.streams.multi_tenant_stream`);
+    the stream's pop order is the exact sort key above, so the materialised
+    trace is bitwise identical to the historical sort-then-enumerate output.
     """
-    if not tenants:
-        raise ConfigurationError("at least one tenant is required")
-    names = [tenant.name for tenant in tenants]
-    if len(set(names)) != len(names):
-        raise ConfigurationError(f"tenant names must be unique, got {names}")
-    rows: list[tuple[float, int, int, int, int]] = []
-    for index, tenant in enumerate(tenants):
-        distribution = get_distribution(tenant.workload)
-        # Independent streams per tenant, lengths decoupled from arrivals for
-        # the same reason as TraceGenerator: changing a tenant's offered load
-        # must not change its sampled request mix.
-        length_rng = np.random.default_rng((seed, index))
-        arrival_rng = np.random.default_rng((seed, index, 1))
-        arrival = 0.0
-        for order in range(tenant.num_requests):
-            sample = distribution.sample(length_rng)
-            if tenant.arrival_rate_per_s > 0:
-                arrival += float(
-                    arrival_rng.exponential(1.0 / tenant.arrival_rate_per_s)
-                )
-            rows.append(
-                (arrival, index, order, sample.prefill_length, sample.decode_length)
-            )
-    rows.sort(key=lambda row: (row[0], row[1], row[2]))
-    requests = [
-        Request(
-            request_id=request_id,
-            prefill_length=prefill,
-            decode_length=decode,
-            arrival_time=arrival,
-            tenant=tenants[index].name,
-            weight=tenants[index].weight,
-            priority=tenants[index].priority,
-        )
-        for request_id, (arrival, index, _, prefill, decode) in enumerate(rows)
-    ]
-    spec = WorkloadSpec(
-        name="+".join(names),
-        distribution=get_distribution(tenants[0].workload),
-        num_requests=len(requests),
-        seed=seed,
-    )
-    tenant_slos = {
-        tenant.name: tenant.slo for tenant in tenants if tenant.slo is not None
-    }
-    return Trace(spec=spec, requests=requests, slo=slo, tenant_slos=tenant_slos)
+    from .streams import multi_tenant_stream  # local: streams imports us
+
+    return multi_tenant_stream(tenants, seed=seed, slo=slo).materialize()
 
 
 def make_workload(

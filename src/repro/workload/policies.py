@@ -103,6 +103,24 @@ class SchedulingPolicy(Protocol):
         """
         ...
 
+    def pending_head_arrivals(self, pending: list[tuple[str, float]]) -> list[float]:
+        """Which not-yet-pulled stream arrivals can affect admission order.
+
+        ``pending`` holds one ``(tenant, next arrival)`` pair per tenant still
+        producing in an attached lazy request stream.  The policy answers with
+        the arrivals that would have been *next-arrival candidates* had the
+        whole trace been submitted up front: FCFS yields none while its queue
+        is non-empty (the head gates everything — a pending later submission
+        can never be the candidate), and everything once it is empty; the
+        tenant-aware policies yield the arrivals of tenants whose own queue is
+        currently empty (a tenant with a queued head hides its later
+        arrivals, but never another tenant's).  Keeps the scheduler's
+        ``next_arrival_time``/``next_future_arrival`` answers — and with them
+        the engines' epoch-split boundaries — bit-for-bit equal to the
+        materialised submit-everything path.
+        """
+        ...
+
     def waiting(self) -> list["Sequence"]:
         """Snapshot of the waiting sequences (policy-specific order)."""
         ...
@@ -178,6 +196,15 @@ class FCFSPolicy:
         if arrival is None or arrival <= time:
             return None
         return arrival
+
+    def pending_head_arrivals(self, pending: list[tuple[str, float]]) -> list[float]:
+        # A non-empty FCFS queue gates everything behind it: requests still
+        # inside the stream were submitted later than every queued sequence,
+        # so none of them can be the next candidate.  Once the queue drains,
+        # the earliest pending submission is exactly the next head.
+        if self._queue:
+            return []
+        return [arrival for _, arrival in pending]
 
     def waiting(self) -> list["Sequence"]:
         return list(self._queue)
@@ -291,6 +318,17 @@ class _TenantQueuedPolicy:
         if not arrivals:
             return None
         return min(arrivals)
+
+    def pending_head_arrivals(self, pending: list[tuple[str, float]]) -> list[float]:
+        # Per-tenant FIFO: a tenant's queued head hides its own later stream
+        # arrivals (they sit behind it), but a tenant whose queue is empty
+        # would — under full submission — contribute its next request as a
+        # tenant head, so its pending arrival is a genuine candidate.
+        return [
+            arrival
+            for tenant, arrival in pending
+            if not self._queues.get(tenant)
+        ]
 
     def waiting(self) -> list["Sequence"]:
         flat: list[Sequence] = []

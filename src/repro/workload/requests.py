@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..errors import ConfigurationError, SchedulingError
 
@@ -138,7 +139,7 @@ class Sequence:
     retry_at: float = 0.0
     #: times this request was shed from the admission queue and retried
     retries: int = 0
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     @property
     def sequence_id(self) -> int:

@@ -29,11 +29,14 @@ here, while the policy object owns which waiting sequence goes next.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Protocol
 
-from ..errors import SchedulingError
+from ..errors import ConfigurationError, SchedulingError
 from .policies import SchedulingPolicy, make_policy
 from .requests import Request, Sequence, SequencePhase
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .streams import RequestStream
 
 
 class KVCapacityProvider(Protocol):
@@ -118,6 +121,52 @@ class InterSequenceScheduler:
         self.slo_lookup: Callable[[str], object] | None = None
         #: admission frozen until this instant (transient fault injection)
         self.admission_stall_until = 0.0
+        #: lazy arrival stream the scheduler pulls from as time advances
+        #: (None = everything was submitted up front, the historical mode)
+        self._stream: RequestStream | None = None
+        #: keep the ``_completed``/``_shed`` sequence lists; the engines turn
+        #: this off for streaming runs, where holding every finished sequence
+        #: would defeat the O(active) memory bound (stats fold incrementally)
+        self.retain_history = True
+        #: observer invoked on every permanent shed (the engines' streaming
+        #: stats accumulator; fires in both retention modes)
+        self.on_shed: Callable[[Sequence], None] | None = None
+
+    # ------------------------------------------------------------------ stream
+
+    def attach_stream(self, stream: "RequestStream") -> None:
+        """Pull arrivals lazily from ``stream`` instead of a bulk submit.
+
+        ``fill`` drains every request whose arrival time has passed into the
+        policy queue before admitting, so admission order, next-arrival
+        queries and shedding behave bit-for-bit as if the whole trace had
+        been submitted up front.
+        """
+        if self._stream is not None:
+            raise ConfigurationError("scheduler already has an attached stream")
+        if len(self.policy) or self._active or self._completed:
+            raise ConfigurationError(
+                "attach_stream requires a fresh scheduler (no queued work)"
+            )
+        self._stream = stream
+
+    @property
+    def stream(self) -> "RequestStream | None":
+        return self._stream
+
+    def _pull_arrivals(self, time: float) -> None:
+        """Move every stream request with ``arrival <= time`` into the queue."""
+        stream = self._stream
+        if stream is None:
+            return
+        while (arrival := stream.peek_arrival()) is not None and arrival <= time:
+            self.submit(stream.pop())
+
+    def _stream_head_candidates(self) -> list[float]:
+        """Pending stream arrivals that can affect next-arrival queries."""
+        if self._stream is None or self._stream.exhausted:
+            return []
+        return self.policy.pending_head_arrivals(self._stream.pending_arrivals())
 
     # ------------------------------------------------------------------ intake
 
@@ -189,7 +238,22 @@ class InterSequenceScheduler:
 
     @property
     def all_done(self) -> bool:
-        return len(self.policy) == 0 and not self._active
+        return (
+            len(self.policy) == 0
+            and not self._active
+            and (self._stream is None or self._stream.exhausted)
+        )
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any work is queued or still inside the arrival stream.
+
+        O(1), unlike ``waiting`` which materialises the queue — the engines'
+        idle-skip loop polls this every epoch.
+        """
+        return len(self.policy) > 0 or (
+            self._stream is not None and not self._stream.exhausted
+        )
 
     def next_arrival_time(self) -> float | None:
         """Instant admission can next make progress (None when nothing waits).
@@ -201,8 +265,16 @@ class InterSequenceScheduler:
         The engines use it to advance the clock across idle gaps instead of
         stalling, and to split epochs at admission boundaries, so the split
         boundary automatically respects the policy's order.
+
+        With an attached stream, not-yet-pulled arrivals that would have been
+        candidate heads under full submission (the policy decides which — see
+        ``pending_head_arrivals``) compete with the queued answer.
         """
-        return self.policy.next_arrival_time()
+        best = self.policy.next_arrival_time()
+        for arrival in self._stream_head_candidates():
+            if best is None or arrival < best:
+                best = arrival
+        return best
 
     def next_future_arrival(self, time: float) -> float | None:
         """Earliest candidate arrival strictly after ``time`` (policy-defined).
@@ -211,8 +283,14 @@ class InterSequenceScheduler:
         arrival only; the tenant-aware policies report the earliest future
         tenant-head arrival even while another (already arrived) head is
         blocked on capacity, because the newcomer may be admitted instantly.
+        Stream-pending candidate arrivals compete exactly as in
+        :meth:`next_arrival_time`.
         """
-        return self.policy.next_future_arrival(time)
+        best = self.policy.next_future_arrival(time)
+        for arrival in self._stream_head_candidates():
+            if arrival > time and (best is None or arrival < best):
+                best = arrival
+        return best
 
     def has_arrived_waiting(self, time: float) -> bool:
         """True when the policy has an admission candidate arrived at ``time``.
@@ -244,6 +322,7 @@ class InterSequenceScheduler:
         does not fit must not block an interactive request that would.
         Returns the admitted sequences.
         """
+        self._pull_arrivals(time)
         if time < self.admission_stall_until:
             # A transient fault froze admission; already-active sequences
             # keep decoding, but nothing new enters until the stall lifts.
@@ -277,6 +356,10 @@ class InterSequenceScheduler:
             self._active.append(candidate)
             self._active_ids.add(candidate.sequence_id)
             self.stats.admitted += 1
+            # The id can never be re-blocked without an eviction (which
+            # discards it too); dropping it here keeps the dedup set at
+            # O(currently blocked) instead of O(every rejection ever).
+            self._rejected_ids.discard(candidate.sequence_id)
             admitted.append(candidate)
         return admitted
 
@@ -321,9 +404,12 @@ class InterSequenceScheduler:
 
     def _shed_permanently(self, sequence: Sequence) -> None:
         if self.policy.remove(sequence):
-            self._shed.append(sequence)
+            if self.retain_history:
+                self._shed.append(sequence)
             self.stats.shed_requests += 1
             self._rejected_ids.discard(sequence.sequence_id)
+            if self.on_shed is not None:
+                self.on_shed(sequence)
 
     def _shed_or_backoff(self, sequence: Sequence, time: float) -> None:
         """Depth overflow: back the request off, or drop it once retries run out."""
@@ -390,7 +476,8 @@ class InterSequenceScheduler:
         self._remove_active(sequence)
         self.kv_provider.release(sequence)
         sequence.complete(time)
-        self._completed.append(sequence)
+        if self.retain_history:
+            self._completed.append(sequence)
         self.stats.completed += 1
         # A prior request completed: new-request admission may resume.
         self._admission_suspended = False
@@ -418,7 +505,7 @@ class InterSequenceScheduler:
 
     # ------------------------------------------------------------- checkpoint
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         """JSON-able scheduler state for a bit-for-bit checkpoint."""
         return {
             "active": [sequence.sequence_id for sequence in self._active],
@@ -431,7 +518,9 @@ class InterSequenceScheduler:
             "policy": self.policy.snapshot_state(),
         }
 
-    def restore_state(self, state: dict, by_id: dict) -> None:
+    def restore_state(
+        self, state: dict[str, Any], by_id: dict[int, Sequence]
+    ) -> None:
         """Rebuild scheduler state from :meth:`snapshot_state` output.
 
         ``by_id`` maps request ids to the freshly rebuilt sequences of the

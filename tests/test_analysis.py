@@ -69,6 +69,33 @@ class TestDeterminismChecker:
         ))
         assert report.ok
 
+    def test_unseeded_rng_in_lazy_generator_flagged(self, tmp_path):
+        """The lazy-stream idiom is in scope: ``workload/`` is a DET dir and
+        an unseeded rng built inside a generator function body fires."""
+        write_tree(tmp_path, {"workload/streams.py": (
+            "import numpy as np\n"
+            "def arrivals(rate, n):\n"
+            "    rng = np.random.default_rng()\n"
+            "    for _ in range(n):\n"
+            "        yield rng.exponential(1.0 / rate)\n"
+        )})
+        report = run_lint(tmp_path, [DeterminismChecker()])
+        assert rules_of(report) == ["DET001"]
+        assert report.findings[0].path == "workload/streams.py"
+        assert report.findings[0].line == 3
+
+    def test_seeded_rng_in_lazy_generator_clean(self, tmp_path):
+        """The conforming twin: per-tenant rngs derived from (seed, index)."""
+        write_tree(tmp_path, {"workload/streams.py": (
+            "import numpy as np\n"
+            "def arrivals(seed, index, rate, n):\n"
+            "    rng = np.random.default_rng((seed, index, 1))\n"
+            "    for _ in range(n):\n"
+            "        yield rng.exponential(1.0 / rate)\n"
+        )})
+        report = run_lint(tmp_path, [DeterminismChecker()])
+        assert report.ok
+
     def test_wall_clock_flagged(self, tmp_path):
         report = self.check(tmp_path, (
             "import time\n"

@@ -2,8 +2,10 @@
 
 The script is not a package module, so it is loaded straight from its file
 path.  Covered: bitwise drift detection on deterministic headline metrics,
-the wall-clock tolerance gate, the warning for deterministic fresh-only
-keys, the ``num_requests`` mismatch error, and ``main()``'s exit codes with
+the wall-clock tolerance gate, the directional streaming gates
+(``stream_requests_per_s`` floor / ``stream_peak_rss_mb`` ceiling), the
+warning for deterministic fresh-only keys, the ``num_requests`` and
+``stream_requests`` mismatch errors, and ``main()``'s exit codes with
 explicit ``--fresh``/``--baseline`` files.
 """
 
@@ -94,6 +96,67 @@ class TestCompare:
     def test_no_shared_headline_fails(self, gate):
         failures = gate.compare(report({"a": 1}), report({"b": 2}), 0.10)
         assert any("no shared headline" in failure for failure in failures)
+
+    def test_stream_request_count_mismatch_is_an_error(self, gate):
+        fresh = report({"average_speedup": 1.0})
+        fresh["meta"] = {"stream_requests": 5000}
+        baseline = report({"average_speedup": 1.0})
+        baseline["meta"] = {"stream_requests": 20000}
+        failures = gate.compare(fresh, baseline, 0.10)
+        assert len(failures) == 1
+        assert "stream-request-count mismatch" in failures[0]
+        assert "REPRO_BENCH_STREAM_REQUESTS=20000" in failures[0]
+
+    def test_stream_count_ungated_when_baseline_predates_it(self, gate):
+        fresh = report({"average_speedup": 1.0})
+        fresh["meta"] = {"stream_requests": 5000}
+        baseline = report({"average_speedup": 1.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
+
+
+class TestDirectionalGates:
+    def test_stream_sim_keys_are_bitwise(self, gate):
+        fresh = report({"stream_sim_total_time_s": 217.5630001})
+        baseline = report({"stream_sim_total_time_s": 217.563})
+        failures = gate.compare(fresh, baseline, 0.10)
+        assert len(failures) == 1
+        assert "bitwise" in failures[0]
+
+    def test_throughput_drop_past_tolerance_fails(self, gate):
+        fresh = report({"stream_requests_per_s": 400.0})
+        baseline = report({"stream_requests_per_s": 1000.0})
+        failures = gate.compare(fresh, baseline, 0.50)
+        assert len(failures) == 1
+        assert "stream_requests_per_s" in failures[0]
+        assert "fell below" in failures[0]
+
+    def test_throughput_within_tolerance_passes(self, gate):
+        fresh = report({"stream_requests_per_s": 600.0})
+        baseline = report({"stream_requests_per_s": 1000.0})
+        assert gate.compare(fresh, baseline, 0.50) == []
+
+    def test_throughput_gain_never_fails(self, gate):
+        fresh = report({"stream_requests_per_s": 5000.0})
+        baseline = report({"stream_requests_per_s": 1000.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
+
+    def test_rss_growth_past_tolerance_fails(self, gate):
+        fresh = report({"stream_peak_rss_mb": 200.0})
+        baseline = report({"stream_peak_rss_mb": 100.0})
+        failures = gate.compare(fresh, baseline, 0.50)
+        assert len(failures) == 1
+        assert "stream_peak_rss_mb" in failures[0]
+        assert "exceeded" in failures[0]
+
+    def test_rss_shrink_never_fails(self, gate):
+        fresh = report({"stream_peak_rss_mb": 50.0})
+        baseline = report({"stream_peak_rss_mb": 100.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
+
+    def test_directional_keys_skipped_when_absent(self, gate):
+        fresh = report({"average_speedup": 1.0, "stream_peak_rss_mb": 500.0})
+        baseline = report({"average_speedup": 1.0})
+        assert gate.compare(fresh, baseline, 0.10) == []
 
 
 class TestDeterministicPrefixes:
