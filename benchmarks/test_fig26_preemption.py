@@ -1,0 +1,69 @@
+"""Benchmark: regenerate Fig. 26 (preemptive scheduling + recompute tax).
+
+Not a figure of the paper: the fig24 tenant mix is re-served at the
+saturated 4x load under wfq and priority admission, co-sweeping the
+continuous-batching cap with the scheduler's preemption knob off and on.
+The qualitative claims are asserted: preemption is bit-for-bit inert at
+light load (no contention, no victims), and past saturation it cuts the
+interactive tenant's TTFT p95 strictly below the non-preemptive run of the
+same policy/cap cell -- the fig24 wfq anchor -- while the recompute tax it
+pays (preemptions, recomputed tokens) is visible in the rows.
+"""
+
+from repro.experiments import fig26_preemption
+
+from .conftest import bench_settings, record_figure
+
+LOAD_FRACTIONS = (0.25, 4.0)
+MAX_ACTIVE_CAPS = (8, 16)
+
+
+def test_fig26_preemption(benchmark, results_dir):
+    settings = bench_settings()
+    result = benchmark.pedantic(
+        fig26_preemption.run,
+        args=(settings,),
+        kwargs={
+            "load_fractions": LOAD_FRACTIONS,
+            "max_active_caps": MAX_ACTIVE_CAPS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(results_dir, "fig26_preemption", result)
+
+    rows = {
+        (row["policy"], row["max_active"], row["preemptive"], row["load"]): row
+        for row in result.rows()
+    }
+    assert len(rows) == 2 * len(MAX_ACTIVE_CAPS) * 2 * len(LOAD_FRACTIONS)
+    assert result.base_rate_per_s > 0
+    assert result.headline_load == LOAD_FRACTIONS[-1]
+
+    light, heavy = LOAD_FRACTIONS
+    for policy in ("wfq", "priority"):
+        for cap in MAX_ACTIVE_CAPS:
+            # At light load nothing contends for admission, so the knob is
+            # inert: no victims, and numbers identical to the off run.
+            on, off = rows[(policy, cap, True, light)], rows[(policy, cap, False, light)]
+            assert on["preemptions"] == 0
+            assert on["recomputed_tokens"] == 0
+            assert on["interactive_ttft_p95_s"] == off["interactive_ttft_p95_s"]
+            assert on["goodput"] == off["goodput"]
+
+    # Past saturation at the contended cap, preemption evicts batch prefills
+    # for interactive arrivals: the interactive TTFT p95 drops strictly below
+    # the non-preemptive run of the same cell (for wfq, the fig24 anchor:
+    # 2.64 s at the default 150-request size), and the recompute tax is paid.
+    contended = MAX_ACTIVE_CAPS[0]
+    for policy in ("wfq", "priority"):
+        on = rows[(policy, contended, True, heavy)]
+        off = rows[(policy, contended, False, heavy)]
+        assert on["interactive_ttft_p95_s"] < off["interactive_ttft_p95_s"]
+        assert on["preemptions"] > 0
+        assert on["recomputed_tokens"] > 0
+
+    headline = result.headline
+    assert headline["interactive_ttft_p95_s"] < headline["baseline_interactive_ttft_p95_s"]
+    assert headline["preemptions"] > 0
+    assert headline["recomputed_tokens"] > 0

@@ -54,6 +54,7 @@ DETERMINISTIC_PREFIXES = (
     "slo_",
     "fault_",
     "daemon_",
+    "preempt_",
     "stream_sim_",
 )
 

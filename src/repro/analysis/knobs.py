@@ -1,7 +1,7 @@
 """Knob-plumbing checker: every config field must be reachable by users.
 
-A field added to :class:`PipelineConfig` or :class:`DeploymentSpec` is only
-a knob if someone can actually turn it.  History shows the plumbing lags:
+A field added to :class:`PipelineConfig`, :class:`DeploymentSpec` or
+:class:`TenantSpec` is only a knob if someone can actually turn it.  History shows the plumbing lags:
 a field lands for one experiment, the fluent builder and the CLI never grow
 a path to it, and the next user hand-edits frozen dataclasses instead.
 This checker closes the loop statically:
@@ -37,8 +37,9 @@ from .core import (
     iter_class_defs,
 )
 
-#: the spec dataclasses whose fields are user-facing knobs
-KNOB_CLASSES = ("PipelineConfig", "DeploymentSpec")
+#: the spec dataclasses whose fields are user-facing knobs (TenantSpec joined
+#: when per-tenant scheduling weights and KV quotas became serving knobs)
+KNOB_CLASSES = ("PipelineConfig", "DeploymentSpec", "TenantSpec")
 
 
 def _string_keys_and_keywords(tree: ast.AST) -> set[str]:

@@ -397,6 +397,14 @@ class DeploymentSpec:
                 "no simulated runtime to inject faults into; fault plans "
                 "require an Ouroboros-family system."
             )
+        quota_total = sum(
+            tenant.kv_quota for tenant in self.tenants if tenant.kv_quota is not None
+        )
+        if quota_total > 1.0:
+            raise ConfigurationError(
+                "tenant kv_quota fractions reserve more than the whole KV "
+                f"cache (sum = {quota_total:g} > 1.0); shrink the quotas"
+            )
         return self
 
     # ---------------------------------------------------------- serialization
@@ -601,6 +609,7 @@ class DeploymentBuilder:
         slo: SLOTarget | None = None,
         weight: float = 1.0,
         priority: int = 0,
+        kv_quota: float | None = None,
     ) -> "DeploymentBuilder":
         """Append one tenant, so multi-tenant specs read as a fluent chain::
 
@@ -611,6 +620,9 @@ class DeploymentBuilder:
         target for that tenant's requests; ``weight`` and ``priority`` feed
         the ``wfq`` / ``priority`` scheduling policies (see
         :meth:`scheduler`) and are inert under the default ``fcfs``.
+        ``kv_quota`` caps the tenant to that fraction of the KV cache's
+        blocks (:meth:`build` rejects quota sets reserving more than the
+        whole cache); ``None`` leaves the tenant uncapped.
         """
         tenant = TenantSpec(
             name=name,
@@ -620,6 +632,7 @@ class DeploymentBuilder:
             slo=slo,
             weight=weight,
             priority=priority,
+            kv_quota=kv_quota,
         )
         self._spec = replace(self._spec, tenants=self._spec.tenants + (tenant,))
         return self
@@ -662,6 +675,19 @@ class DeploymentBuilder:
             shed_retries=retries,
             shed_backoff_s=backoff_s,
         )
+        return self._config(pipeline=pipeline)
+
+    def preemption(self, enabled: bool = True) -> "DeploymentBuilder":
+        """Let the scheduling policy preempt active lower-ranked sequences.
+
+        With preemption on, a high-ranked arrival that cannot be admitted —
+        the batch cap or KV cache is full — may evict a strictly lower-ranked
+        resident sequence (``wfq``: lower weight; ``priority``: lower static
+        priority; ``fcfs`` never preempts), which re-queues with its prefix
+        KV dropped and recomputes it on re-admission.  Off by default (the
+        historical run-to-completion behaviour, bit for bit).
+        """
+        pipeline = replace(self._spec.config.pipeline, preemptive=enabled)
         return self._config(pipeline=pipeline)
 
     def slo(

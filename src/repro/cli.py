@@ -63,6 +63,7 @@ Examples::
     python -m repro experiment fig23 --requests 100
     python -m repro experiment fig24 --requests 100
     python -m repro experiment fig25 --requests 100
+    python -m repro experiment fig26 --requests 100
     python -m repro serve llama-13b --fault-plan kv_core@0.5,stall@1.0:0:0.25
     python -m repro serve llama-13b --suspend-epoch 50 --checkpoint ckpt.json
     python -m repro serve llama-13b --resume ckpt.json
@@ -73,7 +74,7 @@ Examples::
     python -m repro client replay llama-13b --workload lp128_ld2048 --spawn
     python -m repro client status --connect 127.0.0.1:7431
     python -m repro serve llama-13b --requests 1000000 --arrival-rate 90 --stream
-    python -m repro bench --output BENCH_PR9.json
+    python -m repro bench --output BENCH_PR10.json
     python -m repro lint --json
 """
 
@@ -129,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override any PipelineConfig field by name, e.g. "
                             "--tune chunk_tokens=256 --tune max_epochs=500000 "
                             "(repeatable; values parse as JSON literals)")
+    serve.add_argument("--tenant", action="append", default=[],
+                       metavar="FIELD=VALUE[,...]",
+                       help="add one tenant (repeatable): comma-separated "
+                            "TenantSpec fields, e.g. --tenant name=chat,"
+                            "workload=wikitext2,num_requests=200,"
+                            "arrival_rate_per_s=8,weight=2,kv_quota=0.25 "
+                            "(values parse as JSON literals)")
     serve.add_argument("--workload", choices=PAPER_WORKLOADS, default="wikitext2")
     serve.add_argument("--system", choices=sorted(api.SYSTEM_REGISTRY),
                        default="ouroboros",
@@ -243,8 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="requests for the streaming-scale stage (default: "
                             "$REPRO_BENCH_STREAM_REQUESTS or 20000; the "
                             "headline run uses 1000000)")
-    bench.add_argument("--output", default="BENCH_PR9.json",
-                       help="path of the JSON report (default: BENCH_PR9.json)")
+    bench.add_argument("--output", default="BENCH_PR10.json",
+                       help="path of the JSON report (default: BENCH_PR10.json)")
     bench.add_argument("--models", nargs="*", default=None,
                        help="restrict the grid to these models")
     bench.add_argument("--label", default="headline",
@@ -347,8 +355,47 @@ def _tune_overrides(entries: Sequence[str]) -> dict:
     return overrides
 
 
+def _tenant_specs(entries: Sequence[str]) -> tuple:
+    """Parse repeated ``--tenant FIELD=VALUE[,...]`` flags into TenantSpecs.
+
+    Driven by ``dataclasses.fields(TenantSpec)`` so every tenant knob —
+    the policy weight/priority, ``kv_quota``, present and future fields —
+    is reachable from the CLI without growing dedicated flags (the
+    ``repro lint`` knob checker relies on this).
+    """
+    from dataclasses import fields as dataclass_fields
+
+    valid = {f.name for f in dataclass_fields(api.TenantSpec)}
+    tenants = []
+    for entry in entries:
+        values: dict = {}
+        for item in entry.split(","):
+            name, sep, raw = item.partition("=")
+            name = name.strip()
+            if not sep or not name:
+                raise ConfigurationError(
+                    f"--tenant expects FIELD=VALUE[,...], got '{item}'"
+                )
+            if name not in valid:
+                raise ConfigurationError(
+                    f"--tenant: TenantSpec has no field '{name}' "
+                    f"(valid: {', '.join(sorted(valid))})"
+                )
+            values[name] = _parse_literal(raw.strip())
+        if isinstance(values.get("slo"), dict):
+            values["slo"] = api.SLOTarget(**values["slo"])
+        if "name" not in values or "workload" not in values:
+            raise ConfigurationError(
+                "--tenant needs at least name=... and workload=..."
+            )
+        tenants.append(api.TenantSpec(**values))
+    return tuple(tenants)
+
+
 def _apply_serve_overrides(spec, args: argparse.Namespace):
     """Fold the fault/shedding/tuning flags into a serve spec."""
+    if args.tenant:
+        spec = replace(spec, tenants=_tenant_specs(args.tenant))
     if args.fault_plan:
         spec = replace(spec, faults=_parse_fault_plan(args.fault_plan))
     shedding = (

@@ -17,6 +17,7 @@ fig22            (beyond the paper) open-loop arrival-rate sweep
 fig23            (beyond the paper) multi-tenant SLO goodput vs. load
 fig24            (beyond the paper) scheduling-policy comparison (fcfs/wfq/priority)
 fig25            (beyond the paper) fault recovery + overload shedding vs. load
+fig26            (beyond the paper) preemptive scheduling + recompute tax
 headline         abstract -- average/peak speedup and efficiency
 ===============  =====================================================
 
@@ -39,6 +40,7 @@ from . import (
     fig23_slo_goodput,
     fig24_policy_comparison,
     fig25_fault_recovery,
+    fig26_preemption,
     headline,
 )
 from .common import (
@@ -72,6 +74,7 @@ ALL_EXPERIMENTS = {
     "fig23": fig23_slo_goodput,
     "fig24": fig24_policy_comparison,
     "fig25": fig25_fault_recovery,
+    "fig26": fig26_preemption,
     "headline": headline,
 }
 
@@ -104,5 +107,6 @@ __all__ = [
     "fig23_slo_goodput",
     "fig24_policy_comparison",
     "fig25_fault_recovery",
+    "fig26_preemption",
     "headline",
 ]

@@ -87,6 +87,8 @@ class ExperimentSettings:
     shed_retries: int = 0
     #: base backoff delay for shed retries (doubles per retry)
     shed_backoff_s: float = 0.0
+    #: let the scheduling policy preempt active lower-ranked sequences
+    preemptive: bool = False
 
     def pipeline_config(self) -> PipelineConfig:
         return PipelineConfig(
@@ -99,6 +101,7 @@ class ExperimentSettings:
             shed_headroom_s=self.shed_headroom_s,
             shed_retries=self.shed_retries,
             shed_backoff_s=self.shed_backoff_s,
+            preemptive=self.preemptive,
         )
 
     def system_config(self, **overrides) -> OuroborosSystemConfig:

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from ..errors import ConfigurationError, KVCacheError
 from ..models.architectures import ModelArch
@@ -43,6 +45,12 @@ class KVCacheStats:
     released_blocks: int = 0
     failed_admissions: int = 0
     failed_growths: int = 0
+    #: admissions refused because the tenant's KV quota was exhausted
+    #: (subset of ``failed_admissions``)
+    quota_rejections: int = 0
+    #: growths refused because the tenant's KV quota was exhausted
+    #: (subset of ``failed_growths``)
+    quota_blocked_growths: int = 0
     peak_used_blocks: int = 0
 
     def as_dict(self) -> dict[str, int]:
@@ -61,8 +69,8 @@ class _SequenceAllocation:
     """
 
     sequence_id: int
-    unique_cores: np.ndarray
-    unique_counts: np.ndarray
+    unique_cores: npt.NDArray[np.int64]
+    unique_counts: npt.NDArray[np.int64]
     blocks_per_slot: int
     tokens: int
 
@@ -95,6 +103,16 @@ class DistributedKVCacheManager:
         self.element_bytes = element_bytes or arch.activation_bytes
         self.tokens_per_block = tokens_per_block(arch.head_dim, self.element_bytes)
         self.stats = KVCacheStats()
+        #: whether the most recent admission/growth failure was caused by a
+        #: tenant quota rather than cache pressure.  The scheduler reads this
+        #: to decide whether evicting *other* tenants could possibly help.
+        self.last_failure_quota_bound = False
+        #: per-tenant cap as the configured fraction of the cache
+        self._tenant_quotas: dict[str, float] = {}
+        #: per-tenant cap in blocks (floor of fraction x configured capacity)
+        self._tenant_quota_blocks: dict[str, int] = {}
+        #: blocks currently held per quota'd tenant
+        self._tenant_used: dict[str, int] = {}
 
         num_cores = len(self.kv_core_ids)
         self._free_blocks = np.full(num_cores, blocks_per_core, dtype=np.int64)
@@ -144,6 +162,8 @@ class DistributedKVCacheManager:
         self._group_offsets = np.cumsum([0] + sizes[:-1])
         heads = self.arch.kv_heads
         self._head_range = np.arange(heads, dtype=np.int64)
+        self._k_matrix: npt.NDArray[np.int64] | None
+        self._v_matrix: npt.NDArray[np.int64] | None
         if len(set(sizes)) == 1:
             size = sizes[0]
             self._k_matrix = np.stack(
@@ -188,6 +208,49 @@ class DistributedKVCacheManager:
     @property
     def resident_sequences(self) -> list[int]:
         return sorted(self._allocations)
+
+    # ---------------------------------------------------------------- quotas
+
+    def set_tenant_quotas(self, quotas: dict[str, float]) -> None:
+        """Cap each listed tenant to a fraction of the configured capacity.
+
+        The cap is ``floor(fraction * num_kv_cores * blocks_per_core)`` blocks
+        -- computed against the *configured* capacity, not the currently
+        healthy one, so core failures do not silently shrink a tenant's
+        entitlement mid-run.  A fraction of 0.0 is a valid cap that rejects
+        every admission for that tenant.  Tenants not listed are uncapped.
+        """
+        for tenant, fraction in quotas.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} kv_quota must lie in [0, 1], got {fraction}"
+                )
+        self._tenant_quotas = dict(quotas)
+        capacity = self.num_kv_cores * self.blocks_per_core
+        self._tenant_quota_blocks = {
+            tenant: int(fraction * capacity)
+            for tenant, fraction in self._tenant_quotas.items()
+        }
+        for tenant in self._tenant_quota_blocks:
+            self._tenant_used.setdefault(tenant, 0)
+
+    def tenant_quota_blocks(self, tenant: str) -> int | None:
+        """Block cap of a tenant (None when uncapped)."""
+        return self._tenant_quota_blocks.get(tenant)
+
+    def tenant_used_blocks(self, tenant: str) -> int:
+        """Blocks currently held by a quota'd tenant (0 when uncapped)."""
+        return self._tenant_used.get(tenant, 0)
+
+    def _quota_allows(self, tenant: str, blocks: int) -> bool:
+        cap = self._tenant_quota_blocks.get(tenant)
+        if cap is None:
+            return True
+        return self._tenant_used.get(tenant, 0) + blocks <= cap
+
+    def _charge_tenant(self, tenant: str, blocks: int) -> None:
+        if tenant in self._tenant_quota_blocks:
+            self._tenant_used[tenant] += blocks
 
     def tokens_cached(self, sequence_id: int) -> int:
         allocation = self._allocations.get(sequence_id)
@@ -242,7 +305,7 @@ class DistributedKVCacheManager:
             usable.append(usable[len(usable) % max(1, len(usable))])
         return usable[:count]
 
-    def _select_all_blocks_fast(self) -> np.ndarray | None:
+    def _select_all_blocks_fast(self) -> npt.NDArray[np.int64] | None:
         """Ring selection for every (block, K/V) group in a few array ops.
 
         Only valid when no core has failed and every core of every group sits
@@ -254,6 +317,7 @@ class DistributedKVCacheManager:
         size = self._uniform_group_size
         if size == 0:
             return None
+        assert self._k_matrix is not None and self._v_matrix is not None
         heads = len(self._head_range)
         pointers = np.asarray(self._ring_pointers, dtype=np.int64)
         rows = np.arange(len(self._k_groups), dtype=np.int64)[:, None]
@@ -282,10 +346,23 @@ class DistributedKVCacheManager:
         sequence_id = sequence.sequence_id
         if sequence_id in self._allocations:
             raise KVCacheError(f"sequence {sequence_id} is already resident")
+        self.last_failure_quota_bound = False
         heads = self.arch.kv_heads
         num_blocks = self.arch.num_blocks
 
-        selection: np.ndarray | None = None
+        if self._tenant_quota_blocks:
+            # At admission every sequence reserves exactly one block per
+            # (transformer block, KV head, K/V) slot, independent of where the
+            # ring places them -- so the quota check can run before any
+            # placement work.
+            reserve = 2 * num_blocks * heads
+            if not self._quota_allows(sequence.tenant, reserve):
+                self.stats.failed_admissions += 1
+                self.stats.quota_rejections += 1
+                self.last_failure_quota_bound = True
+                return False
+
+        selection: npt.NDArray[np.int64] | None = None
         if not self._failed_cores:
             group_free = self._free_blocks[self._group_concat]
             mins = np.minimum.reduceat(group_free, self._group_offsets)
@@ -323,10 +400,13 @@ class DistributedKVCacheManager:
         self._free_blocks[touched] -= touched_counts
         total_reserved = int(touched_counts.sum())
         self._free_total -= total_reserved
+        self._charge_tenant(sequence.tenant, total_reserved)
         self._allocations[sequence_id] = _SequenceAllocation(
             sequence_id=sequence_id,
-            unique_cores=touched,
-            unique_counts=touched_counts,
+            # astype(copy=False) is a no-op view here (bincount/nonzero yield
+            # intp == int64 on this platform); it only pins the static type.
+            unique_cores=touched.astype(np.int64, copy=False),
+            unique_counts=touched_counts.astype(np.int64, copy=False),
             blocks_per_slot=1,
             tokens=0,
         )
@@ -352,17 +432,24 @@ class DistributedKVCacheManager:
             raise KVCacheError(
                 f"sequence {sequence.sequence_id} is not resident in the KV cache"
             )
+        self.last_failure_quota_bound = False
         new_tokens = allocation.tokens + count
         needed = max(1, math.ceil(new_tokens / self.tokens_per_block))
         delta = needed - allocation.blocks_per_slot
         if delta > 0:
             required = allocation.unique_counts * delta
+            total_required = int(required.sum())
+            if not self._quota_allows(sequence.tenant, total_required):
+                self.stats.failed_growths += 1
+                self.stats.quota_blocked_growths += 1
+                self.last_failure_quota_bound = True
+                return False
             if np.any(self._free_blocks[allocation.unique_cores] < required):
                 self.stats.failed_growths += 1
                 return False
             self._free_blocks[allocation.unique_cores] -= required
-            total_required = int(required.sum())
             self._free_total -= total_required
+            self._charge_tenant(sequence.tenant, total_required)
             if self._failed_cores:
                 self._free_on_failed -= self._sum_on_failed(allocation, delta)
             allocation.blocks_per_slot = needed
@@ -383,6 +470,7 @@ class DistributedKVCacheManager:
         returned = allocation.unique_counts * allocation.blocks_per_slot
         self._free_blocks[allocation.unique_cores] += returned
         self._free_total += int(returned.sum())
+        self._charge_tenant(sequence.tenant, -int(returned.sum()))
         if self._failed_cores:
             self._free_on_failed += self._sum_on_failed(
                 allocation, allocation.blocks_per_slot
@@ -446,7 +534,7 @@ class DistributedKVCacheManager:
 
     # -------------------------------------------------------------- checkpoint
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         """JSON-able occupancy state for a bit-for-bit checkpoint.
 
         Derived vectorised state (group arrays/matrices, running caches) is
@@ -472,10 +560,12 @@ class DistributedKVCacheManager:
             "failed_cores": sorted(self._failed_cores),
             "free_total": self._free_total,
             "free_on_failed": self._free_on_failed,
+            "tenant_quotas": dict(self._tenant_quotas),
+            "tenant_used": dict(self._tenant_used),
             "stats": dict(self.stats.__dict__),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self._free_blocks = np.asarray(state["free_blocks"], dtype=np.int64)
         self._allocations = {
             sequence_id: _SequenceAllocation(
@@ -493,6 +583,9 @@ class DistributedKVCacheManager:
         self._failed_cores = set(state["failed_cores"])
         self._free_total = state["free_total"]
         self._free_on_failed = state["free_on_failed"]
+        self._tenant_used = dict(state.get("tenant_used", {}))
+        self.set_tenant_quotas(dict(state.get("tenant_quotas", {})))
+        self.last_failure_quota_bound = False
         self.stats = KVCacheStats(**state["stats"])
 
     # ------------------------------------------------------------------ private

@@ -13,7 +13,7 @@ rarely inspects them) never pays for per-head object construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence as SequenceType
+from typing import Any, Iterable
 
 from ..errors import KVCacheError
 
@@ -39,8 +39,8 @@ class PageTable:
     def register_heads(
         self,
         sequence_id: int,
-        k_cores: SequenceType[int] | Iterable[int],
-        v_cores: SequenceType[int] | Iterable[int],
+        k_cores: Iterable[int],
+        v_cores: Iterable[int],
     ) -> None:
         """Register a sequence from per-head K-core and V-core arrays."""
         if sequence_id in self._entries:
@@ -49,8 +49,10 @@ class PageTable:
             )
         # ndarray.tolist() converts to Python ints in C; the genexp fallback
         # covers plain iterables.
-        k = k_cores.tolist() if hasattr(k_cores, "tolist") else [int(c) for c in k_cores]
-        v = v_cores.tolist() if hasattr(v_cores, "tolist") else [int(c) for c in v_cores]
+        k_tolist = getattr(k_cores, "tolist", None)
+        v_tolist = getattr(v_cores, "tolist", None)
+        k = k_tolist() if k_tolist is not None else [int(c) for c in k_cores]
+        v = v_tolist() if v_tolist is not None else [int(c) for c in v_cores]
         self._entries[sequence_id] = (tuple(k), tuple(v))
 
     def register(self, sequence_id: int, placements: list[HeadPlacement]) -> None:
@@ -90,14 +92,14 @@ class PageTable:
     def resident_sequences(self) -> list[int]:
         return sorted(self._entries)
 
-    def snapshot_state(self) -> list:
+    def snapshot_state(self) -> list[list[Any]]:
         """JSON-able entry list, preserving insertion order."""
         return [
             [sequence_id, list(k_cores), list(v_cores)]
             for sequence_id, (k_cores, v_cores) in self._entries.items()
         ]
 
-    def restore_state(self, state: list) -> None:
+    def restore_state(self, state: list[list[Any]]) -> None:
         self._entries = {
             sequence_id: (tuple(k_cores), tuple(v_cores))
             for sequence_id, k_cores, v_cores in state

@@ -10,7 +10,8 @@ which is exactly the inefficiency the distributed dynamic manager removes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 from ..errors import ConfigurationError, KVCacheError
 from ..models.architectures import ModelArch
@@ -23,6 +24,9 @@ class StaticKVCacheStats:
     admitted_sequences: int = 0
     released_sequences: int = 0
     failed_admissions: int = 0
+    #: admissions refused because the tenant's KV quota was exhausted
+    #: (subset of ``failed_admissions``)
+    quota_rejections: int = 0
     peak_resident: int = 0
 
 
@@ -52,6 +56,12 @@ class StaticKVCacheManager:
         self.stats = StaticKVCacheStats()
         self._resident: dict[int, int] = {}  # sequence id -> reserved blocks
         self._free_blocks = num_cores * blocks_per_core
+        #: whether the most recent admission failure was quota-bound (read by
+        #: the scheduler to steer eviction pressure intra-tenant first)
+        self.last_failure_quota_bound = False
+        self._tenant_quotas: dict[str, float] = {}
+        self._tenant_quota_blocks: dict[str, int] = {}
+        self._tenant_used: dict[str, int] = {}
         # Static reservations never vary per sequence, so the per-sequence
         # block count and the byte capacity are computed once, not per call.
         slots = 2 * self.arch.num_blocks * self.arch.kv_heads
@@ -96,18 +106,58 @@ class StaticKVCacheManager:
     def resident_sequences(self) -> list[int]:
         return sorted(self._resident)
 
+    # ---------------------------------------------------------------- quotas
+
+    def set_tenant_quotas(self, quotas: dict[str, float]) -> None:
+        """Cap each listed tenant to a fraction of the cache's blocks.
+
+        Same semantics as the dynamic manager's
+        :meth:`~repro.kvcache.manager.DistributedKVCacheManager.set_tenant_quotas`:
+        ``floor(fraction * total_blocks)`` blocks, 0.0 rejects everything,
+        unlisted tenants are uncapped.
+        """
+        for tenant, fraction in quotas.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} kv_quota must lie in [0, 1], got {fraction}"
+                )
+        self._tenant_quotas = dict(quotas)
+        self._tenant_quota_blocks = {
+            tenant: int(fraction * self.total_blocks)
+            for tenant, fraction in self._tenant_quotas.items()
+        }
+        for tenant in self._tenant_quota_blocks:
+            self._tenant_used.setdefault(tenant, 0)
+
+    def tenant_quota_blocks(self, tenant: str) -> int | None:
+        """Block cap of a tenant (None when uncapped)."""
+        return self._tenant_quota_blocks.get(tenant)
+
+    def tenant_used_blocks(self, tenant: str) -> int:
+        """Blocks currently held by a quota'd tenant (0 when uncapped)."""
+        return self._tenant_used.get(tenant, 0)
+
     # -------------------------------------------------------------- allocation
 
     def try_admit(self, sequence: Sequence) -> bool:
         sequence_id = sequence.sequence_id
         if sequence_id in self._resident:
             raise KVCacheError(f"sequence {sequence_id} is already resident")
+        self.last_failure_quota_bound = False
         needed = self.blocks_per_sequence()
+        cap = self._tenant_quota_blocks.get(sequence.tenant)
+        if cap is not None and self._tenant_used.get(sequence.tenant, 0) + needed > cap:
+            self.stats.failed_admissions += 1
+            self.stats.quota_rejections += 1
+            self.last_failure_quota_bound = True
+            return False
         if needed > self._free_blocks:
             self.stats.failed_admissions += 1
             return False
         self._free_blocks -= needed
         self._resident[sequence_id] = needed
+        if sequence.tenant in self._tenant_quota_blocks:
+            self._tenant_used[sequence.tenant] += needed
         self.stats.admitted_sequences += 1
         self.stats.peak_resident = max(self.stats.peak_resident, len(self._resident))
         return True
@@ -128,19 +178,26 @@ class StaticKVCacheManager:
         if reserved is None:
             return
         self._free_blocks += reserved
+        if sequence.tenant in self._tenant_quota_blocks:
+            self._tenant_used[sequence.tenant] -= reserved
         self.stats.released_sequences += 1
 
     # -------------------------------------------------------------- checkpoint
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict[str, Any]:
         """JSON-able occupancy state for a bit-for-bit checkpoint."""
         return {
             "resident": [list(item) for item in self._resident.items()],
             "free_blocks": self._free_blocks,
+            "tenant_quotas": dict(self._tenant_quotas),
+            "tenant_used": dict(self._tenant_used),
             "stats": dict(self.stats.__dict__),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         self._resident = {seq_id: blocks for seq_id, blocks in state["resident"]}
         self._free_blocks = state["free_blocks"]
+        self._tenant_used = dict(state.get("tenant_used", {}))
+        self.set_tenant_quotas(dict(state.get("tenant_quotas", {})))
+        self.last_failure_quota_bound = False
         self.stats = StaticKVCacheStats(**state["stats"])

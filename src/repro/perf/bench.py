@@ -7,13 +7,15 @@ saturation rate), a multi-tenant SLO-goodput serve (the fig23 shape: two
 tenants, sub-epoch admission, per-tenant goodput accounting) under both the
 FCFS and WFQ scheduling policies, a fault-recovery serve (the fig25 shape:
 overloaded arrivals under a deterministic fault plan, with and without
-overload shedding), a live daemon replay of the open-loop run (booting a real
+overload shedding), a preemptive-scheduling serve (the fig26 shape: the
+weighted tenant mix at 4x saturation under a batch cap, served with the wfq
+preemption knob off and on), a live daemon replay of the open-loop run (booting a real
 ``ServingDaemon`` and streaming the trace over its socket protocol, with a
 bitwise batch-parity headline), the full headline comparison grid, a
 mapping-annealer microbenchmark, and a streaming-scale serve (the trace pulled
 lazily from a request stream, with a simulated-requests-per-wall-clock-second
 headline and a peak-RSS bound) -- and writes the measurements to a JSON file
-(``BENCH_PR9.json`` by default).  Future PRs append their own reports, so the
+(``BENCH_PR10.json`` by default).  Future PRs append their own reports, so the
 repository carries its performance trajectory alongside the code;
 ``scripts/check_bench_regression.py`` gates CI on the deterministic headline
 metrics staying bit-for-bit on trajectory.
@@ -295,6 +297,57 @@ def run_bench(
     )
     report.headline["daemon_replay_total_time_s"] = daemon_result["total_time_s"]
     report.headline["daemon_replay_matches_batch"] = 1.0 if daemon_matches else 0.0
+
+    # Stage 2g: preemptive scheduling under overload -- the fig26 shape.  The
+    # stage-2c tenant mix (interactive tenant carrying a wfq weight) is
+    # offered at 4x the measured saturation rate under a continuous-batching
+    # cap and served twice through the wfq scheduler, preemption off and on;
+    # the headline carries the interactive TTFT-p95 cut preemption buys and
+    # the recompute tax (preemptions, recomputed tokens) it pays for it.
+    preempt_base = replace(
+        slo_settings,
+        tenants=tuple(
+            replace(
+                tenant,
+                weight=8.0 if tenant.name == "interactive" else 1.0,
+                arrival_rate_per_s=overload * rate * (tenant.num_requests / total),
+            )
+            for tenant in tenants
+        ),
+        scheduling_policy="wfq",
+        max_active_sequences=8,
+    )
+    preempt_results = {}
+    for preemptive in (False, True):
+        preempt_settings = replace(preempt_base, preemptive=preemptive)
+        preempt_system = api.build_deployment(
+            preempt_settings.deployment(models[0], workload), cache=False
+        )
+        preempt_system.built
+        trace = api.trace_for(preempt_settings.deployment(models[0], workload))
+        suffix = "on" if preemptive else "off"
+        start = time.perf_counter()
+        preempt_results[preemptive] = preempt_system.serve(
+            trace, workload_name=f"preempt-{suffix}"
+        )
+        report.timings_s[f"serve_preempt_{suffix}.{models[0]}"] = (
+            time.perf_counter() - start
+        )
+    preempt_off, preempt_on = preempt_results[False], preempt_results[True]
+    report.headline["preempt_off_interactive_ttft_p95_s"] = (
+        preempt_off.tenants["interactive"].ttft.p95_s
+    )
+    report.headline["preempt_interactive_ttft_p95_s"] = (
+        preempt_on.tenants["interactive"].ttft.p95_s
+    )
+    report.headline["preempt_off_goodput"] = float(preempt_off.goodput or 0.0)
+    report.headline["preempt_goodput"] = float(preempt_on.goodput or 0.0)
+    report.headline["preempt_preemptions"] = float(
+        sum(stats.preemptions for stats in preempt_on.tenants.values())
+    )
+    report.headline["preempt_recomputed_tokens"] = float(
+        sum(stats.recomputed_tokens for stats in preempt_on.tenants.values())
+    )
 
     # Stage 3: the full headline grid (models x workloads x all systems).
     start = time.perf_counter()

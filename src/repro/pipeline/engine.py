@@ -138,6 +138,12 @@ class PipelineConfig:
     shed_retries: int = 0
     #: base retry backoff in seconds; doubles on every further shed
     shed_backoff_s: float = 0.0
+    #: let the scheduling policy preempt (evict-and-requeue) an active
+    #: lower-ranked sequence to admit a higher-ranked arrival once the batch
+    #: cap or KV cache is full.  Preempted prefix KV is recomputed on
+    #: re-admission (the recompute tax shows up in per-tenant stats).  Off =
+    #: the historical run-to-completion behaviour, bit for bit.
+    preemptive: bool = False
 
     def __post_init__(self) -> None:
         # Normalise as well as validate: "WFQ" and "wfq" must produce one
@@ -247,6 +253,7 @@ class PipelineEngine:
             shed_headroom_s=self.config.shed_headroom_s,
             shed_retries=self.config.shed_retries,
             shed_backoff_s=self.config.shed_backoff_s,
+            preemptive=self.config.preemptive,
         )
         #: optional weight-core recovery hook wired by the system builder:
         #: ``hook(target: int) -> RemappingResult | None``; consumed by the
@@ -676,6 +683,18 @@ class PipelineEngine:
         # Deadline-aware shedding judges waiting requests against their
         # tenant's SLO; harmless otherwise (only consulted when enabled).
         scheduler.slo_lookup = trace.slo_for
+        # Per-tenant KV quotas ride on the trace (duck-typed: streaming traces
+        # carry them too).  An empty dict leaves the manager untouched, so
+        # quota-free runs stay bitwise identical.
+        quotas = getattr(trace, "tenant_quotas", None)
+        if quotas:
+            set_quotas = getattr(self.kv_manager, "set_tenant_quotas", None)
+            if set_quotas is None:
+                raise ConfigurationError(
+                    "trace carries tenant KV quotas but the KV manager does "
+                    "not support them"
+                )
+            set_quotas(quotas)
         # Per-request stats fold incrementally in *both* modes: the exact
         # small-N path is bitwise identical to the historical list-based
         # `_finish`, so streaming stays a pure execution knob.
@@ -724,6 +743,7 @@ class PipelineEngine:
                 "prefill_progress": sequence.prefill_progress,
                 "decode_progress": sequence.decode_progress,
                 "eviction_count": sequence.eviction_count,
+                "preemptions": sequence.preemptions,
                 "recomputed_tokens": sequence.recomputed_tokens,
                 "extra_prefill": sequence.extra_prefill,
                 "decode_offset": sequence.decode_offset,
@@ -801,6 +821,7 @@ class PipelineEngine:
             sequence.prefill_progress = data["prefill_progress"]
             sequence.decode_progress = data["decode_progress"]
             sequence.eviction_count = data["eviction_count"]
+            sequence.preemptions = data.get("preemptions", 0)
             sequence.recomputed_tokens = data["recomputed_tokens"]
             sequence.extra_prefill = data["extra_prefill"]
             sequence.decode_offset = data["decode_offset"]
@@ -1059,7 +1080,11 @@ class PipelineEngine:
             )
         victim = self.scheduler.evict_most_recent()
         if victim is None:
-            raise SimulationError("pipeline live-locked with no active work")
+            # Nothing is left to evict: the epoch's only sequence was shed
+            # mid-growth as quota-doomed.  The loop's all_done / admission
+            # checks decide whether to refill or finish; with queued work the
+            # stalled-epoch bound above still backstops a genuine livelock.
+            return stalled_epochs
         return stalled_epochs
 
     def _close_epoch(

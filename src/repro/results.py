@@ -84,6 +84,14 @@ class TenantStats:
     queue_depth: int = 0
     #: arrival-to-admission wait of the tenant's completed requests
     admission_wait: LatencyStats = field(default_factory=LatencyStats)
+    #: KV evictions suffered by the tenant's completed requests (capacity
+    #: pressure, faults and preemptions combined)
+    evictions: int = 0
+    #: evictions that were scheduling preemptions (subset of ``evictions``)
+    preemptions: int = 0
+    #: tokens the tenant's completed requests re-prefilled after evictions
+    #: — the recompute tax of thrashing, faults and preemption
+    recomputed_tokens: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -94,6 +102,9 @@ class TenantStats:
             "shed": self.shed,
             "queue_depth": self.queue_depth,
             "admission_wait": self.admission_wait.as_dict(),
+            "evictions": self.evictions,
+            "preemptions": self.preemptions,
+            "recomputed_tokens": self.recomputed_tokens,
         }
 
 
@@ -457,7 +468,10 @@ class LatencyAccumulator:
 class _TenantAccumulator:
     """One tenant's incremental slice of a :class:`ServeAccumulator`."""
 
-    __slots__ = ("requests", "ttft", "latency", "admission_wait", "met")
+    __slots__ = (
+        "requests", "ttft", "latency", "admission_wait", "met",
+        "evictions", "preemptions", "recomputed_tokens",
+    )
 
     def __init__(self) -> None:
         self.requests = 0
@@ -465,6 +479,9 @@ class _TenantAccumulator:
         self.latency = LatencyAccumulator()
         self.admission_wait = LatencyAccumulator()
         self.met = 0
+        self.evictions = 0
+        self.preemptions = 0
+        self.recomputed_tokens = 0
 
     def state(self) -> dict[str, Any]:
         return {
@@ -473,6 +490,9 @@ class _TenantAccumulator:
             "latency": self.latency.state(),
             "admission_wait": self.admission_wait.state(),
             "met": self.met,
+            "evictions": self.evictions,
+            "preemptions": self.preemptions,
+            "recomputed_tokens": self.recomputed_tokens,
         }
 
     @classmethod
@@ -483,6 +503,9 @@ class _TenantAccumulator:
         accumulator.latency = LatencyAccumulator.restore(state["latency"])
         accumulator.admission_wait = LatencyAccumulator.restore(state["admission_wait"])
         accumulator.met = int(state["met"])
+        accumulator.evictions = int(state.get("evictions", 0))
+        accumulator.preemptions = int(state.get("preemptions", 0))
+        accumulator.recomputed_tokens = int(state.get("recomputed_tokens", 0))
         return accumulator
 
 
@@ -530,6 +553,9 @@ class ServeAccumulator:
             tenant.admission_wait.add(
                 sequence.admission_time - sequence.request.arrival_time
             )
+        tenant.evictions += sequence.eviction_count
+        tenant.preemptions += sequence.preemptions
+        tenant.recomputed_tokens += sequence.recomputed_tokens
         slo = self._slo_for(sequence.tenant)
         if slo is not None and slo.met_by(ttft, latency):
             tenant.met += 1
@@ -565,6 +591,9 @@ class ServeAccumulator:
                 shed=shed,
                 queue_depth=queue_depths.get(name, 0),
                 admission_wait=acc.admission_wait.finalize(),
+                evictions=acc.evictions,
+                preemptions=acc.preemptions,
+                recomputed_tokens=acc.recomputed_tokens,
             )
         for name, shed in self._shed.items():
             if name in tenants:

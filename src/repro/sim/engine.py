@@ -166,6 +166,7 @@ class BuiltOuroboros:
             shed_headroom_s=pipeline_config.shed_headroom_s,
             shed_retries=pipeline_config.shed_retries,
             shed_backoff_s=pipeline_config.shed_backoff_s,
+            preemptive=pipeline_config.preemptive,
         )
         mode = self.config.pipeline_mode
         if mode is PipelineMode.AUTO:

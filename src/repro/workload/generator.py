@@ -62,6 +62,11 @@ class TenantSpec:
     #: static admission priority (higher = admitted first; only the
     #: ``priority`` policy reads it, with aging closing the gaps over time)
     priority: int = 0
+    #: fraction of the KV cache's blocks this tenant may occupy (None = no
+    #: cap).  0.0 is a valid cap that rejects every admission; the KV
+    #: managers floor the fraction to whole blocks.  Quotas across tenants
+    #: may sum to at most 1.0 (validated by ``DeploymentSpec.validate``).
+    kv_quota: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -72,6 +77,8 @@ class TenantSpec:
             raise ConfigurationError("tenant arrival_rate_per_s cannot be negative")
         if self.weight <= 0:
             raise ConfigurationError("tenant weight must be positive")
+        if self.kv_quota is not None and not 0.0 <= self.kv_quota <= 1.0:
+            raise ConfigurationError("tenant kv_quota must lie in [0, 1]")
         get_distribution(self.workload)  # validate eagerly
 
 
@@ -85,6 +92,9 @@ class Trace:
     slo: SLOTarget | None = None
     #: tenant-specific SLO overrides, keyed by tenant id
     tenant_slos: dict[str, SLOTarget] = field(default_factory=dict)
+    #: per-tenant KV-block quota fractions, keyed by tenant id (see
+    #: :attr:`TenantSpec.kv_quota`; empty = no tenant is capped)
+    tenant_quotas: dict[str, float] = field(default_factory=dict)
 
     def slo_for(self, tenant: str) -> SLOTarget | None:
         """The SLO a tenant's requests are judged by (override, else global)."""

@@ -89,6 +89,24 @@ class SchedulingPolicy(Protocol):
         """Commit the admission of a previously selected candidate."""
         ...
 
+    def select_victim(
+        self, candidate: "Sequence", active: list["Sequence"]
+    ) -> "Sequence | None":
+        """A resident sequence worth displacing so ``candidate`` can enter.
+
+        Preemptive scheduling only: when the scheduler cannot admit the
+        selected candidate (concurrency cap or KV capacity), it asks the
+        policy for a victim among the *active* sequences.  A policy may only
+        nominate a sequence it ranks *strictly below* the candidate — under
+        ``priority`` a strictly lower static priority, under ``wfq`` a
+        strictly lower tenant weight — so two preemptions can never
+        ping-pong.  ``None`` declines (FCFS always declines: admission order
+        is arrival order and a resident sequence always arrived earlier).
+        Selection must be side-effect-free; the scheduler performs the
+        eviction and re-queues the victim tenant/priority-preserved.
+        """
+        ...
+
     def next_arrival_time(self) -> float | None:
         """Earliest instant admission can next make progress (None: empty)."""
         ...
@@ -185,6 +203,13 @@ class FCFSPolicy:
                 "FCFS pop must remove the selected queue head"
             )
         self._queue.popleft()
+
+    def select_victim(
+        self, candidate: "Sequence", active: list["Sequence"]
+    ) -> "Sequence | None":
+        # FCFS never preempts: every resident sequence arrived before the
+        # candidate, so displacing one would invert arrival order.
+        return None
 
     def next_arrival_time(self) -> float | None:
         if not self._queue:
@@ -293,6 +318,37 @@ class _TenantQueuedPolicy:
             head_key = key(tenant, head)
             if best_key is None or head_key < best_key:
                 best, best_key = head, head_key
+        return best
+
+    def select_victim(
+        self, candidate: "Sequence", active: list["Sequence"]
+    ) -> "Sequence | None":
+        # Tenant-aware default: decline (wfq/priority override with their
+        # own strict-rank comparisons).
+        return None
+
+    def _lowest_ranked(
+        self,
+        active: list["Sequence"],
+        rank: Callable[["Sequence"], float],
+        threshold: float,
+    ) -> "Sequence | None":
+        """Active sequence with the strictly lowest rank below ``threshold``.
+
+        Ties prefer the most recently admitted victim (largest admission
+        time, then largest id): it has sunk the least service, so its
+        eviction wastes the fewest recompute tokens.  Deterministic — both
+        engine paths scan the same active list in the same order.
+        """
+        best: Sequence | None = None
+        best_key: tuple[float, float, int] | None = None
+        for sequence in active:
+            value = rank(sequence)
+            if value >= threshold:
+                continue
+            key = (value, -sequence.admission_time, -sequence.sequence_id)
+            if best_key is None or key < best_key:
+                best, best_key = sequence, key
         return best
 
     def next_arrival_time(self) -> float | None:
@@ -422,6 +478,22 @@ class WFQPolicy(_TenantQueuedPolicy):
         self._vtime = start
         super().pop(sequence, time)
 
+    def select_victim(
+        self, candidate: "Sequence", active: list["Sequence"]
+    ) -> "Sequence | None":
+        """Displace the lightest-weight resident strictly below the candidate.
+
+        Weight is wfq's notion of rank (a tenant's service share), so a
+        heavier tenant's arrival may reclaim blocks from the lightest
+        resident tenant; equal weights never preempt, which keeps the
+        preemption relation a strict order.
+        """
+        return self._lowest_ranked(
+            active,
+            lambda sequence: sequence.request.weight,
+            candidate.request.weight,
+        )
+
     def snapshot_state(self) -> dict[str, Any]:
         state = super().snapshot_state()
         state["finish"] = [[tenant, tag] for tenant, tag in self._finish.items()]
@@ -466,6 +538,21 @@ class PriorityAgingPolicy(_TenantQueuedPolicy):
             return (-effective, arrival, head.request.request_id)
 
         return self._select_best(time, exclude, key)
+
+    def select_victim(
+        self, candidate: "Sequence", active: list["Sequence"]
+    ) -> "Sequence | None":
+        """Displace the lowest-static-priority resident below the candidate.
+
+        Static priorities only: aging rewards *waiting*, and a resident
+        sequence is being served, not waiting — so a low-priority sequence
+        can never age itself into preemption immunity.
+        """
+        return self._lowest_ranked(
+            active,
+            lambda sequence: float(sequence.request.priority),
+            float(candidate.request.priority),
+        )
 
 
 #: registry key -> factory; the single source of valid policy names

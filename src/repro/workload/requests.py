@@ -120,6 +120,10 @@ class Sequence:
     decode_progress: int = 0
     #: number of times this sequence was evicted and had to be recomputed
     eviction_count: int = 0
+    #: evictions that were *preemptions*: a scheduling policy displaced this
+    #: resident sequence to admit a higher-ranked one (subset of
+    #: ``eviction_count``; capacity and fault evictions do not count here)
+    preemptions: int = 0
     #: tokens recomputed due to evictions (pure waste)
     recomputed_tokens: int = 0
     #: extra prompt tokens to re-prefill after evictions (previously generated

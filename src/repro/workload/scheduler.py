@@ -63,6 +63,11 @@ class SchedulerStats:
     completed: int = 0
     evictions: int = 0
     recomputed_tokens: int = 0
+    #: evictions initiated by a preemptive policy displacing a resident
+    #: sequence for a higher-ranked arrival (subset of ``evictions``)
+    preemptions: int = 0
+    #: tokens discarded by preemptions (subset of ``recomputed_tokens``)
+    preempted_tokens: int = 0
     rejected_admissions: int = 0
     #: requests permanently dropped by the overload shedder
     shed_requests: int = 0
@@ -101,6 +106,10 @@ class InterSequenceScheduler:
     shed_retries: int = 0
     #: base retry backoff in seconds; doubles on every further shed
     shed_backoff_s: float = 0.0
+    #: allow the policy to displace resident sequences for higher-ranked
+    #: arrivals (``select_victim``); False = admission-order-only, the
+    #: historical behaviour
+    preemptive: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.policy, str):
@@ -337,15 +346,47 @@ class InterSequenceScheduler:
                 # would thrash the cache.  If nothing is active there is no
                 # request to wait for, so admission resumes.
                 break
-            if (
+            at_cap = (
                 self.max_active_sequences is not None
                 and len(self._active) >= self.max_active_sequences
-            ):
+            )
+            if at_cap and not self.preemptive:
                 break
             candidate = self.policy.select(time, exclude=frozenset(blocked))
             if candidate is None:
                 break
-            if not self.kv_provider.try_admit(candidate):
+            if at_cap:
+                # Preemptive path: the concurrency cap is full, so the
+                # candidate enters only by displacing a strictly lower-ranked
+                # resident.  A candidate that cannot is skipped (not counted
+                # as a capacity rejection — the KV cache may have room), and
+                # a higher-ranked tenant's head gets its chance.
+                if not self._preempt_for(candidate):
+                    blocked.add(candidate.sequence_id)
+                    continue
+            fits = self.kv_provider.try_admit(candidate)
+            while not fits and self.preemptive:
+                if getattr(self.kv_provider, "last_failure_quota_bound", False):
+                    # The candidate's own tenant quota is the binding
+                    # constraint; displacing other tenants cannot help.
+                    break
+                if not self._preempt_for(candidate):
+                    break
+                fits = self.kv_provider.try_admit(candidate)
+            if not fits:
+                used_blocks = getattr(self.kv_provider, "tenant_used_blocks", None)
+                if (
+                    getattr(self.kv_provider, "last_failure_quota_bound", False)
+                    and used_blocks is not None
+                    and used_blocks(candidate.tenant) == 0
+                ):
+                    # The tenant holds nothing, yet its quota still rejects
+                    # the admission: this sequence can never fit under the
+                    # quota (quotas are static per run), so drop it
+                    # permanently instead of livelocking the drain.
+                    self.stats.rejected_admissions += 1
+                    self._shed_permanently(candidate)
+                    continue
                 if candidate.sequence_id not in self._rejected_ids:
                     self._rejected_ids.add(candidate.sequence_id)
                     self.stats.rejected_admissions += 1
@@ -361,6 +402,11 @@ class InterSequenceScheduler:
             # O(currently blocked) instead of O(every rejection ever).
             self._rejected_ids.discard(candidate.sequence_id)
             admitted.append(candidate)
+        if self.preemptive:
+            # A sequence admitted earlier in this fill may have been
+            # preempted by a later, higher-ranked candidate; the caller only
+            # sees sequences that are still resident.
+            admitted = [s for s in admitted if s.sequence_id in self._active_ids]
         return admitted
 
     # --------------------------------------------------------------- shedding
@@ -419,6 +465,32 @@ class InterSequenceScheduler:
         sequence.retries += 1
         sequence.retry_at = time + self.shed_backoff_s * (2 ** (sequence.retries - 1))
         self.stats.shed_retries += 1
+
+    # ------------------------------------------------------------- preemption
+
+    def _preempt_for(self, candidate: Sequence) -> bool:
+        """Displace one policy-chosen victim so ``candidate`` can be admitted.
+
+        Mirrors :meth:`recompute_sequence`, not :meth:`_evict`: the victim's
+        KV is released and it re-enters the front of its own tenant's queue
+        with tenant/priority preserved, but admission is *not* suspended —
+        the whole point of the eviction is to admit the candidate right now.
+        Returns False when the policy declines to nominate a victim.
+        """
+        victim = self.policy.select_victim(candidate, self._active)
+        if victim is None:
+            return False
+        self._remove_active(victim)
+        self.kv_provider.release(victim)
+        discarded = victim.evict()
+        victim.preemptions += 1
+        self.stats.preemptions += 1
+        self.stats.preempted_tokens += discarded
+        self.stats.evictions += 1
+        self.stats.recomputed_tokens += discarded
+        self.policy.push_front(victim)
+        self._rejected_ids.discard(victim.sequence_id)
+        return True
 
     # --------------------------------------------------------------- eviction
 
@@ -492,16 +564,73 @@ class InterSequenceScheduler:
         itself — until the reservation succeeds or no other victim remains.
         """
         while not self.kv_provider.append_tokens(sequence, count):
-            if len(self._active) <= 1:
+            victim = self._growth_victim(sequence)
+            if victim is None:
+                if self._quota_doomed(sequence):
+                    # The tenant's entire holding is this sequence, and one
+                    # more growth still breaks its static cap: the context
+                    # only ever grows, so no completion, release or eviction
+                    # can unblock it.  Shed now instead of livelocking the
+                    # epoch loop on a sequence that can never finish.
+                    self._shed_doomed_active(sequence)
                 return False
-            victim = self._active[-1]
-            if victim is sequence:
-                # Never evict the sequence we are trying to grow; take the
-                # next most recently admitted instead (it exists: the guard
-                # above leaves at least two active sequences).
-                victim = self._active[-2]
             self._evict(victim)
         return True
+
+    def _quota_doomed(self, sequence: Sequence) -> bool:
+        """The growth failed on ``sequence``'s own tenant quota while the
+        tenant's only resident blocks are the sequence's own — its working
+        set alone exceeds the cap, permanently."""
+        if not getattr(self.kv_provider, "last_failure_quota_bound", False):
+            return False
+        used_blocks = getattr(self.kv_provider, "tenant_used_blocks", None)
+        blocks_held = getattr(self.kv_provider, "blocks_held", None)
+        if used_blocks is None or blocks_held is None:
+            return False
+        return used_blocks(sequence.tenant) == blocks_held(sequence.sequence_id)
+
+    def _shed_doomed_active(self, sequence: Sequence) -> None:
+        """Permanently drop an active sequence whose KV working set can never
+        fit its tenant's quota (the mid-flight mirror of the admission-side
+        impossible-fit shed).  The discarded tokens are shed work, not
+        recompute debt, so the eviction counters stay untouched."""
+        self._remove_active(sequence)
+        self.kv_provider.release(sequence)
+        sequence.evict()
+        if self.retain_history:
+            self._shed.append(sequence)
+        self.stats.shed_requests += 1
+        self._rejected_ids.discard(sequence.sequence_id)
+        if self.on_shed is not None:
+            self.on_shed(sequence)
+
+    def _growth_victim(self, sequence: Sequence) -> Sequence | None:
+        """The sequence evicted when ``sequence``'s KV growth does not fit.
+
+        Default: the most recently admitted active sequence, never
+        ``sequence`` itself (the paper's policy).  When the growth failed on
+        the tenant's *own KV quota* (the manager's
+        ``last_failure_quota_bound`` flag), pressure is intra-tenant first:
+        only evicting the same tenant's most recently admitted resident
+        frees quota headroom — displacing another tenant would thrash their
+        cache without unblocking this growth, so with no same-tenant victim
+        the growth simply fails.
+        """
+        if getattr(self.kv_provider, "last_failure_quota_bound", False):
+            for index in range(len(self._active) - 1, -1, -1):
+                candidate = self._active[index]
+                if candidate is not sequence and candidate.tenant == sequence.tenant:
+                    return candidate
+            return None
+        if len(self._active) <= 1:
+            return None
+        victim = self._active[-1]
+        if victim is sequence:
+            # Never evict the sequence we are trying to grow; take the
+            # next most recently admitted instead (it exists: the guard
+            # above leaves at least two active sequences).
+            victim = self._active[-2]
+        return victim
 
     # ------------------------------------------------------------- checkpoint
 

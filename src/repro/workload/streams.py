@@ -193,11 +193,13 @@ class StreamingTrace:
         stream: RequestStream,
         slo: SLOTarget | None = None,
         tenant_slos: dict[str, SLOTarget] | None = None,
+        tenant_quotas: dict[str, float] | None = None,
     ) -> None:
         self.spec = spec
         self.stream = stream
         self.slo = slo
         self.tenant_slos: dict[str, SLOTarget] = dict(tenant_slos or {})
+        self.tenant_quotas: dict[str, float] = dict(tenant_quotas or {})
 
     def slo_for(self, tenant: str) -> SLOTarget | None:
         """The SLO a tenant's requests are judged by (override, else global)."""
@@ -226,6 +228,7 @@ class StreamingTrace:
             requests=requests,
             slo=self.slo,
             tenant_slos=dict(self.tenant_slos),
+            tenant_quotas=dict(self.tenant_quotas),
         )
 
 
@@ -278,11 +281,17 @@ def multi_tenant_stream(
     tenant_slos = {
         tenant.name: tenant.slo for tenant in tenants if tenant.slo is not None
     }
+    tenant_quotas = {
+        tenant.name: tenant.kv_quota
+        for tenant in tenants
+        if tenant.kv_quota is not None
+    }
     return StreamingTrace(
         spec=spec,
         stream=RequestStream(sources, total),
         slo=slo,
         tenant_slos=tenant_slos,
+        tenant_quotas=tenant_quotas,
     )
 
 

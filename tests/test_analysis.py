@@ -364,6 +364,44 @@ class TestKnobPlumbingChecker:
         assert "cli.PipelineConfig.orphan_knob" not in symbols
         assert "PipelineConfig.orphan_knob" in symbols  # builder gap remains
 
+    def test_tenant_spec_fields_are_knobs(self, tmp_path):
+        """TenantSpec joined KNOB_CLASSES when weight/priority/kv_quota
+        became serving knobs: an unplumbed tenant field must be flagged."""
+        report = self.check(tmp_path, KNOBS_BAD + (
+            "\n"
+            "@dataclass(frozen=True)\n"
+            "class TenantSpec:\n"
+            "    name: str = 't'\n"
+            "    kv_quota: float | None = None\n"
+            "    orphan_tenant_knob: int = 0\n"
+            "class TenantBuilder:\n"
+            "    def tenant(self, name, kv_quota=None):\n"
+            "        return TenantSpec(name=name, kv_quota=kv_quota)\n"
+        ))
+        symbols = {finding.symbol for finding in report.findings}
+        assert "TenantSpec.orphan_tenant_knob" in symbols
+        assert "cli.TenantSpec.orphan_tenant_knob" in symbols
+        # name/kv_quota are plumbed through the builder; the CLI gap for
+        # them disappears with a generic fields(TenantSpec) escape.
+        assert "TenantSpec.kv_quota" not in symbols
+
+    def test_tenant_fields_loop_makes_class_cli_reachable(self, tmp_path):
+        report = self.check(tmp_path, KNOBS_BAD + (
+            "\n"
+            "from dataclasses import fields as dataclass_fields\n"
+            "@dataclass(frozen=True)\n"
+            "class TenantSpec:\n"
+            "    name: str = 't'\n"
+            "    kv_quota: float | None = None\n"
+            "class TenantBuilder:\n"
+            "    def tenant(self, name, kv_quota=None):\n"
+            "        return TenantSpec(name=name, kv_quota=kv_quota)\n"
+            "def parse_tenants(args):\n"
+            "    return {f.name for f in dataclass_fields(TenantSpec)}\n"
+        ))
+        symbols = {finding.symbol for finding in report.findings}
+        assert not any("TenantSpec" in symbol for symbol in symbols)
+
     def test_wither_method_counts_as_plumbing(self, tmp_path):
         report = self.check(tmp_path, (
             "from dataclasses import dataclass\n"

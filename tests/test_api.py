@@ -152,6 +152,21 @@ class TestDeploymentSpec:
         with pytest.raises(ConfigurationError, match="closed-batch"):
             serve(spec)
 
+    def test_quotas_summing_past_capacity_rejected(self):
+        """kv_quota fractions reserving more than the whole cache fail validate."""
+        builder = (deployment("llama-13b")
+                   .tenant("chat", "wikitext2", 10, kv_quota=0.6)
+                   .tenant("batch", "lp2048_ld128", 10, kv_quota=0.6))
+        with pytest.raises(ConfigurationError, match="kv_quota"):
+            builder.build()
+        # Exactly the whole cache is allowed -- the cap is a budget, not a
+        # reservation, so summing to 1.0 remains a valid partition.
+        spec = (deployment("llama-13b")
+                .tenant("chat", "wikitext2", 10, kv_quota=0.5)
+                .tenant("batch", "lp2048_ld128", 10, kv_quota=0.5)
+                .build())
+        assert sum(t.kv_quota for t in spec.tenants) == 1.0
+
     def test_presets_cover_named_figures(self):
         assert preset("headline").num_requests == 1000
         assert preset("fig19-multiwafer").config.num_wafers == 2

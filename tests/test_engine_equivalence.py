@@ -31,7 +31,8 @@ KV_POLICIES = ["dynamic", "static"]
 
 
 def build_engine(engine_cls, arch, wafer_config, kv_policy, *, blocks_per_core=256,
-                 kv_cores=48, chunk=32, scheduling_policy="fcfs"):
+                 kv_cores=48, chunk=32, scheduling_policy="fcfs",
+                 max_active=None, preemptive=False):
     cost_model = TokenCostModel(arch=arch, wafer_config=wafer_config)
     if kv_policy == "dynamic":
         kv_manager = DistributedKVCacheManager(
@@ -42,7 +43,8 @@ def build_engine(engine_cls, arch, wafer_config, kv_policy, *, blocks_per_core=2
             arch, kv_core_ids=kv_cores, blocks_per_core=blocks_per_core
         )
     config = PipelineConfig(
-        chunk_tokens=chunk, context_quantum=32, scheduling_policy=scheduling_policy
+        chunk_tokens=chunk, context_quantum=32, scheduling_policy=scheduling_policy,
+        max_active_sequences=max_active, preemptive=preemptive,
     )
     return engine_cls(arch, cost_model, kv_manager, config=config)
 
@@ -357,6 +359,49 @@ class TestPolicyEquivalence:
         assert result_fast.extra["split_epochs"] > 0  # and actually splits
         assert_bitwise_equal(result_fast, result_scalar)
 
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("quota", [0.25, 0.5])
+    def test_quota_bound_bitwise(self, policy, quota, tiny_arch, small_wafer_config):
+        """Every policy x quota combination keeps fast and scalar bitwise.
+
+        The undersized cache plus a tight batch-tenant quota makes the quota
+        the binding constraint (not global pressure): admissions and growths
+        fail quota-bound, evict-and-requeue churns, and both paths must agree.
+        """
+        from repro.workload.generator import TenantSpec, generate_multi_tenant_trace
+
+        kwargs = dict(blocks_per_core=2, kv_cores=24, chunk=64,
+                      scheduling_policy=policy)
+        tenants = (
+            TenantSpec(name="chat", workload="lp200_ld32", num_requests=4,
+                       arrival_rate_per_s=2000.0, weight=2.0, priority=1),
+            TenantSpec(name="batch", workload="lp320_ld48", num_requests=3,
+                       arrival_rate_per_s=800.0, kv_quota=quota),
+        )
+        fast = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                            "dynamic", **kwargs)
+        scalar = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                              "dynamic", **kwargs)
+        result_fast = fast.run(generate_multi_tenant_trace(tenants, seed=11))
+        result_scalar = scalar.run_scalar(generate_multi_tenant_trace(tenants, seed=11))
+        # The quota actually bound: the manager attributed refusals to it.
+        stats = fast.kv_manager.stats
+        assert stats.quota_rejections + stats.quota_blocked_growths > 0
+        assert (
+            stats.quota_rejections
+            == scalar.kv_manager.stats.quota_rejections
+        )
+        assert (
+            stats.quota_blocked_growths
+            == scalar.kv_manager.stats.quota_blocked_growths
+        )
+        assert_bitwise_equal(result_fast, result_scalar)
+        for name in result_fast.tenants:
+            assert (
+                result_fast.tenants[name].as_dict()
+                == result_scalar.tenants[name].as_dict()
+            )
+
     def test_fcfs_policy_config_is_default(self, tiny_arch, small_wafer_config):
         """An explicit fcfs policy reproduces the default engine bit for bit
         (the FCFS anchor of the policy subsystem)."""
@@ -366,6 +411,102 @@ class TestPolicyEquivalence:
         assert_bitwise_equal(
             default.run(self._policy_trace()), explicit.run(self._policy_trace())
         )
+
+
+def staggered_preemption_trace(seed=7, chat_quota=None, batch_quota=None):
+    """Batch floods the concurrency cap first; weighted chat arrives mid-run.
+
+    Rates are sized to the tiny system's millisecond-scale service times:
+    the three long batch decodes monopolise the cap-2 active set while all
+    four chat arrivals land mid-decode, so a preemptive policy must displace
+    a resident batch sequence for every chat admission.
+    """
+    from repro.workload.generator import TenantSpec, generate_multi_tenant_trace
+    from repro.workload.requests import SLOTarget
+
+    tenants = (
+        TenantSpec(name="chat", workload="lp64_ld16", num_requests=4,
+                   arrival_rate_per_s=1500.0, weight=8.0, priority=1,
+                   kv_quota=chat_quota),
+        TenantSpec(name="batch", workload="lp96_ld512", num_requests=3,
+                   arrival_rate_per_s=3000.0, kv_quota=batch_quota),
+    )
+    return generate_multi_tenant_trace(
+        tenants, seed=seed, slo=SLOTarget(ttft_s=0.5, latency_s=2.0)
+    )
+
+
+class TestPreemptionEquivalence:
+    """Preemptive scheduling keeps fast and scalar bitwise-equal.
+
+    Preemption moves evictions from the admission path into the policy's
+    ``select_victim`` hook: a high-ranked arrival displaces a resident
+    low-ranked sequence (KV dropped, victim re-queued with its decoded
+    tokens preserved as recompute debt).  Both engine paths drive the same
+    scheduler, so the preempt-evict-requeue cycle must never open a gap.
+    """
+
+    def _staggered_trace(self, seed=7, chat_quota=None, batch_quota=None):
+        return staggered_preemption_trace(
+            seed=seed, chat_quota=chat_quota, batch_quota=batch_quota
+        )
+
+    @staticmethod
+    def _preemptions(result):
+        return sum(t.preemptions for t in result.tenants.values())
+
+    @pytest.mark.parametrize("engine_cls", ENGINES)
+    @pytest.mark.parametrize("policy", ["wfq", "priority"])
+    def test_preemptive_bitwise(self, engine_cls, policy, tiny_arch, small_wafer_config):
+        kwargs = dict(scheduling_policy=policy, max_active=2, preemptive=True)
+        fast = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        scalar = build_engine(engine_cls, tiny_arch, small_wafer_config, "dynamic", **kwargs)
+        result_fast = fast.run(self._staggered_trace())
+        result_scalar = scalar.run_scalar(self._staggered_trace())
+        assert self._preemptions(result_fast) > 0  # the scenario actually preempts
+        assert_bitwise_equal(result_fast, result_scalar)
+        for name in result_fast.tenants:
+            assert (
+                result_fast.tenants[name].as_dict()
+                == result_scalar.tenants[name].as_dict()
+            )
+
+    def test_preemptive_fcfs_is_inert(self, tiny_arch, small_wafer_config):
+        """FCFS never selects a victim: the knob is bitwise-inert under it."""
+        trace = self._staggered_trace
+
+        def run(preemptive):
+            engine = build_engine(
+                TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic",
+                scheduling_policy="fcfs", max_active=2, preemptive=preemptive,
+            )
+            return engine.run(trace())
+
+        on, off = run(True), run(False)
+        assert self._preemptions(on) == 0
+        assert_bitwise_equal(on, off)
+
+    @pytest.mark.parametrize("policy", ["wfq", "priority"])
+    @pytest.mark.parametrize("quota", [None, 0.5])
+    def test_preemption_composes_with_quota_bitwise(
+        self, policy, quota, tiny_arch, small_wafer_config
+    ):
+        """Preemption + a batch quota: both pressure paths stay in lockstep."""
+        kwargs = dict(scheduling_policy=policy, max_active=2, preemptive=True,
+                      blocks_per_core=8, kv_cores=24, chunk=64)
+        fast = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                            "dynamic", **kwargs)
+        scalar = build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                              "dynamic", **kwargs)
+        result_fast = fast.run(self._staggered_trace(batch_quota=quota))
+        result_scalar = scalar.run_scalar(self._staggered_trace(batch_quota=quota))
+        assert self._preemptions(result_fast) > 0
+        assert_bitwise_equal(result_fast, result_scalar)
+        for name in result_fast.tenants:
+            assert (
+                result_fast.tenants[name].as_dict()
+                == result_scalar.tenants[name].as_dict()
+            )
 
 
 class TestCheckpointResume:
@@ -460,6 +601,45 @@ class TestCheckpointResume:
                                 "static")
 
         self._suspend_resume(build, "run", mixed_trace, suspend_at=2)
+
+    @pytest.mark.parametrize("method", ["run", "run_scalar"])
+    @pytest.mark.parametrize("policy", ["wfq", "priority"])
+    def test_mid_preemption_bitwise(self, method, policy, tiny_arch, small_wafer_config):
+        """Suspending inside the preemption churn window resumes bit for bit.
+
+        The checkpoint must capture a preempted victim sitting back at the
+        front of its tenant queue with recompute debt — state that only
+        exists while preemptive scheduling is mid-flight.
+        """
+        def build():
+            return build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                                "dynamic", scheduling_policy=policy,
+                                max_active=2, preemptive=True)
+
+        baseline, resumed = self._suspend_resume(
+            build, method, staggered_preemption_trace, suspend_at=5
+        )
+        preempted = sum(t.preemptions for t in baseline.tenants.values())
+        assert preempted > 0  # the scenario actually preempts
+        for name in baseline.tenants:
+            assert (
+                baseline.tenants[name].as_dict() == resumed.tenants[name].as_dict()
+            )
+
+    @pytest.mark.parametrize("method", ["run", "run_scalar"])
+    def test_mid_preemption_with_quota_bitwise(self, method, tiny_arch, small_wafer_config):
+        """Tenant quota occupancy survives the checkpoint round trip."""
+        def build():
+            return build_engine(TokenGrainedPipeline, tiny_arch, small_wafer_config,
+                                "dynamic", scheduling_policy="wfq",
+                                max_active=2, preemptive=True,
+                                blocks_per_core=8, kv_cores=24, chunk=64)
+
+        def trace_fn():
+            return staggered_preemption_trace(batch_quota=0.5)
+
+        baseline, _ = self._suspend_resume(build, method, trace_fn, suspend_at=5)
+        assert sum(t.preemptions for t in baseline.tenants.values()) > 0
 
     def test_suspend_past_end_returns_result(self, tiny_arch, small_wafer_config):
         """A suspend epoch the run never reaches degrades to a normal run."""

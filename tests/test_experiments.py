@@ -72,11 +72,12 @@ class TestCommonHelpers:
         assert first is second
 
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 15
+        assert len(ALL_EXPERIMENTS) == 16
         assert "fig22" in ALL_EXPERIMENTS
         assert "fig23" in ALL_EXPERIMENTS
         assert "fig24" in ALL_EXPERIMENTS
         assert "fig25" in ALL_EXPERIMENTS
+        assert "fig26" in ALL_EXPERIMENTS
 
 
 class TestFig01:
@@ -341,3 +342,61 @@ class TestFig24:
             assert by_key[(policy, 0.25)]["interactive_ttft_p95_s"] == pytest.approx(
                 by_key[("fcfs", 0.25)]["interactive_ttft_p95_s"]
             )
+
+
+class TestFig26:
+    @pytest.fixture(scope="class")
+    def preemption(self):
+        from repro.experiments import fig26_preemption
+        from repro.perf.sweep import SweepRunner
+
+        return fig26_preemption.run(
+            FAST,
+            model="llama-13b",
+            load_fractions=(0.25, 4.0),
+            max_active_caps=(4,),
+            runner=SweepRunner(max_workers=1),
+        )
+
+    def test_rows_cover_the_co_sweep(self, preemption):
+        rows = preemption.rows()
+        keys = [
+            (row["policy"], row["max_active"], row["preemptive"], row["load"])
+            for row in rows
+        ]
+        assert keys == [
+            ("wfq", 4, False, 0.25), ("wfq", 4, False, 4.0),
+            ("wfq", 4, True, 0.25), ("wfq", 4, True, 4.0),
+            ("priority", 4, False, 0.25), ("priority", 4, False, 4.0),
+            ("priority", 4, True, 0.25), ("priority", 4, True, 4.0),
+        ]
+        assert "Fig. 26" in preemption.format_table()
+
+    def test_anchors_shared_across_cells(self, preemption):
+        """Every (policy, cap, preemptive) cell is swept at identical loads
+        against identical SLOs from the FCFS anchor."""
+        for sweep in preemption.results.values():
+            assert sweep.base_rate_per_s == preemption.base_rate_per_s
+            assert sweep.tenant_slos == preemption.tenant_slos
+
+    def test_preemption_inert_at_light_load(self, preemption):
+        """With no admission contention the knob never fires and the numbers
+        reproduce the non-preemptive run exactly."""
+        by_key = {
+            (row["policy"], row["preemptive"], row["load"]): row
+            for row in preemption.rows()
+        }
+        for policy in ("wfq", "priority"):
+            on, off = by_key[(policy, True, 0.25)], by_key[(policy, False, 0.25)]
+            assert on["preemptions"] == 0
+            assert on["recomputed_tokens"] == 0
+            assert on["interactive_ttft_p95_s"] == off["interactive_ttft_p95_s"]
+
+    def test_headline_carries_cut_and_tax(self, preemption):
+        assert preemption.headline_load == 4.0
+        headline = preemption.headline
+        assert headline["interactive_ttft_p95_s"] >= 0.0
+        assert headline["baseline_interactive_ttft_p95_s"] >= 0.0
+        assert headline["preemptions"] >= 0.0
+        assert headline["recomputed_tokens"] >= 0.0
+        assert 0.0 <= headline["goodput"] <= 1.0

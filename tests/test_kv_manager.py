@@ -8,8 +8,13 @@ from repro.kvcache.static import StaticKVCacheManager
 from repro.workload.requests import Request, Sequence
 
 
-def make_sequence(seq_id: int, prefill: int = 64, decode: int = 64) -> Sequence:
-    seq = Sequence(Request(request_id=seq_id, prefill_length=prefill, decode_length=decode))
+def make_sequence(
+    seq_id: int, prefill: int = 64, decode: int = 64, tenant: str | None = None
+) -> Sequence:
+    kwargs = {"tenant": tenant} if tenant is not None else {}
+    seq = Sequence(Request(
+        request_id=seq_id, prefill_length=prefill, decode_length=decode, **kwargs
+    ))
     seq.start()
     return seq
 
@@ -339,3 +344,113 @@ class TestStaticManager:
     def test_static_requires_cores(self, tiny_arch):
         with pytest.raises(ConfigurationError):
             StaticKVCacheManager(tiny_arch, kv_core_ids=0)
+
+
+class TestTenantQuotas:
+    """Per-tenant KV block caps: exact fits, zero quotas, checkpoint survival.
+
+    The fixture manager has 32 cores x 16 blocks = 512 configured blocks and
+    the tiny arch reserves 2 blocks x 4 heads x 2 (K/V) = 16 block slots per
+    admission, so a quota of 16/512 is the exact working set of one
+    single-block-per-slot sequence.
+    """
+
+    RESERVE = 16  # 2 transformer blocks x 4 KV heads x 2 (K and V)
+    CAPACITY = 512
+
+    def test_quota_zero_rejects_every_admission(self, manager):
+        manager.set_tenant_quotas({"batch": 0.0})
+        seq = make_sequence(0, tenant="batch")
+        assert not manager.try_admit(seq)
+        assert manager.stats.quota_rejections == 1
+        assert manager.last_failure_quota_bound
+        assert manager.tenant_used_blocks("batch") == 0
+        assert manager.used_blocks == 0
+
+    def test_unlisted_tenant_is_uncapped(self, manager):
+        manager.set_tenant_quotas({"batch": 0.0})
+        assert manager.try_admit(make_sequence(1, tenant="chat"))
+        assert manager.tenant_quota_blocks("chat") is None
+        assert manager.tenant_used_blocks("chat") == 0  # uncapped: not tracked
+
+    def test_quota_equal_to_working_set_admits_exactly(self, manager):
+        """A cap of exactly one sequence's reserve admits it -- and nothing more."""
+        manager.set_tenant_quotas({"batch": self.RESERVE / self.CAPACITY})
+        assert manager.tenant_quota_blocks("batch") == self.RESERVE
+        assert manager.try_admit(make_sequence(0, tenant="batch"))
+        assert manager.tenant_used_blocks("batch") == self.RESERVE
+        # The tenant sits exactly at its cap: a second admission is
+        # quota-bound even though the cache itself has plenty of room.
+        assert not manager.try_admit(make_sequence(1, tenant="batch"))
+        assert manager.stats.quota_rejections == 1
+        assert manager.last_failure_quota_bound
+        assert manager.total_blocks - manager.used_blocks >= self.RESERVE
+
+    def test_growth_past_quota_is_blocked_and_attributed(self, manager):
+        manager.set_tenant_quotas({"batch": self.RESERVE / self.CAPACITY})
+        seq = make_sequence(0, prefill=16, decode=16, tenant="batch")
+        assert manager.try_admit(seq)
+        # Growth inside the first block per slot allocates nothing new.
+        assert manager.append_tokens(seq, manager.tokens_per_block)
+        assert manager.tenant_used_blocks("batch") == self.RESERVE
+        # Crossing the block boundary needs another 16 blocks: quota-bound.
+        assert not manager.append_tokens(seq, 1)
+        assert manager.stats.quota_blocked_growths == 1
+        assert manager.last_failure_quota_bound
+        assert manager.tenant_used_blocks("batch") == self.RESERVE
+
+    def test_release_returns_quota_headroom(self, manager):
+        manager.set_tenant_quotas({"batch": self.RESERVE / self.CAPACITY})
+        seq = make_sequence(0, tenant="batch")
+        assert manager.try_admit(seq)
+        manager.release(seq)
+        assert manager.tenant_used_blocks("batch") == 0
+        assert manager.try_admit(make_sequence(1, tenant="batch"))
+
+    def test_quota_fraction_out_of_range_rejected(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.set_tenant_quotas({"batch": 1.5})
+        with pytest.raises(ConfigurationError):
+            manager.set_tenant_quotas({"batch": -0.1})
+
+    def test_quota_against_configured_not_healthy_capacity(self, manager):
+        """Core failures must not silently shrink a tenant's entitlement."""
+        manager.set_tenant_quotas({"batch": self.RESERVE / self.CAPACITY})
+        manager.fail_core(manager.kv_core_ids[0])
+        assert manager.tenant_quota_blocks("batch") == self.RESERVE
+
+    def test_quota_state_survives_snapshot_restore(self, manager, tiny_arch):
+        manager.set_tenant_quotas({"batch": 0.5, "chat": 0.0})
+        seq = make_sequence(0, tenant="batch")
+        assert manager.try_admit(seq)
+        state = manager.snapshot_state()
+        restored = DistributedKVCacheManager(
+            tiny_arch, kv_core_ids=list(range(32)), blocks_per_core=16, threshold=0.0
+        )
+        restored.restore_state(state)
+        assert restored.tenant_quota_blocks("batch") == manager.tenant_quota_blocks("batch")
+        assert restored.tenant_used_blocks("batch") == self.RESERVE
+        assert not restored.try_admit(make_sequence(1, tenant="chat"))
+        assert restored.last_failure_quota_bound
+
+    def test_static_quota_zero_rejects(self, tiny_arch):
+        manager = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=64)
+        manager.set_tenant_quotas({"batch": 0.0})
+        assert not manager.try_admit(make_sequence(0, tenant="batch"))
+        assert manager.stats.quota_rejections == 1
+        assert manager.last_failure_quota_bound
+        assert manager.try_admit(make_sequence(1, tenant="chat"))
+
+    def test_static_quota_equal_to_working_set(self, tiny_arch):
+        manager = StaticKVCacheManager(tiny_arch, kv_core_ids=32, blocks_per_core=64)
+        per_sequence = manager.blocks_per_sequence()
+        manager.set_tenant_quotas({"batch": per_sequence / manager.total_blocks})
+        assert manager.tenant_quota_blocks("batch") == per_sequence
+        seq = make_sequence(0, tenant="batch")
+        assert manager.try_admit(seq)
+        assert manager.tenant_used_blocks("batch") == per_sequence
+        assert not manager.try_admit(make_sequence(1, tenant="batch"))
+        assert manager.last_failure_quota_bound
+        manager.release(seq)
+        assert manager.tenant_used_blocks("batch") == 0
+        assert manager.try_admit(make_sequence(2, tenant="batch"))

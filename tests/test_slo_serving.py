@@ -463,3 +463,63 @@ class TestPolicySpec:
     def test_default_policy_is_fcfs(self):
         spec = deployment("llama-13b").build()
         assert spec.config.pipeline.scheduling_policy == "fcfs"
+
+
+class TestTenantQuotaServing:
+    """End-to-end quota semantics: caps bind per tenant, impossible fits shed.
+
+    The KV quota is a *static* entitlement, so two classes of request can
+    never be served under it: a zero-quota tenant's (rejected at admission
+    while holding nothing) and one whose own working set exceeds the cap
+    (detected when growth fails with no same-tenant victim left).  Both must
+    shed permanently — counted against the tenant's goodput — instead of
+    livelocking the epoch loop, and must never disturb the other tenant.
+    """
+
+    def _pressure_tenants(self, batch_quota):
+        return (
+            TenantSpec(name="chat", workload="lp200_ld32", num_requests=4,
+                       arrival_rate_per_s=2000.0, weight=2.0, priority=1),
+            TenantSpec(name="batch", workload="lp320_ld48", num_requests=3,
+                       arrival_rate_per_s=800.0, kv_quota=batch_quota),
+        )
+
+    def _serve(self, tiny_arch, small_wafer_config, batch_quota):
+        engine = build_engine(
+            TokenGrainedPipeline, tiny_arch, small_wafer_config, "dynamic",
+            blocks_per_core=2, kv_cores=24, chunk=64,
+        )
+        trace = generate_multi_tenant_trace(
+            self._pressure_tenants(batch_quota), seed=11,
+            slo=SLOTarget(ttft_s=0.5, latency_s=2.0),
+        )
+        return engine, engine.run(trace)
+
+    def test_zero_quota_tenant_shed_at_admission(self, tiny_arch, small_wafer_config):
+        engine, result = self._serve(tiny_arch, small_wafer_config, 0.0)
+        assert result.tenants["batch"].shed == 3
+        assert result.tenants["batch"].goodput == 0.0
+        assert result.tenants["chat"].shed == 0
+        assert result.tenants["chat"].ttft.count == 4
+        assert engine.kv_manager.stats.quota_rejections > 0
+
+    def test_quota_below_working_set_sheds_mid_flight(self, tiny_arch, small_wafer_config):
+        """A cap that admits a sequence but can never hold its full context
+        sheds it once growth proves the fit impossible -- the run completes."""
+        engine, result = self._serve(tiny_arch, small_wafer_config, 0.5)
+        assert result.tenants["batch"].shed == 3
+        assert result.tenants["chat"].shed == 0
+        assert result.tenants["chat"].ttft.count == 4
+        # The shed happened mid-flight, after a real admission and growth.
+        assert engine.kv_manager.stats.quota_blocked_growths > 0
+        assert engine.scheduler.stats.shed_requests == 3
+
+    def test_quota_holding_full_working_set_serves_everyone(
+        self, tiny_arch, small_wafer_config
+    ):
+        """A cap with room for one full batch working set serves all requests
+        -- quota pressure queues the tenant intra-tenant, nothing is shed."""
+        engine, result = self._serve(tiny_arch, small_wafer_config, 0.75)
+        assert result.tenants["batch"].shed == 0
+        assert result.tenants["batch"].ttft.count == 3
+        assert result.tenants["chat"].ttft.count == 4
